@@ -1,0 +1,179 @@
+"""E7 — NoCDN integrity and accounting under untrusted peers (SIV-B).
+
+The paper's three adversarial requirements, each driven end to end:
+
+- **Content integrity**: a tampering peer's objects fail the wrapper's
+  SHA-256 check; the loader recovers from the origin; the user never
+  renders corrupt content; the peer loses trust and is expelled.
+- **Accurate accounting**: inflated usage records break their HMAC;
+  replayed records trip the nonce registry; over-cap claims exceed the
+  wrapper's authorization. None of them get paid.
+- **Collusion**: a client/peer pair generating valid-but-fake traffic
+  sticks out of the payable-bytes distribution and is flagged.
+"""
+
+import random
+
+from benchmarks.common import run_experiment
+from repro.hpop.core import Household, Hpop, User
+from repro.metrics.report import ExperimentReport
+from repro.net.topology import build_city
+from repro.nocdn.loader import PageLoader
+from repro.nocdn.origin import ContentProvider
+from repro.nocdn.peer import NoCdnPeerService
+from repro.nocdn.records import make_record
+from repro.sim.engine import Simulator
+from repro.workloads.web import CatalogSpec, generate_catalog
+
+
+def build_world(peer_services, seed=7):
+    sim = Simulator(seed=seed)
+    city = build_city(sim, homes_per_neighborhood=len(peer_services) + 4,
+                      server_sites={"origin": 1})
+    catalog = generate_catalog(CatalogSpec(num_pages=4),
+                               random.Random(seed))
+    provider = ContentProvider("news.example",
+                               city.server_sites["origin"].servers[0],
+                               city.network, catalog)
+    for i, service in enumerate(peer_services):
+        home = city.neighborhoods[0].homes[i]
+        hpop = Hpop(home.hpop_host, city.network,
+                    Household(name=f"h{i}", users=[User("u", "p")]))
+        hpop.install(service)
+        hpop.start()
+        service.sign_up(provider)
+    client = city.neighborhoods[0].homes[len(peer_services)].devices[0]
+    loader = PageLoader(client, city.network)
+    return sim, city, catalog, provider, loader
+
+
+def load(sim, loader, provider, url):
+    results = []
+    loader.load(provider, url, results.append)
+    sim.run()
+    return results[0]
+
+
+def experiment():
+    report = ExperimentReport(
+        "E7", "NoCDN under attack: integrity, accounting, collusion",
+        columns=("attack", "attempted", "caught", "user-visible damage"))
+
+    # -- tampering -------------------------------------------------------
+    tamperer = NoCdnPeerService(tamper=True)
+    honest = NoCdnPeerService()
+    sim, city, catalog, provider, loader = build_world([tamperer, honest])
+    corrupted_total, recovered_pages = 0, 0
+    for page in catalog.pages()[:3]:
+        result = load(sim, loader, provider, page.url)
+        corrupted_total += len(result.corrupted)
+        complete = result.total_bytes >= page.total_size
+        recovered_pages += complete
+    tamper_info = provider.peers[tamperer.peer_id]
+    report.add_row("content tampering", corrupted_total,
+                   tamper_info.corruption_reports,
+                   "none (hash check + origin recovery)")
+    report.check(
+        "tampered objects are detected and recovered",
+        "every corrupted object caught; every page completes intact",
+        f"{corrupted_total} corruptions, {recovered_pages}/3 pages complete",
+        corrupted_total > 0 and recovered_pages == 3
+        and tamper_info.corruption_reports == corrupted_total)
+    report.check(
+        "tampering peer loses trust and is expelled",
+        "trust collapses below the expulsion threshold",
+        f"trust={tamper_info.trust:.4f}, expelled={tamper_info.expelled}",
+        tamper_info.expelled)
+
+    # -- inflation --------------------------------------------------------
+    cheater = NoCdnPeerService(inflate_factor=3.0)
+    sim, city, catalog, provider, loader = build_world([cheater], seed=71)
+    load(sim, loader, provider, catalog.pages()[0].url)
+    cheater.flush_usage()
+    sim.run()
+    audit = provider.audit
+    report.add_row("record inflation", audit.rejected_bad_signature,
+                   audit.rejected_bad_signature, "payment denied")
+    report.check(
+        "inflated records fail HMAC verification",
+        "all inflated records rejected, zero payable bytes",
+        f"{audit.rejected_bad_signature} rejected, "
+        f"payable={provider.payable_bytes.get(cheater.peer_id, 0)}",
+        audit.rejected_bad_signature > 0
+        and provider.payable_bytes.get(cheater.peer_id, 0) == 0)
+
+    # -- replay -------------------------------------------------------------
+    replayer = NoCdnPeerService(replay_records=True)
+    sim, city, catalog, provider, loader = build_world([replayer], seed=72)
+    load(sim, loader, provider, catalog.pages()[0].url)
+    replayer.flush_usage()
+    sim.run()
+    accepted_first = provider.audit.accepted_records
+    replayer.flush_usage()
+    sim.run()
+    report.add_row("record replay", provider.audit.rejected_replay,
+                   provider.audit.rejected_replay, "no double payment")
+    report.check(
+        "replayed records are rejected by the nonce registry",
+        "second upload adds zero accepted records",
+        f"accepted stayed {accepted_first}, "
+        f"{provider.audit.rejected_replay} replays rejected",
+        provider.audit.accepted_records == accepted_first
+        and provider.audit.rejected_replay > 0)
+
+    # -- over-cap collusion claim ---------------------------------------------
+    peer = NoCdnPeerService()
+    sim, city, catalog, provider, loader = build_world([peer], seed=73)
+    page = catalog.pages()[0]
+    wrapper = provider.build_wrapper(page)
+    key = wrapper.peer_keys[peer.peer_id]
+    bogus = make_record(wrapper.wrapper_id, peer.peer_id,
+                        page.container.name, 10 ** 10, "fat-nonce", key)
+    provider._audit_record(peer.peer_id, bogus)
+    report.add_row("over-cap claim", 1, provider.audit.rejected_over_cap,
+                   "claim bounded by wrapper authorization")
+    report.check(
+        "claims beyond the wrapper's authorization are rejected",
+        "record for 10 GB against a KB-scale cap is refused",
+        f"rejected_over_cap={provider.audit.rejected_over_cap}",
+        provider.audit.rejected_over_cap == 1)
+
+    # -- collusion volume anomaly ------------------------------------------------
+    peers = [NoCdnPeerService() for _ in range(5)]
+    sim, city, catalog, provider, loader = build_world(peers, seed=74)
+    page = catalog.pages()[0]
+    colluder = peers[0].peer_id
+    rng = random.Random(740)
+    for _ in range(40):
+        wrapper = provider.build_wrapper(page)
+        target = colluder if colluder in wrapper.peer_keys else None
+        if target:
+            cap = wrapper.expected_bytes_for(target)
+            if cap:
+                record = make_record(
+                    wrapper.wrapper_id, target, page.container.name,
+                    min(cap, page.container.size),
+                    f"n{rng.random()}", wrapper.peer_keys[target])
+                provider._audit_record(target, record)
+    for pid in [p.peer_id for p in peers[1:]]:
+        wrapper = provider.build_wrapper(page)
+        if pid in wrapper.peer_keys:
+            cap = wrapper.expected_bytes_for(pid)
+            if cap:
+                record = make_record(
+                    wrapper.wrapper_id, pid, page.container.name,
+                    min(cap, 2_000), f"m{rng.random()}",
+                    wrapper.peer_keys[pid])
+                provider._audit_record(pid, record)
+    flagged = provider.anomalous_peers(factor=5.0)
+    report.add_row("client+peer collusion", 1,
+                   int(colluder in flagged), "flagged for review / capping")
+    report.check(
+        "colluding volume sticks out of the payable distribution",
+        "colluder flagged by the >5x-median anomaly detector",
+        f"flagged={flagged}", colluder in flagged)
+    return report
+
+
+def test_e7_nocdn_integrity(benchmark):
+    run_experiment(benchmark, experiment)

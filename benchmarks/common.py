@@ -1,0 +1,28 @@
+"""Shared machinery for the experiment benchmarks.
+
+Each ``bench_eNN_*`` module reproduces one table/figure/claim from the
+paper (see the experiment index in DESIGN.md). Benches run the
+experiment once under ``benchmark.pedantic`` (the simulations are
+deterministic; repetition adds nothing), print a claim-vs-measured
+report, and *assert* that the paper's qualitative shape holds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.metrics.report import ExperimentReport
+
+
+def run_experiment(benchmark, experiment: Callable[[], ExperimentReport],
+                   rounds: int = 1) -> ExperimentReport:
+    """Run ``experiment`` under pytest-benchmark and enforce its claims."""
+    report = benchmark.pedantic(experiment, rounds=rounds, iterations=1)
+    report.print()
+    failed = report.failed_claims()
+    assert not failed, (
+        "paper-shape claims failed: "
+        + "; ".join(f"{c.description} (expected {c.expected}, "
+                    f"measured {c.measured})" for c in failed)
+    )
+    return report

@@ -1,0 +1,40 @@
+"""repro: a reproduction of "Rethinking Home Networks in the
+Ultrabroadband Era" (Rabinovich et al., ICDCS 2019).
+
+The package builds the paper's Home Point of Presence (HPoP) and all
+four of its services on a discrete-event network simulator:
+
+- :mod:`repro.sim` / :mod:`repro.net` / :mod:`repro.transport` -- the
+  substrate: event engine, FTTH topologies, flow-level TCP and MPTCP,
+- :mod:`repro.nat` -- UPnP/STUN/TURN reachability (paper SIII),
+- :mod:`repro.http` / :mod:`repro.webdav` / :mod:`repro.naming` --
+  protocol layers,
+- :mod:`repro.hpop` -- the appliance platform,
+- :mod:`repro.attic` -- the Data Attic (SIV-A),
+- :mod:`repro.nocdn` + :mod:`repro.cdn` -- NoCDN and its baselines (SIV-B),
+- :mod:`repro.dcol` -- the Detour Collective (SIV-C),
+- :mod:`repro.iah` -- Internet@home (SIV-D),
+- :mod:`repro.workloads` / :mod:`repro.metrics` -- experiment support.
+
+Quickstart::
+
+    from repro.sim import Simulator
+    from repro.net import build_city
+    from repro.hpop import Hpop, Household, User
+    from repro.attic import DataAtticService
+
+    sim = Simulator(seed=1)
+    city = build_city(sim, homes_per_neighborhood=4)
+    home = city.neighborhoods[0].homes[0]
+    hpop = Hpop(home.hpop_host, city.network,
+                Household(name="smith", users=[User("ann", "pw")]))
+    attic = hpop.install(DataAtticService())
+    hpop.start()
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+paper's experiments (indexed in DESIGN.md and EXPERIMENTS.md).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

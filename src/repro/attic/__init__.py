@@ -1,0 +1,97 @@
+"""The Data Attic service (paper SIV-A) and its companions."""
+
+from repro.attic.backup import (
+    BackupPlacement,
+    BackupStrategy,
+    ColdCloudBackup,
+    ErasureCodedBackup,
+    FailureState,
+    LocalDiskBackup,
+    NoBackup,
+    PeerReplication,
+    analytic_availability,
+    simulate_availability,
+)
+from repro.attic.backup_service import (
+    SHARD_ROUTE,
+    BackupManifestEntry,
+    PeerBackupService,
+    file_backup_bytes,
+)
+from repro.attic.cloudmirror import (
+    KEY_ROUTE,
+    CipherBlob,
+    EncryptedCloudStore,
+    KeyEscrowService,
+    KeyRelease,
+)
+from repro.attic.driver import (
+    MODE_READ,
+    MODE_WRITE,
+    AtticDriver,
+    AtticFile,
+    DriverError,
+)
+from repro.attic.grants import (
+    GrantError,
+    GrantRegistry,
+    ProviderGrant,
+    QrPayload,
+)
+from repro.attic.offline import OfflineDevice, version_from_etag
+from repro.attic.health import (
+    RECORDS_DIR,
+    HealthRecord,
+    MedicalProvider,
+    PatientLink,
+)
+from repro.attic.reconcile import (
+    LocalFileState,
+    OfflineWorkspace,
+    SyncAction,
+    SyncResult,
+)
+from repro.attic.service import ATTIC_MOUNT, DataAtticService
+
+__all__ = [
+    "BackupPlacement",
+    "BackupStrategy",
+    "ColdCloudBackup",
+    "ErasureCodedBackup",
+    "FailureState",
+    "LocalDiskBackup",
+    "NoBackup",
+    "PeerReplication",
+    "analytic_availability",
+    "simulate_availability",
+    "SHARD_ROUTE",
+    "BackupManifestEntry",
+    "PeerBackupService",
+    "file_backup_bytes",
+    "KEY_ROUTE",
+    "CipherBlob",
+    "EncryptedCloudStore",
+    "KeyEscrowService",
+    "KeyRelease",
+    "MODE_READ",
+    "MODE_WRITE",
+    "AtticDriver",
+    "AtticFile",
+    "DriverError",
+    "GrantError",
+    "GrantRegistry",
+    "ProviderGrant",
+    "QrPayload",
+    "RECORDS_DIR",
+    "HealthRecord",
+    "MedicalProvider",
+    "PatientLink",
+    "OfflineDevice",
+    "version_from_etag",
+    "LocalFileState",
+    "OfflineWorkspace",
+    "SyncAction",
+    "SyncResult",
+    "ATTIC_MOUNT",
+    "DataAtticService",
+]

@@ -1,0 +1,294 @@
+"""The peer-backup service: erasure-coded shards on friends' HPoPs.
+
+:mod:`repro.attic.backup` models availability analytically; this module
+is the *operational* mechanism: an HPoP service that
+
+- erasure-codes each attic file (real Reed-Solomon over GF(256)),
+- pushes one shard to each friend HPoP over real simulated HTTP,
+- restores files from any ``k`` reachable friends after a loss —
+  the paper's "redundantly encoding the contents ... and storing pieces
+  with a variety of peers".
+
+Shard bytes are the file's canonical derived bytes (the same stand-in
+used for content hashing), so a restore is verified end to end: the
+decoded payload must hash to the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.hpop.core import Hpop, HpopService
+from repro.http.client import HttpClient
+from repro.http.messages import HttpRequest, HttpResponse, not_found, ok
+from repro.util.crypto import sha256_hex
+from repro.util.erasure import ReedSolomonCodec, Shard
+from repro.webdav.resources import DavFile
+
+SHARD_ROUTE = "/backup/shard"
+
+
+def file_backup_bytes(path: str, version: int, size: int) -> bytes:
+    """Canonical bytes for an attic file (matches the content model)."""
+    from repro.util.crypto import derive_payload
+
+    return derive_payload(f"attic:{path}", version, size)
+
+
+@dataclass
+class BackupManifestEntry:
+    """Where one file's shards went.
+
+    ``owner`` is the host name the shards are keyed under at the
+    holders — kept in the manifest so a *replacement* appliance (with a
+    different host name) can still retrieve them after a home loss.
+    """
+
+    path: str
+    version: int
+    size: int
+    checksum: str
+    shard_holders: List[str]  # friend HPoP host names, index-aligned
+    k: int
+    m: int
+    owner: str = ""
+
+
+class PeerBackupService(HpopService):
+    """Install on an HPoP; add friends; back up and restore the attic."""
+
+    name = "peer-backup"
+
+    def __init__(self, k: int = 4, m: int = 2) -> None:
+        super().__init__()
+        self.codec = ReedSolomonCodec(k, m)
+        self.k = k
+        self.m = m
+        self.friends: List["PeerBackupService"] = []
+        self.manifest: Dict[str, BackupManifestEntry] = {}
+        # Shards this HPoP holds *for others*: (owner, path, index) -> Shard
+        self.held_shards: Dict[Tuple[str, str, int], Shard] = {}
+        self._client: Optional[HttpClient] = None
+        self.shards_sent = 0
+        self.shards_received = 0
+        self.bytes_stored_for_friends = 0
+
+    def on_install(self, hpop: Hpop) -> None:
+        self._client = HttpClient(hpop.host, hpop.network)
+        hpop.http.route(SHARD_ROUTE, self._handle_shard_request)
+
+    # -- friendship -------------------------------------------------------
+
+    def add_friend(self, friend: "PeerBackupService") -> None:
+        """Mutual arrangement: we hold theirs, they hold ours."""
+        if friend is self:
+            raise ValueError("cannot befriend yourself")
+        if friend not in self.friends:
+            self.friends.append(friend)
+        if self not in friend.friends:
+            friend.friends.append(self)
+
+    @property
+    def owner_name(self) -> str:
+        return self.hpop.host.name
+
+    # -- shard exchange over HTTP --------------------------------------------
+
+    def _handle_shard_request(self, request: HttpRequest) -> HttpResponse:
+        body = request.body if isinstance(request.body, dict) else {}
+        action = body.get("action")
+        key = (body.get("owner", ""), body.get("path", ""),
+               body.get("index", -1))
+        if action == "store":
+            shard = body.get("shard")
+            if not isinstance(shard, Shard):
+                return HttpResponse(400, body_size=40, body="no shard")
+            self.held_shards[key] = shard
+            self.shards_received += 1
+            self.bytes_stored_for_friends += len(shard.data)
+            return ok(body_size=20)
+        if action == "fetch":
+            shard = self.held_shards.get(key)
+            if shard is None:
+                return not_found(str(key))
+            return ok(body_size=len(shard.data), body=shard)
+        if action == "delete":
+            removed = self.held_shards.pop(key, None)
+            if removed is not None:
+                self.bytes_stored_for_friends -= len(removed.data)
+            return ok(body_size=20)
+        return HttpResponse(400, body_size=40, body="bad action")
+
+    # -- backup -------------------------------------------------------------------
+
+    def backup_file(self, path: str,
+                    on_done: Callable[[bool], None]) -> None:
+        """Erasure-code one attic file and spread shards to friends."""
+        attic = self.hpop.service("attic")
+        node = attic.dav.tree.lookup(path)
+        if not isinstance(node, DavFile):
+            raise ValueError(f"{path} is not a file")
+        if len(self.friends) < self.codec.total_shards:
+            raise ValueError(
+                f"need {self.codec.total_shards} friends, have "
+                f"{len(self.friends)}")
+        payload = file_backup_bytes(path, node.content.version,
+                                    node.content.size)
+        shards = self.codec.encode(payload)
+        holders = self.friends[: self.codec.total_shards]
+        entry = BackupManifestEntry(
+            path=path, version=node.content.version, size=node.content.size,
+            checksum=sha256_hex(payload),
+            shard_holders=[f.owner_name for f in holders],
+            k=self.k, m=self.m, owner=self.owner_name)
+        outstanding = {"n": len(shards), "ok": True}
+
+        def one_done(success: bool) -> None:
+            outstanding["n"] -= 1
+            outstanding["ok"] = outstanding["ok"] and success
+            if outstanding["n"] == 0:
+                if outstanding["ok"]:
+                    self.manifest[path] = entry
+                on_done(outstanding["ok"])
+
+        for shard, friend in zip(shards, holders):
+            self._send_shard(friend, path, shard, one_done)
+
+    def _send_shard(self, friend: "PeerBackupService", path: str,
+                    shard: Shard, done: Callable[[bool], None]) -> None:
+        def sent(resp: HttpResponse, _stats) -> None:
+            self.shards_sent += resp.ok
+            done(resp.ok)
+
+        assert self._client is not None
+        self._client.request(
+            friend.hpop.host,
+            HttpRequest("POST", SHARD_ROUTE,
+                        body={"action": "store", "owner": self.owner_name,
+                              "path": path, "index": shard.index,
+                              "shard": shard},
+                        body_size=len(shard.data) + 200),
+            sent, port=443, on_error=lambda exc: done(False))
+
+    def backup_all(self, on_done: Callable[[int, int], None]) -> None:
+        """Back up every file in the attic; reports (succeeded, total)."""
+        attic = self.hpop.service("attic")
+        files = [p for p, r in attic.dav.tree.walk("/")
+                 if isinstance(r, DavFile)]
+        if not files:
+            self.sim.call_soon(lambda: on_done(0, 0), label="backup.empty")
+            return
+        counts = {"done": 0, "ok": 0}
+
+        def one(success: bool) -> None:
+            counts["done"] += 1
+            counts["ok"] += success
+            if counts["done"] == len(files):
+                on_done(counts["ok"], len(files))
+
+        for path in files:
+            self.backup_file(path, one)
+
+    # -- restore ---------------------------------------------------------------------
+
+    def restore_file(self, path: str,
+                     on_done: Callable[[bool], None],
+                     target_attic=None) -> None:
+        """Reassemble ``path`` from any k reachable shard holders.
+
+        ``target_attic`` defaults to this HPoP's attic — pass another
+        attic service to restore onto a replacement appliance.
+        """
+        entry = self.manifest.get(path)
+        if entry is None:
+            raise KeyError(f"no backup manifest for {path}")
+        attic = target_attic or self.hpop.service("attic")
+        holders = {f.owner_name: f for f in self.friends}
+        collected: List[Shard] = []
+        state = {"pending": 0, "finished": False}
+
+        def finish(success: bool) -> None:
+            if state["finished"]:
+                return
+            state["finished"] = True
+            on_done(success)
+
+        def try_decode() -> None:
+            if len({s.index for s in collected}) >= entry.k:
+                try:
+                    payload = self.codec.decode(collected)
+                except ValueError:
+                    return
+                if sha256_hex(payload) != entry.checksum:
+                    finish(False)
+                    return
+                parent = "/".join(path.split("/")[:-1]) or "/"
+                attic.dav.tree.mkcol_recursive(parent, now=self.sim.now)
+                attic.dav.tree.put(path, size=entry.size,
+                                   payload=f"restored:{entry.checksum[:8]}",
+                                   now=self.sim.now)
+                finish(True)
+
+        def fetch_from(holder_name: str, index: int) -> None:
+            friend = holders.get(holder_name)
+            if friend is None:
+                one_failed()
+                return
+            state["pending"] += 1
+
+            def got(resp: HttpResponse, _stats) -> None:
+                state["pending"] -= 1
+                if resp.ok and isinstance(resp.body, Shard):
+                    collected.append(resp.body)
+                    try_decode()
+                maybe_give_up()
+
+            assert self._client is not None
+            shard_owner = entry.owner or self.owner_name
+            self._client.request(
+                friend.hpop.host,
+                HttpRequest("POST", SHARD_ROUTE,
+                            body={"action": "fetch", "owner": shard_owner,
+                                  "path": path, "index": index},
+                            body_size=200),
+                got, port=443,
+                on_error=lambda exc: (state.__setitem__(
+                    "pending", state["pending"] - 1), maybe_give_up()))
+
+        def one_failed() -> None:
+            maybe_give_up()
+
+        def maybe_give_up() -> None:
+            if (not state["finished"] and state["pending"] == 0
+                    and len({s.index for s in collected}) < entry.k):
+                finish(False)
+
+        for index, holder_name in enumerate(entry.shard_holders):
+            fetch_from(holder_name, index)
+
+    def restore_all(self, on_done: Callable[[int, int], None],
+                    target_attic=None) -> None:
+        """Restore everything in the manifest; reports (succeeded, total)."""
+        paths = list(self.manifest)
+        if not paths:
+            self.sim.call_soon(lambda: on_done(0, 0), label="restore.empty")
+            return
+        counts = {"done": 0, "ok": 0}
+
+        def one(success: bool) -> None:
+            counts["done"] += 1
+            counts["ok"] += success
+            if counts["done"] == len(paths):
+                on_done(counts["ok"], len(paths))
+
+        for path in paths:
+            self.restore_file(path, one, target_attic=target_attic)
+
+    # -- accounting ---------------------------------------------------------------------
+
+    def backed_up_bytes(self) -> int:
+        return sum(e.size for e in self.manifest.values())
+
+    def storage_overhead(self) -> float:
+        return self.codec.storage_overhead()

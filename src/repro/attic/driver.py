@@ -1,0 +1,230 @@
+"""The client-side attic driver: open/close interposition.
+
+Paper SIV-A: "our prototype replaces application's default open, close,
+fopen, and fclose function calls with our own ... a GET request for the
+file to the data attic. Upon receiving the file, the driver creates a
+local copy and opens it for the application. Subsequent accesses to the
+file will execute on the local copy, which will be sent back to the
+attic on close. No change to the application code is required."
+
+:class:`AtticDriver` is that linker-``--wrap`` layer for simulated
+applications: ``open()`` fetches into a local working copy (optionally
+taking a WebDAV lock), reads/writes hit the copy, ``close()`` writes
+back and releases the lock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.attic.grants import QrPayload
+from repro.http.client import HttpClient, HttpError
+from repro.http.messages import HttpRequest
+from repro.net.network import Network, Path
+from repro.net.node import Host
+from repro.webdav.server import basic_auth
+
+MODE_READ = "r"
+MODE_WRITE = "w"
+
+
+class DriverError(Exception):
+    """Open/close failures surfaced to the 'application'."""
+
+
+@dataclass
+class AtticFile:
+    """A local working copy of an attic file."""
+
+    path: str            # attic-side HTTP path
+    mode: str
+    size: int
+    payload: object
+    etag: Optional[str] = None
+    lock_token: Optional[str] = None
+    dirty: bool = False
+    closed: bool = False
+
+    def read(self) -> object:
+        """The application reads the (whole) local copy."""
+        if self.closed:
+            raise DriverError(f"{self.path} is closed")
+        return self.payload
+
+    def write(self, size: int, payload: object) -> None:
+        """The application rewrites the local copy."""
+        if self.closed:
+            raise DriverError(f"{self.path} is closed")
+        if self.mode != MODE_WRITE:
+            raise DriverError(f"{self.path} opened read-only")
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self.size = size
+        self.payload = payload
+        self.dirty = True
+
+
+class AtticDriver:
+    """Interposition driver bound to one device and one attic grant."""
+
+    def __init__(
+        self,
+        device: Host,
+        network: Network,
+        payload: QrPayload,
+        via_path: Optional[Path] = None,
+    ) -> None:
+        self.device = device
+        self.network = network
+        self.grant = payload
+        self.via_path = via_path
+        self.client = HttpClient(device, network)
+        self._open_files: Dict[str, AtticFile] = {}
+        self.fetches = 0
+        self.writebacks = 0
+
+    # -- helpers ---------------------------------------------------------
+
+    def _headers(self, extra: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+        headers = basic_auth(self.grant.username, self.grant.password)
+        headers.update(extra or {})
+        return headers
+
+    def _url(self, name: str) -> str:
+        base = self.grant.base_path.rstrip("/")
+        return f"/attic{base}/{name.lstrip('/')}"
+
+    def _request(self, request: HttpRequest,
+                 on_response, on_error) -> None:
+        self.client.request(
+            self.network.node_for(self.grant.attic_address),
+            request, on_response,
+            port=self.grant.attic_port,
+            via_path=self.via_path,
+            on_error=on_error,
+        )
+
+    # -- open ----------------------------------------------------------------
+
+    def open(
+        self,
+        name: str,
+        mode: str,
+        on_open: Callable[[AtticFile], None],
+        on_error: Optional[Callable[[DriverError], None]] = None,
+        exclusive: bool = False,
+        create_size: int = 0,
+        create_payload: object = None,
+    ) -> None:
+        """Fetch ``name`` into a working copy (the wrapped ``open``).
+
+        ``exclusive`` takes a WebDAV LOCK first — how multiple
+        applications are mediated onto "a single source for a file".
+        Opening a missing file in write mode creates it (like ``open(,'w')``).
+        """
+        if mode not in (MODE_READ, MODE_WRITE):
+            raise ValueError(f"mode must be 'r' or 'w', got {mode!r}")
+        url = self._url(name)
+        if url in self._open_files:
+            fail = DriverError(f"{name} is already open on this device")
+            self._soon_error(on_error, fail)
+            return
+
+        def fail(exc) -> None:
+            self._soon_error(on_error, DriverError(str(exc)))
+
+        def fetch(lock_token: Optional[str]) -> None:
+            def got(resp, _stats) -> None:
+                if resp.status == 404 and mode == MODE_WRITE:
+                    file = AtticFile(path=url, mode=mode, size=create_size,
+                                     payload=create_payload,
+                                     lock_token=lock_token, dirty=True)
+                elif resp.ok:
+                    self.fetches += 1
+                    content = resp.body
+                    file = AtticFile(
+                        path=url, mode=mode,
+                        size=getattr(content, "size", resp.body_size),
+                        payload=getattr(content, "payload", resp.body),
+                        etag=resp.headers.get("ETag"),
+                        lock_token=lock_token)
+                else:
+                    fail(f"GET {url} -> {resp.status}")
+                    return
+                self._open_files[url] = file
+                on_open(file)
+
+            self._request(HttpRequest("GET", url, headers=self._headers()),
+                          got, fail)
+
+        if exclusive:
+            def locked_cb(resp, _stats) -> None:
+                if not resp.ok:
+                    fail(f"LOCK {url} -> {resp.status}")
+                    return
+                fetch(resp.headers.get("Lock-Token"))
+
+            self._request(HttpRequest("LOCK", url, headers=self._headers()),
+                          locked_cb, fail)
+        else:
+            fetch(None)
+
+    # -- close ------------------------------------------------------------------
+
+    def close(
+        self,
+        file: AtticFile,
+        on_closed: Callable[[], None],
+        on_error: Optional[Callable[[DriverError], None]] = None,
+    ) -> None:
+        """Write back a dirty copy and release any lock (the wrapped ``close``)."""
+        if file.closed:
+            self._soon_error(on_error, DriverError(f"{file.path} already closed"))
+            return
+
+        def finish() -> None:
+            file.closed = True
+            self._open_files.pop(file.path, None)
+            on_closed()
+
+        def fail(exc) -> None:
+            self._soon_error(on_error, DriverError(str(exc)))
+
+        def unlock_then_finish() -> None:
+            if file.lock_token is None:
+                finish()
+                return
+            self._request(
+                HttpRequest("UNLOCK", file.path,
+                            headers=self._headers({"Lock-Token": file.lock_token})),
+                lambda resp, _s: finish(), fail)
+
+        if file.dirty:
+            headers = self._headers(
+                {"Lock-Token": file.lock_token} if file.lock_token else None)
+
+            def wrote(resp, _stats) -> None:
+                if resp.status not in (201, 204):
+                    fail(f"PUT {file.path} -> {resp.status}")
+                    return
+                self.writebacks += 1
+                unlock_then_finish()
+
+            self._request(
+                HttpRequest("PUT", file.path, headers=headers,
+                            body=file.payload, body_size=file.size),
+                wrote, fail)
+        else:
+            unlock_then_finish()
+
+    # -- misc ----------------------------------------------------------------------
+
+    def _soon_error(self, on_error, exc: DriverError) -> None:
+        sim = self.network.sim
+        if on_error is not None:
+            sim.call_soon(lambda: on_error(exc), label="driver.error")
+
+    @property
+    def open_count(self) -> int:
+        return len(self._open_files)

@@ -1,0 +1,114 @@
+"""Provider grants and the QR-payload bootstrap (paper SIV-A1).
+
+"the data attic will issue a QR code that includes all information
+needed to access the correct portion of the user's data attic — i.e.,
+everything from the IP address of the data attic to the proper initial
+credentials to the location of the files within the attic."
+
+A :class:`QrPayload` is exactly that bundle; ``encode()`` renders the
+string a QR code would carry and ``decode()`` parses it at the provider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from repro.net.address import Address
+
+
+class GrantError(Exception):
+    """Malformed payloads, revoked/unknown grants."""
+
+
+@dataclass(frozen=True)
+class QrPayload:
+    """Everything a provider needs to reach its slice of a user's attic."""
+
+    attic_address: Address
+    attic_port: int
+    username: str
+    password: str
+    base_path: str
+
+    def encode(self) -> str:
+        """The string content of the QR code."""
+        return "|".join([
+            "atticgrant-v1",
+            str(self.attic_address),
+            str(self.attic_port),
+            self.username,
+            self.password,
+            self.base_path,
+        ])
+
+    @classmethod
+    def decode(cls, text: str) -> "QrPayload":
+        parts = text.split("|")
+        if len(parts) != 6 or parts[0] != "atticgrant-v1":
+            raise GrantError(f"not an attic grant payload: {text[:40]!r}")
+        _tag, address, port, username, password, base_path = parts
+        if not base_path.startswith("/"):
+            raise GrantError(f"grant path must be absolute: {base_path!r}")
+        try:
+            return cls(
+                attic_address=Address.parse(address),
+                attic_port=int(port),
+                username=username,
+                password=password,
+                base_path=base_path,
+            )
+        except ValueError as exc:
+            raise GrantError(f"malformed grant payload: {exc}") from exc
+
+
+@dataclass
+class ProviderGrant:
+    """Book-keeping for one provider's access on the attic side."""
+
+    grant_id: str
+    provider_name: str
+    owner: str
+    base_path: str
+    username: str
+    password: str
+    rights: Set[str]
+    revoked: bool = False
+
+    def to_qr(self, attic_address: Address, attic_port: int) -> QrPayload:
+        return QrPayload(
+            attic_address=attic_address,
+            attic_port=attic_port,
+            username=self.username,
+            password=self.password,
+            base_path=self.base_path,
+        )
+
+
+class GrantRegistry:
+    """The attic's record of issued provider grants."""
+
+    def __init__(self) -> None:
+        self._grants: Dict[str, ProviderGrant] = {}
+
+    def add(self, grant: ProviderGrant) -> None:
+        if grant.grant_id in self._grants:
+            raise GrantError(f"duplicate grant id {grant.grant_id}")
+        self._grants[grant.grant_id] = grant
+
+    def get(self, grant_id: str) -> ProviderGrant:
+        grant = self._grants.get(grant_id)
+        if grant is None:
+            raise GrantError(f"no grant {grant_id}")
+        return grant
+
+    def revoke(self, grant_id: str) -> ProviderGrant:
+        grant = self.get(grant_id)
+        grant.revoked = True
+        return grant
+
+    def active(self) -> list:
+        return [g for g in self._grants.values() if not g.revoked]
+
+    def __len__(self) -> int:
+        return len(self._grants)

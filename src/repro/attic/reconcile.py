@@ -1,0 +1,132 @@
+"""Offline-mode reconciliation for attic-based files (paper SIV-A).
+
+"just as some popular cloud-based applications have an 'offline mode'
+... similar use of attic-based data is possible. Just as with
+cloud-based applications, changes to the files would need reconciled
+upon reconnection (a plethora of approaches exist ...)."
+
+We implement the standard three-way scheme: each device tracks, per
+file, the attic version it last synchronized against (the *base*). On
+reconnection:
+
+- attic unchanged, local changed   -> push local,
+- attic changed, local unchanged   -> pull attic,
+- both changed                     -> conflict: keep the attic version
+                                      and save the local one as a
+                                      conflict copy (no silent loss).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class SyncAction(enum.Enum):
+    NOOP = "noop"          # neither side changed
+    PUSH = "push"          # upload local to attic
+    PULL = "pull"          # take attic version locally
+    CONFLICT = "conflict"  # both changed; conflict copy created
+
+
+@dataclass
+class LocalFileState:
+    """A device's offline view of one attic file."""
+
+    name: str
+    base_version: int       # attic version last synced
+    local_version: int      # increments on each local edit
+    size: int
+    payload: object = None
+
+    @property
+    def locally_modified(self) -> bool:
+        return self.local_version > 0
+
+
+@dataclass
+class SyncResult:
+    name: str
+    action: SyncAction
+    conflict_copy: Optional[str] = None
+    new_base_version: int = 0
+
+
+class OfflineWorkspace:
+    """Per-device offline cache with reconciliation on reconnect."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, LocalFileState] = {}
+        self.conflict_copies: Dict[str, LocalFileState] = {}
+
+    # -- offline operations -------------------------------------------------
+
+    def checkout(self, name: str, attic_version: int, size: int,
+                 payload: object = None) -> LocalFileState:
+        """Record the attic state this device now mirrors."""
+        state = LocalFileState(name=name, base_version=attic_version,
+                               local_version=0, size=size, payload=payload)
+        self._files[name] = state
+        return state
+
+    def edit(self, name: str, size: int, payload: object = None) -> None:
+        """An offline local edit."""
+        state = self._require(name)
+        state.local_version += 1
+        state.size = size
+        state.payload = payload
+
+    def _require(self, name: str) -> LocalFileState:
+        state = self._files.get(name)
+        if state is None:
+            raise KeyError(f"{name} is not checked out")
+        return state
+
+    def files(self) -> List[str]:
+        return sorted(self._files)
+
+    def state_of(self, name: str) -> LocalFileState:
+        return self._require(name)
+
+    # -- reconciliation ------------------------------------------------------
+
+    def reconcile(self, name: str, attic_version: int, attic_size: int,
+                  attic_payload: object = None) -> SyncResult:
+        """Three-way merge decision against the current attic version."""
+        state = self._require(name)
+        attic_changed = attic_version != state.base_version
+        local_changed = state.locally_modified
+
+        if not attic_changed and not local_changed:
+            return SyncResult(name=name, action=SyncAction.NOOP,
+                              new_base_version=state.base_version)
+
+        if local_changed and not attic_changed:
+            # Push: after upload the attic version advances by one.
+            state.base_version = attic_version + 1
+            state.local_version = 0
+            return SyncResult(name=name, action=SyncAction.PUSH,
+                              new_base_version=state.base_version)
+
+        if attic_changed and not local_changed:
+            state.base_version = attic_version
+            state.size = attic_size
+            state.payload = attic_payload
+            return SyncResult(name=name, action=SyncAction.PULL,
+                              new_base_version=attic_version)
+
+        # Both changed: preserve the local work as a conflict copy, then
+        # adopt the attic version (no silent overwrite in either direction).
+        copy_name = f"{name}.conflict-v{attic_version}"
+        self.conflict_copies[copy_name] = LocalFileState(
+            name=copy_name, base_version=state.base_version,
+            local_version=state.local_version,
+            size=state.size, payload=state.payload)
+        state.base_version = attic_version
+        state.local_version = 0
+        state.size = attic_size
+        state.payload = attic_payload
+        return SyncResult(name=name, action=SyncAction.CONFLICT,
+                          conflict_copy=copy_name,
+                          new_base_version=attic_version)

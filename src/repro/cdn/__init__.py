@@ -1,0 +1,15 @@
+"""Delivery baselines: traditional CDN and origin-only."""
+
+from repro.cdn.baselines import (
+    EDGE_PREFIX,
+    BaselinePageLoader,
+    CdnEdge,
+    TraditionalCdn,
+)
+
+__all__ = [
+    "EDGE_PREFIX",
+    "BaselinePageLoader",
+    "CdnEdge",
+    "TraditionalCdn",
+]

@@ -1,0 +1,49 @@
+"""DCol: the Detour Collective (paper SIV-C)."""
+
+from repro.dcol.collective import (
+    CollectiveError,
+    DetourCollective,
+    Member,
+    WaypointService,
+)
+from repro.dcol.manager import (
+    TLS_HANDSHAKE_RTTS,
+    DetourHandle,
+    DetourManager,
+    DetourTransfer,
+)
+from repro.dcol.proxy import MptcpProxy
+from repro.dcol.tunnels import (
+    NAT_OVERHEAD_BYTES,
+    VPN_OVERHEAD_BYTES,
+    VPN_POOL,
+    VPN_SUBNET_LENGTH,
+    NatTunnelServer,
+    Tunnel,
+    TunnelError,
+    TunnelFactory,
+    VpnLease,
+    VpnTunnelServer,
+)
+
+__all__ = [
+    "CollectiveError",
+    "DetourCollective",
+    "Member",
+    "WaypointService",
+    "TLS_HANDSHAKE_RTTS",
+    "DetourHandle",
+    "DetourManager",
+    "DetourTransfer",
+    "MptcpProxy",
+    "NAT_OVERHEAD_BYTES",
+    "VPN_OVERHEAD_BYTES",
+    "VPN_POOL",
+    "VPN_SUBNET_LENGTH",
+    "NatTunnelServer",
+    "Tunnel",
+    "TunnelError",
+    "TunnelFactory",
+    "VpnLease",
+    "VpnTunnelServer",
+]

@@ -1,0 +1,141 @@
+"""The Detour Collective: membership and waypoint services (paper SIV-C).
+
+"users forming cooperatives in which members agree to serve as waypoints
+to each other." A :class:`DetourCollective` is the management plane: it
+tracks members, hands each waypoint a non-conflicting /26 for its VPN
+(the paper's 10.0.0.0/8 carve-up), and expels misbehaving members.
+
+:class:`WaypointService` is the HPoP-side service: it runs the VPN and
+NAT tunnel servers on the member's appliance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dcol.tunnels import (
+    VPN_POOL,
+    VPN_SUBNET_LENGTH,
+    NatTunnelServer,
+    VpnTunnelServer,
+)
+from repro.hpop.core import Hpop, HpopService
+from repro.net.address import Prefix, SubnetAllocator
+from repro.net.node import Host
+
+
+class CollectiveError(Exception):
+    """Membership violations."""
+
+
+class WaypointService(HpopService):
+    """Runs the tunnel servers on a member's HPoP."""
+
+    name = "dcol-waypoint"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.vpn: Optional[VpnTunnelServer] = None
+        self.nat: Optional[NatTunnelServer] = None
+        self.collective: Optional["DetourCollective"] = None
+        self.bytes_relayed = 0.0
+
+    def on_install(self, hpop: Hpop) -> None:
+        self.nat = NatTunnelServer(hpop.host)
+        # The VPN server needs a subnet, assigned when joining a collective.
+
+    def attach_subnet(self, subnet: Prefix) -> None:
+        assert self.hpop is not None
+        self.vpn = VpnTunnelServer(self.hpop.host, subnet)
+
+    @property
+    def host(self) -> Host:
+        assert self.hpop is not None
+        return self.hpop.host
+
+    @property
+    def available(self) -> bool:
+        member = (self.collective.member_for(self.host.name)
+                  if self.collective else None)
+        expelled = member.expelled if member else False
+        return self.running and self.host.powered and not expelled
+
+
+@dataclass
+class Member:
+    """One cooperative member."""
+
+    name: str
+    waypoint: WaypointService
+    subnet: Prefix
+    expelled: bool = False
+    misbehavior_reports: int = 0
+
+
+class DetourCollective:
+    """The cooperative's management plane."""
+
+    def __init__(self, name: str = "collective",
+                 expel_after_reports: int = 3) -> None:
+        self.name = name
+        self.expel_after_reports = expel_after_reports
+        self._allocator = SubnetAllocator(Prefix.parse(VPN_POOL),
+                                          VPN_SUBNET_LENGTH)
+        self._members: Dict[str, Member] = {}
+
+    def join(self, waypoint: WaypointService) -> Member:
+        """Admit a member: allocate its VPN subnet, register it."""
+        host_name = waypoint.host.name
+        if host_name in self._members:
+            raise CollectiveError(f"{host_name} is already a member")
+        subnet = self._allocator.allocate()
+        waypoint.attach_subnet(subnet)
+        waypoint.collective = self
+        member = Member(name=host_name, waypoint=waypoint, subnet=subnet)
+        self._members[host_name] = member
+        return member
+
+    def leave(self, host_name: str) -> None:
+        member = self._members.pop(host_name, None)
+        if member is None:
+            raise CollectiveError(f"{host_name} is not a member")
+        self._allocator.release(member.subnet)
+
+    def member_for(self, host_name: str) -> Optional[Member]:
+        return self._members.get(host_name)
+
+    def report_misbehavior(self, host_name: str) -> None:
+        """A client observed packet mangling/drops through this waypoint.
+
+        "the misbehaving peer can be expelled from the collective to
+        avoid future issues."
+        """
+        member = self._members.get(host_name)
+        if member is None:
+            return
+        member.misbehavior_reports += 1
+        if member.misbehavior_reports >= self.expel_after_reports:
+            member.expelled = True
+
+    def available_waypoints(self, exclude: Optional[Host] = None) -> List[WaypointService]:
+        """Usable waypoints (alive, not expelled, not the asker's own)."""
+        out = []
+        for member in self._members.values():
+            if member.expelled:
+                continue
+            service = member.waypoint
+            if exclude is not None and service.host is exclude:
+                continue
+            if service.available:
+                out.append(service)
+        return out
+
+    @property
+    def member_count(self) -> int:
+        return len(self._members)
+
+    @property
+    def capacity(self) -> int:
+        """How many members the address plan supports (the 256K claim)."""
+        return self._allocator.capacity

@@ -1,0 +1,47 @@
+"""MPTCP proxy deployment for DCol (paper SIV-C).
+
+"the IETF is working on a proposal to facilitate deploying MPTCP
+proxies within the network. This approach allows MPTCP-adopting clients
+to benefit from MPTCP even when interacting with non-MPTCP servers, by
+leveraging an MPTCP proxy in server's vicinity. Our approach can be
+used in this deployment scenario as well, by establishing subflows with
+the MPTCP proxy."
+
+An :class:`MptcpProxy` is a host near the server that terminates the
+client's MPTCP subflows and relays to the plain-TCP server over its
+short local leg. Every subflow path — direct or detoured — is extended
+by the proxy->server segment, so DCol works unchanged against servers
+that never heard of MPTCP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.network import Network, Path, compose_paths
+from repro.net.node import Host
+
+
+@dataclass
+class MptcpProxy:
+    """A proxy in the server's vicinity that speaks MPTCP for it."""
+
+    host: Host
+    network: Network
+
+    def leg_to(self, server: Host) -> Path:
+        """The proxy's local leg to the (non-MPTCP) server."""
+        return self.network.path_between(self.host, server)
+
+    def rtt_penalty(self, server: Host) -> float:
+        """Extra round-trip latency relayed traffic pays (ideally tiny)."""
+        return self.leg_to(server).rtt
+
+    def extend(self, path_to_proxy: Path, server: Host,
+               direction: str = "up") -> Path:
+        """Extend a client-side path through the proxy to the server."""
+        if direction == "up":
+            return compose_paths(path_to_proxy, self.leg_to(server))
+        return compose_paths(self.network.path_between(server, self.host),
+                             path_to_proxy)

@@ -1,0 +1,210 @@
+"""Client-to-waypoint tunneling for DCol (paper SIV-C).
+
+Two mechanisms with the paper's exact tradeoff:
+
+- **VPN tunneling**: the waypoint runs an OpenVPN-style server with DHCP
+  on a private /26 carved from 10.0.0.0/8. Joining costs a setup
+  exchange once per waypoint; afterwards *any* TCP connection to *any*
+  server can be detoured with no additional signaling — but every packet
+  carries 36 bytes of encapsulation overhead (IP + UDP + OpenVPN).
+- **NAT tunneling**: the client and waypoint negotiate a forwarding rule
+  per (destination address, port) — one signaling round trip for every
+  new server — but zero per-packet overhead (netfilter rewrites headers
+  in place).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.net.address import Address, AddressPool, Prefix, SubnetAllocator
+from repro.net.network import Network, Path, compose_paths
+from repro.net.node import Host
+from repro.sim.engine import Simulator
+
+VPN_OVERHEAD_BYTES = 36   # IP encapsulation + UDP + OpenVPN headers
+NAT_OVERHEAD_BYTES = 0
+VPN_SUBNET_LENGTH = 26    # each waypoint serves a /26: 64 addresses
+VPN_POOL = "10.0.0.0/8"   # paper: 256K non-conflicting waypoints
+
+# Module-level allocator shared by a collective is created explicitly;
+# see DetourCollective.
+
+
+class TunnelError(Exception):
+    """Setup failures: exhausted leases, dead waypoints."""
+
+
+@dataclass
+class VpnLease:
+    """A client's address lease on a waypoint's virtual subnet."""
+
+    client: Host
+    address: Address
+
+
+class VpnTunnelServer:
+    """The waypoint-side OpenVPN-with-DHCP model."""
+
+    def __init__(self, waypoint: Host, subnet: Prefix) -> None:
+        self.waypoint = waypoint
+        self.subnet = subnet
+        self._pool = AddressPool(subnet)
+        self.leases: Dict[str, VpnLease] = {}
+
+    def join(self, client: Host) -> VpnLease:
+        """Grant a lease (the DHCP step); raises when the /26 is full."""
+        existing = self.leases.get(client.name)
+        if existing is not None:
+            return existing
+        try:
+            address = self._pool.allocate()
+        except Exception as exc:
+            raise TunnelError(
+                f"waypoint {self.waypoint.name} VPN subnet exhausted") from exc
+        lease = VpnLease(client=client, address=address)
+        self.leases[client.name] = lease
+        return lease
+
+    def leave(self, client: Host) -> None:
+        lease = self.leases.pop(client.name, None)
+        if lease is not None:
+            self._pool.release(lease.address)
+
+    @property
+    def capacity(self) -> int:
+        """Simultaneous clients this waypoint can serve (the paper's 64)."""
+        return self.subnet.num_addresses
+
+    @property
+    def active_clients(self) -> int:
+        return len(self.leases)
+
+
+class NatTunnelServer:
+    """The waypoint-side netfilter port-forwarding model."""
+
+    def __init__(self, waypoint: Host, first_port: int = 40000) -> None:
+        self.waypoint = waypoint
+        self._next_port = first_port
+        # (client name, dest address, dest port) -> waypoint port
+        self.rules: Dict[Tuple[str, Address, int], int] = {}
+
+    def negotiate(self, client: Host, dest: Address, dest_port: int) -> int:
+        """Install (or find) the forwarding rule for one destination."""
+        key = (client.name, dest, dest_port)
+        port = self.rules.get(key)
+        if port is None:
+            port = self._next_port
+            self._next_port += 1
+            self.rules[key] = port
+        return port
+
+    def remove(self, client: Host, dest: Address, dest_port: int) -> None:
+        self.rules.pop((client.name, dest, dest_port), None)
+
+    @property
+    def rule_count(self) -> int:
+        return len(self.rules)
+
+
+@dataclass
+class Tunnel:
+    """An established client->waypoint tunnel, ready to carry subflows."""
+
+    client: Host
+    waypoint: Host
+    mechanism: str                  # "vpn" or "nat"
+    overhead_per_packet: int
+    setup_time: float               # simulated seconds spent establishing
+    # NAT tunnels are bound to one destination; VPN tunnels to any.
+    bound_destination: Optional[Tuple[Address, int]] = None
+
+    def usable_for(self, dest: Address, dest_port: int) -> bool:
+        if self.mechanism == "vpn":
+            return True
+        return self.bound_destination == (dest, dest_port)
+
+    def subflow_path(self, network: Network, server: Host) -> Path:
+        """The effective path of a subflow through this tunnel."""
+        leg1 = network.path_between(self.client, self.waypoint)
+        leg2 = network.path_between(self.waypoint, server)
+        return compose_paths(leg1, leg2)
+
+
+class TunnelFactory:
+    """Creates tunnels with honest setup-latency accounting.
+
+    Setup exchanges ride the real routed RTT between client and waypoint:
+    VPN join costs two round trips (VPN handshake + DHCP), NAT
+    negotiation one round trip per destination.
+    """
+
+    VPN_SETUP_ROUND_TRIPS = 2
+    NAT_SETUP_ROUND_TRIPS = 1
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+
+    @property
+    def sim(self) -> Simulator:
+        return self.network.sim
+
+    def open_vpn(
+        self,
+        vpn_server: VpnTunnelServer,
+        client: Host,
+        on_ready: Callable[[Tunnel], None],
+        on_error: Optional[Callable[[TunnelError], None]] = None,
+    ) -> None:
+        waypoint = vpn_server.waypoint
+        if not waypoint.powered:
+            self._fail(on_error, f"waypoint {waypoint.name} is down")
+            return
+        rtt = self.network.path_between(client, waypoint).rtt
+        setup = self.VPN_SETUP_ROUND_TRIPS * rtt
+
+        def ready() -> None:
+            try:
+                vpn_server.join(client)
+            except TunnelError as exc:
+                self._fail(on_error, str(exc))
+                return
+            on_ready(Tunnel(client=client, waypoint=waypoint,
+                            mechanism="vpn",
+                            overhead_per_packet=VPN_OVERHEAD_BYTES,
+                            setup_time=setup))
+
+        self.sim.schedule(setup, ready, label="dcol.vpn-setup")
+
+    def open_nat(
+        self,
+        nat_server: NatTunnelServer,
+        client: Host,
+        dest: Address,
+        dest_port: int,
+        on_ready: Callable[[Tunnel], None],
+        on_error: Optional[Callable[[TunnelError], None]] = None,
+    ) -> None:
+        waypoint = nat_server.waypoint
+        if not waypoint.powered:
+            self._fail(on_error, f"waypoint {waypoint.name} is down")
+            return
+        rtt = self.network.path_between(client, waypoint).rtt
+        setup = self.NAT_SETUP_ROUND_TRIPS * rtt
+
+        def ready() -> None:
+            nat_server.negotiate(client, dest, dest_port)
+            on_ready(Tunnel(client=client, waypoint=waypoint,
+                            mechanism="nat",
+                            overhead_per_packet=NAT_OVERHEAD_BYTES,
+                            setup_time=setup,
+                            bound_destination=(dest, dest_port)))
+
+        self.sim.schedule(setup, ready, label="dcol.nat-setup")
+
+    def _fail(self, on_error, message: str) -> None:
+        if on_error is not None:
+            self.sim.call_soon(lambda: on_error(TunnelError(message)),
+                               label="dcol.tunnel-error")

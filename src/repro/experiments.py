@@ -1,0 +1,104 @@
+"""Standalone experiment runner: ``python -m repro.experiments e1 e6``.
+
+The benchmarks under ``benchmarks/`` are pytest-benchmark tests, but
+each exposes a pure ``experiment()`` function returning an
+:class:`~repro.metrics.report.ExperimentReport`. This module discovers
+those files and runs them directly — no pytest required — printing each
+report and exiting non-zero if any paper-shape claim fails.
+
+Usage::
+
+    python -m repro.experiments              # list available experiments
+    python -m repro.experiments e1 e13       # run a selection
+    python -m repro.experiments all          # run everything
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import re
+import sys
+from typing import Callable, Dict, List, Optional
+
+_BENCH_PATTERN = re.compile(r"bench_([a-z]\d+)_(.+)\.py$")
+
+
+def find_benchmarks_dir(start: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """Locate the ``benchmarks/`` directory from ``start`` upward."""
+    current = (start or pathlib.Path.cwd()).resolve()
+    for candidate in [current, *current.parents]:
+        bench_dir = candidate / "benchmarks"
+        if bench_dir.is_dir() and any(bench_dir.glob("bench_*.py")):
+            return bench_dir
+    # Fall back to the repository layout relative to this file
+    # (src/repro/experiments.py -> repo root / benchmarks).
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    bench_dir = repo_root / "benchmarks"
+    if bench_dir.is_dir():
+        return bench_dir
+    raise FileNotFoundError("could not locate a benchmarks/ directory")
+
+
+def discover(bench_dir: Optional[pathlib.Path] = None) -> Dict[str, pathlib.Path]:
+    """Map experiment ids (``e1``, ``a3``...) to their bench files."""
+    bench_dir = bench_dir or find_benchmarks_dir()
+    experiments: Dict[str, pathlib.Path] = {}
+    for path in sorted(bench_dir.glob("bench_*.py")):
+        match = _BENCH_PATTERN.match(path.name)
+        if match:
+            experiments[match.group(1)] = path
+    return experiments
+
+
+def load_experiment(path: pathlib.Path) -> Callable:
+    """Import a bench module and return its ``experiment`` function."""
+    # The bench modules import ``benchmarks.common``; make the package
+    # importable the same way pytest does (repo root on sys.path).
+    repo_root = str(path.resolve().parents[1])
+    if repo_root not in sys.path:
+        sys.path.insert(0, repo_root)
+    spec = importlib.util.spec_from_file_location(
+        f"benchmarks.{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    experiment = getattr(module, "experiment", None)
+    if not callable(experiment):
+        raise AttributeError(f"{path.name} has no experiment() function")
+    return experiment
+
+
+def run(ids: List[str], bench_dir: Optional[pathlib.Path] = None) -> int:
+    """Run the selected experiments; returns a process exit code."""
+    available = discover(bench_dir)
+    if not ids:
+        print("available experiments:")
+        for exp_id, path in available.items():
+            print(f"  {exp_id:4s} {path.name}")
+        print("\nrun with: python -m repro.experiments <id> [<id> ...] | all")
+        return 0
+    selected = list(available) if ids == ["all"] else [i.lower() for i in ids]
+    unknown = [i for i in selected if i not in available]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; "
+              f"available: {', '.join(available)}")
+        return 2
+    failures = 0
+    for exp_id in selected:
+        experiment = load_experiment(available[exp_id])
+        report = experiment()
+        report.print()
+        if not report.all_claims_hold:
+            failures += 1
+            print(f"!! {exp_id}: {len(report.failed_claims())} claim(s) FAILED")
+    print(f"\n{len(selected)} experiment(s) run, "
+          f"{len(selected) - failures} fully passing")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    return run(list(argv if argv is not None else sys.argv[1:]))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""The HPoP appliance platform."""
+
+from repro.hpop.core import (
+    HPOP_PORT,
+    ConfigStore,
+    Household,
+    Hpop,
+    HpopService,
+    User,
+)
+
+__all__ = [
+    "HPOP_PORT",
+    "ConfigStore",
+    "Household",
+    "Hpop",
+    "HpopService",
+    "User",
+]

@@ -1,0 +1,107 @@
+"""HTTP caching semantics: freshness, validation, byte-budgeted stores.
+
+Shared by NoCDN peer proxies, the traditional-CDN baseline, and the
+Internet@home cache. Entries carry expiry and validators; the store
+answers the three questions a cache must: fresh hit? stale-but-
+revalidatable? miss?
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.http.content import WebObject
+from repro.util.lru import LruCache
+
+
+class CacheDisposition(enum.Enum):
+    FRESH = "fresh"          # serve from cache
+    STALE = "stale"          # have a copy; must revalidate
+    MISS = "miss"            # no copy
+
+
+@dataclass
+class CacheEntry:
+    """A cached object with freshness metadata."""
+
+    obj: WebObject
+    stored_at: float
+    ttl: float
+
+    def is_fresh(self, now: float) -> bool:
+        return now <= self.stored_at + self.ttl
+
+    @property
+    def etag(self) -> str:
+        return self.obj.etag
+
+
+class HttpCache:
+    """Byte-budgeted object cache with TTL freshness and ETag validation."""
+
+    def __init__(self, capacity_bytes: int, default_ttl: float = 300.0) -> None:
+        if default_ttl <= 0:
+            raise ValueError("default_ttl must be positive")
+        self.default_ttl = default_ttl
+        self._store: LruCache[str, CacheEntry] = LruCache(capacity_bytes)
+        self.revalidations = 0
+        self.refreshed_in_place = 0
+
+    @property
+    def stats(self):
+        return self._store.stats
+
+    @property
+    def used_bytes(self) -> int:
+        return self._store.used_bytes
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def lookup(self, name: str, now: float) -> tuple:
+        """(disposition, entry-or-None)."""
+        entry = self._store.get(name)
+        if entry is None:
+            return (CacheDisposition.MISS, None)
+        if entry.is_fresh(now):
+            return (CacheDisposition.FRESH, entry)
+        return (CacheDisposition.STALE, entry)
+
+    def store(self, obj: WebObject, now: float,
+              ttl: Optional[float] = None, key: Optional[str] = None) -> bool:
+        """Insert/replace ``obj``; returns False if it cannot fit.
+
+        ``key`` defaults to the object name; multi-site caches pass a
+        namespaced key (e.g. ``"site|name"``).
+        """
+        entry = CacheEntry(obj=obj, stored_at=now,
+                           ttl=ttl if ttl is not None else self.default_ttl)
+        return self._store.put(key if key is not None else obj.name,
+                               entry, obj.size)
+
+    def revalidate(self, name: str, current: WebObject, now: float,
+                   ttl: Optional[float] = None) -> bool:
+        """Outcome of a conditional GET against the authoritative version.
+
+        If our stale entry still matches ``current`` (304 path) the entry
+        is refreshed in place and True is returned; otherwise the caller
+        must fetch the new body (we store it) and False is returned.
+        """
+        self.revalidations += 1
+        entry = self._store.peek(name)
+        effective_ttl = ttl if ttl is not None else self.default_ttl
+        if entry is not None and entry.obj.version == current.version:
+            entry.stored_at = now
+            entry.ttl = effective_ttl
+            self.refreshed_in_place += 1
+            return True
+        self.store(current, now, ttl=effective_ttl, key=name)
+        return False
+
+    def invalidate(self, name: str) -> bool:
+        return self._store.invalidate(name)
+
+    def contains(self, name: str) -> bool:
+        return self._store.peek(name) is not None

@@ -1,0 +1,194 @@
+"""HTTP client endpoint: connection pooling, TLS, timeouts, relayed paths.
+
+An :class:`HttpClient` is owned by a host. Each logical exchange is:
+connect (pooled, with handshake + optional TLS round trips) -> upload the
+request -> server dispatch -> download the response. Transfers ride the
+flow-level TCP model, so page loads see slow start, sharing, and loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.http.messages import HttpRequest, HttpResponse
+from repro.http.server import DEFAULT_HTTP_PORT, HttpServer
+from repro.net.address import Address
+from repro.net.network import Network, NetworkError, Path
+from repro.net.node import Host
+from repro.sim.engine import Simulator
+from repro.transport.tcp import TcpConnection
+
+FULL_TLS_ROUND_TRIPS = 2  # TLS 1.2-style full handshake
+DEFAULT_TIMEOUT = 30.0
+
+
+class HttpError(RuntimeError):
+    """Raised through the error callback: timeouts, unreachable servers."""
+
+
+@dataclass
+class ExchangeStats:
+    """Timing of one request/response exchange."""
+
+    started_at: float
+    connected_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    response_bytes: int = 0
+    connection_reused: bool = False
+
+    @property
+    def total_time(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+ResponseCallback = Callable[[HttpResponse, ExchangeStats], None]
+ErrorCallback = Callable[[HttpError], None]
+
+
+class HttpClient:
+    """Connection-pooling HTTP client bound to one host."""
+
+    def __init__(self, host: Host, network: Network,
+                 timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.host = host
+        self.network = network
+        self.timeout = timeout
+        # pool key: (server host name, port, tls, path fingerprint)
+        self._pool: Dict[Tuple, TcpConnection] = {}
+        self.exchanges_completed = 0
+        self.exchanges_failed = 0
+
+    @property
+    def sim(self) -> Simulator:
+        return self.network.sim
+
+    # -- public API ----------------------------------------------------------
+
+    def request(
+        self,
+        server: Union[Host, Address],
+        request: HttpRequest,
+        on_response: ResponseCallback,
+        port: int = DEFAULT_HTTP_PORT,
+        tls: bool = False,
+        via_path: Optional[Path] = None,
+        on_error: Optional[ErrorCallback] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Issue ``request``; exactly one of the callbacks fires.
+
+        ``via_path`` overrides the forward (client->server) path — used
+        for TURN-relayed attic access. The reverse path is the routed
+        reverse unless the forward was overridden, in which case its
+        mirror is approximated by the same path in reverse order being
+        unavailable; we then use the routed reverse between endpoints.
+        """
+        stats = ExchangeStats(started_at=self.sim.now)
+        deadline = timeout if timeout is not None else self.timeout
+        finished = {"done": False}
+
+        def fail(message: str) -> None:
+            if finished["done"]:
+                return
+            finished["done"] = True
+            self.exchanges_failed += 1
+            if on_error is not None:
+                on_error(HttpError(message))
+
+        try:
+            server_host = (server if isinstance(server, Host)
+                           else self.network.node_for(server))
+        except NetworkError as exc:
+            message = str(exc)
+            self.sim.call_soon(lambda: fail(message), label="http.noroute")
+            return
+        if not isinstance(server_host, Host):
+            self.sim.call_soon(
+                lambda: fail(f"{server_host.name} is not an end host"),
+                label="http.badtarget")
+            return
+
+        listener = server_host.stream_listener(port)
+        if not isinstance(listener, HttpServer):
+            self.sim.call_soon(
+                lambda: fail(f"no HTTP server on {server_host.name}:{port}"),
+                label="http.refused")
+            return
+
+        timer = self.sim.schedule(
+            deadline, lambda: fail(
+                f"timeout after {deadline}s: {request.method} {request.path}"),
+            label="http.timeout")
+
+        try:
+            conn = self._get_connection(server_host, port, tls, via_path)
+        except NetworkError as exc:
+            timer.cancel()
+            message = str(exc)
+            self.sim.call_soon(lambda: fail(message), label="http.noroute")
+            return
+        stats.connection_reused = conn.established
+
+        def on_response_downloaded(response: HttpResponse) -> None:
+            def done(_flow) -> None:
+                if finished["done"]:
+                    return
+                finished["done"] = True
+                timer.cancel()
+                stats.completed_at = self.sim.now
+                stats.response_bytes = response.body_size
+                self.exchanges_completed += 1
+                on_response(response, stats)
+
+            conn.transfer(max(1, response.wire_size), "down", done,
+                          label=f"http.resp.{request.path}")
+
+        def on_request_uploaded(_flow) -> None:
+            request.host = request.host or server_host.name
+            listener.handle(request, on_response_downloaded)
+
+        def on_connected() -> None:
+            stats.connected_at = self.sim.now
+            conn.transfer(max(1, request.wire_size), "up", on_request_uploaded,
+                          label=f"http.req.{request.path}")
+
+        conn.establish(on_connected)
+
+    # -- pooling ---------------------------------------------------------------
+
+    def _get_connection(self, server_host: Host, port: int, tls: bool,
+                        via_path: Optional[Path]) -> TcpConnection:
+        path_key = (tuple(d.name for d in via_path.directions)
+                    if via_path is not None else None)
+        key = (server_host.name, port, tls, path_key)
+        conn = self._pool.get(key)
+        if conn is not None:
+            return conn
+        forward = via_path if via_path is not None else \
+            self.network.path_between(self.host, server_host)
+        reverse = self.network.path_between(server_host, self.host) \
+            if via_path is None else _reversed_path(via_path)
+        conn = TcpConnection(
+            self.sim, forward, reverse,
+            label=f"http:{self.host.name}->{server_host.name}:{port}",
+            tls_round_trips=FULL_TLS_ROUND_TRIPS if tls else 0,
+        )
+        self._pool[key] = conn
+        return conn
+
+    def close_all(self) -> None:
+        """Drop pooled connections (e.g. after a server restart)."""
+        for conn in self._pool.values():
+            conn.close()
+        self._pool.clear()
+
+
+def _reversed_path(path: Path) -> Path:
+    """The mirror of an explicit path (same links, opposite directions)."""
+    directions = tuple(
+        d.link.direction(d.receiver) for d in reversed(path.directions)
+    )
+    return Path(source=path.dest, dest=path.source, directions=directions)

@@ -1,0 +1,162 @@
+"""HTTP message objects: requests, responses, header conventions.
+
+A deliberately small HTTP/1.1 subset sufficient for the paper's
+services: methods incl. WebDAV extensions, conditional requests
+(``If-None-Match``), range requests, and cache-control. Bodies are
+modeled by size plus an opaque payload object; actual content bytes are
+derived deterministically where hashing matters (see
+:mod:`repro.util.crypto`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+GET = "GET"
+PUT = "PUT"
+POST = "POST"
+DELETE = "DELETE"
+HEAD = "HEAD"
+# WebDAV extension methods (RFC 4918)
+PROPFIND = "PROPFIND"
+PROPPATCH = "PROPPATCH"
+MKCOL = "MKCOL"
+COPY = "COPY"
+MOVE = "MOVE"
+LOCK = "LOCK"
+UNLOCK = "UNLOCK"
+
+METHODS = frozenset({
+    GET, PUT, POST, DELETE, HEAD,
+    PROPFIND, PROPPATCH, MKCOL, COPY, MOVE, LOCK, UNLOCK,
+})
+
+# Typical on-the-wire sizes for request/response framing.
+REQUEST_HEADER_SIZE = 400
+RESPONSE_HEADER_SIZE = 300
+NOT_MODIFIED_SIZE = 200
+
+
+@dataclass
+class HttpRequest:
+    """One HTTP request."""
+
+    method: str
+    path: str
+    host: str = ""
+    headers: Dict[str, str] = field(default_factory=dict)
+    body_size: int = 0
+    body: object = None
+    # byte range, inclusive-exclusive, or None for a full-object request
+    range: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise ValueError(f"unsupported method {self.method!r}")
+        if not self.path.startswith("/"):
+            raise ValueError(f"path must start with '/', got {self.path!r}")
+        if self.body_size < 0:
+            raise ValueError(f"body_size must be non-negative")
+        if self.range is not None:
+            start, end = self.range
+            if start < 0 or end <= start:
+                raise ValueError(f"invalid range {self.range}")
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes on the wire: headers + body."""
+        return REQUEST_HEADER_SIZE + self.body_size
+
+    @property
+    def if_none_match(self) -> Optional[str]:
+        return self.headers.get("If-None-Match")
+
+
+@dataclass
+class HttpResponse:
+    """One HTTP response."""
+
+    status: int
+    headers: Dict[str, str] = field(default_factory=dict)
+    body_size: int = 0
+    body: object = None
+
+    def __post_init__(self) -> None:
+        if not 100 <= self.status <= 599:
+            raise ValueError(f"implausible status {self.status}")
+        if self.body_size < 0:
+            raise ValueError("body_size must be non-negative")
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def wire_size(self) -> int:
+        return RESPONSE_HEADER_SIZE + self.body_size
+
+    @property
+    def etag(self) -> Optional[str]:
+        return self.headers.get("ETag")
+
+    @property
+    def max_age(self) -> Optional[float]:
+        cache_control = self.headers.get("Cache-Control", "")
+        for token in cache_control.split(","):
+            token = token.strip()
+            if token.startswith("max-age="):
+                try:
+                    return float(token.split("=", 1)[1])
+                except ValueError:
+                    return None
+        return None
+
+    @property
+    def no_store(self) -> bool:
+        return "no-store" in self.headers.get("Cache-Control", "")
+
+
+def ok(body_size: int = 0, body: object = None,
+       headers: Optional[Dict[str, str]] = None) -> HttpResponse:
+    """A 200 response."""
+    return HttpResponse(200, headers=dict(headers or {}),
+                        body_size=body_size, body=body)
+
+
+def partial_content(body_size: int, body: object = None,
+                    headers: Optional[Dict[str, str]] = None) -> HttpResponse:
+    """A 206 (range) response."""
+    return HttpResponse(206, headers=dict(headers or {}),
+                        body_size=body_size, body=body)
+
+
+def not_modified(headers: Optional[Dict[str, str]] = None) -> HttpResponse:
+    """A 304 response (validators matched)."""
+    return HttpResponse(304, headers=dict(headers or {}), body_size=0)
+
+
+def not_found(path: str = "") -> HttpResponse:
+    return HttpResponse(404, body_size=120, body=f"not found: {path}")
+
+
+def forbidden(reason: str = "") -> HttpResponse:
+    return HttpResponse(403, body_size=120, body=reason)
+
+
+def unauthorized(realm: str = "") -> HttpResponse:
+    return HttpResponse(401, headers={"WWW-Authenticate": f'Basic realm="{realm}"'},
+                        body_size=120)
+
+
+def conflict(reason: str = "") -> HttpResponse:
+    return HttpResponse(409, body_size=120, body=reason)
+
+
+def locked(reason: str = "") -> HttpResponse:
+    """WebDAV 423 Locked."""
+    return HttpResponse(423, body_size=120, body=reason)
+
+
+def server_error(reason: str = "") -> HttpResponse:
+    return HttpResponse(500, body_size=120, body=reason)

@@ -1,0 +1,127 @@
+"""HTTP server endpoint: routing, virtual hosts, processing delay.
+
+Servers bind to a :class:`~repro.net.node.Host` stream port. The client
+(:mod:`repro.http.client`) resolves the listener, runs the transport
+exchange, and calls :meth:`HttpServer.handle` at the moment the request
+"arrives". Handlers are synchronous (return a response) or asynchronous
+(call a respond function later) — the latter matters for services that
+must perform their own upstream fetches, like NoCDN peer proxies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.http.messages import HttpRequest, HttpResponse, not_found
+from repro.net.node import Host
+from repro.sim.engine import Simulator
+
+# A handler either returns a response directly, or returns None after
+# arranging to call the supplied ``respond`` callable later.
+SyncHandler = Callable[[HttpRequest], HttpResponse]
+AsyncHandler = Callable[[HttpRequest, Callable[[HttpResponse], None]], None]
+
+DEFAULT_HTTP_PORT = 80
+DEFAULT_HTTPS_PORT = 443
+
+
+@dataclass
+class Route:
+    prefix: str
+    handler: Union[SyncHandler, AsyncHandler]
+    is_async: bool
+
+
+class HttpServer:
+    """An HTTP endpoint with prefix routing and per-virtual-host tables.
+
+    ``think_time`` models server-side processing latency per request
+    (e.g. dynamic wrapper-page generation at a NoCDN origin).
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        port: int = DEFAULT_HTTP_PORT,
+        think_time: float = 0.0,
+        name: Optional[str] = None,
+    ) -> None:
+        if think_time < 0:
+            raise ValueError("think_time must be non-negative")
+        self.host = host
+        self.port = port
+        self.think_time = think_time
+        self.name = name or f"{host.name}:{port}"
+        # virtual host -> ordered routes; "" is the default vhost
+        self._routes: Dict[str, List[Route]] = {"": []}
+        self.requests_handled = 0
+        self.bytes_served = 0
+        host.bind_stream(port, self)
+
+    @property
+    def sim(self) -> Simulator:
+        return self.host.sim
+
+    def close(self) -> None:
+        self.host.unbind_stream(self.port)
+
+    # -- routing -------------------------------------------------------------
+
+    def route(self, prefix: str, handler: SyncHandler,
+              virtual_host: str = "") -> None:
+        """Register a synchronous handler for paths starting with ``prefix``."""
+        self._add_route(prefix, handler, is_async=False, virtual_host=virtual_host)
+
+    def route_async(self, prefix: str, handler: AsyncHandler,
+                    virtual_host: str = "") -> None:
+        """Register a handler that responds via callback (upstream fetches)."""
+        self._add_route(prefix, handler, is_async=True, virtual_host=virtual_host)
+
+    def _add_route(self, prefix: str, handler, is_async: bool,
+                   virtual_host: str) -> None:
+        if not prefix.startswith("/"):
+            raise ValueError(f"prefix must start with '/', got {prefix!r}")
+        routes = self._routes.setdefault(virtual_host, [])
+        routes.append(Route(prefix=prefix, handler=handler, is_async=is_async))
+        # Longest prefix first so specific routes win.
+        routes.sort(key=lambda r: len(r.prefix), reverse=True)
+
+    def virtual_hosts(self) -> List[str]:
+        return [vh for vh in self._routes if vh]
+
+    def _find_route(self, request: HttpRequest) -> Optional[Route]:
+        for table_key in (request.host, ""):
+            for route in self._routes.get(table_key, []):
+                if request.path.startswith(route.prefix):
+                    return route
+        return None
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def handle(self, request: HttpRequest,
+               respond: Callable[[HttpResponse], None]) -> None:
+        """Process ``request``; calls ``respond`` exactly once (async-safe)."""
+        self.requests_handled += 1
+
+        def account_and_respond(response: HttpResponse) -> None:
+            self.bytes_served += response.body_size
+            respond(response)
+
+        def dispatch() -> None:
+            if not self.host.powered:
+                return  # a dead server never answers; client times out
+            route = self._find_route(request)
+            if route is None:
+                account_and_respond(not_found(request.path))
+                return
+            if route.is_async:
+                route.handler(request, account_and_respond)
+            else:
+                account_and_respond(route.handler(request))
+
+        if self.think_time > 0:
+            self.sim.schedule(self.think_time, dispatch,
+                              label=f"{self.name}.think")
+        else:
+            dispatch()

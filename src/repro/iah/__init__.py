@@ -1,0 +1,44 @@
+"""Internet@home: the local copy of the Internet (paper SIV-D)."""
+
+from repro.iah.browser import HomeBrowser, PageVisitResult
+from repro.iah.deepweb import (
+    AtticTrigger,
+    CredentialVault,
+    GatherTarget,
+    PropertyTrigger,
+)
+from repro.iah.history import BrowsingHistory, InterestProfile, Visit
+from repro.iah.service import (
+    OBJECT_ROUTE,
+    PAGE_ROUTE,
+    PEER_ROUTE,
+    VISIT_ROUTE,
+    CoopGroup,
+    GatherStats,
+    InternetAtHomeService,
+)
+from repro.iah.smoothing import DemandSmoother, SmoothedJob
+from repro.iah.web import DEEP_PREFIX, Website
+
+__all__ = [
+    "HomeBrowser",
+    "PageVisitResult",
+    "AtticTrigger",
+    "CredentialVault",
+    "GatherTarget",
+    "PropertyTrigger",
+    "BrowsingHistory",
+    "InterestProfile",
+    "Visit",
+    "OBJECT_ROUTE",
+    "PAGE_ROUTE",
+    "PEER_ROUTE",
+    "VISIT_ROUTE",
+    "CoopGroup",
+    "GatherStats",
+    "InternetAtHomeService",
+    "DemandSmoother",
+    "SmoothedJob",
+    "DEEP_PREFIX",
+    "Website",
+]

@@ -1,0 +1,153 @@
+"""A household device's browser, with and without the HPoP in the path.
+
+Experiment E11 compares the user-perceived latency of loading pages
+through the Internet@home cache (LAN round trips on hits) against
+fetching directly from origins over the WAN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.http.client import HttpClient
+from repro.http.content import WebPage
+from repro.http.messages import HttpRequest
+from repro.iah.service import OBJECT_ROUTE, VISIT_ROUTE
+from repro.iah.web import Website
+from repro.net.network import Network
+from repro.net.node import Host
+
+
+@dataclass
+class PageVisitResult:
+    """Timing and provenance of one page visit."""
+
+    site: str
+    url: str
+    started_at: float
+    completed_at: float
+    object_count: int = 0
+    bytes_total: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    lateral_hits: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.completed_at - self.started_at
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses + self.lateral_hits
+        return (self.cache_hits + self.lateral_hits) / total if total else 0.0
+
+
+class HomeBrowser:
+    """Loads pages either through the home HPoP or straight from origins."""
+
+    def __init__(self, device: Host, network: Network) -> None:
+        self.device = device
+        self.network = network
+        self.client = HttpClient(device, network)
+
+    @property
+    def sim(self):
+        return self.network.sim
+
+    def load_via_hpop(
+        self,
+        hpop_host: Host,
+        site: Website,
+        url: str,
+        on_done: Callable[[PageVisitResult], None],
+        record_visit: bool = True,
+    ) -> None:
+        """Fetch every page object through the HPoP's Internet@home cache.
+
+        Page structure comes from the site's public metadata (a real
+        browser learns it by parsing HTML); the cache work happens on
+        the per-object fetches.
+        """
+        page = site.catalog.page(url)
+        if page is None:
+            raise KeyError(f"{site.name} has no page {url}")
+        result = PageVisitResult(site=site.name, url=url,
+                                 started_at=self.sim.now,
+                                 completed_at=self.sim.now)
+        objects = list(page.all_objects())
+        remaining = {"count": len(objects)}
+
+        if record_visit:
+            self.client.request(
+                hpop_host,
+                HttpRequest("POST", VISIT_ROUTE,
+                            body={"site": site.name, "url": url},
+                            body_size=120),
+                lambda resp, stats: None, port=443,
+                on_error=lambda exc: None)
+
+        def one(resp, _stats) -> None:
+            if resp.ok:
+                result.bytes_total += resp.body_size
+                provenance = resp.headers.get("X-Cache", "miss")
+                if provenance in ("hit", "revalidated"):
+                    result.cache_hits += 1
+                elif provenance == "lateral":
+                    result.lateral_hits += 1
+                else:
+                    result.cache_misses += 1
+            else:
+                result.cache_misses += 1
+            finish_one()
+
+        def finish_one(_exc=None) -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                result.completed_at = self.sim.now
+                result.object_count = len(objects)
+                on_done(result)
+
+        for obj in objects:
+            self.client.request(
+                hpop_host,
+                HttpRequest("POST", OBJECT_ROUTE,
+                            body={"site": site.name, "object": obj.name},
+                            body_size=150),
+                one, port=443, on_error=finish_one)
+
+    def load_via_origin(
+        self,
+        site: Website,
+        url: str,
+        on_done: Callable[[PageVisitResult], None],
+    ) -> None:
+        """The no-HPoP baseline: fetch everything over the WAN."""
+        page = site.catalog.page(url)
+        if page is None:
+            raise KeyError(f"{site.name} has no page {url}")
+        result = PageVisitResult(site=site.name, url=url,
+                                 started_at=self.sim.now,
+                                 completed_at=self.sim.now)
+        objects = list(page.all_objects())
+        remaining = {"count": len(objects)}
+
+        def one(resp, _stats) -> None:
+            if resp.ok:
+                result.bytes_total += resp.body_size
+            result.cache_misses += 1
+            finish_one()
+
+        def finish_one(_exc=None) -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                result.completed_at = self.sim.now
+                result.object_count = len(objects)
+                on_done(result)
+
+        for obj in objects:
+            self.client.request(
+                site.host,
+                HttpRequest("GET", f"{site.objects_prefix}/{obj.name}",
+                            host=site.name),
+                one, port=site.port, on_error=finish_one)

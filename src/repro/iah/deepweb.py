@@ -1,0 +1,101 @@
+"""Deep-web gathering and attic triggers (paper SIV-D).
+
+"the HPoP will hold user credentials so it can copy deep web content
+... While divulging credentials for web mail or social networking
+services to some generic web proxy would be unthinkable, providing
+these to a device in a user's own house and ultimately under their
+control is much more palatable."
+
+And the attic synergy: "by gathering stock ticker symbols from tax
+documents the HPoP can maintain fresh stock quotes that are germane to
+the users. The HPoP will provide a generic modular framework such that
+many forms of information within the data attic can trigger data
+collection."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.webdav.resources import DavFile
+
+
+class CredentialVault:
+    """The HPoP's store of per-site user credentials."""
+
+    def __init__(self) -> None:
+        self._creds: Dict[str, Tuple[str, str]] = {}
+
+    def store(self, site: str, username: str, password: str) -> None:
+        self._creds[site] = (username, password)
+
+    def forget(self, site: str) -> None:
+        self._creds.pop(site, None)
+
+    def has(self, site: str) -> bool:
+        return site in self._creds
+
+    def auth_headers(self, site: str) -> Dict[str, str]:
+        """Authorization headers for ``site``, or {} when no credential."""
+        cred = self._creds.get(site)
+        if cred is None:
+            return {}
+        user, password = cred
+        return {"Authorization": f"Basic {user}:{password}"}
+
+    def sites(self) -> List[str]:
+        return sorted(self._creds)
+
+
+# A gather target: (site name, object name).
+GatherTarget = Tuple[str, str]
+
+
+class AtticTrigger:
+    """The generic modular framework: attic contents -> gather targets.
+
+    Subclasses inspect the attic's resource tree and derive objects the
+    Internet@home service should keep fresh.
+    """
+
+    name = "trigger"
+
+    def derive(self, attic) -> List[GatherTarget]:
+        """``attic`` is a :class:`~repro.attic.service.DataAtticService`."""
+        raise NotImplementedError
+
+
+class PropertyTrigger(AtticTrigger):
+    """Derives targets from a dead property on attic files.
+
+    Files carrying ``property_name`` (a comma-separated value list) map
+    each value to an object at the configured site — the paper's ticker
+    example is ``PropertyTrigger('tickers', 'finance.example', 'quote/{}')``.
+    """
+
+    def __init__(self, property_name: str, site: str,
+                 object_template: str) -> None:
+        if "{}" not in object_template:
+            raise ValueError("object_template must contain '{}'")
+        self.property_name = property_name
+        self.site = site
+        self.object_template = object_template
+        self.name = f"property:{property_name}"
+
+    def derive(self, attic) -> List[GatherTarget]:
+        if attic is None or attic.dav is None:
+            return []
+        targets: List[GatherTarget] = []
+        seen = set()
+        for _path, resource in attic.dav.tree.walk("/"):
+            value = resource.properties.get(self.property_name)
+            if not value:
+                continue
+            for token in value.split(","):
+                token = token.strip()
+                if token and token not in seen:
+                    seen.add(token)
+                    targets.append(
+                        (self.site, self.object_template.format(token)))
+        return sorted(targets)

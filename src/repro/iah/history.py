@@ -1,0 +1,94 @@
+"""Browsing history and interest profiling for Internet@home (SIV-D).
+
+"We aim to leverage users' long-term history to copy the portion of the
+Internet the users visit and are likely to visit." The history store
+records visits; the profile ranks pages by visit frequency with
+exponential recency decay, and the aggressiveness knob selects how deep
+into that ranking the prefetcher reaches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Visit:
+    """One page visit."""
+
+    time: float
+    site: str
+    url: str
+
+
+class BrowsingHistory:
+    """Append-only visit log with per-page aggregation."""
+
+    def __init__(self) -> None:
+        self._visits: List[Visit] = []
+        self._counts: Dict[Tuple[str, str], int] = {}
+        self._last_visit: Dict[Tuple[str, str], float] = {}
+
+    def record(self, time: float, site: str, url: str) -> None:
+        visit = Visit(time=time, site=site, url=url)
+        self._visits.append(visit)
+        key = (site, url)
+        self._counts[key] = self._counts.get(key, 0) + 1
+        self._last_visit[key] = time
+
+    @property
+    def visit_count(self) -> int:
+        return len(self._visits)
+
+    def pages(self) -> List[Tuple[str, str]]:
+        return list(self._counts)
+
+    def count_for(self, site: str, url: str) -> int:
+        return self._counts.get((site, url), 0)
+
+    def last_visit(self, site: str, url: str) -> Optional[float]:
+        return self._last_visit.get((site, url))
+
+
+class InterestProfile:
+    """Ranks pages by recency-decayed visit frequency."""
+
+    def __init__(self, history: BrowsingHistory,
+                 half_life: float = 7 * 86400.0) -> None:
+        if half_life <= 0:
+            raise ValueError("half_life must be positive")
+        self.history = history
+        self.half_life = half_life
+
+    def score(self, site: str, url: str, now: float) -> float:
+        """count x 2^(-age/half_life); 0 for never-visited pages."""
+        count = self.history.count_for(site, url)
+        if count == 0:
+            return 0.0
+        last = self.history.last_visit(site, url)
+        age = max(0.0, now - last)
+        return count * math.pow(2.0, -age / self.half_life)
+
+    def ranked(self, now: float) -> List[Tuple[str, str]]:
+        """All visited pages, best first (ties broken deterministically)."""
+        return sorted(
+            self.history.pages(),
+            key=lambda key: (-self.score(key[0], key[1], now), key),
+        )
+
+    def target_set(self, now: float, aggressiveness: float) -> List[Tuple[str, str]]:
+        """The slice of history the prefetcher maintains locally.
+
+        ``aggressiveness`` in [0, 1]: 0 keeps nothing, 1 keeps every page
+        ever visited. Fractions keep the top of the ranking (always at
+        least one page when any history exists and aggressiveness > 0).
+        """
+        if not 0 <= aggressiveness <= 1:
+            raise ValueError("aggressiveness must be in [0, 1]")
+        ranking = self.ranked(now)
+        if not ranking or aggressiveness == 0:
+            return []
+        keep = max(1, math.ceil(len(ranking) * aggressiveness))
+        return ranking[:keep]

@@ -1,0 +1,116 @@
+"""Demand smoothing for Internet@home gathering (paper SIV-D).
+
+"obtaining content ahead of actual use also brings flexibility to
+schedule content acquisition at an opportune time. This can smooth the
+demand on Internet servers and core networks."
+
+The smoother is a rate-limited, window-aware job queue: prefetch jobs
+drain through a token bucket (bytes/sec) and, optionally, only inside
+configured off-peak windows of the (simulated) day.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+from repro.util.tokenbucket import TokenBucket
+
+DAY = 86400.0
+
+
+@dataclass
+class SmoothedJob:
+    size: int
+    action: Callable[[], None]
+    submitted_at: float
+
+
+class DemandSmoother:
+    """Queues prefetch work and releases it smoothly."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bytes_per_sec: float,
+        burst_bytes: float = 10_000_000,
+        offpeak_windows: Optional[List[Tuple[float, float]]] = None,
+    ) -> None:
+        """``offpeak_windows`` are [start, end) seconds within the day,
+        e.g. ``[(0, 6 * 3600)]`` for midnight-to-6am gathering."""
+        self.sim = sim
+        self._bucket = TokenBucket(rate=rate_bytes_per_sec,
+                                   capacity=burst_bytes,
+                                   start_time=sim.now)
+        self.offpeak_windows = offpeak_windows
+        self._queue: Deque[SmoothedJob] = deque()
+        self._pump_scheduled = False
+        self.jobs_released = 0
+        self.bytes_released = 0.0
+
+    def submit(self, size: int, action: Callable[[], None]) -> None:
+        """Enqueue a job of ``size`` estimated bytes."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self._queue.append(SmoothedJob(size=size, action=action,
+                                       submitted_at=self.sim.now))
+        self._schedule_pump(0.0)
+
+    @property
+    def queued_jobs(self) -> int:
+        return len(self._queue)
+
+    # -- windows ------------------------------------------------------------
+
+    def in_window(self, now: float) -> bool:
+        if self.offpeak_windows is None:
+            return True
+        time_of_day = now % DAY
+        return any(start <= time_of_day < end
+                   for start, end in self.offpeak_windows)
+
+    def _time_until_window(self, now: float) -> float:
+        if self.in_window(now):
+            return 0.0
+        time_of_day = now % DAY
+        waits = []
+        for start, _end in self.offpeak_windows:
+            delta = start - time_of_day
+            if delta <= 0:
+                delta += DAY
+            waits.append(delta)
+        return min(waits)
+
+    # -- the pump --------------------------------------------------------------
+
+    def _schedule_pump(self, delay: float) -> None:
+        if self._pump_scheduled:
+            return
+        self._pump_scheduled = True
+        self.sim.schedule(delay, self._pump, label="smoother.pump", weak=True)
+
+    def _pump(self) -> None:
+        self._pump_scheduled = False
+        now = self.sim.now
+        if not self._queue:
+            return
+        window_wait = self._time_until_window(now)
+        if window_wait > 0:
+            self._schedule_pump(window_wait)
+            return
+        job = self._queue[0]
+        # Oversized jobs are released at bucket capacity (never starve).
+        need = min(job.size, self._bucket.capacity)
+        token_wait = self._bucket.time_until_available(now, need)
+        if token_wait > 0:
+            self._schedule_pump(token_wait)
+            return
+        self._queue.popleft()
+        self._bucket.try_consume(now, need)
+        self.jobs_released += 1
+        self.bytes_released += job.size
+        job.action()
+        if self._queue:
+            self._schedule_pump(0.0)

@@ -1,0 +1,108 @@
+"""A plain website origin for Internet@home experiments.
+
+Serves a :class:`~repro.http.content.ContentCatalog` with proper HTTP
+caching metadata (ETag + max-age), conditional GETs, and an optional
+credential-protected "deep web" section (paper SIV-D: Facebook pages,
+subscription sites — content a generic proxy could never gather, but a
+device in the user's own home can, holding the user's credentials).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.http.content import ContentCatalog, WebObject, WebPage
+from repro.http.messages import (
+    HttpRequest,
+    HttpResponse,
+    not_found,
+    not_modified,
+    ok,
+    unauthorized,
+)
+from repro.http.server import HttpServer
+from repro.net.network import Network
+from repro.net.node import Host
+
+DEEP_PREFIX = "private/"
+
+
+class Website:
+    """An origin site with public and (optionally) deep-web content."""
+
+    objects_prefix = "/objects"
+    pages_prefix = "/pages"
+
+    def __init__(
+        self,
+        name: str,
+        host: Host,
+        network: Network,
+        catalog: ContentCatalog,
+        object_ttl: float = 300.0,
+        port: int = 80,
+        credentials: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.name = name
+        self.host = host
+        self.network = network
+        self.catalog = catalog
+        self.object_ttl = object_ttl
+        self.port = port
+        self._credentials = dict(credentials or {})
+        self.requests_served = 0
+        self.validation_hits = 0
+        existing = host.stream_listener(port)
+        if isinstance(existing, HttpServer):
+            self.server = existing
+        else:
+            self.server = HttpServer(host, port, name=f"site:{name}")
+        self.server.route(self.objects_prefix, self._serve_object,
+                          virtual_host=name)
+        self.server.route(self.pages_prefix, self._serve_page_meta,
+                          virtual_host=name)
+
+    # -- content management ------------------------------------------------
+
+    def update_object(self, name: str) -> WebObject:
+        """Publish a new version (invalidates every cached copy)."""
+        return self.catalog.update_object(name)
+
+    def is_deep(self, object_name: str) -> bool:
+        return object_name.startswith(DEEP_PREFIX)
+
+    def _authorized(self, request: HttpRequest) -> bool:
+        header = request.headers.get("Authorization", "")
+        if not header.startswith("Basic "):
+            return False
+        try:
+            user, password = header[len("Basic "):].split(":", 1)
+        except ValueError:
+            return False
+        return self._credentials.get(user) == password
+
+    # -- routes --------------------------------------------------------------
+
+    def _serve_object(self, request: HttpRequest) -> HttpResponse:
+        name = request.path[len(self.objects_prefix):].lstrip("/")
+        obj = self.catalog.object(name)
+        if obj is None:
+            return not_found(name)
+        if self.is_deep(name) and not self._authorized(request):
+            return unauthorized(self.name)
+        self.requests_served += 1
+        if request.if_none_match == obj.etag:
+            self.validation_hits += 1
+            return not_modified(headers={
+                "ETag": obj.etag,
+                "Cache-Control": f"max-age={self.object_ttl}"})
+        return ok(body_size=obj.size, body=obj,
+                  headers={"ETag": obj.etag,
+                           "Cache-Control": f"max-age={self.object_ttl}"})
+
+    def _serve_page_meta(self, request: HttpRequest) -> HttpResponse:
+        url = request.path[len(self.pages_prefix):]
+        page = self.catalog.page(url or "/")
+        if page is None:
+            return not_found(url)
+        return ok(body_size=600, body=page)

@@ -1,0 +1,5 @@
+"""Experiment metrics and reporting."""
+
+from repro.metrics.report import Claim, ExperimentReport
+
+__all__ = ["Claim", "ExperimentReport"]

@@ -1,0 +1,96 @@
+"""Experiment reporting: paper-claim vs. measured-value tables.
+
+Every benchmark builds an :class:`ExperimentReport`; the bench prints it
+and asserts :meth:`all_claims_hold`, so "the shape holds" is enforced,
+not eyeballed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+
+@dataclass
+class Claim:
+    """One paper claim checked against a measurement."""
+
+    description: str
+    expected: str
+    measured: str
+    holds: bool
+
+
+@dataclass
+class ExperimentReport:
+    """Accumulates rows (data) and claims (checks) for one experiment."""
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str] = ()
+    rows: List[Sequence[object]] = field(default_factory=list)
+    claims: List[Claim] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if self.columns and len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns")
+        self.rows.append(values)
+
+    def check(self, description: str, expected: str, measured: str,
+              holds: bool) -> None:
+        """Record a claim check (the bench asserts on the aggregate)."""
+        self.claims.append(Claim(description=description, expected=expected,
+                                 measured=measured, holds=bool(holds)))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(claim.holds for claim in self.claims)
+
+    def failed_claims(self) -> List[Claim]:
+        return [c for c in self.claims if not c.holds]
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.columns and self.rows:
+            widths = [
+                max(len(str(col)),
+                    *(len(_fmt(row[i])) for row in self.rows))
+                for i, col in enumerate(self.columns)
+            ]
+            header = "  ".join(str(c).ljust(w)
+                               for c, w in zip(self.columns, widths))
+            lines.append(header)
+            lines.append("-" * len(header))
+            for row in self.rows:
+                lines.append("  ".join(_fmt(v).ljust(w)
+                                       for v, w in zip(row, widths)))
+        if self.claims:
+            lines.append("")
+            lines.append("claims:")
+            for claim in self.claims:
+                mark = "PASS" if claim.holds else "FAIL"
+                lines.append(f"  [{mark}] {claim.description}")
+                lines.append(f"         paper:    {claim.expected}")
+                lines.append(f"         measured: {claim.measured}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 0.001 or abs(value) >= 100_000):
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,17 @@
+"""DNS: zones, resolvers, CDN-style request routing."""
+
+from repro.naming.dns import (
+    ARecord,
+    DnsError,
+    RequestRoutingZone,
+    StubResolver,
+    Zone,
+)
+
+__all__ = [
+    "ARecord",
+    "DnsError",
+    "RequestRoutingZone",
+    "StubResolver",
+    "Zone",
+]

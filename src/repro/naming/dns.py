@@ -1,0 +1,120 @@
+"""A small DNS: zones, A records, TTL-caching resolvers, request routing.
+
+Traditional CDNs steer clients with "classic DNS request routing"
+(paper SIV-B, citing [25]): the authoritative zone answers each resolver
+with the edge closest to it, with a short TTL. This module provides
+exactly enough DNS for that baseline: static zones, a dynamic
+request-routing zone, and a stub resolver with TTL caching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.net.address import Address
+from repro.net.node import Host
+from repro.sim.engine import Simulator
+
+
+class DnsError(Exception):
+    """NXDOMAIN and friends."""
+
+
+@dataclass(frozen=True)
+class ARecord:
+    """name -> address with a TTL."""
+
+    name: str
+    address: Address
+    ttl: float = 300.0
+
+
+class Zone:
+    """A static authoritative zone."""
+
+    def __init__(self, origin: str) -> None:
+        self.origin = origin
+        self._records: Dict[str, ARecord] = {}
+        self.queries_served = 0
+
+    def add(self, name: str, address: Address, ttl: float = 300.0) -> None:
+        self._records[name] = ARecord(name=name, address=address, ttl=ttl)
+
+    def remove(self, name: str) -> None:
+        self._records.pop(name, None)
+
+    def resolve(self, name: str, client: Optional[Host] = None) -> ARecord:
+        self.queries_served += 1
+        record = self._records.get(name)
+        if record is None:
+            raise DnsError(f"NXDOMAIN: {name} in {self.origin}")
+        return record
+
+    def names(self) -> List[str]:
+        return sorted(self._records)
+
+
+class RequestRoutingZone(Zone):
+    """A zone whose answers depend on who is asking (CDN request routing).
+
+    ``selector(name, client)`` returns the address to hand this client —
+    e.g. the lowest-RTT edge server. Answers carry a short TTL so
+    clients re-consult as conditions change.
+    """
+
+    def __init__(self, origin: str,
+                 selector: Callable[[str, Optional[Host]], Optional[Address]],
+                 ttl: float = 20.0) -> None:
+        super().__init__(origin)
+        self.selector = selector
+        self.ttl = ttl
+
+    def resolve(self, name: str, client: Optional[Host] = None) -> ARecord:
+        self.queries_served += 1
+        address = self.selector(name, client)
+        if address is None:
+            # Fall back to any static record.
+            record = self._records.get(name)
+            if record is None:
+                raise DnsError(f"NXDOMAIN: {name} in {self.origin}")
+            return record
+        return ARecord(name=name, address=address, ttl=self.ttl)
+
+
+@dataclass
+class _CachedAnswer:
+    record: ARecord
+    expires_at: float
+
+
+class StubResolver:
+    """A client-side resolver with TTL caching over registered zones."""
+
+    def __init__(self, sim: Simulator, client: Optional[Host] = None) -> None:
+        self.sim = sim
+        self.client = client
+        self._zones: List[Zone] = []
+        self._cache: Dict[str, _CachedAnswer] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def add_zone(self, zone: Zone) -> None:
+        self._zones.append(zone)
+
+    def resolve(self, name: str) -> Address:
+        cached = self._cache.get(name)
+        if cached is not None and self.sim.now < cached.expires_at:
+            self.cache_hits += 1
+            return cached.record.address
+        self.cache_misses += 1
+        for zone in self._zones:
+            if name == zone.origin or name.endswith("." + zone.origin):
+                record = zone.resolve(name, self.client)
+                self._cache[name] = _CachedAnswer(
+                    record=record, expires_at=self.sim.now + record.ttl)
+                return record.address
+        raise DnsError(f"no zone for {name}")
+
+    def flush(self) -> None:
+        self._cache.clear()

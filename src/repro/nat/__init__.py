@@ -1,0 +1,41 @@
+"""NAT devices and traversal (UPnP / STUN / TURN), per paper SIII."""
+
+from repro.nat.devices import (
+    Endpoint,
+    Mapping,
+    NatChain,
+    NatDevice,
+    NatType,
+    hole_punch_succeeds,
+    make_cgn,
+)
+from repro.nat.traversal import (
+    STUN_PORT,
+    TURN_PORT,
+    ReachabilityManager,
+    ReachabilityMethod,
+    ReachabilityReport,
+    StunServer,
+    TurnAllocation,
+    TurnServer,
+    deploy_traversal_infrastructure,
+)
+
+__all__ = [
+    "Endpoint",
+    "Mapping",
+    "NatChain",
+    "NatDevice",
+    "NatType",
+    "hole_punch_succeeds",
+    "make_cgn",
+    "STUN_PORT",
+    "TURN_PORT",
+    "ReachabilityManager",
+    "ReachabilityMethod",
+    "ReachabilityReport",
+    "StunServer",
+    "TurnAllocation",
+    "TurnServer",
+    "deploy_traversal_infrastructure",
+]

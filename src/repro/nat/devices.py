@@ -1,0 +1,221 @@
+"""NAT device models: behaviour types, mapping tables, UPnP, CGN.
+
+Paper SIII: HPoP reachability must survive "(potentially multiple levels
+of) address translation". We model the classic NAT behaviour taxonomy —
+full cone, (address-)restricted cone, port-restricted cone, symmetric —
+plus carrier-grade NAT (CGN) stacking, UPnP port mapping on home NATs,
+and the resulting hole-punching compatibility matrix used by STUN.
+
+The model is control-plane level: devices hold mapping state and answer
+reachability questions; the data plane below routes by globally unique
+addresses (see DESIGN.md on this simplification).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.net.address import Address
+
+
+class NatType(enum.Enum):
+    """Classic STUN-era NAT behaviour classes."""
+
+    FULL_CONE = "full_cone"
+    RESTRICTED_CONE = "restricted_cone"
+    PORT_RESTRICTED = "port_restricted"
+    SYMMETRIC = "symmetric"
+
+
+# Endpoint = (address, port)
+Endpoint = Tuple[Address, int]
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One NAT translation entry."""
+
+    private: Endpoint
+    public: Endpoint
+    # Symmetric NATs bind a mapping to one remote destination.
+    destination: Optional[Endpoint] = None
+
+
+class NatDevice:
+    """A NAT with a public address, mapping table, and permission state.
+
+    ``upnp_enabled`` reflects home-router reality: most home NATs speak
+    UPnP IGD, CGNs never do.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        public_address: Address,
+        nat_type: NatType = NatType.PORT_RESTRICTED,
+        upnp_enabled: bool = True,
+        first_public_port: int = 30000,
+    ) -> None:
+        self.name = name
+        self.public_address = public_address
+        self.nat_type = nat_type
+        self.upnp_enabled = upnp_enabled
+        self._next_port = first_public_port
+        # key: (private endpoint, destination or None for cone NATs)
+        self._mappings: Dict[Tuple[Endpoint, Optional[Endpoint]], Mapping] = {}
+        self._by_public_port: Dict[int, Mapping] = {}
+        # Outbound contact history, for cone permission checks:
+        # public port -> set of remote endpoints contacted through it.
+        self._contacted: Dict[int, Set[Endpoint]] = {}
+        # Explicit port forwards (UPnP or manual): public port -> private ep.
+        self._forwards: Dict[int, Endpoint] = {}
+        self.inner: Optional["NatDevice"] = None  # set when stacked under a CGN
+
+    # -- outbound ---------------------------------------------------------
+
+    def map_outbound(self, private: Endpoint, destination: Endpoint) -> Endpoint:
+        """Translate an outbound packet; creates/reuses a mapping.
+
+        Cone NATs reuse one public port per private endpoint; symmetric
+        NATs allocate a fresh public port per destination.
+        """
+        key_dest = destination if self.nat_type is NatType.SYMMETRIC else None
+        key = (private, key_dest)
+        mapping = self._mappings.get(key)
+        if mapping is None:
+            public_port = self._allocate_port()
+            mapping = Mapping(private=private,
+                              public=(self.public_address, public_port),
+                              destination=key_dest)
+            self._mappings[key] = mapping
+            self._by_public_port[public_port] = mapping
+            self._contacted[public_port] = set()
+        self._contacted[mapping.public[1]].add(destination)
+        return mapping.public
+
+    def _allocate_port(self) -> int:
+        while self._next_port in self._by_public_port or self._next_port in self._forwards:
+            self._next_port += 1
+        port = self._next_port
+        self._next_port += 1
+        return port
+
+    # -- inbound ------------------------------------------------------------
+
+    def admit_inbound(self, source: Endpoint, public_port: int) -> Optional[Endpoint]:
+        """Would a packet from ``source`` to ``public_port`` be delivered?
+
+        Returns the private endpoint it translates to, or None if the NAT
+        filters it. Explicit forwards (UPnP) always pass.
+        """
+        forward = self._forwards.get(public_port)
+        if forward is not None:
+            return forward
+        mapping = self._by_public_port.get(public_port)
+        if mapping is None:
+            return None
+        contacted = self._contacted.get(public_port, set())
+        if self.nat_type is NatType.FULL_CONE:
+            return mapping.private
+        if self.nat_type is NatType.RESTRICTED_CONE:
+            if any(addr == source[0] for addr, _port in contacted):
+                return mapping.private
+            return None
+        if self.nat_type is NatType.PORT_RESTRICTED:
+            return mapping.private if source in contacted else None
+        # Symmetric: mapping only valid for its bound destination.
+        if mapping.destination == source:
+            return mapping.private
+        return None
+
+    # -- UPnP ------------------------------------------------------------------
+
+    def upnp_add_port_mapping(self, private: Endpoint,
+                              public_port: Optional[int] = None) -> int:
+        """UPnP IGD AddPortMapping; raises if UPnP is disabled."""
+        if not self.upnp_enabled:
+            raise PermissionError(f"{self.name} does not support UPnP")
+        port = public_port if public_port is not None else self._allocate_port()
+        if port in self._forwards or port in self._by_public_port:
+            raise ValueError(f"public port {port} already in use on {self.name}")
+        self._forwards[port] = private
+        return port
+
+    def upnp_delete_port_mapping(self, public_port: int) -> None:
+        if not self.upnp_enabled:
+            raise PermissionError(f"{self.name} does not support UPnP")
+        self._forwards.pop(public_port, None)
+
+    @property
+    def forward_count(self) -> int:
+        return len(self._forwards)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NatDevice {self.name} {self.nat_type.value} @{self.public_address}>"
+
+
+def make_cgn(name: str, public_address: Address,
+             nat_type: NatType = NatType.SYMMETRIC) -> NatDevice:
+    """A carrier-grade NAT: no UPnP, typically symmetric or port-restricted."""
+    return NatDevice(name, public_address, nat_type=nat_type, upnp_enabled=False)
+
+
+@dataclass
+class NatChain:
+    """The translation layers between a host and the public Internet.
+
+    ``devices[0]`` is closest to the host (the home NAT); subsequent
+    entries are upstream (e.g. a CGN). An empty chain means a public host.
+    """
+
+    devices: list = field(default_factory=list)
+
+    @property
+    def home_nat(self) -> Optional[NatDevice]:
+        return self.devices[0] if self.devices else None
+
+    @property
+    def has_cgn(self) -> bool:
+        return len(self.devices) > 1
+
+    @property
+    def is_public(self) -> bool:
+        return not self.devices
+
+    def effective_type(self) -> Optional[NatType]:
+        """The most restrictive behaviour along the chain governs
+        hole-punching (order: full cone < restricted < port-restr. < symmetric)."""
+        if not self.devices:
+            return None
+        severity = {
+            NatType.FULL_CONE: 0,
+            NatType.RESTRICTED_CONE: 1,
+            NatType.PORT_RESTRICTED: 2,
+            NatType.SYMMETRIC: 3,
+        }
+        return max((d.nat_type for d in self.devices), key=lambda t: severity[t])
+
+    def upnp_available(self) -> bool:
+        """UPnP only yields a *public* endpoint when every layer honors it
+        — in practice, only when there is a single home NAT."""
+        return len(self.devices) == 1 and self.devices[0].upnp_enabled
+
+
+def hole_punch_succeeds(a: Optional[NatType], b: Optional[NatType]) -> bool:
+    """The classic STUN hole-punching compatibility matrix.
+
+    ``None`` means a public (un-NATed) endpoint. Punching fails between
+    two symmetric NATs, and between a symmetric NAT and a port-restricted
+    cone; all other combinations work.
+    """
+    if a is None or b is None:
+        return True
+    if a is NatType.SYMMETRIC and b is NatType.SYMMETRIC:
+        return False
+    if a is NatType.SYMMETRIC and b is NatType.PORT_RESTRICTED:
+        return False
+    if b is NatType.SYMMETRIC and a is NatType.PORT_RESTRICTED:
+        return False
+    return True

@@ -1,0 +1,61 @@
+"""Network substrate: addresses, links, nodes, routing, topologies."""
+
+from repro.net.address import (
+    Address,
+    AddressPool,
+    Prefix,
+    SubnetAllocator,
+    SubnetExhaustedError,
+)
+from repro.net.link import Link, LinkDirection
+from repro.net.network import (
+    Network,
+    NetworkError,
+    Path,
+    compose_paths,
+    compute_max_min_rates,
+)
+from repro.net.node import Host, Interface, Node, Router
+from repro.net.topology import (
+    AccessProfile,
+    City,
+    DetourTestbed,
+    Dumbbell,
+    Home,
+    Neighborhood,
+    ServerSite,
+    TopologyBuilder,
+    build_city,
+    build_detour_testbed,
+    build_dumbbell,
+)
+
+__all__ = [
+    "Address",
+    "AddressPool",
+    "Prefix",
+    "SubnetAllocator",
+    "SubnetExhaustedError",
+    "Link",
+    "LinkDirection",
+    "Network",
+    "NetworkError",
+    "Path",
+    "compose_paths",
+    "compute_max_min_rates",
+    "Host",
+    "Interface",
+    "Node",
+    "Router",
+    "AccessProfile",
+    "City",
+    "DetourTestbed",
+    "Dumbbell",
+    "Home",
+    "Neighborhood",
+    "ServerSite",
+    "TopologyBuilder",
+    "build_city",
+    "build_detour_testbed",
+    "build_dumbbell",
+]

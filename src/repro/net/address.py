@@ -1,0 +1,209 @@
+"""IPv4-style addressing: addresses, prefixes, and subnet allocation.
+
+The DCol waypoint design (paper SIV-C) assigns each waypoint a /26 out of
+10.0.0.0/8 — "256K non-conflicting waypoints [each able] to serve 64
+clients simultaneously" — so the allocator here is a first-class citizen
+with its own experiment (E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """A 32-bit network address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFFFFFF:
+            raise ValueError(f"address out of 32-bit range: {self.value}")
+
+    @classmethod
+    def parse(cls, dotted: str) -> "Address":
+        """Parse dotted-quad notation, e.g. ``Address.parse('10.0.0.1')``."""
+        parts = dotted.split(".")
+        if len(parts) != 4:
+            raise ValueError(f"malformed address {dotted!r}")
+        value = 0
+        for part in parts:
+            octet = int(part)
+            if not 0 <= octet <= 255:
+                raise ValueError(f"octet out of range in {dotted!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    def __str__(self) -> str:
+        return ".".join(str((self.value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+    def __add__(self, offset: int) -> "Address":
+        return Address(self.value + offset)
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """A CIDR prefix such as ``10.0.0.0/8``."""
+
+    network: Address
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError(f"prefix length out of range: {self.length}")
+        if self.network.value & (self.host_mask()) != 0:
+            raise ValueError(
+                f"{self.network}/{self.length} has host bits set"
+            )
+
+    @classmethod
+    def parse(cls, cidr: str) -> "Prefix":
+        """Parse ``'10.0.0.0/8'`` style notation."""
+        addr, _, length = cidr.partition("/")
+        if not length:
+            raise ValueError(f"missing prefix length in {cidr!r}")
+        return cls(Address.parse(addr), int(length))
+
+    def host_mask(self) -> int:
+        return (1 << (32 - self.length)) - 1
+
+    def netmask(self) -> int:
+        return 0xFFFFFFFF ^ self.host_mask()
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (32 - self.length)
+
+    def contains(self, address: Address) -> bool:
+        return (address.value & self.netmask()) == self.network.value
+
+    def overlaps(self, other: "Prefix") -> bool:
+        return self.contains(other.network) or other.contains(self.network)
+
+    def hosts(self) -> Iterator[Address]:
+        """Usable host addresses (skips network and broadcast for /30 and
+        shorter; /31 and /32 yield all addresses, matching RFC 3021 use)."""
+        if self.length >= 31:
+            for offset in range(self.num_addresses):
+                yield self.network + offset
+        else:
+            for offset in range(1, self.num_addresses - 1):
+                yield self.network + offset
+
+    @property
+    def num_hosts(self) -> int:
+        if self.length >= 31:
+            return self.num_addresses
+        return self.num_addresses - 2
+
+    def subnets(self, new_length: int) -> Iterator["Prefix"]:
+        """All subnets of ``new_length`` within this prefix, in order."""
+        if new_length < self.length:
+            raise ValueError(
+                f"cannot split /{self.length} into larger /{new_length}"
+            )
+        step = 1 << (32 - new_length)
+        for base in range(self.network.value,
+                          self.network.value + self.num_addresses, step):
+            yield Prefix(Address(base), new_length)
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.length}"
+
+
+class SubnetExhaustedError(RuntimeError):
+    """No subnets remain in the pool."""
+
+
+class SubnetAllocator:
+    """Carves fixed-size subnets out of a parent prefix, with release.
+
+    Guarantees non-overlap among live allocations; release makes the
+    subnet reusable. This is the "management plane" the paper says would
+    manage DCol subnet allocations in a large collective.
+    """
+
+    def __init__(self, pool: Prefix, subnet_length: int) -> None:
+        if subnet_length < pool.length:
+            raise ValueError(
+                f"subnet /{subnet_length} larger than pool /{pool.length}"
+            )
+        self.pool = pool
+        self.subnet_length = subnet_length
+        self._next_index = 0
+        self._released: List[int] = []
+        self._live: dict[int, Prefix] = {}
+
+    @property
+    def capacity(self) -> int:
+        """Total number of subnets the pool can ever hold."""
+        return 1 << (self.subnet_length - self.pool.length)
+
+    @property
+    def allocated_count(self) -> int:
+        return len(self._live)
+
+    def allocate(self) -> Prefix:
+        """Return a fresh non-overlapping subnet or raise ``SubnetExhaustedError``."""
+        if self._released:
+            index = self._released.pop()
+        elif self._next_index < self.capacity:
+            index = self._next_index
+            self._next_index += 1
+        else:
+            raise SubnetExhaustedError(
+                f"pool {self.pool} exhausted at {self.capacity} /{self.subnet_length} subnets"
+            )
+        base = self.pool.network.value + index * (1 << (32 - self.subnet_length))
+        prefix = Prefix(Address(base), self.subnet_length)
+        self._live[index] = prefix
+        return prefix
+
+    def release(self, prefix: Prefix) -> None:
+        """Return ``prefix`` to the pool; raises if it was not allocated."""
+        offset = prefix.network.value - self.pool.network.value
+        index = offset >> (32 - self.subnet_length)
+        live = self._live.get(index)
+        if live != prefix:
+            raise ValueError(f"{prefix} is not a live allocation from this pool")
+        del self._live[index]
+        self._released.append(index)
+
+    def live_subnets(self) -> List[Prefix]:
+        return list(self._live.values())
+
+
+class AddressPool:
+    """Sequential allocator of individual addresses from a prefix.
+
+    Used by topology builders to number hosts and by the DCol VPN DHCP
+    model to lease addresses on a waypoint's virtual subnet.
+    """
+
+    def __init__(self, prefix: Prefix) -> None:
+        self.prefix = prefix
+        self._iter = prefix.hosts()
+        self._released: List[Address] = []
+        self._live: set[Address] = set()
+
+    def allocate(self) -> Address:
+        if self._released:
+            address = self._released.pop()
+        else:
+            address = next(self._iter, None)  # type: ignore[assignment]
+            if address is None:
+                raise SubnetExhaustedError(f"no addresses left in {self.prefix}")
+        self._live.add(address)
+        return address
+
+    def release(self, address: Address) -> None:
+        if address not in self._live:
+            raise ValueError(f"{address} is not a live allocation")
+        self._live.remove(address)
+        self._released.append(address)
+
+    @property
+    def allocated_count(self) -> int:
+        return len(self._live)

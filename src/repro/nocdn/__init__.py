@@ -1,0 +1,56 @@
+"""NoCDN: content delivery without the CDN middleman (paper SIV-B)."""
+
+from repro.nocdn.loader import PageLoader, PageLoadResult
+from repro.nocdn.origin import AuditStats, ContentProvider, KeyIssue, PeerInfo
+from repro.nocdn.peer import (
+    CONTENT_PREFIX,
+    USAGE_PREFIX,
+    ChunkBody,
+    NoCdnPeerService,
+    ProviderSignup,
+)
+from repro.nocdn.records import UsageRecord, make_record
+from repro.nocdn.selection import (
+    AffinitySelection,
+    DisjointSelection,
+    LoadAwareSelection,
+    ProximitySelection,
+    RandomSelection,
+    SelectionPolicy,
+    SingleRandomPeer,
+    TrustWeightedSelection,
+    chunked_assignment,
+)
+from repro.nocdn.wrapper import (
+    LOADER_SCRIPT_SIZE,
+    ChunkAssignment,
+    WrapperPage,
+)
+
+__all__ = [
+    "PageLoader",
+    "PageLoadResult",
+    "AuditStats",
+    "ContentProvider",
+    "KeyIssue",
+    "PeerInfo",
+    "CONTENT_PREFIX",
+    "USAGE_PREFIX",
+    "ChunkBody",
+    "NoCdnPeerService",
+    "ProviderSignup",
+    "UsageRecord",
+    "make_record",
+    "AffinitySelection",
+    "DisjointSelection",
+    "LoadAwareSelection",
+    "ProximitySelection",
+    "RandomSelection",
+    "SelectionPolicy",
+    "SingleRandomPeer",
+    "TrustWeightedSelection",
+    "chunked_assignment",
+    "LOADER_SCRIPT_SIZE",
+    "ChunkAssignment",
+    "WrapperPage",
+]

@@ -1,0 +1,316 @@
+"""The client-side NoCDN loader (the "loader script" of paper Fig. 2).
+
+Runs in an unmodified browser in the real system; here it is the state
+machine driving one page load:
+
+1. fetch the wrapper page from the origin (plus the cacheable loader
+   script on first use),
+2. fetch every object/chunk from its assigned peer, in parallel,
+3. verify each object's SHA-256 against the wrapper's hash; corrupted
+   or failed objects are re-fetched from the origin and the peer is
+   reported,
+4. assemble the page, fire the completion callback,
+5. transfer signed usage records to each peer that served verified bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.http.client import HttpClient
+from repro.http.content import WebPage
+from repro.http.messages import HttpRequest
+from repro.net.network import Network
+from repro.net.node import Host
+from repro.nocdn.origin import ContentProvider
+from repro.nocdn.peer import USAGE_PREFIX, ChunkBody
+from repro.nocdn.records import make_record
+from repro.nocdn.wrapper import WrapperPage
+from repro.util.crypto import derive_payload, sha256_hex
+
+
+@dataclass
+class PageLoadResult:
+    """What one page load produced."""
+
+    url: str
+    started_at: float
+    completed_at: float
+    object_count: int = 0
+    bytes_from_peers: int = 0
+    bytes_from_origin: int = 0
+    corrupted: List[Tuple[str, str]] = field(default_factory=list)  # (object, peer)
+    peer_failures: List[Tuple[str, str]] = field(default_factory=list)
+    direct_mode: bool = False
+    wrapper_bytes: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.completed_at - self.started_at
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_from_peers + self.bytes_from_origin
+
+
+class PageLoader:
+    """One browser-equivalent on a client device."""
+
+    def __init__(self, device: Host, network: Network) -> None:
+        self.device = device
+        self.network = network
+        self.client = HttpClient(device, network)
+        self._loader_cached: Set[str] = set()
+        self.records_sent = 0
+        self.loads_completed = 0
+
+    @property
+    def sim(self):
+        return self.network.sim
+
+    # -- public API -------------------------------------------------------
+
+    def load(
+        self,
+        provider: ContentProvider,
+        url: str,
+        on_done: Callable[[PageLoadResult], None],
+        on_error: Optional[Callable[[Exception], None]] = None,
+    ) -> None:
+        started = self.sim.now
+
+        def fail(exc) -> None:
+            if on_error is not None:
+                on_error(exc if isinstance(exc, Exception)
+                         else RuntimeError(str(exc)))
+
+        def got_wrapper(resp, _stats) -> None:
+            if not resp.ok:
+                fail(RuntimeError(f"wrapper fetch -> {resp.status}"))
+                return
+            if isinstance(resp.body, WebPage):
+                self._direct_load(provider, resp.body, started, resp.body_size,
+                                  on_done, fail)
+            elif isinstance(resp.body, WrapperPage):
+                self._wrapped_load(provider, resp.body, started,
+                                   resp.body_size, on_done, fail)
+            else:
+                fail(RuntimeError("unrecognized wrapper response"))
+
+        def fetch_wrapper() -> None:
+            self.client.request(
+                provider.host,
+                HttpRequest("GET", f"{provider.wrapper_prefix}{url}",
+                            host=provider.site_name,
+                            headers={"X-Client-Host": self.device.name}),
+                got_wrapper, port=provider.port, on_error=fail)
+
+        if provider.site_name not in self._loader_cached:
+            # First visit: also pull the generic loader script (cacheable).
+            def got_loader(resp, _stats) -> None:
+                if resp.ok:
+                    self._loader_cached.add(provider.site_name)
+                fetch_wrapper()
+
+            self.client.request(
+                provider.host,
+                HttpRequest("GET", provider.loader_script_path,
+                            host=provider.site_name),
+                got_loader, port=provider.port, on_error=fail)
+        else:
+            fetch_wrapper()
+
+    # -- direct (no peers) mode ---------------------------------------------
+
+    def _direct_load(self, provider, page: WebPage, started, container_bytes,
+                     on_done, fail) -> None:
+        result = PageLoadResult(url=page.url, started_at=started,
+                                completed_at=started, direct_mode=True,
+                                object_count=page.object_count,
+                                bytes_from_origin=container_bytes)
+        remaining = {"count": len(page.embedded)}
+        if not page.embedded:
+            self._finish(result, on_done)
+            return
+
+        def one_done(resp, _stats) -> None:
+            if resp.ok:
+                result.bytes_from_origin += resp.body_size
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                self._finish(result, on_done)
+
+        for obj in page.embedded:
+            self.client.request(
+                provider.host,
+                HttpRequest("GET", f"{provider.objects_prefix}/{obj.name}",
+                            host=provider.site_name),
+                one_done, port=provider.port,
+                on_error=lambda exc: one_done_error(exc))
+
+        def one_done_error(_exc) -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                self._finish(result, on_done)
+
+    # -- wrapped mode -----------------------------------------------------------
+
+    def _wrapped_load(self, provider, wrapper: WrapperPage, started,
+                      wrapper_bytes, on_done, fail) -> None:
+        result = PageLoadResult(url=wrapper.page.url, started_at=started,
+                                completed_at=started,
+                                object_count=wrapper.page.object_count,
+                                wrapper_bytes=wrapper_bytes)
+        items = wrapper.work_items()
+        # object name -> list of (chunk assignment, ChunkBody or None)
+        per_object: Dict[str, List] = {}
+        for item in items:
+            per_object.setdefault(item.object_name, []).append([item, None])
+        outstanding = {"count": len(items)}
+        # peer id -> {object name -> verified bytes fetched}
+        peer_credit: Dict[str, Dict[str, int]] = {}
+        objects_by_name = {o.name: o for o in wrapper.page.all_objects()}
+
+        def item_finished() -> None:
+            outstanding["count"] -= 1
+            if outstanding["count"] == 0:
+                self._send_usage_records(provider, wrapper, peer_credit)
+                self._finish(result, on_done)
+
+        def verify_object(name: str) -> None:
+            slots = per_object[name]
+            if any(body is None for _item, body in slots):
+                return  # a chunk is still missing; its handler will recurse
+            assembled = b"".join(
+                derive_payload(body.obj.name, body.obj.version,
+                               body.obj.size)[item.start:item.end]
+                for item, body in sorted(slots, key=lambda s: s[0].start)
+            )
+            if sha256_hex(assembled) == wrapper.hashes[name]:
+                for item, body in slots:
+                    peer_credit.setdefault(item.peer_id, {}).setdefault(name, 0)
+                    peer_credit[item.peer_id][name] += body.size
+                for _ in slots:
+                    item_finished()
+            else:
+                # Integrity failure: blame every serving peer, recover
+                # the whole object from the origin.
+                for item, _body in slots:
+                    result.corrupted.append((name, item.peer_id))
+                    self._report_corruption(provider, item.peer_id, name)
+                self._origin_recover(provider, name, objects_by_name[name],
+                                     result, slots, item_finished)
+
+        def fetch_item(item) -> None:
+            endpoint = wrapper.peer_endpoints[item.peer_id]
+            obj = objects_by_name[item.object_name]
+            is_whole = item.start == 0 and item.end == obj.size
+            request = HttpRequest(
+                "GET",
+                f"/nocdn/{provider.site_name}/{item.object_name}",
+                range=None if is_whole else (item.start, item.end))
+
+            def got(resp, _stats) -> None:
+                if resp.ok and isinstance(resp.body, ChunkBody):
+                    result.bytes_from_peers += resp.body_size
+                    for slot in per_object[item.object_name]:
+                        if slot[0] is item:
+                            slot[1] = resp.body
+                    verify_object(item.object_name)
+                else:
+                    failed(None)
+
+            def failed(_exc) -> None:
+                result.peer_failures.append((item.object_name, item.peer_id))
+                self._origin_recover_chunk(provider, item, obj, result,
+                                           per_object[item.object_name],
+                                           verify_object)
+
+            self.client.request(endpoint[0], request, got,
+                                port=endpoint[1], on_error=failed)
+
+        for item in items:
+            fetch_item(item)
+
+    def _origin_recover(self, provider, name, obj, result, slots,
+                        item_finished) -> None:
+        """Re-fetch a corrupted object wholesale from the origin."""
+
+        def got(resp, _stats) -> None:
+            if resp.ok:
+                result.bytes_from_origin += resp.body_size
+            for _ in slots:
+                item_finished()
+
+        self.client.request(
+            provider.host,
+            HttpRequest("GET", f"{provider.objects_prefix}/{name}",
+                        host=provider.site_name),
+            got, port=provider.port,
+            on_error=lambda exc: [item_finished() for _ in slots])
+
+    def _origin_recover_chunk(self, provider, item, obj, result, slots,
+                              verify_object) -> None:
+        """Fetch one failed chunk from the origin instead of the peer."""
+        obj_request = HttpRequest(
+            "GET", f"{provider.objects_prefix}/{item.object_name}",
+            host=provider.site_name,
+            range=(item.start, item.end))
+
+        def fill_slot(body: ChunkBody) -> None:
+            for slot in slots:
+                if slot[0] is item:
+                    slot[1] = body
+            verify_object(item.object_name)
+
+        def got(resp, _stats) -> None:
+            if resp.ok and isinstance(resp.body, ChunkBody):
+                result.bytes_from_origin += resp.body_size
+                fill_slot(resp.body)
+            else:
+                give_up()
+
+        def give_up(_exc=None) -> None:
+            # A zero-length stand-in makes the object's hash check fail
+            # loudly rather than hanging the load forever.
+            fill_slot(ChunkBody(obj=obj, start=item.start, end=item.start))
+
+        self.client.request(provider.host, obj_request, got,
+                            port=provider.port, on_error=give_up)
+
+    # -- usage records ---------------------------------------------------------------
+
+    def _send_usage_records(self, provider, wrapper: WrapperPage,
+                            peer_credit: Dict[str, Dict[str, int]]) -> None:
+        for peer_id, by_object in peer_credit.items():
+            key = wrapper.peer_keys[peer_id]
+            endpoint = wrapper.peer_endpoints[peer_id]
+            for object_name, nbytes in by_object.items():
+                nonce = f"{self.device.name}-{self.sim.ids.next_int('nonce')}"
+                record = make_record(wrapper.wrapper_id, peer_id, object_name,
+                                     nbytes, nonce, key)
+                self.records_sent += 1
+                self.client.request(
+                    endpoint[0],
+                    HttpRequest("POST", USAGE_PREFIX,
+                                headers={"X-NoCdn-Site": provider.site_name},
+                                body=record, body_size=250),
+                    lambda resp, stats: None,
+                    port=endpoint[1],
+                    on_error=lambda exc: None)
+
+    def _report_corruption(self, provider, peer_id: str, object_name: str) -> None:
+        self.client.request(
+            provider.host,
+            HttpRequest("POST", provider.corruption_report_path,
+                        host=provider.site_name,
+                        body={"peer_id": peer_id, "object": object_name},
+                        body_size=150),
+            lambda resp, stats: None, port=provider.port,
+            on_error=lambda exc: None)
+
+    def _finish(self, result: PageLoadResult, on_done) -> None:
+        result.completed_at = self.sim.now
+        self.loads_completed += 1
+        on_done(result)

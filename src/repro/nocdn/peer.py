@@ -1,0 +1,240 @@
+"""The NoCDN peer: a reverse proxy service on the HPoP (paper SIV-B).
+
+"Each NoCDN peer acts as a normal reverse proxy when processing user
+requests — i.e., the peer serves the requested object from its cache if
+available or, if not, obtains the object from the origin server,
+forwards it to the user, and caches it locally for future requests. Our
+prototype uses standard Apache in reverse proxy mode with virtual
+hosting — to allow a peer to sign up for content delivery with multiple
+content providers."
+
+Misbehaviour knobs (for the integrity/accounting experiments):
+
+- ``tamper``: serve corrupted bytes (caught by the loader's hash check),
+- ``inflate_factor``: rewrite usage records before upload (caught by the
+  origin's HMAC verification),
+- ``replay_records``: upload old records twice (caught by the nonce
+  registry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.hpop.core import Hpop, HpopService
+from repro.http.cache import CacheDisposition, HttpCache
+from repro.http.client import HttpClient
+from repro.http.content import WebObject
+from repro.http.messages import HttpRequest, HttpResponse, not_found, ok, partial_content
+from repro.nocdn.records import UsageRecord
+from repro.util.units import mib
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.nocdn.origin import ContentProvider
+
+CONTENT_PREFIX = "/nocdn"
+USAGE_PREFIX = "/nocdn-usage"
+
+
+@dataclass
+class ProviderSignup:
+    """One provider this peer delivers for (virtual host entry)."""
+
+    provider: "ContentProvider"
+    cache: HttpCache
+    pending_records: List[UsageRecord] = field(default_factory=list)
+    uploaded_records: int = 0
+
+
+@dataclass(frozen=True)
+class ChunkBody:
+    """Response body for a (possibly partial) object fetch."""
+
+    obj: WebObject
+    start: int
+    end: int
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+class NoCdnPeerService(HpopService):
+    """Install on an HPoP; then ``sign_up`` with content providers."""
+
+    name = "nocdn-peer"
+
+    def __init__(
+        self,
+        cache_bytes: int = mib(256),
+        upload_interval: float = 60.0,
+        tamper: bool = False,
+        inflate_factor: float = 1.0,
+        replay_records: bool = False,
+    ) -> None:
+        super().__init__()
+        if inflate_factor < 1.0:
+            raise ValueError("inflate_factor must be >= 1.0")
+        self.cache_bytes = cache_bytes
+        self.upload_interval = upload_interval
+        self.tamper = tamper
+        self.inflate_factor = inflate_factor
+        self.replay_records = replay_records
+        self._signups: Dict[str, ProviderSignup] = {}
+        self._client: Optional[HttpClient] = None
+        self._replayed: List[UsageRecord] = []
+        self.bytes_served = 0.0
+        self.origin_fills = 0
+
+    @property
+    def peer_id(self) -> str:
+        assert self.hpop is not None
+        return self.hpop.host.name
+
+    # -- lifecycle --------------------------------------------------------
+
+    def on_install(self, hpop: Hpop) -> None:
+        self._client = HttpClient(hpop.host, hpop.network)
+        hpop.http.route_async(CONTENT_PREFIX, self._serve_content)
+        hpop.http.route(USAGE_PREFIX, self._accept_usage_record)
+
+    def on_start(self) -> None:
+        self.hpop.every(self.upload_interval, self._upload_all,
+                        label=f"{self.peer_id}.usage-upload",
+                        jitter_stream="nocdn.upload.jitter")
+
+    # -- sign-up ------------------------------------------------------------
+
+    def sign_up(self, provider: "ContentProvider") -> None:
+        """Register with a provider (multi-provider via virtual hosting)."""
+        if provider.site_name in self._signups:
+            raise ValueError(f"already signed up with {provider.site_name}")
+        signup = ProviderSignup(provider=provider,
+                                cache=HttpCache(self.cache_bytes,
+                                                default_ttl=provider.object_ttl))
+        self._signups[signup.provider.site_name] = signup
+        provider.register_peer(self)
+
+    def signup_for(self, site_name: str) -> ProviderSignup:
+        signup = self._signups.get(site_name)
+        if signup is None:
+            raise KeyError(f"{self.peer_id} not signed up with {site_name}")
+        return signup
+
+    def providers(self) -> List[str]:
+        return sorted(self._signups)
+
+    # -- content serving --------------------------------------------------------
+
+    def _parse_content_path(self, path: str):
+        # /nocdn/<site>/<object name...>
+        rest = path[len(CONTENT_PREFIX):].lstrip("/")
+        site, _, object_name = rest.partition("/")
+        return site, object_name
+
+    def _serve_content(self, request: HttpRequest, respond) -> None:
+        site, object_name = self._parse_content_path(request.path)
+        signup = self._signups.get(site)
+        if signup is None or not object_name:
+            respond(not_found(request.path))
+            return
+
+        def deliver(obj: WebObject) -> None:
+            if self.tamper:
+                obj = obj.tampered()
+            if request.range is not None:
+                start, end = request.range
+                end = min(end, obj.size)
+                if start >= obj.size:
+                    respond(HttpResponse(416, body_size=60))
+                    return
+                body = ChunkBody(obj=obj, start=start, end=end)
+                self.bytes_served += body.size
+                respond(partial_content(body.size, body=body))
+            else:
+                body = ChunkBody(obj=obj, start=0, end=obj.size)
+                self.bytes_served += obj.size
+                respond(ok(body_size=obj.size, body=body,
+                           headers={"ETag": obj.etag}))
+
+        disposition, entry = signup.cache.lookup(object_name, self.sim.now)
+        if disposition is CacheDisposition.FRESH:
+            deliver(entry.obj)
+            return
+
+        # Miss or stale: fill from the origin (a real network fetch).
+        self.origin_fills += 1
+        provider = signup.provider
+
+        def filled(resp: HttpResponse, _stats) -> None:
+            if not resp.ok or not isinstance(resp.body, ChunkBody):
+                respond(not_found(object_name))
+                return
+            obj = resp.body.obj
+            signup.cache.store(obj, self.sim.now)
+            deliver(obj)
+
+        def fill_failed(_exc) -> None:
+            if entry is not None:
+                deliver(entry.obj)  # serve stale rather than fail
+            else:
+                respond(HttpResponse(502, body_size=60, body="origin down"))
+
+        assert self._client is not None
+        self._client.request(
+            provider.host,
+            HttpRequest("GET", f"{provider.objects_prefix}/{object_name}",
+                        host=provider.site_name),
+            filled, port=provider.port, on_error=fill_failed)
+
+    # -- usage records --------------------------------------------------------------
+
+    def _accept_usage_record(self, request: HttpRequest) -> HttpResponse:
+        record = request.body
+        if not isinstance(record, UsageRecord):
+            return HttpResponse(400, body_size=40, body="not a usage record")
+        site = request.headers.get("X-NoCdn-Site", "")
+        signup = self._signups.get(site)
+        if signup is None:
+            return not_found(request.path)
+        signup.pending_records.append(record)
+        return ok(body_size=20)
+
+    def _upload_all(self) -> None:
+        for signup in self._signups.values():
+            self._upload_for(signup)
+
+    def _upload_for(self, signup: ProviderSignup) -> None:
+        if not signup.pending_records and not (
+                self.replay_records and self._replayed):
+            return
+        records = list(signup.pending_records)
+        signup.pending_records.clear()
+        if self.inflate_factor > 1.0:
+            records = [r.inflated(self.inflate_factor) for r in records]
+        if self.replay_records:
+            records = records + self._replayed
+            self._replayed = list(records)
+        body_size = 200 * max(1, len(records))
+
+        def uploaded(resp: HttpResponse, _stats) -> None:
+            if resp.ok:
+                signup.uploaded_records += len(records)
+
+        assert self._client is not None
+        self._client.request(
+            signup.provider.host,
+            HttpRequest("POST", signup.provider.usage_upload_path,
+                        host=signup.provider.site_name,
+                        body={"peer_id": self.peer_id, "records": records},
+                        body_size=body_size),
+            uploaded, port=signup.provider.port,
+            on_error=lambda exc: signup.pending_records.extend(records))
+
+    def flush_usage(self) -> None:
+        """Immediate upload (tests and experiment drivers)."""
+        self._upload_all()
+
+    def cache_stats(self, site_name: str):
+        return self.signup_for(site_name).cache.stats

@@ -1,0 +1,63 @@
+"""NoCDN usage records: HMAC-signed, nonce-protected delivery receipts.
+
+Paper SIV-B: "the script transfers a usage record to each peer. The
+usage report is secured via a cryptographic signature using the secret
+key furnished by the content provider and includes a nonce to prevent
+replay. The NoCDN peers accumulate usage records and periodically
+upload them to the content provider for payment."
+
+The signature is real HMAC-SHA256 over a canonical encoding, keyed by
+the short-term per-peer secret from the wrapper page (shared between
+origin and client, *never* given to the peer — so a peer cannot mint or
+alter records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.util.crypto import hmac_sign, hmac_verify
+
+
+@dataclass(frozen=True)
+class UsageRecord:
+    """One delivery receipt, created and signed by the client's loader."""
+
+    wrapper_id: str
+    peer_id: str
+    object_name: str
+    bytes_served: int
+    nonce: str
+    signature: str = ""
+
+    def canonical(self) -> bytes:
+        """The byte string the signature covers (everything but itself)."""
+        return "|".join([
+            self.wrapper_id, self.peer_id, self.object_name,
+            str(self.bytes_served), self.nonce,
+        ]).encode("utf-8")
+
+    def signed(self, key: bytes) -> "UsageRecord":
+        return replace(self, signature=hmac_sign(key, self.canonical()))
+
+    def verify(self, key: bytes) -> bool:
+        if not self.signature:
+            return False
+        return hmac_verify(key, self.canonical(), self.signature)
+
+    def inflated(self, factor: float) -> "UsageRecord":
+        """What a cheating peer would like to upload: more bytes, same
+        (now-invalid) signature."""
+        return replace(self, bytes_served=int(self.bytes_served * factor))
+
+
+def make_record(wrapper_id: str, peer_id: str, object_name: str,
+                bytes_served: int, nonce: str, key: bytes) -> UsageRecord:
+    """Build and sign a record in one step (what the loader does)."""
+    if bytes_served < 0:
+        raise ValueError("bytes_served must be non-negative")
+    record = UsageRecord(wrapper_id=wrapper_id, peer_id=peer_id,
+                         object_name=object_name, bytes_served=bytes_served,
+                         nonce=nonce)
+    return record.signed(key)

@@ -1,0 +1,113 @@
+"""NoCDN wrapper pages (paper SIV-B, Fig. 2).
+
+The wrapper page is what the origin actually serves for a page URL. It
+(a) names a peer for the container object, (b) maps every embedded
+object URL to a peer, (c) carries the SHA-256 of every page object, and
+(d) references the generic, cacheable loader script, plus a short-term
+secret key per peer for usage-record signing.
+
+Assignments may be whole-object or chunked (HTTP range requests across
+disparate peers — the "Leveraging Redundancy" option).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.http.content import WebPage
+from repro.net.address import Address
+
+LOADER_SCRIPT_SIZE = 12_000     # the generic loader; cacheable by browsers
+WRAPPER_BASE_SIZE = 2_000       # fixed framing of the wrapper page
+PER_OBJECT_ENTRY_SIZE = 150     # URL->peer map entry + hash per object
+PER_PEER_KEY_SIZE = 80          # one short-term key entry per peer
+
+
+@dataclass(frozen=True)
+class ChunkAssignment:
+    """One byte range of one object, assigned to one peer."""
+
+    object_name: str
+    peer_id: str
+    start: int
+    end: int  # exclusive
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class WrapperPage:
+    """The dynamically generated wrapper for one page request."""
+
+    wrapper_id: str
+    page: WebPage
+    # whole-object assignments: object name -> peer id
+    assignments: Dict[str, str]
+    # optional chunked assignments (supersede whole-object entries)
+    chunks: List[ChunkAssignment]
+    # object name -> expected SHA-256 (real hashes)
+    hashes: Dict[str, str]
+    # peer id -> (address, port) to fetch from
+    peer_endpoints: Dict[str, Tuple[Address, int]]
+    # peer id -> short-term HMAC key (origin <-> client shared secret)
+    peer_keys: Dict[str, bytes]
+    issued_at: float = 0.0
+    ttl: float = 30.0
+
+    def __post_init__(self) -> None:
+        page_objects = {obj.name for obj in self.page.all_objects()}
+        assigned = set(self.assignments) | {c.object_name for c in self.chunks}
+        missing = page_objects - assigned
+        if missing:
+            raise ValueError(f"wrapper misses assignments for {sorted(missing)}")
+        unhashed = page_objects - set(self.hashes)
+        if unhashed:
+            raise ValueError(f"wrapper misses hashes for {sorted(unhashed)}")
+        used_peers = set(self.assignments.values()) | {
+            c.peer_id for c in self.chunks}
+        unkeyed = used_peers - set(self.peer_keys)
+        if unkeyed:
+            raise ValueError(f"wrapper misses keys for peers {sorted(unkeyed)}")
+        unendpointed = used_peers - set(self.peer_endpoints)
+        if unendpointed:
+            raise ValueError(
+                f"wrapper misses endpoints for peers {sorted(unendpointed)}")
+
+    @property
+    def size(self) -> int:
+        """Wire size of the wrapper page itself (small — that is the point)."""
+        return (WRAPPER_BASE_SIZE
+                + PER_OBJECT_ENTRY_SIZE * (len(self.assignments) + len(self.chunks))
+                + PER_PEER_KEY_SIZE * len(self.peer_keys))
+
+    def peers_used(self) -> List[str]:
+        peers = set(self.assignments.values())
+        peers.update(c.peer_id for c in self.chunks)
+        return sorted(peers)
+
+    def expected_bytes_for(self, peer_id: str) -> int:
+        """Upper bound on bytes this wrapper authorizes ``peer_id`` to serve
+        — the origin's cap when auditing usage records."""
+        total = 0
+        by_name = {obj.name: obj for obj in self.page.all_objects()}
+        for name, pid in self.assignments.items():
+            if pid == peer_id:
+                total += by_name[name].size
+        for chunk in self.chunks:
+            if chunk.peer_id == peer_id:
+                total += chunk.size
+        return total
+
+    def work_items(self) -> List[ChunkAssignment]:
+        """Uniform view: every fetch the loader must perform."""
+        by_name = {obj.name: obj for obj in self.page.all_objects()}
+        items = [
+            ChunkAssignment(object_name=name, peer_id=pid, start=0,
+                            end=by_name[name].size)
+            for name, pid in sorted(self.assignments.items())
+        ]
+        items.extend(self.chunks)
+        return items

@@ -1,0 +1,5 @@
+"""Discrete-event simulation engine."""
+
+from repro.sim.engine import Event, Process, SimulationError, Simulator
+
+__all__ = ["Event", "Process", "SimulationError", "Simulator"]

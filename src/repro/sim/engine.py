@@ -1,0 +1,242 @@
+"""The discrete-event simulation core.
+
+A :class:`Simulator` owns a clock and an event heap. Components schedule
+callbacks with :meth:`Simulator.schedule` (relative delay) or
+:meth:`Simulator.at` (absolute time), and the owner drives the run with
+:meth:`run`, :meth:`run_until`, or :meth:`step`.
+
+Design notes
+------------
+- Events with equal timestamps fire in scheduling order (a monotonic
+  sequence number breaks ties), which keeps runs deterministic.
+- Cancellation is O(1): a cancelled event stays in the heap but is
+  skipped when popped.
+- The simulator also owns the :class:`~repro.util.ids.IdFactory` and
+  :class:`~repro.util.rng.RngStreams` so that an entire simulation is
+  reproducible from a single root seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.util.ids import IdFactory
+from repro.util.rng import RngStreams
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback. Returned by the scheduling methods so the
+    caller can cancel it.
+
+    A *weak* event (``weak=True``) does not keep the simulation alive:
+    :meth:`Simulator.run` returns once only weak events remain, the way
+    daemon threads do not keep a process alive. Periodic maintenance
+    work (cache revalidation, usage uploads) is scheduled weak so that
+    ``run()`` still means "run to quiescence".
+    """
+
+    __slots__ = ("time", "callback", "label", "cancelled", "weak", "_sim")
+
+    def __init__(self, time: float, callback: Callable[[], None], label: str,
+                 weak: bool = False, sim: "Simulator" = None) -> None:
+        self.time = time
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        self.weak = weak
+        self._sim = sim
+
+    def cancel(self) -> None:
+        """Prevent this event from firing (idempotent)."""
+        if not self.cancelled:
+            self.cancelled = True
+            if not self.weak and self._sim is not None:
+                self._sim._strong_pending -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event {self.label!r} at {self.time:.6f} ({state})>"
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling into the past and similar misuse."""
+
+
+class Simulator:
+    """Event heap + clock + per-simulation id/rng state."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now = 0.0
+        self.seed = seed
+        self.ids = IdFactory()
+        self.rng = RngStreams(seed)
+        self._heap: List[_HeapEntry] = []
+        self._seq = 0
+        self._events_fired = 0
+        self._strong_pending = 0
+        self._trace_hooks: List[Callable[[Event], None]] = []
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 label: str = "event", weak: bool = False) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.at(self.now + delay, callback, label, weak=weak)
+
+    def at(self, time: float, callback: Callable[[], None],
+           label: str = "event", weak: bool = False) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now={self.now}"
+            )
+        event = Event(time, callback, label, weak=weak, sim=self)
+        heapq.heappush(self._heap, _HeapEntry(time, self._seq, event))
+        self._seq += 1
+        if not weak:
+            self._strong_pending += 1
+        return event
+
+    def call_soon(self, callback: Callable[[], None], label: str = "soon") -> Event:
+        """Schedule ``callback`` at the current time (after pending same-time events)."""
+        return self.at(self.now, callback, label)
+
+    # -- execution -----------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next pending event. Returns False if none remain."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            event = entry.event
+            if event.cancelled:
+                continue
+            self.now = event.time
+            if not event.weak:
+                self._strong_pending -= 1
+            for hook in self._trace_hooks:
+                hook(event)
+            event.callback()
+            self._events_fired += 1
+            return True
+        return False
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Run until quiescence: no *strong* events remain.
+
+        Weak (daemon) events left in the heap do not fire; they resume
+        participating when new strong work is scheduled and run again.
+        ``max_events`` is a runaway-loop backstop, not a normal control —
+        hitting it raises so a bug cannot masquerade as completion.
+        """
+        fired = 0
+        while self._strong_pending > 0 and self.step():
+            fired += 1
+            if fired >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely a scheduling loop"
+                )
+        return fired
+
+    def run_until(self, time: float, max_events: int = 10_000_000) -> int:
+        """Run events with timestamps <= ``time``; advances clock to ``time``."""
+        if time < self.now:
+            raise SimulationError(f"cannot run backwards to {time} from {self.now}")
+        fired = 0
+        while self._heap:
+            head = self._next_pending_time()
+            if head is None or head > time:
+                break
+            self.step()
+            fired += 1
+            if fired >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely a scheduling loop"
+                )
+        self.now = max(self.now, time)
+        return fired
+
+    def _next_pending_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].event.cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events in the heap."""
+        return sum(1 for entry in self._heap if not entry.event.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+    def add_trace_hook(self, hook: Callable[[Event], None]) -> None:
+        """Register a hook called with each event just before it fires."""
+        self._trace_hooks.append(hook)
+
+
+class Process:
+    """Base class for long-lived simulation actors.
+
+    Provides a tidy idiom for components that repeatedly re-schedule
+    themselves (servers, crawlers, schedulers). Subclasses implement
+    behaviour with :meth:`Simulator.schedule` and may use
+    :meth:`every` for periodic work.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._periodic: Dict[str, Event] = {}
+        self._stopped = False
+
+    def every(self, interval: float, callback: Callable[[], None],
+              label: Optional[str] = None, jitter_stream: Optional[str] = None) -> None:
+        """Run ``callback`` every ``interval`` seconds until :meth:`stop`.
+
+        ``jitter_stream`` optionally names an RNG stream used to add
+        +/- 10% uniform jitter, preventing accidental synchronization of
+        many periodic actors.
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+        key = label or f"{self.name}.periodic"
+
+        def fire() -> None:
+            if self._stopped:
+                return
+            callback()
+            delay = interval
+            if jitter_stream is not None:
+                rng = self.sim.rng.stream(jitter_stream)
+                delay *= rng.uniform(0.9, 1.1)
+            self._periodic[key] = self.sim.schedule(delay, fire, label=key,
+                                                    weak=True)
+
+        # Periodic work is weak (daemon-like): it must not keep run()
+        # from reaching quiescence.
+        self._periodic[key] = self.sim.schedule(interval, fire, label=key,
+                                                weak=True)
+
+    def stop(self) -> None:
+        """Cancel periodic work; idempotent."""
+        self._stopped = True
+        for event in self._periodic.values():
+            event.cancel()
+        self._periodic.clear()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped

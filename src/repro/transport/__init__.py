@@ -1,0 +1,21 @@
+"""Transport layer: flow-level TCP and MPTCP."""
+
+from repro.transport.mptcp import MptcpConnection, MptcpStats, MptcpSubflow
+from repro.transport.tcp import (
+    DEFAULT_INITIAL_WINDOW_SEGMENTS,
+    MSS,
+    FlowStats,
+    TcpConnection,
+    TcpFlow,
+)
+
+__all__ = [
+    "MptcpConnection",
+    "MptcpStats",
+    "MptcpSubflow",
+    "DEFAULT_INITIAL_WINDOW_SEGMENTS",
+    "MSS",
+    "FlowStats",
+    "TcpConnection",
+    "TcpFlow",
+]

@@ -1,0 +1,205 @@
+"""Systematic Reed-Solomon erasure coding over GF(256).
+
+Used by the data attic's peer-backup mechanism (paper SIV-A, "redundantly
+encoding the contents -- e.g., using erasure codes -- and storing pieces
+with a variety of peers"). A file is split into ``k`` data shards and
+``m`` parity shards; any ``k`` of the ``k+m`` shards recover the file.
+
+This is a real, self-contained implementation (Vandermonde construction,
+Gaussian elimination for decoding) -- not a stub -- so property tests can
+exercise arbitrary erasure patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+_PRIM_POLY = 0x11D  # x^8 + x^4 + x^3 + x^2 + 1, the usual RS polynomial
+
+_EXP = [0] * 512
+_LOG = [0] * 256
+
+
+def _build_tables() -> None:
+    x = 1
+    for i in range(255):
+        _EXP[i] = x
+        _LOG[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= _PRIM_POLY
+    for i in range(255, 512):
+        _EXP[i] = _EXP[i - 255]
+
+
+_build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(256)."""
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_div(a: int, b: int) -> int:
+    """Divide in GF(256); ``b`` must be non-zero."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return _EXP[(_LOG[a] - _LOG[b]) % 255]
+
+
+def gf_pow(a: int, n: int) -> int:
+    """Raise ``a`` to the ``n``-th power in GF(256)."""
+    if a == 0:
+        return 0 if n > 0 else 1
+    return _EXP[(_LOG[a] * n) % 255]
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse in GF(256)."""
+    if a == 0:
+        raise ZeroDivisionError("zero has no inverse in GF(256)")
+    return _EXP[255 - _LOG[a]]
+
+
+def _vandermonde_row(row_index: int, k: int) -> List[int]:
+    """Row ``row_index`` of the (systematic-extended) Vandermonde matrix."""
+    return [gf_pow(row_index + 1, col) for col in range(k)]
+
+
+def _matrix_mul_vector(matrix: Sequence[Sequence[int]], vector: Sequence[int]) -> List[int]:
+    out = []
+    for row in matrix:
+        acc = 0
+        for coeff, value in zip(row, vector):
+            acc ^= gf_mul(coeff, value)
+        out.append(acc)
+    return out
+
+
+def _invert_matrix(matrix: List[List[int]]) -> List[List[int]]:
+    """Invert a square matrix over GF(256) by Gauss-Jordan elimination."""
+    n = len(matrix)
+    aug = [list(row) + [1 if i == j else 0 for j in range(n)] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot_row = next((r for r in range(col, n) if aug[r][col] != 0), None)
+        if pivot_row is None:
+            raise ValueError("matrix is singular over GF(256)")
+        aug[col], aug[pivot_row] = aug[pivot_row], aug[col]
+        pivot_inv = gf_inv(aug[col][col])
+        aug[col] = [gf_mul(value, pivot_inv) for value in aug[col]]
+        for r in range(n):
+            if r != col and aug[r][col] != 0:
+                factor = aug[r][col]
+                aug[r] = [value ^ gf_mul(factor, pivot) for value, pivot in zip(aug[r], aug[col])]
+    return [row[n:] for row in aug]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One erasure-coded shard of a payload.
+
+    ``index`` < k means a systematic (data) shard; >= k means parity.
+    """
+
+    index: int
+    data: bytes
+    k: int
+    m: int
+    original_length: int
+
+    @property
+    def is_parity(self) -> bool:
+        return self.index >= self.k
+
+
+class ReedSolomonCodec:
+    """Encode/decode payloads into ``k`` data + ``m`` parity shards."""
+
+    def __init__(self, k: int, m: int) -> None:
+        if k <= 0 or m < 0:
+            raise ValueError(f"need k > 0 and m >= 0, got k={k} m={m}")
+        if k + m > 255:
+            raise ValueError(f"k + m must be <= 255 for GF(256), got {k + m}")
+        self.k = k
+        self.m = m
+        # Parity rows are Vandermonde rows k..k+m-1; data rows are identity.
+        self._parity_rows = [_vandermonde_row(k + i, k) for i in range(m)]
+
+    @property
+    def total_shards(self) -> int:
+        return self.k + self.m
+
+    def encode(self, payload: bytes) -> List[Shard]:
+        """Split ``payload`` into k data shards and compute m parity shards."""
+        shard_len = (len(payload) + self.k - 1) // self.k if payload else 1
+        padded = payload.ljust(shard_len * self.k, b"\x00")
+        data_shards = [
+            bytearray(padded[i * shard_len:(i + 1) * shard_len]) for i in range(self.k)
+        ]
+        parity_shards = [bytearray(shard_len) for _ in range(self.m)]
+        for byte_idx in range(shard_len):
+            column = [shard[byte_idx] for shard in data_shards]
+            parity_column = _matrix_mul_vector(self._parity_rows, column)
+            for p, value in enumerate(parity_column):
+                parity_shards[p][byte_idx] = value
+        shards = [
+            Shard(index=i, data=bytes(s), k=self.k, m=self.m, original_length=len(payload))
+            for i, s in enumerate(data_shards)
+        ]
+        shards.extend(
+            Shard(index=self.k + i, data=bytes(s), k=self.k, m=self.m,
+                  original_length=len(payload))
+            for i, s in enumerate(parity_shards)
+        )
+        return shards
+
+    def decode(self, shards: Sequence[Shard]) -> bytes:
+        """Recover the original payload from any ``k`` distinct shards."""
+        by_index: Dict[int, Shard] = {}
+        for shard in shards:
+            if shard.k != self.k or shard.m != self.m:
+                raise ValueError("shard geometry does not match this codec")
+            by_index.setdefault(shard.index, shard)
+        if len(by_index) < self.k:
+            raise ValueError(
+                f"need at least k={self.k} distinct shards, got {len(by_index)}"
+            )
+        chosen = sorted(by_index.values(), key=lambda s: s.index)[: self.k]
+        original_length = chosen[0].original_length
+        shard_len = len(chosen[0].data)
+        if any(len(s.data) != shard_len or s.original_length != original_length
+               for s in chosen):
+            raise ValueError("inconsistent shard lengths or payload metadata")
+
+        # Fast path: all k systematic shards present.
+        if all(s.index < self.k for s in chosen):
+            payload = b"".join(s.data for s in chosen)
+            return payload[:original_length]
+
+        # Build the decoding matrix: identity rows for data shards,
+        # Vandermonde rows for parity shards, then invert.
+        matrix = []
+        for shard in chosen:
+            if shard.index < self.k:
+                matrix.append([1 if j == shard.index else 0 for j in range(self.k)])
+            else:
+                matrix.append(_vandermonde_row(shard.index, self.k))
+        inverse = _invert_matrix(matrix)
+
+        data_shards = [bytearray(shard_len) for _ in range(self.k)]
+        for byte_idx in range(shard_len):
+            column = [s.data[byte_idx] for s in chosen]
+            recovered = _matrix_mul_vector(inverse, column)
+            for row, value in enumerate(recovered):
+                data_shards[row][byte_idx] = value
+        payload = b"".join(bytes(s) for s in data_shards)
+        return payload[:original_length]
+
+    def storage_overhead(self) -> float:
+        """Ratio of stored bytes to payload bytes, i.e. (k+m)/k."""
+        return (self.k + self.m) / self.k

@@ -1,0 +1,40 @@
+"""Deterministic, human-readable identifier generation.
+
+The simulator must be reproducible run-to-run, so identifiers come from
+per-prefix monotonic counters rather than ``uuid4``. An ``IdFactory`` is
+usually owned by a :class:`repro.sim.Simulator`, so two simulations never
+share counter state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import Dict, Iterator
+
+
+class IdFactory:
+    """Produces ids like ``host-0``, ``host-1``, ``flow-0`` deterministically."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Iterator[int]] = defaultdict(itertools.count)
+
+    def next(self, prefix: str) -> str:
+        """Return the next id for ``prefix``, e.g. ``next('host') == 'host-0'``."""
+        return f"{prefix}-{next(self._counters[prefix])}"
+
+    def next_int(self, prefix: str) -> int:
+        """Return the next bare integer in the ``prefix`` namespace."""
+        return next(self._counters[prefix])
+
+
+_GLOBAL_FACTORY = IdFactory()
+
+
+def fresh_id(prefix: str) -> str:
+    """Module-level convenience for contexts without a simulator.
+
+    Prefer ``simulator.ids.next(prefix)`` inside simulations; this global
+    factory is for standalone utilities and tests.
+    """
+    return _GLOBAL_FACTORY.next(prefix)

@@ -1,0 +1,118 @@
+"""A byte-budgeted LRU cache, used by NoCDN peers and Internet@home.
+
+Unlike ``functools.lru_cache`` this is keyed storage with an explicit
+byte capacity (entries have sizes), eviction callbacks, and introspection
+for the metrics layer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Generic, Iterator, Optional, Tuple, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    inserted_bytes: int = 0
+    evicted_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LruCache(Generic[K, V]):
+    """LRU cache with a byte budget.
+
+    ``capacity_bytes`` bounds the sum of entry sizes; inserting an entry
+    larger than the whole budget is rejected (returns False) rather than
+    evicting everything for an entry that still will not fit.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        on_evict: Optional[Callable[[K, V], None]] = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[K, Tuple[V, int]]" = OrderedDict()
+        self._used = 0
+        self._on_evict = on_evict
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def get(self, key: K) -> Optional[V]:
+        """Return the value for ``key`` (refreshing recency), or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry[0]
+
+    def peek(self, key: K) -> Optional[V]:
+        """Like :meth:`get` but without touching recency or stats."""
+        entry = self._entries.get(key)
+        return entry[0] if entry else None
+
+    def put(self, key: K, value: V, size: int) -> bool:
+        """Insert/replace ``key``; evicts LRU entries to fit. False if too big."""
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        if size > self.capacity_bytes:
+            return False
+        if key in self._entries:
+            self._remove(key, count_eviction=False)
+        while self._used + size > self.capacity_bytes:
+            oldest = next(iter(self._entries))
+            self._remove(oldest, count_eviction=True)
+        self._entries[key] = (value, size)
+        self._used += size
+        self.stats.inserted_bytes += size
+        return True
+
+    def invalidate(self, key: K) -> bool:
+        """Drop ``key`` if present; returns whether it was present."""
+        if key in self._entries:
+            self._remove(key, count_eviction=False)
+            return True
+        return False
+
+    def _remove(self, key: K, count_eviction: bool) -> None:
+        value, size = self._entries.pop(key)
+        self._used -= size
+        if count_eviction:
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += size
+        if self._on_evict is not None:
+            self._on_evict(key, value)
+
+    def items(self) -> Iterator[Tuple[K, V]]:
+        """(key, value) pairs in LRU-to-MRU order (no recency side effect)."""
+        return ((k, v) for k, (v, _size) in self._entries.items())
+
+    def sizes(self) -> Dict[K, int]:
+        """Mapping of key -> stored size in bytes."""
+        return {k: size for k, (_v, size) in self._entries.items()}

@@ -1,0 +1,138 @@
+"""Small statistics helpers: CDFs, percentiles, rate aggregation.
+
+Kept dependency-light (plain Python) so the metrics layer can use them
+without importing numpy in hot paths; numpy users can always convert.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100] of ``values``."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+@dataclass
+class Cdf:
+    """An empirical CDF over a fixed sample set."""
+
+    samples: List[float]
+
+    def __post_init__(self) -> None:
+        self.samples = sorted(self.samples)
+
+    def fraction_at_most(self, x: float) -> float:
+        """P[X <= x]."""
+        if not self.samples:
+            raise ValueError("CDF over empty sample set")
+        return bisect_right(self.samples, x) / len(self.samples)
+
+    def fraction_above(self, x: float) -> float:
+        """P[X > x] -- the paper quotes CCZ utilization in this form."""
+        return 1.0 - self.fraction_at_most(x)
+
+    def fraction_at_least(self, x: float) -> float:
+        """P[X >= x]."""
+        if not self.samples:
+            raise ValueError("CDF over empty sample set")
+        return (len(self.samples) - bisect_left(self.samples, x)) / len(self.samples)
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF at ``q`` in [0, 1]."""
+        return percentile(self.samples, q * 100)
+
+    def points(self, num: int = 100) -> List[Tuple[float, float]]:
+        """(x, P[X <= x]) pairs suitable for plotting/reporting."""
+        if not self.samples:
+            return []
+        n = len(self.samples)
+        step = max(1, n // num)
+        return [(self.samples[i], (i + 1) / n) for i in range(0, n, step)]
+
+
+@dataclass
+class RateSeries:
+    """Accumulates (time, bytes) arrivals and bins them into per-interval rates.
+
+    Used by experiment E1 to compute "fraction of seconds in which the
+    transfer rate exceeded X" exactly the way the CCZ study did.
+    """
+
+    interval: float = 1.0
+    _bins: Dict[int, float] = field(default_factory=dict)
+
+    def record(self, time: float, nbytes: float) -> None:
+        """Attribute ``nbytes`` delivered at ``time`` to its interval bin."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        index = int(time // self.interval)
+        self._bins[index] = self._bins.get(index, 0.0) + nbytes
+
+    def record_span(self, start: float, end: float, nbytes: float) -> None:
+        """Spread ``nbytes`` uniformly over [start, end) across interval bins."""
+        if end < start:
+            raise ValueError(f"end {end} before start {start}")
+        if end == start:
+            self.record(start, nbytes)
+            return
+        duration = end - start
+        first = int(start // self.interval)
+        last = int(end // self.interval)
+        for index in range(first, last + 1):
+            bin_start = max(start, index * self.interval)
+            bin_end = min(end, (index + 1) * self.interval)
+            if bin_end > bin_start:
+                share = (bin_end - bin_start) / duration
+                self._bins[index] = self._bins.get(index, 0.0) + nbytes * share
+
+    def rates_bps(self, horizon: float | None = None) -> List[float]:
+        """Per-interval rates in bits/sec; empty intervals count as zero.
+
+        ``horizon`` extends the series through quiet trailing time, which
+        matters when computing "fraction of seconds above a rate" over a
+        full observation window rather than only over busy seconds.
+        """
+        if not self._bins and horizon is None:
+            return []
+        max_bin = max(self._bins) if self._bins else -1
+        if horizon is not None:
+            max_bin = max(max_bin, int(horizon // self.interval) - 1)
+        return [
+            self._bins.get(i, 0.0) * 8 / self.interval for i in range(max_bin + 1)
+        ]
+
+    def cdf(self, horizon: float | None = None) -> Cdf:
+        """CDF over the per-interval rates."""
+        return Cdf(self.rates_bps(horizon))
+
+
+def fraction(values: Iterable[bool]) -> float:
+    """Fraction of True values; 0.0 on empty input."""
+    total = 0
+    hits = 0
+    for value in values:
+        total += 1
+        hits += bool(value)
+    return hits / total if total else 0.0

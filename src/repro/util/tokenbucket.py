@@ -1,0 +1,61 @@
+"""Token-bucket rate limiter used by demand smoothing and peer caps."""
+
+from __future__ import annotations
+
+
+class TokenBucket:
+    """A classic token bucket over simulated time.
+
+    Tokens accrue at ``rate`` per second up to ``capacity``. Callers ask
+    whether ``amount`` tokens are available at simulated time ``now`` and
+    either consume them or learn when they could.
+    """
+
+    def __init__(self, rate: float, capacity: float, start_time: float = 0.0) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.rate = rate
+        self.capacity = capacity
+        self._tokens = capacity
+        self._last_refill = start_time
+
+    def _refill(self, now: float) -> None:
+        if now < self._last_refill:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_refill}"
+            )
+        self._tokens = min(self.capacity, self._tokens + (now - self._last_refill) * self.rate)
+        self._last_refill = now
+
+    def available(self, now: float) -> float:
+        """Tokens available at time ``now`` (refills as a side effect)."""
+        self._refill(now)
+        return self._tokens
+
+    def try_consume(self, now: float, amount: float) -> bool:
+        """Consume ``amount`` tokens if available; returns success."""
+        if amount < 0:
+            raise ValueError(f"amount must be non-negative, got {amount}")
+        self._refill(now)
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return True
+        return False
+
+    def time_until_available(self, now: float, amount: float) -> float:
+        """Seconds from ``now`` until ``amount`` tokens will be available.
+
+        Returns 0.0 if they already are. ``amount`` may exceed capacity
+        only transiently via repeated smaller consumptions, so we reject
+        impossible requests loudly.
+        """
+        if amount > self.capacity:
+            raise ValueError(
+                f"requested {amount} tokens exceeds bucket capacity {self.capacity}"
+            )
+        self._refill(now)
+        if self._tokens >= amount:
+            return 0.0
+        return (amount - self._tokens) / self.rate

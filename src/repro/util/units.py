@@ -1,0 +1,149 @@
+"""Unit helpers and conversions used throughout the simulator.
+
+Conventions (see DESIGN.md):
+
+- time is in seconds (float),
+- bandwidth is in bits per second,
+- data sizes are in bytes.
+
+These helpers exist so call sites read as ``mbps(100)`` or ``mib(14)``
+instead of bare magic numbers.
+"""
+
+from __future__ import annotations
+
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+BITS_PER_BYTE = 8
+
+
+def kbps(value: float) -> float:
+    """Kilobits per second -> bits per second."""
+    return value * KILO
+
+
+def mbps(value: float) -> float:
+    """Megabits per second -> bits per second."""
+    return value * MEGA
+
+
+def gbps(value: float) -> float:
+    """Gigabits per second -> bits per second."""
+    return value * GIGA
+
+
+def kib(value: float) -> int:
+    """Kibibytes -> bytes."""
+    return int(value * KIB)
+
+
+def mib(value: float) -> int:
+    """Mebibytes -> bytes."""
+    return int(value * MIB)
+
+
+def gib(value: float) -> int:
+    """Gibibytes -> bytes."""
+    return int(value * GIB)
+
+
+def kb(value: float) -> int:
+    """Kilobytes (decimal) -> bytes."""
+    return int(value * KILO)
+
+
+def mb(value: float) -> int:
+    """Megabytes (decimal) -> bytes."""
+    return int(value * MEGA)
+
+
+def gb(value: float) -> int:
+    """Gigabytes (decimal) -> bytes."""
+    return int(value * GIGA)
+
+
+def ms(value: float) -> float:
+    """Milliseconds -> seconds."""
+    return value / 1_000.0
+
+
+def us(value: float) -> float:
+    """Microseconds -> seconds."""
+    return value / 1_000_000.0
+
+
+def minutes(value: float) -> float:
+    """Minutes -> seconds."""
+    return value * 60.0
+
+
+def hours(value: float) -> float:
+    """Hours -> seconds."""
+    return value * 3600.0
+
+
+def days(value: float) -> float:
+    """Days -> seconds."""
+    return value * 86400.0
+
+
+def bytes_to_bits(nbytes: float) -> float:
+    """Bytes -> bits."""
+    return nbytes * BITS_PER_BYTE
+
+
+def bits_to_bytes(nbits: float) -> float:
+    """Bits -> bytes."""
+    return nbits / BITS_PER_BYTE
+
+
+def transmission_time(nbytes: float, bandwidth_bps: float) -> float:
+    """Seconds to serialize ``nbytes`` onto a link of ``bandwidth_bps``.
+
+    Raises ``ValueError`` for non-positive bandwidth: an unpowered link
+    cannot transmit, and silently returning ``inf`` hides bugs.
+    """
+    if bandwidth_bps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+    return bytes_to_bits(nbytes) / bandwidth_bps
+
+
+def format_bps(bandwidth_bps: float) -> str:
+    """Human-readable bandwidth, e.g. ``format_bps(2.5e9) == '2.50 Gbps'``."""
+    if bandwidth_bps >= GIGA:
+        return f"{bandwidth_bps / GIGA:.2f} Gbps"
+    if bandwidth_bps >= MEGA:
+        return f"{bandwidth_bps / MEGA:.2f} Mbps"
+    if bandwidth_bps >= KILO:
+        return f"{bandwidth_bps / KILO:.2f} Kbps"
+    return f"{bandwidth_bps:.0f} bps"
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable byte count, e.g. ``format_bytes(1536) == '1.50 KiB'``."""
+    if nbytes >= GIB:
+        return f"{nbytes / GIB:.2f} GiB"
+    if nbytes >= MIB:
+        return f"{nbytes / MIB:.2f} MiB"
+    if nbytes >= KIB:
+        return f"{nbytes / KIB:.2f} KiB"
+    return f"{nbytes:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration, e.g. ``format_duration(0.0032) == '3.20 ms'``."""
+    if seconds >= 3600:
+        return f"{seconds / 3600:.2f} h"
+    if seconds >= 60:
+        return f"{seconds / 60:.2f} min"
+    if seconds >= 1:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.2f} us"

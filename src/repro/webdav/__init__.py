@@ -1,0 +1,40 @@
+"""WebDAV substrate: resources, locks, server (data-attic foundation)."""
+
+from repro.webdav.locks import Lock, LockError, LockManager, LockScope
+from repro.webdav.resources import (
+    AlreadyExistsError,
+    ConflictError,
+    DavCollection,
+    DavError,
+    DavFile,
+    FileContent,
+    NotFoundError,
+    ResourceTree,
+    basename_of,
+    parent_of,
+    split_path,
+)
+from repro.webdav.server import READ, WRITE, AclEntry, WebDavServer, basic_auth
+
+__all__ = [
+    "Lock",
+    "LockError",
+    "LockManager",
+    "LockScope",
+    "AlreadyExistsError",
+    "ConflictError",
+    "DavCollection",
+    "DavError",
+    "DavFile",
+    "FileContent",
+    "NotFoundError",
+    "ResourceTree",
+    "basename_of",
+    "parent_of",
+    "split_path",
+    "READ",
+    "WRITE",
+    "AclEntry",
+    "WebDavServer",
+    "basic_auth",
+]

@@ -1,0 +1,245 @@
+"""WebDAV resource model: collections, files, properties, paths.
+
+A compact RFC 4918-shaped tree. Files carry a :class:`FileContent`
+(size + version + opaque payload); dead properties are free-form
+key/value pairs. Path handling is strict: absolute, '/'-separated,
+no '.'/'..' segments (a server must never let those escape the tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class DavError(Exception):
+    """Base for resource-tree errors; carries an HTTP-ish status."""
+
+    status = 500
+
+
+class NotFoundError(DavError):
+    status = 404
+
+
+class AlreadyExistsError(DavError):
+    status = 405  # MKCOL on an existing resource
+
+
+class ConflictError(DavError):
+    status = 409  # missing intermediate collections, type mismatch
+
+
+def split_path(path: str) -> List[str]:
+    """Validate and split an absolute DAV path into segments."""
+    if not path.startswith("/"):
+        raise ConflictError(f"path must be absolute: {path!r}")
+    segments = [s for s in path.split("/") if s]
+    for segment in segments:
+        if segment in (".", ".."):
+            raise ConflictError(f"illegal path segment in {path!r}")
+    return segments
+
+
+def parent_of(path: str) -> str:
+    segments = split_path(path)
+    if not segments:
+        raise ConflictError("root has no parent")
+    return "/" + "/".join(segments[:-1])
+
+
+def basename_of(path: str) -> str:
+    segments = split_path(path)
+    if not segments:
+        raise ConflictError("root has no basename")
+    return segments[-1]
+
+
+@dataclass(frozen=True)
+class FileContent:
+    """The stored representation of a file's bytes."""
+
+    size: int
+    version: int = 1
+    payload: object = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("size must be non-negative")
+        if self.version < 1:
+            raise ValueError("version must be >= 1")
+
+    def updated(self, size: int, payload: object = None) -> "FileContent":
+        return FileContent(size=size, version=self.version + 1, payload=payload)
+
+
+@dataclass
+class DavFile:
+    """A non-collection resource."""
+
+    name: str
+    content: FileContent
+    properties: Dict[str, str] = field(default_factory=dict)
+    created_at: float = 0.0
+    modified_at: float = 0.0
+
+    @property
+    def etag(self) -> str:
+        return f'"{self.name}-v{self.content.version}"'
+
+    @property
+    def is_collection(self) -> bool:
+        return False
+
+
+@dataclass
+class DavCollection:
+    """A collection resource (directory)."""
+
+    name: str
+    children: Dict[str, object] = field(default_factory=dict)
+    properties: Dict[str, str] = field(default_factory=dict)
+    created_at: float = 0.0
+
+    @property
+    def is_collection(self) -> bool:
+        return True
+
+
+class ResourceTree:
+    """The server's resource hierarchy with WebDAV operations."""
+
+    def __init__(self) -> None:
+        self.root = DavCollection(name="")
+
+    # -- navigation ------------------------------------------------------
+
+    def lookup(self, path: str):
+        """Return the resource at ``path`` or raise :class:`NotFoundError`."""
+        node = self.root
+        for segment in split_path(path):
+            if not isinstance(node, DavCollection):
+                raise NotFoundError(f"{path}: not a collection on the way")
+            child = node.children.get(segment)
+            if child is None:
+                raise NotFoundError(path)
+            node = child
+        return node
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.lookup(path)
+            return True
+        except NotFoundError:
+            return False
+
+    def _parent_collection(self, path: str) -> DavCollection:
+        parent = self.lookup(parent_of(path))
+        if not isinstance(parent, DavCollection):
+            raise ConflictError(f"parent of {path} is not a collection")
+        return parent
+
+    # -- mutations -----------------------------------------------------------
+
+    def mkcol(self, path: str, now: float = 0.0) -> DavCollection:
+        """Create a collection; parent must exist (RFC 4918 9.3)."""
+        if self.exists(path):
+            raise AlreadyExistsError(path)
+        parent = self._parent_collection(path)
+        collection = DavCollection(name=basename_of(path), created_at=now)
+        parent.children[collection.name] = collection
+        return collection
+
+    def mkcol_recursive(self, path: str, now: float = 0.0) -> DavCollection:
+        """mkdir -p convenience for programmatic setup."""
+        segments = split_path(path)
+        current = "/"
+        node: DavCollection = self.root
+        for segment in segments:
+            current = current.rstrip("/") + "/" + segment
+            child = node.children.get(segment)
+            if child is None:
+                child = self.mkcol(current, now)
+            if not isinstance(child, DavCollection):
+                raise ConflictError(f"{current} exists and is not a collection")
+            node = child
+        return node
+
+    def put(self, path: str, size: int, payload: object = None,
+            now: float = 0.0) -> DavFile:
+        """Create or overwrite a file (version bumps on overwrite)."""
+        parent = self._parent_collection(path)
+        name = basename_of(path)
+        existing = parent.children.get(name)
+        if isinstance(existing, DavCollection):
+            raise ConflictError(f"{path} is a collection")
+        if isinstance(existing, DavFile):
+            existing.content = existing.content.updated(size, payload)
+            existing.modified_at = now
+            return existing
+        file = DavFile(name=name, content=FileContent(size=size, payload=payload),
+                       created_at=now, modified_at=now)
+        parent.children[name] = file
+        return file
+
+    def delete(self, path: str) -> None:
+        """Remove a file or a whole collection subtree."""
+        parent = self._parent_collection(path)
+        name = basename_of(path)
+        if name not in parent.children:
+            raise NotFoundError(path)
+        del parent.children[name]
+
+    def copy(self, source: str, dest: str, now: float = 0.0,
+             overwrite: bool = True) -> None:
+        """Deep-copy ``source`` to ``dest``."""
+        node = self.lookup(source)
+        if self.exists(dest):
+            if not overwrite:
+                raise AlreadyExistsError(dest)
+            self.delete(dest)
+        parent = self._parent_collection(dest)
+        parent.children[basename_of(dest)] = _deep_copy(node, basename_of(dest), now)
+
+    def move(self, source: str, dest: str, now: float = 0.0,
+             overwrite: bool = True) -> None:
+        self.copy(source, dest, now, overwrite)
+        self.delete(source)
+
+    # -- enumeration --------------------------------------------------------------
+
+    def list_children(self, path: str) -> List[str]:
+        node = self.lookup(path)
+        if not isinstance(node, DavCollection):
+            raise ConflictError(f"{path} is not a collection")
+        return sorted(node.children)
+
+    def walk(self, path: str = "/") -> Iterator[Tuple[str, object]]:
+        """Yield (path, resource) pairs for the subtree rooted at ``path``."""
+        node = self.lookup(path)
+        base = "/" + "/".join(split_path(path))
+        if base == "/":
+            base = ""
+        yield (base or "/", node)
+        if isinstance(node, DavCollection):
+            for name in sorted(node.children):
+                yield from self.walk(f"{base}/{name}")
+
+    def total_bytes(self, path: str = "/") -> int:
+        """Sum of file sizes in a subtree — used by backup planners."""
+        return sum(res.content.size for _p, res in self.walk(path)
+                   if isinstance(res, DavFile))
+
+
+def _deep_copy(node, new_name: str, now: float):
+    if isinstance(node, DavFile):
+        return DavFile(name=new_name,
+                       content=replace(node.content),
+                       properties=dict(node.properties),
+                       created_at=now, modified_at=now)
+    assert isinstance(node, DavCollection)
+    copy = DavCollection(name=new_name, properties=dict(node.properties),
+                         created_at=now)
+    for name, child in node.children.items():
+        copy.children[name] = _deep_copy(child, name, now)
+    return copy

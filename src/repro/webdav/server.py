@@ -1,0 +1,298 @@
+"""The WebDAV server: HTTP methods, auth realms, ACLs, lock enforcement.
+
+This is the paper's data-attic substrate (SIV-A: "we chose HTTP(S) as
+the basis for our prototype and implement a data attic as a WebDAV
+server"). It mounts on an :class:`~repro.http.server.HttpServer` at a
+path prefix and implements GET/PUT/DELETE/MKCOL/PROPFIND/PROPPATCH/
+COPY/MOVE/LOCK/UNLOCK with HTTP-Basic-style authentication and
+per-prefix access control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.http.messages import (
+    HttpRequest,
+    HttpResponse,
+    conflict,
+    forbidden,
+    locked,
+    not_found,
+    not_modified,
+    ok,
+    unauthorized,
+)
+from repro.http.server import HttpServer
+from repro.webdav.locks import LockError, LockManager, LockScope
+from repro.webdav.resources import (
+    AlreadyExistsError,
+    ConflictError,
+    DavCollection,
+    DavError,
+    DavFile,
+    NotFoundError,
+    ResourceTree,
+)
+
+READ = "read"
+WRITE = "write"
+
+
+@dataclass
+class AclEntry:
+    """Grants ``principal`` ``rights`` under ``prefix``."""
+
+    prefix: str
+    principal: str
+    rights: Set[str] = field(default_factory=lambda: {READ})
+
+    def applies(self, path: str, principal: str) -> bool:
+        if principal != self.principal:
+            return False
+        return path == self.prefix or path.startswith(self.prefix.rstrip("/") + "/")
+
+
+class WebDavServer:
+    """A WebDAV endpoint over the simulated HTTP server."""
+
+    def __init__(self, http: HttpServer, mount: str = "/dav",
+                 realm: str = "attic") -> None:
+        if not mount.startswith("/"):
+            raise ValueError("mount must start with '/'")
+        self.http = http
+        self.mount = mount.rstrip("/") or "/"
+        self.realm = realm
+        self.tree = ResourceTree()
+        self.locks = LockManager()
+        self._credentials: Dict[str, str] = {}
+        self._acl: List[AclEntry] = []
+        http.route(self.mount, self._dispatch)
+
+    @property
+    def sim(self):
+        return self.http.sim
+
+    # -- auth and ACL -------------------------------------------------------
+
+    def add_user(self, username: str, password: str) -> None:
+        self._credentials[username] = password
+
+    def remove_user(self, username: str) -> None:
+        self._credentials.pop(username, None)
+        self._acl = [e for e in self._acl if e.principal != username]
+
+    def grant(self, prefix: str, principal: str, rights: Set[str]) -> None:
+        """Grant ``rights`` ({'read'}, {'read','write'}) under ``prefix``."""
+        bad = rights - {READ, WRITE}
+        if bad:
+            raise ValueError(f"unknown rights {bad}")
+        self._acl.append(AclEntry(prefix=prefix, principal=principal,
+                                  rights=set(rights)))
+
+    def revoke(self, prefix: str, principal: str) -> None:
+        self._acl = [e for e in self._acl
+                     if not (e.prefix == prefix and e.principal == principal)]
+
+    def _authenticate(self, request: HttpRequest) -> Optional[str]:
+        header = request.headers.get("Authorization", "")
+        if not header.startswith("Basic "):
+            return None
+        try:
+            user, password = header[len("Basic "):].split(":", 1)
+        except ValueError:
+            return None
+        if self._credentials.get(user) == password:
+            return user
+        return None
+
+    def _authorize(self, path: str, principal: str, right: str) -> bool:
+        return any(right in entry.rights and entry.applies(path, principal)
+                   for entry in self._acl)
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _relative(self, request_path: str) -> str:
+        if self.mount == "/":
+            return request_path
+        rest = request_path[len(self.mount):]
+        return rest if rest.startswith("/") else "/" + rest if rest else "/"
+
+    _WRITE_METHODS = {"PUT", "DELETE", "MKCOL", "PROPPATCH", "COPY", "MOVE",
+                      "LOCK", "UNLOCK"}
+
+    def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        principal = self._authenticate(request)
+        if principal is None:
+            return unauthorized(self.realm)
+        path = self._relative(request.path)
+        right = WRITE if request.method in self._WRITE_METHODS else READ
+        if not self._authorize(path, principal, right):
+            return forbidden(f"{principal} lacks {right} on {path}")
+        handler = getattr(self, f"_do_{request.method.lower()}", None)
+        if handler is None:
+            return HttpResponse(405, body_size=60, body="method not allowed")
+        try:
+            return handler(request, path, principal)
+        except LockError as exc:
+            return locked(str(exc))
+        except NotFoundError:
+            return not_found(path)
+        except AlreadyExistsError as exc:
+            return HttpResponse(405, body_size=60, body=str(exc))
+        except ConflictError as exc:
+            return conflict(str(exc))
+        except DavError as exc:  # pragma: no cover - safety net
+            return HttpResponse(exc.status, body_size=60, body=str(exc))
+
+    # -- methods ------------------------------------------------------------------
+
+    def _do_get(self, request: HttpRequest, path: str, principal: str) -> HttpResponse:
+        node = self.tree.lookup(path)
+        if isinstance(node, DavCollection):
+            listing = self.tree.list_children(path)
+            return ok(body_size=80 + 40 * len(listing), body=listing)
+        assert isinstance(node, DavFile)
+        if request.if_none_match == node.etag:
+            return not_modified(headers={"ETag": node.etag})
+        return ok(body_size=node.content.size, body=node.content,
+                  headers={"ETag": node.etag})
+
+    def _do_head(self, request: HttpRequest, path: str, principal: str) -> HttpResponse:
+        node = self.tree.lookup(path)
+        headers = {}
+        if isinstance(node, DavFile):
+            headers["ETag"] = node.etag
+            headers["Content-Length"] = str(node.content.size)
+        return ok(body_size=0, headers=headers)
+
+    def _do_put(self, request: HttpRequest, path: str, principal: str) -> HttpResponse:
+        token = request.headers.get("Lock-Token")
+        self.locks.check_write_allowed(path, principal, self.sim.now, token)
+        created = not self.tree.exists(path)
+        file = self.tree.put(path, size=request.body_size, payload=request.body,
+                             now=self.sim.now)
+        return HttpResponse(201 if created else 204,
+                            headers={"ETag": file.etag}, body_size=0)
+
+    def _do_delete(self, request: HttpRequest, path: str, principal: str) -> HttpResponse:
+        token = request.headers.get("Lock-Token")
+        self.locks.check_write_allowed(path, principal, self.sim.now, token)
+        for lock in self.locks.locks_in_subtree(path, self.sim.now):
+            if lock.owner != principal:
+                raise LockError(f"{lock.path} locked by {lock.owner}")
+        self.tree.delete(path)
+        return HttpResponse(204, body_size=0)
+
+    def _do_mkcol(self, request: HttpRequest, path: str, principal: str) -> HttpResponse:
+        self.tree.mkcol(path, now=self.sim.now)
+        return HttpResponse(201, body_size=0)
+
+    def _do_propfind(self, request: HttpRequest, path: str, principal: str) -> HttpResponse:
+        depth = request.headers.get("Depth", "1")
+        node = self.tree.lookup(path)
+        entries: List[Dict[str, object]] = []
+
+        def describe(p: str, res) -> Dict[str, object]:
+            info: Dict[str, object] = {
+                "path": p,
+                "is_collection": res.is_collection,
+                "properties": dict(res.properties),
+            }
+            if isinstance(res, DavFile):
+                info["size"] = res.content.size
+                info["etag"] = res.etag
+                info["modified_at"] = res.modified_at
+            return info
+
+        if depth == "0" or isinstance(node, DavFile):
+            entries.append(describe(path, node))
+        elif depth == "1":
+            entries.append(describe(path, node))
+            for name in self.tree.list_children(path):
+                child_path = path.rstrip("/") + "/" + name
+                entries.append(describe(child_path, self.tree.lookup(child_path)))
+        else:  # infinity
+            entries.extend(describe(p, r) for p, r in self.tree.walk(path))
+        return HttpResponse(207, body_size=120 * max(1, len(entries)),
+                            body=entries)
+
+    def _do_proppatch(self, request: HttpRequest, path: str, principal: str) -> HttpResponse:
+        token = request.headers.get("Lock-Token")
+        self.locks.check_write_allowed(path, principal, self.sim.now, token)
+        node = self.tree.lookup(path)
+        updates = request.body if isinstance(request.body, dict) else {}
+        for key, value in updates.items():
+            if value is None:
+                node.properties.pop(key, None)
+            else:
+                node.properties[key] = str(value)
+        return HttpResponse(207, body_size=100, body=dict(node.properties))
+
+    def _do_copy(self, request: HttpRequest, path: str, principal: str) -> HttpResponse:
+        dest = request.headers.get("Destination")
+        if not dest:
+            return conflict("COPY requires a Destination header")
+        dest_path = self._relative(dest)
+        if not self._authorize(dest_path, principal, WRITE):
+            return forbidden(f"{principal} lacks write on {dest_path}")
+        overwrite = request.headers.get("Overwrite", "T") != "F"
+        existed = self.tree.exists(dest_path)
+        self.tree.copy(path, dest_path, now=self.sim.now, overwrite=overwrite)
+        return HttpResponse(204 if existed else 201, body_size=0)
+
+    def _do_move(self, request: HttpRequest, path: str, principal: str) -> HttpResponse:
+        token = request.headers.get("Lock-Token")
+        self.locks.check_write_allowed(path, principal, self.sim.now, token)
+        dest = request.headers.get("Destination")
+        if not dest:
+            return conflict("MOVE requires a Destination header")
+        dest_path = self._relative(dest)
+        if not self._authorize(dest_path, principal, WRITE):
+            return forbidden(f"{principal} lacks write on {dest_path}")
+        overwrite = request.headers.get("Overwrite", "T") != "F"
+        existed = self.tree.exists(dest_path)
+        self.tree.move(path, dest_path, now=self.sim.now, overwrite=overwrite)
+        return HttpResponse(204 if existed else 201, body_size=0)
+
+    def _do_lock(self, request: HttpRequest, path: str, principal: str) -> HttpResponse:
+        token = request.headers.get("Lock-Token")
+        if token:  # refresh
+            lock = self.locks.refresh(token, self.sim.now,
+                                      _parse_timeout(request.headers))
+            return ok(body_size=80, body=lock,
+                      headers={"Lock-Token": lock.token})
+        scope = (LockScope.SHARED
+                 if request.headers.get("Scope") == "shared"
+                 else LockScope.EXCLUSIVE)
+        depth_infinity = request.headers.get("Depth", "0") == "infinity"
+        lock = self.locks.acquire(
+            path, principal, self.sim.now, scope=scope,
+            depth_infinity=depth_infinity,
+            timeout=_parse_timeout(request.headers))
+        return ok(body_size=80, body=lock, headers={"Lock-Token": lock.token})
+
+    def _do_unlock(self, request: HttpRequest, path: str, principal: str) -> HttpResponse:
+        token = request.headers.get("Lock-Token")
+        if not token:
+            return conflict("UNLOCK requires a Lock-Token header")
+        self.locks.release(token, principal, self.sim.now)
+        return HttpResponse(204, body_size=0)
+
+
+def _parse_timeout(headers: Dict[str, str]) -> Optional[float]:
+    raw = headers.get("Timeout")
+    if raw is None:
+        return None
+    if raw.startswith("Second-"):
+        try:
+            return float(raw[len("Second-"):])
+        except ValueError:
+            return None
+    return None
+
+
+def basic_auth(user: str, password: str) -> Dict[str, str]:
+    """Convenience for building an Authorization header."""
+    return {"Authorization": f"Basic {user}:{password}"}

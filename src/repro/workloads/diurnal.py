@@ -1,0 +1,57 @@
+"""Diurnal demand curves for the demand-smoothing experiment (E12)."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+DAY = 86400.0
+
+# A typical residential evening-peaked profile: multiplier per hour 0-23.
+RESIDENTIAL_EVENING_PEAK: Sequence[float] = (
+    0.25, 0.15, 0.10, 0.08, 0.08, 0.10,   # 0-5: overnight trough
+    0.20, 0.35, 0.45, 0.40, 0.40, 0.45,   # 6-11: morning
+    0.50, 0.50, 0.50, 0.55, 0.65, 0.80,   # 12-17: afternoon climb
+    1.00, 1.00, 0.95, 0.80, 0.55, 0.35,   # 18-23: evening peak
+)
+
+
+class DiurnalCurve:
+    """Hour-of-day demand multipliers with interpolation."""
+
+    def __init__(self, hourly: Sequence[float] = RESIDENTIAL_EVENING_PEAK) -> None:
+        if len(hourly) != 24:
+            raise ValueError("need exactly 24 hourly multipliers")
+        if any(h < 0 for h in hourly):
+            raise ValueError("multipliers must be non-negative")
+        self.hourly = list(hourly)
+
+    def multiplier(self, time: float) -> float:
+        """Linear interpolation between hour boundaries."""
+        hour_float = (time % DAY) / 3600.0
+        low = int(hour_float) % 24
+        high = (low + 1) % 24
+        frac = hour_float - int(hour_float)
+        return self.hourly[low] * (1 - frac) + self.hourly[high] * frac
+
+    def peak_hours(self, count: int = 4) -> List[int]:
+        """The ``count`` busiest hours."""
+        return sorted(range(24), key=lambda h: -self.hourly[h])[:count]
+
+    def trough_hours(self, count: int = 6) -> List[int]:
+        """The ``count`` quietest hours — where smoothing should move work."""
+        return sorted(range(24), key=lambda h: self.hourly[h])[:count]
+
+    def offpeak_windows(self, count: int = 6) -> List[tuple]:
+        """Contiguous off-peak windows as (start_sec, end_sec) in the day."""
+        trough = sorted(self.trough_hours(count))
+        windows = []
+        start = trough[0]
+        prev = trough[0]
+        for hour in trough[1:]:
+            if hour != prev + 1:
+                windows.append((start * 3600.0, (prev + 1) * 3600.0))
+                start = hour
+            prev = hour
+        windows.append((start * 3600.0, (prev + 1) * 3600.0))
+        return windows

@@ -1,0 +1,61 @@
+"""Electronic-health-record event streams (E4 / health-records example)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+# (record kind, mean size bytes) weighted by typical frequency
+RECORD_KINDS: Sequence[Tuple[str, int, float]] = (
+    ("visit-note", 20_000, 0.45),
+    ("lab-result", 8_000, 0.30),
+    ("prescription", 3_000, 0.15),
+    ("imaging-report", 300_000, 0.08),
+    ("discharge-summary", 60_000, 0.02),
+)
+
+
+@dataclass(frozen=True)
+class EhrEvent:
+    """One record-generation event at a provider."""
+
+    time: float
+    patient: str
+    kind: str
+    size: int
+    summary: str
+
+
+class EhrEventGenerator:
+    """Poisson record generation for a panel of patients."""
+
+    def __init__(self, patients: Sequence[str],
+                 events_per_patient_per_year: float,
+                 rng: random.Random) -> None:
+        if not patients:
+            raise ValueError("need at least one patient")
+        if events_per_patient_per_year <= 0:
+            raise ValueError("event rate must be positive")
+        self.patients = list(patients)
+        self.rate_per_sec = (events_per_patient_per_year * len(patients)
+                             / (365.0 * 86400.0))
+        self.rng = rng
+
+    def generate(self, duration: float) -> List[EhrEvent]:
+        events: List[EhrEvent] = []
+        kinds = [k for k, _s, _w in RECORD_KINDS]
+        sizes = {k: s for k, s, _w in RECORD_KINDS}
+        weights = [w for _k, _s, w in RECORD_KINDS]
+        t = 0.0
+        while True:
+            t += self.rng.expovariate(self.rate_per_sec)
+            if t >= duration:
+                break
+            patient = self.rng.choice(self.patients)
+            kind = self.rng.choices(kinds, weights=weights, k=1)[0]
+            size = max(500, int(self.rng.lognormvariate(0, 0.5) * sizes[kind]))
+            events.append(EhrEvent(
+                time=t, patient=patient, kind=kind, size=size,
+                summary=f"{kind} for {patient}"))
+        return events

@@ -1,0 +1,77 @@
+"""Web catalog and request-stream generation (NoCDN/Internet@home benches)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.http.content import ContentCatalog, WebObject, WebPage
+from repro.util.rng import zipf_weights
+
+
+@dataclass
+class CatalogSpec:
+    """Shape of a generated site catalog."""
+
+    num_pages: int = 20
+    objects_per_page_min: int = 3
+    objects_per_page_max: int = 12
+    container_size_mean: int = 30_000
+    object_size_mean: int = 60_000
+    size_sigma: float = 0.8
+
+
+def generate_catalog(spec: CatalogSpec, rng: random.Random,
+                     name_prefix: str = "site") -> ContentCatalog:
+    """A catalog of pages with log-normal object sizes."""
+    catalog = ContentCatalog()
+    for p in range(spec.num_pages):
+        container = WebObject(
+            f"{name_prefix}-p{p}.html",
+            max(2_000, int(rng.lognormvariate(0, spec.size_sigma)
+                           * spec.container_size_mean)),
+            content_type="text/html")
+        count = rng.randint(spec.objects_per_page_min,
+                            spec.objects_per_page_max)
+        embedded = tuple(
+            WebObject(
+                f"{name_prefix}-p{p}-o{i}.bin",
+                max(1_000, int(rng.lognormvariate(0, spec.size_sigma)
+                               * spec.object_size_mean)))
+            for i in range(count)
+        )
+        catalog.add_page(WebPage(url=f"/p{p}", container=container,
+                                 embedded=embedded))
+    return catalog
+
+
+class ZipfPagePopularity:
+    """Draws page URLs with Zipf popularity — the web's request shape."""
+
+    def __init__(self, catalog: ContentCatalog, alpha: float,
+                 rng: random.Random) -> None:
+        self.pages = [page.url for page in catalog.pages()]
+        if not self.pages:
+            raise ValueError("catalog has no pages")
+        self.weights = list(zipf_weights(len(self.pages), alpha))
+        self.rng = rng
+
+    def draw(self) -> str:
+        return self.rng.choices(self.pages, weights=self.weights, k=1)[0]
+
+    def draw_many(self, count: int) -> List[str]:
+        return [self.draw() for _ in range(count)]
+
+
+def poisson_arrivals(rate_per_sec: float, duration: float,
+                     rng: random.Random) -> Iterator[float]:
+    """Arrival times of a Poisson request process."""
+    if rate_per_sec <= 0:
+        return
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate_per_sec)
+        if t >= duration:
+            return
+        yield t

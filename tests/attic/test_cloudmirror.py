@@ -1,0 +1,144 @@
+"""Encrypted-cloud-mirror tests: escrowed keys, breach accounting."""
+
+import pytest
+
+from repro.attic.cloudmirror import (
+    KEY_ROUTE,
+    EncryptedCloudStore,
+    KeyEscrowService,
+)
+from repro.hpop.core import Household, Hpop, User
+from repro.http.client import HttpClient
+from repro.http.messages import HttpRequest
+from repro.net.topology import build_city
+from repro.sim.engine import Simulator
+
+
+def build():
+    sim = Simulator(seed=18)
+    city = build_city(sim, homes_per_neighborhood=2,
+                      server_sites={"cloud": 1, "saas": 1})
+    home = city.neighborhoods[0].homes[0]
+    hpop = Hpop(home.hpop_host, city.network,
+                Household(name="h", users=[User("ann", "pw")]))
+    escrow = hpop.install(KeyEscrowService(release_ttl=100.0))
+    hpop.start()
+    cloud = EncryptedCloudStore(city.server_sites["cloud"].servers[0])
+    saas_host = city.server_sites["saas"].servers[0]
+    return sim, city, hpop, escrow, cloud, saas_host
+
+
+class TestEscrow:
+    def test_create_and_authorize(self):
+        _sim, _city, _hpop, escrow, _cloud, _saas = build()
+        key_id = escrow.create_key("photo.jpg")
+        escrow.authorize("editor-app", key_id)
+        with pytest.raises(KeyError):
+            escrow.authorize("app", "nonexistent-key")
+
+    def test_authorized_app_gets_key_over_http(self):
+        sim, city, hpop, escrow, _cloud, saas = build()
+        key_id = escrow.create_key("photo.jpg")
+        escrow.authorize("editor-app", key_id)
+        client = HttpClient(saas, city.network)
+        results = []
+        client.request(hpop.host,
+                       HttpRequest("POST", KEY_ROUTE,
+                                   body={"application": "editor-app",
+                                         "key_id": key_id},
+                                   body_size=150),
+                       lambda resp, stats: results.append(resp), port=443)
+        sim.run()
+        assert results[0].ok
+        assert "key" in results[0].body
+        assert len(escrow.release_log) == 1
+        assert escrow.release_log[0].application == "editor-app"
+
+    def test_unauthorized_app_denied(self):
+        sim, city, hpop, escrow, _cloud, saas = build()
+        key_id = escrow.create_key("photo.jpg")
+        client = HttpClient(saas, city.network)
+        results = []
+        client.request(hpop.host,
+                       HttpRequest("POST", KEY_ROUTE,
+                                   body={"application": "mallory-app",
+                                         "key_id": key_id},
+                                   body_size=150),
+                       lambda resp, stats: results.append(resp.status),
+                       port=443)
+        sim.run()
+        assert results == [403]
+        assert escrow.release_log == []
+
+    def test_revocation(self):
+        sim, city, hpop, escrow, _cloud, saas = build()
+        key_id = escrow.create_key("f")
+        escrow.authorize("app", key_id)
+        escrow.revoke("app", key_id)
+        client = HttpClient(saas, city.network)
+        results = []
+        client.request(hpop.host,
+                       HttpRequest("POST", KEY_ROUTE,
+                                   body={"application": "app",
+                                         "key_id": key_id}, body_size=150),
+                       lambda resp, stats: results.append(resp.status),
+                       port=443)
+        sim.run()
+        assert results == [403]
+
+
+class TestCloudStore:
+    def test_store_and_fetch_ciphertext(self):
+        sim, city, _hpop, escrow, cloud, saas = build()
+        key_id = escrow.create_key("f")
+        cloud.store("ann", "f", 10_000, key_id)
+        client = HttpClient(saas, city.network)
+        results = []
+        client.request(cloud.host,
+                       HttpRequest("GET", "/blob",
+                                   body={"owner": "ann", "name": "f"}),
+                       lambda resp, stats: results.append(resp), port=80)
+        sim.run()
+        assert results[0].ok
+        assert results[0].body.key_id == key_id
+
+    def test_breach_alone_exposes_nothing(self):
+        """The paper's point: encrypted cloud + home-held keys means a
+        cloud breach yields ciphertext only."""
+        _sim, _city, _hpop, escrow, cloud, _saas = build()
+        for i in range(5):
+            key_id = escrow.create_key(f"f{i}")
+            cloud.store("ann", f"f{i}", 1000, key_id)
+        blobs = cloud.breach()
+        exposed, total = escrow.exposure_after_cloud_breach(blobs)
+        assert (exposed, total) == (0, 5)
+
+    def test_key_retaining_app_is_the_exposure(self):
+        """...and the residual risk is exactly the trust assumption the
+        paper flags: an app that keeps keys past the immediate use."""
+        sim, city, hpop, escrow, cloud, saas = build()
+        key_ids = []
+        for i in range(5):
+            key_id = escrow.create_key(f"f{i}")
+            key_ids.append(key_id)
+            cloud.store("ann", f"f{i}", 1000, key_id)
+        # The user authorized a sloppy app for two files; it fetched keys.
+        for key_id in key_ids[:2]:
+            escrow.authorize("sloppy-app", key_id)
+        client = HttpClient(saas, city.network)
+        for key_id in key_ids[:2]:
+            client.request(hpop.host,
+                           HttpRequest("POST", KEY_ROUTE,
+                                       body={"application": "sloppy-app",
+                                             "key_id": key_id},
+                                       body_size=150),
+                           lambda resp, stats: None, port=443)
+        sim.run()
+        blobs = cloud.breach()
+        exposed, total = escrow.exposure_after_cloud_breach(
+            blobs, applications_retaining_keys={"sloppy-app"})
+        assert (exposed, total) == (2, 5)
+        # An honest app's releases expose nothing.
+        exposed_honest, _ = escrow.exposure_after_cloud_breach(
+            blobs, applications_retaining_keys={"other-app"})
+        assert exposed_honest == 0

@@ -1,0 +1,167 @@
+"""Attic open/close interposition driver tests."""
+
+import pytest
+
+from repro.attic.driver import AtticDriver, DriverError
+from repro.attic.service import DataAtticService
+from repro.hpop.core import Household, Hpop, User
+from repro.net.topology import build_city
+from repro.sim.engine import Simulator
+
+
+def build():
+    sim = Simulator(seed=9)
+    city = build_city(sim, homes_per_neighborhood=2,
+                      server_sites={"saas": 1})
+    home = city.neighborhoods[0].homes[0]
+    household = Household(name="h", users=[User("ann", "pw", [home.devices[0]])])
+    hpop = Hpop(home.hpop_host, city.network, household)
+    attic = hpop.install(DataAtticService())
+    hpop.start()
+    grant = attic.issue_grant("ann", "saas", sub_path="docs")
+    qr = attic.qr_for(grant)
+    saas_host = city.server_sites["saas"].servers[0]
+    driver = AtticDriver(saas_host, city.network, qr)
+    return sim, city, attic, driver
+
+
+class TestOpenClose:
+    def test_open_creates_missing_file_in_write_mode(self):
+        sim, _city, attic, driver = build()
+        opened = []
+        driver.open("report.doc", "w", opened.append,
+                    create_size=1000, create_payload="draft")
+        sim.run()
+        assert len(opened) == 1
+        file = opened[0]
+        assert file.dirty  # newly created needs writeback
+        closed = []
+        driver.close(file, lambda: closed.append(1))
+        sim.run()
+        assert closed == [1]
+        assert attic.dav.tree.lookup("/ann/docs/report.doc").content.size == 1000
+        assert driver.writebacks == 1
+
+    def test_open_missing_read_mode_errors(self):
+        sim, _city, _attic, driver = build()
+        errors = []
+        driver.open("ghost.doc", "r", lambda f: None, on_error=errors.append)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_read_modify_writeback_cycle(self):
+        sim, _city, attic, driver = build()
+        attic.dav.tree.put("/ann/docs/f", size=500, payload="v1")
+        opened = []
+        driver.open("f", "w", opened.append)
+        sim.run()
+        file = opened[0]
+        assert file.read() == "v1"
+        assert not file.dirty
+        file.write(800, "v2")
+        driver.close(file, lambda: None)
+        sim.run()
+        node = attic.dav.tree.lookup("/ann/docs/f")
+        assert node.content.size == 800
+        assert node.content.payload == "v2"
+        assert node.content.version == 2
+
+    def test_clean_close_skips_writeback(self):
+        sim, _city, attic, driver = build()
+        attic.dav.tree.put("/ann/docs/f", size=100, payload="x")
+        opened = []
+        driver.open("f", "r", opened.append)
+        sim.run()
+        driver.close(opened[0], lambda: None)
+        sim.run()
+        assert driver.writebacks == 0
+        assert attic.dav.tree.lookup("/ann/docs/f").content.version == 1
+
+    def test_write_in_read_mode_rejected(self):
+        sim, _city, attic, driver = build()
+        attic.dav.tree.put("/ann/docs/f", size=100)
+        opened = []
+        driver.open("f", "r", opened.append)
+        sim.run()
+        with pytest.raises(DriverError):
+            opened[0].write(10, "nope")
+
+    def test_double_open_same_path_rejected(self):
+        sim, _city, attic, driver = build()
+        attic.dav.tree.put("/ann/docs/f", size=100)
+        opened, errors = [], []
+        driver.open("f", "r", opened.append)
+        sim.run()
+        driver.open("f", "r", opened.append, on_error=errors.append)
+        sim.run()
+        assert len(opened) == 1 and len(errors) == 1
+        assert driver.open_count == 1
+
+    def test_double_close_errors(self):
+        sim, _city, attic, driver = build()
+        attic.dav.tree.put("/ann/docs/f", size=100)
+        opened = []
+        driver.open("f", "r", opened.append)
+        sim.run()
+        driver.close(opened[0], lambda: None)
+        sim.run()
+        errors = []
+        driver.close(opened[0], lambda: None, on_error=errors.append)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_closed_file_rejects_io(self):
+        sim, _city, attic, driver = build()
+        attic.dav.tree.put("/ann/docs/f", size=100)
+        opened = []
+        driver.open("f", "r", opened.append)
+        sim.run()
+        driver.close(opened[0], lambda: None)
+        sim.run()
+        with pytest.raises(DriverError):
+            opened[0].read()
+
+    def test_invalid_mode(self):
+        _sim, _city, _attic, driver = build()
+        with pytest.raises(ValueError):
+            driver.open("f", "a", lambda f: None)
+
+
+class TestExclusiveOpens:
+    def test_exclusive_open_blocks_second_writer(self):
+        """SIV-A: multiple applications mediated onto one source file."""
+        sim, city, attic, driver = build()
+        attic.dav.tree.put("/ann/docs/f", size=100, payload="v1")
+        # A second application on another host, same grant.
+        saas2 = city.server_sites["saas"].gateway  # routers are not hosts;
+        # use another device instead:
+        other_device = city.neighborhoods[0].homes[1].devices[0]
+        driver2 = AtticDriver(other_device, city.network, driver.grant)
+
+        opened1, opened2, errors2 = [], [], []
+        driver.open("f", "w", opened1.append, exclusive=True)
+        sim.run()
+        assert len(opened1) == 1
+        driver2.open("f", "w", opened2.append, on_error=errors2.append,
+                     exclusive=True)
+        sim.run()
+        assert opened2 == [] and len(errors2) == 1
+
+        # After close, the second writer succeeds.
+        driver.close(opened1[0], lambda: None)
+        sim.run()
+        driver2.open("f", "w", opened2.append, exclusive=True)
+        sim.run()
+        assert len(opened2) == 1
+
+    def test_exclusive_writeback_releases_lock(self):
+        sim, _city, attic, driver = build()
+        attic.dav.tree.put("/ann/docs/f", size=100, payload="v1")
+        opened = []
+        driver.open("f", "w", opened.append, exclusive=True)
+        sim.run()
+        opened[0].write(200, "v2")
+        driver.close(opened[0], lambda: None)
+        sim.run()
+        assert attic.dav.locks.active_count(sim.now) == 0
+        assert attic.dav.tree.lookup("/ann/docs/f").content.payload == "v2"

@@ -1,0 +1,140 @@
+"""Health-records case study tests (paper SIV-A1)."""
+
+import pytest
+
+from repro.attic.health import MedicalProvider
+from repro.attic.service import DataAtticService
+from repro.hpop.core import Household, Hpop, User
+from repro.net.topology import build_city
+from repro.sim.engine import Simulator
+
+
+def build():
+    sim = Simulator(seed=10)
+    city = build_city(sim, homes_per_neighborhood=2,
+                      server_sites={"clinic": 1, "hospital": 1})
+    home = city.neighborhoods[0].homes[0]
+    household = Household(name="smith", users=[
+        User("ann", "pw", [home.devices[0]]),
+    ])
+    hpop = Hpop(home.hpop_host, city.network, household)
+    attic = hpop.install(DataAtticService())
+    hpop.start()
+    clinic = MedicalProvider("clinic", city.server_sites["clinic"].servers[0],
+                             city.network)
+    hospital = MedicalProvider(
+        "hospital", city.server_sites["hospital"].servers[0], city.network)
+    return sim, city, hpop, attic, clinic, hospital
+
+
+def onboard(attic, provider, patient="ann"):
+    grant = attic.issue_grant(patient, provider.name, sub_path="health")
+    qr_text = attic.qr_for(grant).encode()
+    return provider.link_patient(patient, qr_text), grant
+
+
+class TestOnboarding:
+    def test_qr_bootstrap(self):
+        _sim, _city, _hpop, attic, clinic, _hospital = build()
+        link, grant = onboard(attic, clinic)
+        assert link.grant.base_path == "/ann/health"
+        assert link.grant.username == grant.username
+
+    def test_unlinked_patient_local_only(self):
+        sim, _city, _hpop, _attic, clinic, _hospital = build()
+        done = []
+        clinic.new_record("walkin", "xray", 50_000,
+                          on_done=lambda rec, pushed: done.append(pushed))
+        sim.run()
+        assert done == [False]
+        assert clinic.local_record_count("walkin") == 1
+
+
+class TestDuplicatedWrites:
+    def test_record_lands_locally_and_in_attic(self):
+        sim, _city, _hpop, attic, clinic, _hospital = build()
+        link, _grant = onboard(attic, clinic)
+        done = []
+        record = clinic.new_record("ann", "lab", 20_000, summary="CBC panel",
+                                   on_done=lambda rec, pushed: done.append(pushed))
+        sim.run()
+        assert done == [True]
+        assert clinic.local_record_count("ann") == 1
+        assert link.records_pushed == 1
+        node = attic.dav.tree.lookup(f"/ann/health/records/{record.file_name()}")
+        assert node.content.size == 20_000
+        assert node.content.payload is record
+
+    def test_multiple_records_accumulate(self):
+        sim, _city, _hpop, attic, clinic, _hospital = build()
+        onboard(attic, clinic)
+        for kind in ("visit", "lab", "imaging"):
+            clinic.new_record("ann", kind, 10_000)
+        sim.run()
+        listing = attic.dav.tree.list_children("/ann/health/records")
+        assert len(listing) == 3
+
+    def test_attic_down_record_still_kept_locally(self):
+        sim, _city, hpop, attic, clinic, _hospital = build()
+        link, _grant = onboard(attic, clinic)
+        hpop.shutdown()
+        done = []
+        clinic.new_record("ann", "lab", 10_000,
+                          on_done=lambda rec, pushed: done.append(pushed))
+        sim.run()
+        assert done == [False]
+        assert clinic.local_record_count("ann") == 1
+        assert link.push_failures >= 1
+
+
+class TestEmergencyAccess:
+    def test_new_provider_reads_full_history(self):
+        """The ER scenario: hospital sees clinic's records via the attic."""
+        sim, _city, _hpop, attic, clinic, hospital = build()
+        onboard(attic, clinic)
+        clinic.new_record("ann", "visit", 15_000, summary="annual physical")
+        clinic.new_record("ann", "lab", 8_000, summary="lipid panel")
+        sim.run()
+
+        onboard(attic, hospital)
+        histories = []
+        hospital.fetch_history("ann", histories.append)
+        sim.run()
+        assert len(histories) == 1
+        records = histories[0]
+        assert len(records) == 2
+        assert {r.provider for r in records} == {"clinic"}
+        assert [r.kind for r in records] == ["visit", "lab"]  # time order
+
+    def test_history_empty_before_any_records(self):
+        sim, _city, _hpop, attic, _clinic, hospital = build()
+        onboard(attic, hospital)
+        histories = []
+        hospital.fetch_history("ann", histories.append)
+        sim.run()
+        assert histories == [[]]
+
+    def test_fetch_without_link_raises(self):
+        _sim, _city, _hpop, _attic, _clinic, hospital = build()
+        with pytest.raises(Exception):
+            hospital.fetch_history("ann", lambda h: None)
+
+    def test_provider_switch_revocation(self):
+        """Provider independence: revoking the old provider's grant cuts
+        it off while the data stays in the attic."""
+        sim, city, hpop, attic, clinic, hospital = build()
+        _link, grant = onboard(attic, clinic)
+        clinic.new_record("ann", "visit", 5_000)
+        sim.run()
+        attic.revoke_grant(grant.grant_id)
+        done = []
+        clinic.new_record("ann", "visit", 5_000,
+                          on_done=lambda rec, pushed: done.append(pushed))
+        sim.run()
+        assert done == [False]
+        # Data written before revocation is still there for the new provider.
+        onboard(attic, hospital)
+        histories = []
+        hospital.fetch_history("ann", histories.append)
+        sim.run()
+        assert len(histories[0]) == 1

@@ -1,0 +1,166 @@
+"""Offline-mode device tests: checkout, disconnected edits, reconciliation."""
+
+import pytest
+
+from repro.attic.offline import OfflineDevice, version_from_etag
+from repro.attic.reconcile import SyncAction
+from repro.attic.service import DataAtticService
+from repro.hpop.core import Household, Hpop, User
+from repro.net.topology import build_city
+from repro.sim.engine import Simulator
+
+
+def build():
+    sim = Simulator(seed=25)
+    city = build_city(sim, homes_per_neighborhood=2,
+                      server_sites={"away": 1})
+    home = city.neighborhoods[0].homes[0]
+    hpop = Hpop(home.hpop_host, city.network,
+                Household(name="h", users=[User("ann", "pw")]))
+    attic = hpop.install(DataAtticService())
+    hpop.start()
+    grant = attic.issue_grant("ann", "laptop", sub_path="docs")
+    attic.dav.tree.put("/ann/docs/thesis.tex", size=100_000, payload="v1")
+    laptop = city.server_sites["away"].servers[0]
+    device = OfflineDevice(laptop, city.network, attic.qr_for(grant))
+    return sim, city, attic, device
+
+
+def checkout(sim, device, name="thesis.tex"):
+    done = []
+    device.checkout(name, done.append)
+    sim.run()
+    assert done == [True]
+
+
+class TestVersionParsing:
+    def test_parses(self):
+        assert version_from_etag('"thesis.tex-v3"') == 3
+        assert version_from_etag('"a-v10"') == 10
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            version_from_etag("not-an-etag")
+        with pytest.raises(ValueError):
+            version_from_etag("")
+
+
+class TestCheckout:
+    def test_checkout_captures_version(self):
+        sim, _city, _attic, device = build()
+        checkout(sim, device)
+        state = device.workspace.state_of("thesis.tex")
+        assert state.base_version == 1
+        assert state.size == 100_000
+        assert state.payload == "v1"
+
+    def test_checkout_missing_file_fails(self):
+        sim, _city, _attic, device = build()
+        done = []
+        device.checkout("nope.txt", done.append)
+        sim.run()
+        assert done == [False]
+
+    def test_offline_checkout_blocked(self):
+        sim, _city, _attic, device = build()
+        device.go_offline()
+        done = []
+        device.checkout("thesis.tex", done.append)
+        sim.run()
+        assert done == [False]
+
+
+class TestReconcile:
+    def test_push_offline_edits(self):
+        sim, _city, attic, device = build()
+        checkout(sim, device)
+        device.go_offline()
+        device.edit("thesis.tex", size=120_000, payload="v2-local")
+        device.go_online()
+        results = []
+        device.reconcile_all(results.append)
+        sim.run()
+        assert [r.action for r in results[0]] == [SyncAction.PUSH]
+        node = attic.dav.tree.lookup("/ann/docs/thesis.tex")
+        assert node.content.size == 120_000
+        assert node.content.payload == "v2-local"
+        assert node.content.version == 2
+
+    def test_pull_remote_changes(self):
+        sim, _city, attic, device = build()
+        checkout(sim, device)
+        device.go_offline()
+        # Someone at home edits while the laptop is away.
+        attic.dav.tree.put("/ann/docs/thesis.tex", size=130_000,
+                           payload="v2-home")
+        device.go_online()
+        results = []
+        device.reconcile_all(results.append)
+        sim.run()
+        assert [r.action for r in results[0]] == [SyncAction.PULL]
+        state = device.workspace.state_of("thesis.tex")
+        assert state.payload == "v2-home"
+        assert state.base_version == 2
+
+    def test_conflict_preserves_both_sides_in_attic(self):
+        sim, _city, attic, device = build()
+        checkout(sim, device)
+        device.go_offline()
+        device.edit("thesis.tex", size=111_000, payload="laptop-edit")
+        attic.dav.tree.put("/ann/docs/thesis.tex", size=222_000,
+                           payload="home-edit")
+        device.go_online()
+        results = []
+        device.reconcile_all(results.append)
+        sim.run()
+        result = results[0][0]
+        assert result.action is SyncAction.CONFLICT
+        # The attic keeps the home edit at the original name...
+        main = attic.dav.tree.lookup("/ann/docs/thesis.tex")
+        assert main.content.payload == "home-edit"
+        # ...and gains a conflict copy carrying the laptop's work.
+        conflict_node = attic.dav.tree.lookup(
+            f"/ann/docs/{result.conflict_copy}")
+        assert conflict_node.content.payload == "laptop-edit"
+        assert conflict_node.content.size == 111_000
+        # The device adopted the attic version.
+        assert device.workspace.state_of("thesis.tex").payload == "home-edit"
+
+    def test_noop_when_nothing_changed(self):
+        sim, _city, _attic, device = build()
+        checkout(sim, device)
+        results = []
+        device.reconcile_all(results.append)
+        sim.run()
+        assert [r.action for r in results[0]] == [SyncAction.NOOP]
+
+    def test_multiple_files_mixed_outcomes(self):
+        sim, _city, attic, device = build()
+        attic.dav.tree.put("/ann/docs/notes.md", size=5_000, payload="n1")
+        checkout(sim, device, "thesis.tex")
+        checkout(sim, device, "notes.md")
+        device.go_offline()
+        device.edit("notes.md", size=6_000, payload="n2-local")
+        attic.dav.tree.put("/ann/docs/thesis.tex", size=140_000,
+                           payload="v2-home")
+        device.go_online()
+        results = []
+        device.reconcile_all(results.append)
+        sim.run()
+        by_name = {r.name: r.action for r in results[0]}
+        assert by_name == {"notes.md": SyncAction.PUSH,
+                           "thesis.tex": SyncAction.PULL}
+
+    def test_reconcile_while_offline_raises(self):
+        sim, _city, _attic, device = build()
+        checkout(sim, device)
+        device.go_offline()
+        with pytest.raises(RuntimeError):
+            device.reconcile_all(lambda results: None)
+
+    def test_empty_workspace_reconciles_trivially(self):
+        sim, _city, _attic, device = build()
+        results = []
+        device.reconcile_all(results.append)
+        sim.run()
+        assert results == [[]]

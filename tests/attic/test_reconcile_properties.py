@@ -1,0 +1,79 @@
+"""Property-based tests for the offline reconciliation state machine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attic.reconcile import OfflineWorkspace, SyncAction
+
+# An operation stream: local edits, remote (attic-side) edits, reconciles.
+OPS = st.lists(st.sampled_from(["local", "remote", "sync"]),
+               min_size=1, max_size=40)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=OPS)
+def test_property_no_work_is_ever_silently_lost(ops):
+    """Whatever interleaving of edits and syncs occurs, every local edit
+    either reaches the attic (PUSH) or survives as a conflict copy."""
+    ws = OfflineWorkspace()
+    attic_version = 1
+    attic_payload = "attic-0"
+    ws.checkout("f", attic_version, size=10, payload=attic_payload)
+    local_edit_counter = 0
+    remote_edit_counter = 0
+    pushed_payloads = set()
+    pending_local = None  # the as-yet-unsynced local payload, if any
+    synced = True         # no un-reconciled divergence right now
+
+    for op in ops:
+        if op == "local":
+            local_edit_counter += 1
+            pending_local = f"local-{local_edit_counter}"
+            ws.edit("f", size=10, payload=pending_local)
+            synced = False
+        elif op == "remote":
+            remote_edit_counter += 1
+            attic_version += 1
+            attic_payload = f"remote-{remote_edit_counter}"
+            synced = False
+        else:  # sync
+            result = ws.reconcile("f", attic_version, attic_size=10,
+                                  attic_payload=attic_payload)
+            if result.action is SyncAction.PUSH:
+                # The attic now holds the local payload.
+                attic_version = result.new_base_version
+                attic_payload = pending_local
+                pushed_payloads.add(pending_local)
+                pending_local = None
+            elif result.action is SyncAction.CONFLICT:
+                copy = ws.conflict_copies[result.conflict_copy]
+                assert copy.payload == pending_local
+                pending_local = None
+            elif result.action is SyncAction.PULL:
+                assert ws.state_of("f").payload == attic_payload
+            synced = True
+
+    # Invariants at the end of any run:
+    state = ws.state_of("f")
+    if synced:
+        # Everything reconciled: local view matches the attic.
+        assert not state.locally_modified
+        assert state.base_version == attic_version
+        assert pending_local is None
+    # Every conflict copy preserved a distinct local edit.
+    conflict_payloads = {c.payload for c in ws.conflict_copies.values()}
+    assert all(p.startswith("local-") for p in conflict_payloads)
+    # A payload cannot be both pushed and conflict-copied.
+    assert not (pushed_payloads & conflict_payloads)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rounds=st.integers(min_value=1, max_value=20))
+def test_property_sync_is_idempotent(rounds):
+    """Reconciling repeatedly with no intervening changes is a no-op."""
+    ws = OfflineWorkspace()
+    ws.checkout("f", 3, size=5, payload="x")
+    for _ in range(rounds):
+        result = ws.reconcile("f", 3, attic_size=5, attic_payload="x")
+        assert result.action is SyncAction.NOOP
+    assert ws.conflict_copies == {}

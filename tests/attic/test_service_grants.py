@@ -1,0 +1,225 @@
+"""Data-attic service and grant tests."""
+
+import pytest
+
+from repro.attic.grants import GrantError, QrPayload
+from repro.attic.service import DataAtticService
+from repro.hpop.core import Household, Hpop, User
+from repro.http.client import HttpClient
+from repro.http.messages import HttpRequest
+from repro.net.address import Address
+from repro.net.topology import build_city
+from repro.sim.engine import Simulator
+from repro.webdav.server import READ, basic_auth
+
+
+def build():
+    sim = Simulator(seed=8)
+    city = build_city(sim, homes_per_neighborhood=2,
+                      server_sites={"clinic": 1})
+    home = city.neighborhoods[0].homes[0]
+    household = Household(name="smith", users=[
+        User(name="ann", password="pw1", devices=[home.devices[0]]),
+    ])
+    hpop = Hpop(home.hpop_host, city.network, household)
+    attic = hpop.install(DataAtticService())
+    hpop.start()
+    return sim, city, home, hpop, attic
+
+
+class TestQrPayload:
+    def test_encode_decode_round_trip(self):
+        payload = QrPayload(Address.parse("100.64.0.7"), 443,
+                            "provider-x", "secret", "/ann/health")
+        decoded = QrPayload.decode(payload.encode())
+        assert decoded == payload
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(GrantError):
+            QrPayload.decode("not-a-grant")
+        with pytest.raises(GrantError):
+            QrPayload.decode("atticgrant-v1|bad-addr|443|u|p|/x")
+        with pytest.raises(GrantError):
+            QrPayload.decode("atticgrant-v1|1.2.3.4|443|u|p|relative")
+
+
+class TestAtticSetup:
+    def test_household_users_get_spaces(self):
+        _sim, _city, _home, _hpop, attic = build()
+        assert attic.dav.tree.exists("/ann")
+
+    def test_user_path_rejects_strangers(self):
+        _sim, _city, _home, _hpop, attic = build()
+        with pytest.raises(KeyError):
+            attic.user_path("mallory")
+
+    def test_owner_can_put_and_get(self):
+        sim, city, home, hpop, attic = build()
+        client = HttpClient(home.devices[0], city.network)
+        results = []
+        headers = basic_auth("ann", "pw1")
+        client.request(hpop.host,
+                       HttpRequest("PUT", "/attic/ann/notes.txt",
+                                   headers=headers, body="n", body_size=400),
+                       lambda resp, stats: results.append(resp), port=443)
+        sim.run()
+        assert results[0].status == 201
+        client.request(hpop.host,
+                       HttpRequest("GET", "/attic/ann/notes.txt", headers=headers),
+                       lambda resp, stats: results.append(resp), port=443)
+        sim.run()
+        assert results[1].ok and results[1].body_size == 400
+
+
+class TestGrants:
+    def test_issue_grant_creates_scoped_credentials(self):
+        _sim, _city, _home, _hpop, attic = build()
+        grant = attic.issue_grant("ann", "clinic", sub_path="health")
+        assert grant.base_path == "/ann/health"
+        assert attic.dav.tree.exists("/ann/health")
+        assert len(attic.grants) == 1
+
+    def test_qr_payload_carries_endpoint(self):
+        _sim, _city, _home, hpop, attic = build()
+        grant = attic.issue_grant("ann", "clinic", sub_path="health")
+        qr = attic.qr_for(grant)
+        assert qr.attic_address == hpop.host.address
+        assert qr.attic_port == 443
+        assert qr.base_path == "/ann/health"
+
+    def test_provider_can_write_only_its_slice(self):
+        sim, city, _home, hpop, attic = build()
+        grant = attic.issue_grant("ann", "clinic", sub_path="health")
+        clinic_host = city.server_sites["clinic"].servers[0]
+        client = HttpClient(clinic_host, city.network)
+        headers = basic_auth(grant.username, grant.password)
+        results = []
+        client.request(hpop.host,
+                       HttpRequest("PUT", "/attic/ann/health/visit1",
+                                   headers=headers, body_size=1000),
+                       lambda resp, stats: results.append(resp.status), port=443)
+        client.request(hpop.host,
+                       HttpRequest("PUT", "/attic/ann/private.txt",
+                                   headers=headers, body_size=10),
+                       lambda resp, stats: results.append(resp.status), port=443)
+        sim.run()
+        assert 201 in results  # inside the slice
+        assert 403 in results  # outside the slice
+
+    def test_read_only_grant(self):
+        sim, city, _home, hpop, attic = build()
+        grant = attic.issue_grant("ann", "auditor", sub_path="health",
+                                  rights={READ})
+        clinic_host = city.server_sites["clinic"].servers[0]
+        client = HttpClient(clinic_host, city.network)
+        results = []
+        client.request(hpop.host,
+                       HttpRequest("PUT", "/attic/ann/health/x",
+                                   headers=basic_auth(grant.username,
+                                                      grant.password),
+                                   body_size=10),
+                       lambda resp, stats: results.append(resp.status), port=443)
+        sim.run()
+        assert results == [403]
+
+    def test_revoked_grant_denied(self):
+        sim, city, _home, hpop, attic = build()
+        grant = attic.issue_grant("ann", "clinic", sub_path="health")
+        attic.revoke_grant(grant.grant_id)
+        clinic_host = city.server_sites["clinic"].servers[0]
+        client = HttpClient(clinic_host, city.network)
+        results = []
+        client.request(hpop.host,
+                       HttpRequest("GET", "/attic/ann/health",
+                                   headers=basic_auth(grant.username,
+                                                      grant.password)),
+                       lambda resp, stats: results.append(resp.status), port=443)
+        sim.run()
+        assert results == [401]
+        assert attic.grants.active() == []
+
+    def test_distinct_grants_distinct_credentials(self):
+        _sim, _city, _home, _hpop, attic = build()
+        g1 = attic.issue_grant("ann", "clinic", sub_path="health")
+        g2 = attic.issue_grant("ann", "lab", sub_path="health")
+        assert g1.username != g2.username
+        assert g1.password != g2.password
+
+    def test_stored_bytes(self):
+        _sim, _city, _home, _hpop, attic = build()
+        attic.dav.tree.put("/ann/a", size=100)
+        attic.dav.tree.put("/ann/b", size=50)
+        assert attic.stored_bytes("ann") == 150
+        assert attic.stored_bytes() == 150
+
+
+class TestHouseholdIsolation:
+    """Members of the same household cannot read each other's spaces."""
+
+    def build_two_user_attic(self):
+        sim = Simulator(seed=81)
+        city = build_city(sim, homes_per_neighborhood=2)
+        home = city.neighborhoods[0].homes[0]
+        household = Household(name="smith", users=[
+            User(name="ann", password="pw1", devices=[home.devices[0]]),
+            User(name="bo", password="pw2", devices=[home.devices[1]]),
+        ])
+        hpop = Hpop(home.hpop_host, city.network, household)
+        attic = hpop.install(DataAtticService())
+        hpop.start()
+        return sim, city, home, hpop, attic
+
+    def test_cross_user_read_denied(self):
+        sim, city, home, hpop, attic = self.build_two_user_attic()
+        attic.dav.tree.put("/ann/diary.txt", size=1000)
+        client = HttpClient(home.devices[1], city.network)
+        results = []
+        client.request(hpop.host,
+                       HttpRequest("GET", "/attic/ann/diary.txt",
+                                   headers=basic_auth("bo", "pw2")),
+                       lambda resp, stats: results.append(resp.status),
+                       port=443)
+        sim.run()
+        assert results == [403]
+
+    def test_cross_user_write_denied(self):
+        sim, city, home, hpop, attic = self.build_two_user_attic()
+        client = HttpClient(home.devices[1], city.network)
+        results = []
+        client.request(hpop.host,
+                       HttpRequest("PUT", "/attic/ann/planted.txt",
+                                   headers=basic_auth("bo", "pw2"),
+                                   body_size=10),
+                       lambda resp, stats: results.append(resp.status),
+                       port=443)
+        sim.run()
+        assert results == [403]
+
+    def test_each_user_owns_their_space(self):
+        sim, city, home, hpop, attic = self.build_two_user_attic()
+        client = HttpClient(home.devices[1], city.network)
+        results = []
+        client.request(hpop.host,
+                       HttpRequest("PUT", "/attic/bo/notes.txt",
+                                   headers=basic_auth("bo", "pw2"),
+                                   body_size=10),
+                       lambda resp, stats: results.append(resp.status),
+                       port=443)
+        sim.run()
+        assert results == [201]
+
+    def test_provider_grant_scoped_to_one_user(self):
+        """A provider granted ann's slice cannot touch bo's space."""
+        sim, city, home, hpop, attic = self.build_two_user_attic()
+        grant = attic.issue_grant("ann", "clinic", sub_path="health")
+        client = HttpClient(home.devices[0], city.network)
+        results = []
+        client.request(hpop.host,
+                       HttpRequest("PUT", "/attic/bo/sneaky",
+                                   headers=basic_auth(grant.username,
+                                                      grant.password),
+                                   body_size=10),
+                       lambda resp, stats: results.append(resp.status),
+                       port=443)
+        sim.run()
+        assert results == [403]

@@ -1,0 +1,185 @@
+"""Detour manager tests: TLS-first, exploration, policing, steering."""
+
+import pytest
+
+from repro.dcol.collective import DetourCollective, WaypointService
+from repro.dcol.manager import DetourManager
+from repro.hpop.core import Household, Hpop, User
+from repro.net.topology import build_detour_testbed
+from repro.sim.engine import Simulator
+from repro.util.units import mib, ms
+
+
+def build(num_waypoints=3, seed=15, **bed_kwargs):
+    sim = Simulator(seed=seed)
+    bed = build_detour_testbed(sim, num_waypoints=num_waypoints, **bed_kwargs)
+    collective = DetourCollective()
+    services = []
+    for wp in bed.waypoints:
+        hpop = Hpop(wp, bed.network,
+                    Household(name=wp.name, users=[User("u", "p")]))
+        service = hpop.install(WaypointService())
+        hpop.start()
+        collective.join(service)
+        services.append(service)
+    manager = DetourManager(bed.client, bed.network, collective)
+    return sim, bed, collective, services, manager
+
+
+class TestTlsFirstPolicy:
+    def test_detour_engages_only_after_handshake(self):
+        sim, bed, _c, services, manager = build()
+        transfer = manager.start_transfer(bed.server, mib(5))
+        engaged = []
+        transfer.add_detour(services[0], on_ready=lambda h: engaged.append(sim.now))
+        direct_rtt = bed.network.path_between(bed.client, bed.server).rtt
+        handshake_time = 3 * direct_rtt  # TCP + 2 TLS round trips
+        sim.run()
+        assert transfer.done
+        assert len(engaged) == 1
+        # Tunnel setup starts only after the handshake completes.
+        assert engaged[0] >= handshake_time
+
+    def test_no_tls_handshake_is_one_rtt(self):
+        sim, bed, _c, services, manager = build()
+        transfer = manager.start_transfer(bed.server, mib(1), tls=False)
+        engaged = []
+        transfer.add_detour(services[0], on_ready=lambda h: engaged.append(sim.now))
+        direct_rtt = bed.network.path_between(bed.client, bed.server).rtt
+        sim.run()
+        assert engaged[0] >= direct_rtt
+        assert engaged[0] < 3 * direct_rtt
+
+
+class TestDetourBenefit:
+    def run_transfer(self, with_detour, size=mib(20), mechanism="vpn"):
+        sim, bed, _c, services, manager = build()
+        done = []
+        transfer = manager.start_transfer(
+            bed.server, size, on_complete=lambda t: done.append(sim.now))
+        if with_detour:
+            transfer.add_detour(services[0], mechanism=mechanism)
+        sim.run()
+        assert done
+        return done[0], transfer
+
+    def test_detour_speeds_up_transfer(self):
+        """SIV-C: the lossy, slow native route is beaten by a detour."""
+        t_direct, _ = self.run_transfer(with_detour=False)
+        t_detour, transfer = self.run_transfer(with_detour=True)
+        assert t_detour < t_direct * 0.6
+        assert transfer.detours[0].subflow.stats.bytes_delivered > 0
+
+    def test_nat_detour_slightly_faster_than_vpn(self):
+        """Zero per-packet overhead (NAT) vs 36 B/packet (VPN)."""
+        t_vpn, _ = self.run_transfer(with_detour=True, mechanism="vpn")
+        t_nat, _ = self.run_transfer(with_detour=True, mechanism="nat")
+        assert t_nat <= t_vpn
+
+    def test_upload_direction(self):
+        sim, bed, _c, services, manager = build()
+        done = []
+        transfer = manager.start_transfer(
+            bed.server, mib(10), direction="up",
+            on_complete=lambda t: done.append(1))
+        transfer.add_detour(services[0])
+        sim.run()
+        assert done == [1]
+        assert transfer.connection.stats.bytes_delivered >= mib(10) * 0.999
+
+
+class TestExploration:
+    def test_explore_keeps_best_waypoint(self):
+        sim, bed, _c, services, manager = build(num_waypoints=3)
+        transfer = manager.start_transfer(bed.server, mib(100))
+        kept = []
+        transfer.explore(services, probe_time=1.5, keep=1,
+                         on_done=lambda handles: kept.extend(handles))
+        sim.run()
+        assert transfer.done
+        assert len(kept) == 1
+        # Waypoint 0 has the best legs (lowest delay, no loss).
+        assert kept[0].waypoint is services[0]
+
+    def test_explore_withdrawal_recovers_bytes(self):
+        sim, bed, _c, services, manager = build(num_waypoints=3)
+        done = []
+        transfer = manager.start_transfer(
+            bed.server, mib(30), on_complete=lambda t: done.append(1))
+        transfer.explore(services, probe_time=1.0, keep=1)
+        sim.run()
+        assert done == [1]
+        assert transfer.connection.stats.bytes_delivered >= mib(30) * 0.999
+
+    def test_candidate_waypoints_from_collective(self):
+        _sim, _bed, _c, services, manager = build(num_waypoints=2)
+        candidates = manager.candidate_waypoints()
+        assert set(candidates) == set(services)
+
+
+class TestPolicing:
+    def test_lossy_waypoint_withdrawn_and_reported(self):
+        sim, bed, collective, services, manager = build(num_waypoints=3)
+        transfer = manager.start_transfer(bed.server, mib(200))
+        # Engage the deliberately lossy waypoint (last one) and a good one.
+        transfer.add_detour(services[0])
+        transfer.add_detour(services[-1])
+        sim.run_until(3.0)
+        expelled = transfer.police_waypoints(loss_event_threshold=3)
+        assert any(h.waypoint is services[-1] for h in expelled)
+        assert all(h.waypoint is not services[0]
+                   for h in expelled)
+        lossy_name = services[-1].host.name
+        assert collective.member_for(lossy_name).misbehavior_reports >= 1
+        sim.run()
+        assert transfer.done  # transparent recovery
+
+    def test_repeated_reports_expel_from_collective(self):
+        _sim, _bed, collective, services, _manager = build()
+        name = services[-1].host.name
+        for _ in range(collective.expel_after_reports):
+            collective.report_misbehavior(name)
+        assert services[-1] not in collective.available_waypoints()
+
+
+class TestSteering:
+    def test_throttle_reduces_detour_share(self):
+        def detour_share(throttle):
+            sim, bed, _c, services, manager = build(direct_loss=0.0)
+            transfer = manager.start_transfer(bed.server, mib(30))
+            handles = []
+            transfer.add_detour(services[0], on_ready=handles.append)
+            if throttle:
+                def apply_throttle():
+                    if handles:
+                        transfer.throttle_detour(handles[0], ms(300))
+                sim.schedule(0.5, apply_throttle, weak=True)
+            sim.run()
+            handle = handles[0]
+            return transfer.connection.share_of(handle.subflow)
+
+        assert detour_share(True) < detour_share(False)
+
+
+class TestValidation:
+    def test_bad_direction(self):
+        _sim, bed, _c, _services, manager = build()
+        with pytest.raises(ValueError):
+            manager.start_transfer(bed.server, 1000, direction="sideways")
+
+    def test_withdraw_unknown_handle(self):
+        sim, bed, _c, services, manager = build()
+        t1 = manager.start_transfer(bed.server, mib(1))
+        t2 = manager.start_transfer(bed.server, mib(1))
+        handles = []
+        t1.add_detour(services[0], on_ready=handles.append)
+        sim.run_until(1.0)
+        with pytest.raises(ValueError):
+            t2.withdraw_detour(handles[0])
+        sim.run()
+
+    def test_negative_keep(self):
+        _sim, bed, _c, services, manager = build()
+        transfer = manager.start_transfer(bed.server, mib(1))
+        with pytest.raises(ValueError):
+            transfer.explore(services, probe_time=1.0, keep=-1)

@@ -1,0 +1,134 @@
+"""Extension-feature tests: MPTCP proxy mode and NoCDN wrapper reuse."""
+
+import pytest
+
+from repro.dcol.collective import DetourCollective, WaypointService
+from repro.dcol.manager import DetourManager
+from repro.dcol.proxy import MptcpProxy
+from repro.hpop.core import Household, Hpop, User
+from repro.net.address import Address
+from repro.net.topology import build_detour_testbed
+from repro.sim.engine import Simulator
+from repro.util.units import gbps, mib, ms
+
+
+def build_proxy_world(seed=19):
+    sim = Simulator(seed=seed)
+    bed = build_detour_testbed(sim, num_waypoints=2)
+    # A proxy host in the server's vicinity, on a short fat leg.
+    proxy_host = bed.network.add_host("mptcp-proxy")
+    proxy_host.add_interface(Address.parse("198.18.0.9"))
+    server_gw = bed.network.nodes["server-gw"]
+    bed.network.connect(proxy_host, server_gw, gbps(10), ms(0.5),
+                        name="proxy-leg")
+    proxy = MptcpProxy(host=proxy_host, network=bed.network)
+    collective = DetourCollective()
+    services = []
+    for wp in bed.waypoints:
+        hpop = Hpop(wp, bed.network,
+                    Household(name=wp.name, users=[User("u", "p")]))
+        service = hpop.install(WaypointService())
+        hpop.start()
+        collective.join(service)
+        services.append(service)
+    manager = DetourManager(bed.client, bed.network, collective)
+    return sim, bed, proxy, services, manager
+
+
+class TestMptcpProxy:
+    def test_paths_include_proxy_leg(self):
+        sim, bed, proxy, services, manager = build_proxy_world()
+        transfer = manager.start_transfer(bed.server, mib(1), proxy=proxy)
+        direct = transfer._data_path()
+        assert direct.dest is bed.client  # download direction
+        # The proxy leg's hops are part of the path.
+        names = {d.link.name for d in direct.directions}
+        assert "proxy-leg" in names
+
+    def test_transfer_completes_via_proxy(self):
+        sim, bed, proxy, services, manager = build_proxy_world()
+        done = []
+        transfer = manager.start_transfer(bed.server, mib(10), proxy=proxy,
+                                          on_complete=lambda t: done.append(1))
+        sim.run()
+        assert done == [1]
+
+    def test_detour_benefit_survives_proxy_mode(self):
+        """SIV-C: DCol works against non-MPTCP servers via the proxy."""
+        def run(with_detour):
+            sim, bed, proxy, services, manager = build_proxy_world()
+            done = []
+            transfer = manager.start_transfer(
+                bed.server, mib(15), proxy=proxy,
+                on_complete=lambda t: done.append(sim.now))
+            if with_detour:
+                transfer.add_detour(services[0])
+            sim.run()
+            return done[0]
+
+        t_direct = run(False)
+        t_detour = run(True)
+        assert t_detour < t_direct * 0.6
+
+    def test_nat_tunnel_targets_proxy(self):
+        sim, bed, proxy, services, manager = build_proxy_world()
+        transfer = manager.start_transfer(bed.server, mib(5), proxy=proxy)
+        transfer.add_detour(services[0], mechanism="nat")
+        sim.run()
+        # The waypoint's forwarding rule points at the proxy.
+        rules = services[0].nat.rules
+        assert any(dest == proxy.host.address
+                   for (_client, dest, _port) in rules)
+
+    def test_rtt_penalty_is_the_local_leg(self):
+        sim, bed, proxy, _services, _manager = build_proxy_world()
+        penalty = proxy.rtt_penalty(bed.server)
+        assert penalty == pytest.approx(
+            bed.network.path_between(proxy.host, bed.server).rtt)
+        assert penalty < ms(10)
+
+
+class TestWrapperReuse:
+    def build_world(self, ttl):
+        from tests.nocdn.harness import NoCdnWorld
+        return NoCdnWorld(num_peers=2, seed=20, wrapper_reuse_ttl=ttl)
+
+    def test_wrapper_reused_within_ttl(self):
+        world = self.build_world(ttl=60.0)
+        world.load_page()
+        generated_first = world.provider.wrappers_issued
+        world.load_page()
+        world.load_page()
+        assert world.provider.wrappers_issued == generated_first
+        assert world.provider.wrappers_reused == 2
+
+    def test_reuse_expires(self):
+        world = self.build_world(ttl=5.0)
+        world.load_page()
+        world.sim.run_until(world.sim.now + 10.0)
+        world.load_page()
+        assert world.provider.wrappers_issued == 2
+
+    def test_reused_wrapper_pages_verify_and_account(self):
+        """Clients sharing one wrapper still verify hashes and their
+        usage records all clear the (extended) caps."""
+        world = self.build_world(ttl=60.0)
+        for _ in range(4):
+            result = world.load_page()
+            assert result.corrupted == []
+        for peer in world.peers:
+            peer.flush_usage()
+        world.sim.run()
+        audit = world.provider.audit
+        assert audit.rejected_over_cap == 0
+        assert audit.rejected_replay == 0
+        assert audit.accepted_records > 0
+
+    def test_dead_peer_invalidates_cached_wrapper(self):
+        world = self.build_world(ttl=600.0)
+        world.load_page()
+        # One assigned peer dies; the cached wrapper must not be reused.
+        world.hpops[0].host.power_off()
+        issued_before = world.provider.wrappers_issued
+        world.load_page()
+        assert world.provider.wrappers_issued == issued_before + 1

@@ -1,0 +1,195 @@
+"""DCol tunnel and collective tests."""
+
+import pytest
+
+from repro.dcol.collective import CollectiveError, DetourCollective, WaypointService
+from repro.dcol.tunnels import (
+    NAT_OVERHEAD_BYTES,
+    VPN_OVERHEAD_BYTES,
+    NatTunnelServer,
+    TunnelError,
+    TunnelFactory,
+    VpnTunnelServer,
+)
+from repro.hpop.core import Household, Hpop, User
+from repro.net.address import Address, Prefix
+from repro.net.topology import build_detour_testbed
+from repro.sim.engine import Simulator
+
+
+def build(num_waypoints=2):
+    sim = Simulator(seed=14)
+    bed = build_detour_testbed(sim, num_waypoints=num_waypoints)
+    collective = DetourCollective()
+    services = []
+    for wp in bed.waypoints:
+        hpop = Hpop(wp, bed.network, Household(name=wp.name, users=[User("u", "p")]))
+        service = hpop.install(WaypointService())
+        hpop.start()
+        collective.join(service)
+        services.append(service)
+    return sim, bed, collective, services
+
+
+class TestVpnTunnelServer:
+    def test_lease_allocation_and_reuse(self):
+        sim, bed, _c, services = build()
+        vpn = services[0].vpn
+        lease1 = vpn.join(bed.client)
+        lease2 = vpn.join(bed.client)
+        assert lease1 is lease2
+        assert vpn.active_clients == 1
+
+    def test_capacity_is_64(self):
+        """SIV-C: a /26 serves 64 clients."""
+        _sim, _bed, _c, services = build()
+        assert services[0].vpn.capacity == 64
+
+    def test_leave_releases_address(self):
+        sim, bed, _c, services = build()
+        vpn = services[0].vpn
+        lease = vpn.join(bed.client)
+        vpn.leave(bed.client)
+        assert vpn.active_clients == 0
+        again = vpn.join(bed.client)
+        assert again.address == lease.address  # recycled
+
+    def test_exhaustion(self):
+        _sim, bed, _c, _services = build()
+        vpn = VpnTunnelServer(bed.waypoints[0], Prefix.parse("10.0.0.0/30"))
+        fake_clients = [bed.client, bed.server]
+        for client in fake_clients:
+            vpn.join(client)
+        third = bed.waypoints[1]
+        with pytest.raises(TunnelError):
+            vpn.join(third)
+
+
+class TestNatTunnelServer:
+    def test_rule_per_destination(self):
+        _sim, bed, _c, services = build()
+        nat = services[0].nat
+        p1 = nat.negotiate(bed.client, bed.server.address, 443)
+        p2 = nat.negotiate(bed.client, bed.server.address, 80)
+        p3 = nat.negotiate(bed.client, bed.server.address, 443)
+        assert p1 != p2
+        assert p1 == p3  # reused for the same destination
+        assert nat.rule_count == 2
+
+    def test_remove_rule(self):
+        _sim, bed, _c, services = build()
+        nat = services[0].nat
+        nat.negotiate(bed.client, bed.server.address, 443)
+        nat.remove(bed.client, bed.server.address, 443)
+        assert nat.rule_count == 0
+
+
+class TestTunnelFactory:
+    def test_vpn_setup_costs_two_round_trips(self):
+        sim, bed, _c, services = build()
+        factory = TunnelFactory(bed.network)
+        rtt = bed.network.path_between(bed.client, services[0].host).rtt
+        tunnels = []
+        factory.open_vpn(services[0].vpn, bed.client, tunnels.append)
+        sim.run()
+        assert len(tunnels) == 1
+        assert tunnels[0].setup_time == pytest.approx(2 * rtt)
+        assert tunnels[0].overhead_per_packet == VPN_OVERHEAD_BYTES
+        assert sim.now == pytest.approx(2 * rtt)
+
+    def test_nat_setup_costs_one_round_trip(self):
+        sim, bed, _c, services = build()
+        factory = TunnelFactory(bed.network)
+        rtt = bed.network.path_between(bed.client, services[0].host).rtt
+        tunnels = []
+        factory.open_nat(services[0].nat, bed.client, bed.server.address, 443,
+                         tunnels.append)
+        sim.run()
+        assert tunnels[0].setup_time == pytest.approx(rtt)
+        assert tunnels[0].overhead_per_packet == NAT_OVERHEAD_BYTES
+
+    def test_vpn_tunnel_usable_for_any_destination(self):
+        sim, bed, _c, services = build()
+        factory = TunnelFactory(bed.network)
+        tunnels = []
+        factory.open_vpn(services[0].vpn, bed.client, tunnels.append)
+        sim.run()
+        assert tunnels[0].usable_for(bed.server.address, 443)
+        assert tunnels[0].usable_for(Address.parse("198.18.0.99"), 80)
+
+    def test_nat_tunnel_bound_to_destination(self):
+        sim, bed, _c, services = build()
+        factory = TunnelFactory(bed.network)
+        tunnels = []
+        factory.open_nat(services[0].nat, bed.client, bed.server.address, 443,
+                         tunnels.append)
+        sim.run()
+        assert tunnels[0].usable_for(bed.server.address, 443)
+        assert not tunnels[0].usable_for(bed.server.address, 80)
+
+    def test_dead_waypoint_errors(self):
+        sim, bed, _c, services = build()
+        services[0].host.power_off()
+        factory = TunnelFactory(bed.network)
+        errors = []
+        factory.open_vpn(services[0].vpn, bed.client, lambda t: None,
+                         errors.append)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_subflow_path_via_waypoint(self):
+        sim, bed, _c, services = build()
+        factory = TunnelFactory(bed.network)
+        tunnels = []
+        factory.open_vpn(services[0].vpn, bed.client, tunnels.append)
+        sim.run()
+        path = tunnels[0].subflow_path(bed.network, bed.server)
+        direct = bed.network.path_between(bed.client, bed.server)
+        assert path.hop_count > direct.hop_count
+        assert path.dest is bed.server
+
+
+class TestCollective:
+    def test_members_get_disjoint_subnets(self):
+        _sim, _bed, collective, services = build(num_waypoints=2)
+        subnets = [collective.member_for(s.host.name).subnet for s in services]
+        assert not subnets[0].overlaps(subnets[1])
+        assert all(s.length == 26 for s in subnets)
+
+    def test_capacity_is_256k(self):
+        _sim, _bed, collective, _services = build()
+        assert collective.capacity == 262_144
+
+    def test_double_join_rejected(self):
+        _sim, _bed, collective, services = build()
+        with pytest.raises(CollectiveError):
+            collective.join(services[0])
+
+    def test_leave_releases_subnet(self):
+        _sim, _bed, collective, services = build(num_waypoints=2)
+        name = services[0].host.name
+        collective.leave(name)
+        assert collective.member_for(name) is None
+        assert collective.member_count == 1
+        with pytest.raises(CollectiveError):
+            collective.leave(name)
+
+    def test_misbehavior_reports_lead_to_expulsion(self):
+        _sim, _bed, collective, services = build()
+        name = services[0].host.name
+        for _ in range(3):
+            collective.report_misbehavior(name)
+        assert collective.member_for(name).expelled
+        assert services[0] not in collective.available_waypoints()
+
+    def test_available_excludes_down_hosts(self):
+        _sim, _bed, collective, services = build(num_waypoints=2)
+        services[0].host.power_off()
+        available = collective.available_waypoints()
+        assert services[0] not in available
+        assert services[1] in available
+
+    def test_available_excludes_self(self):
+        _sim, _bed, collective, services = build(num_waypoints=2)
+        available = collective.available_waypoints(exclude=services[0].host)
+        assert services[0] not in available

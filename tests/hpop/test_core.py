@@ -1,0 +1,179 @@
+"""HPoP appliance platform tests."""
+
+import pytest
+
+from repro.hpop.core import ConfigStore, Household, Hpop, HpopService, User
+from repro.http.client import HttpClient
+from repro.http.messages import HttpRequest, ok
+from repro.net.topology import build_city
+from repro.sim.engine import Simulator
+
+
+def build():
+    sim = Simulator(seed=7)
+    city = build_city(sim, homes_per_neighborhood=2)
+    home = city.neighborhoods[0].homes[0]
+    household = Household(name="smith", users=[
+        User(name="ann", password="pw1", devices=[home.devices[0]]),
+        User(name="bo", password="pw2", devices=[home.devices[1]]),
+    ])
+    hpop = Hpop(home.hpop_host, city.network, household)
+    return sim, city, home, hpop
+
+
+class TestConfigStore:
+    def test_namespaced_kv(self):
+        config = ConfigStore()
+        config.set("attic", "quota", 100)
+        config.set("nocdn", "quota", 200)
+        assert config.get("attic", "quota") == 100
+        assert config.get("nocdn", "quota") == 200
+        assert config.get("attic", "missing", "default") == "default"
+
+    def test_delete(self):
+        config = ConfigStore()
+        config.set("ns", "k", 1)
+        config.delete("ns", "k")
+        assert config.get("ns", "k") is None
+        config.delete("ns", "never-there")  # no error
+
+
+class TestHousehold:
+    def test_user_lookup(self):
+        household = Household(name="h", users=[User("a", "p")])
+        assert household.user("a").password == "p"
+        with pytest.raises(KeyError):
+            household.user("z")
+
+
+class RecordingService(HpopService):
+    name = "recorder"
+
+    def __init__(self):
+        super().__init__()
+        self.events = []
+
+    def on_install(self, hpop):
+        self.events.append("install")
+        hpop.http.route("/recorder", lambda req: ok(body=b"rec"))
+
+    def on_start(self):
+        self.events.append("start")
+
+    def on_stop(self):
+        self.events.append("stop")
+
+
+class TestServiceLifecycle:
+    def test_install_then_start(self):
+        _sim, _city, _home, hpop = build()
+        svc = RecordingService()
+        hpop.install(svc)
+        assert svc.events == ["install"]
+        hpop.start()
+        assert svc.events == ["install", "start"]
+        assert svc.running
+
+    def test_install_on_running_appliance_starts_immediately(self):
+        _sim, _city, _home, hpop = build()
+        hpop.start()
+        svc = hpop.install(RecordingService())
+        assert svc.events == ["install", "start"]
+
+    def test_duplicate_service_rejected(self):
+        _sim, _city, _home, hpop = build()
+        hpop.install(RecordingService())
+        with pytest.raises(ValueError):
+            hpop.install(RecordingService())
+
+    def test_service_lookup(self):
+        _sim, _city, _home, hpop = build()
+        svc = hpop.install(RecordingService())
+        assert hpop.service("recorder") is svc
+        assert hpop.has_service("recorder")
+        with pytest.raises(KeyError):
+            hpop.service("ghost")
+
+    def test_shutdown_stops_services_and_host(self):
+        _sim, _city, home, hpop = build()
+        svc = hpop.install(RecordingService())
+        hpop.start()
+        hpop.shutdown()
+        assert svc.events[-1] == "stop"
+        assert not svc.running
+        assert not home.hpop_host.powered
+        assert not hpop.running
+
+    def test_restart_preserves_config(self):
+        _sim, _city, home, hpop = build()
+        hpop.install(RecordingService())
+        hpop.start()
+        hpop.config.set("ns", "k", "v")
+        hpop.restart()
+        assert hpop.config.get("ns", "k") == "v"
+        assert hpop.running
+        assert home.hpop_host.powered
+
+
+class TestPortalAndRoutes:
+    def test_portal_status_reachable_from_device(self):
+        sim, city, home, hpop = build()
+        hpop.install(RecordingService())
+        hpop.start()
+        client = HttpClient(home.devices[0], city.network)
+        results = []
+        client.request(home.hpop_host, HttpRequest("GET", "/portal/status"),
+                       lambda resp, stats: results.append(resp), port=443)
+        sim.run()
+        body = results[0].body
+        assert body["running"] is True
+        assert "recorder" in body["services"]
+        assert body["household"] == "smith"
+
+    def test_service_route_served(self):
+        sim, city, home, hpop = build()
+        hpop.install(RecordingService())
+        hpop.start()
+        client = HttpClient(home.devices[0], city.network)
+        results = []
+        client.request(home.hpop_host, HttpRequest("GET", "/recorder"),
+                       lambda resp, stats: results.append(resp.body), port=443)
+        sim.run()
+        assert results == [b"rec"]
+
+    def test_portal_reachable_from_outside_home(self):
+        sim, city, _home, hpop = build()
+        hpop.start()
+        other_home = city.neighborhoods[0].homes[1]
+        client = HttpClient(other_home.devices[0], city.network)
+        results = []
+        client.request(hpop.host, HttpRequest("GET", "/portal/status"),
+                       lambda resp, stats: results.append(resp), port=443)
+        sim.run()
+        assert results[0].ok
+
+    def test_shutdown_appliance_unreachable(self):
+        sim, city, home, hpop = build()
+        hpop.start()
+        hpop.shutdown()
+        client = HttpClient(home.devices[0], city.network)
+        errors = []
+        client.request(hpop.host, HttpRequest("GET", "/portal/status"),
+                       lambda resp, stats: None, port=443,
+                       on_error=lambda e: errors.append(e), timeout=3.0)
+        sim.run()
+        assert len(errors) == 1
+
+
+class TestReachabilityFallback:
+    def test_start_without_manager_reports_public(self):
+        from repro.nat.traversal import ReachabilityMethod
+
+        sim, _city, home, hpop = build()
+        reports = []
+        hpop.start(on_reachable=reports.append)
+        sim.run()
+        assert len(reports) == 1
+        assert reports[0].method is ReachabilityMethod.PUBLIC
+        assert reports[0].public_endpoint == (home.hpop_host.address, 443)
+        assert hpop.reachability_report is reports[0]

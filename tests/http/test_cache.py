@@ -1,0 +1,87 @@
+"""HTTP cache semantics tests."""
+
+import pytest
+
+from repro.http.cache import CacheDisposition, HttpCache
+from repro.http.content import WebObject
+
+
+def make_cache(capacity=1_000_000, ttl=100.0):
+    return HttpCache(capacity, default_ttl=ttl)
+
+
+class TestLookup:
+    def test_miss_then_fresh(self):
+        cache = make_cache()
+        obj = WebObject("a", 100)
+        disp, _ = cache.lookup("a", now=0.0)
+        assert disp is CacheDisposition.MISS
+        cache.store(obj, now=0.0)
+        disp, entry = cache.lookup("a", now=50.0)
+        assert disp is CacheDisposition.FRESH
+        assert entry.obj is obj
+
+    def test_expiry_makes_stale(self):
+        cache = make_cache(ttl=100.0)
+        cache.store(WebObject("a", 100), now=0.0)
+        disp, entry = cache.lookup("a", now=101.0)
+        assert disp is CacheDisposition.STALE
+        assert entry is not None
+
+    def test_custom_ttl(self):
+        cache = make_cache(ttl=100.0)
+        cache.store(WebObject("a", 100), now=0.0, ttl=10.0)
+        assert cache.lookup("a", 11.0)[0] is CacheDisposition.STALE
+
+
+class TestRevalidation:
+    def test_304_refreshes_in_place(self):
+        cache = make_cache(ttl=10.0)
+        obj = WebObject("a", 100)
+        cache.store(obj, now=0.0)
+        assert cache.revalidate("a", obj, now=20.0) is True
+        assert cache.lookup("a", 25.0)[0] is CacheDisposition.FRESH
+        assert cache.refreshed_in_place == 1
+
+    def test_changed_object_stored_fresh(self):
+        cache = make_cache(ttl=10.0)
+        obj = WebObject("a", 100)
+        cache.store(obj, now=0.0)
+        newer = obj.bump_version()
+        assert cache.revalidate("a", newer, now=20.0) is False
+        disp, entry = cache.lookup("a", 21.0)
+        assert disp is CacheDisposition.FRESH
+        assert entry.obj.version == 2
+        assert cache.revalidations == 1
+
+    def test_revalidate_absent_entry_stores(self):
+        cache = make_cache()
+        obj = WebObject("a", 100)
+        assert cache.revalidate("a", obj, now=0.0) is False
+        assert cache.contains("a")
+
+
+class TestCapacity:
+    def test_eviction_under_pressure(self):
+        cache = HttpCache(250, default_ttl=100)
+        cache.store(WebObject("a", 100), 0.0)
+        cache.store(WebObject("b", 100), 0.0)
+        cache.store(WebObject("c", 100), 0.0)  # evicts a
+        assert not cache.contains("a")
+        assert cache.contains("b") and cache.contains("c")
+        assert cache.used_bytes <= 250
+
+    def test_oversized_rejected(self):
+        cache = HttpCache(100)
+        assert cache.store(WebObject("big", 200), 0.0) is False
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.store(WebObject("a", 10), 0.0)
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        assert len(cache) == 0
+
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            HttpCache(100, default_ttl=0)

@@ -1,0 +1,131 @@
+"""HTTP client edge cases: explicit paths, pooling keys, addresses."""
+
+import pytest
+
+from repro.http.client import HttpClient, _reversed_path
+from repro.http.messages import HttpRequest, ok
+from repro.http.server import HttpServer
+from repro.net.address import Address
+from repro.net.network import compose_paths
+from repro.net.topology import build_city, build_dumbbell
+from repro.sim.engine import Simulator
+
+
+def build():
+    sim = Simulator(seed=33)
+    bell = build_dumbbell(sim)
+    server = HttpServer(bell.server, 80)
+    server.route("/x", lambda req: ok(body_size=100))
+    client = HttpClient(bell.client, bell.network)
+    return sim, bell, server, client
+
+
+class TestReversedPath:
+    def test_mirror_properties(self):
+        sim, bell, _server, _client = build()
+        forward = bell.network.path_between(bell.client, bell.server)
+        reverse = _reversed_path(forward)
+        assert reverse.source is bell.server
+        assert reverse.dest is bell.client
+        assert reverse.hop_count == forward.hop_count
+        assert reverse.propagation_delay == pytest.approx(
+            forward.propagation_delay)
+        # Each direction is the opposite of the corresponding forward one.
+        for fwd_dir, rev_dir in zip(forward.directions,
+                                    reversed(reverse.directions)):
+            assert fwd_dir.link is rev_dir.link
+            assert fwd_dir.sender is rev_dir.receiver
+
+    def test_reversed_of_composed_path(self):
+        sim = Simulator(seed=34)
+        city = build_city(sim, homes_per_neighborhood=3)
+        a = city.neighborhoods[0].homes[0].hpop_host
+        b = city.neighborhoods[0].homes[1].hpop_host
+        c = city.neighborhoods[0].homes[2].hpop_host
+        via = compose_paths(city.network.path_between(a, b),
+                            city.network.path_between(b, c))
+        mirror = _reversed_path(via)
+        assert mirror.source is c and mirror.dest is a
+        assert mirror.hop_count == via.hop_count
+
+
+class TestExplicitPath:
+    def test_via_path_used_for_exchange(self):
+        """Requests pinned to an explicit path work end to end."""
+        sim, bell, server, client = build()
+        explicit = bell.network.path_between(bell.client, bell.server)
+        results = []
+        client.request(bell.server, HttpRequest("GET", "/x"),
+                       lambda resp, stats: results.append(resp),
+                       via_path=explicit)
+        sim.run()
+        assert results[0].ok
+
+    def test_via_path_pools_separately_from_routed(self):
+        sim, bell, server, client = build()
+        explicit = bell.network.path_between(bell.client, bell.server)
+        results = []
+        client.request(bell.server, HttpRequest("GET", "/x"),
+                       lambda resp, stats: results.append(stats))
+        sim.run()
+        client.request(bell.server, HttpRequest("GET", "/x"),
+                       lambda resp, stats: results.append(stats),
+                       via_path=explicit)
+        sim.run()
+        # The second exchange could not reuse the routed-path connection.
+        assert results[0].connection_reused is False
+        assert results[1].connection_reused is False
+
+
+class TestTargetForms:
+    def test_request_by_address(self):
+        sim, bell, server, client = build()
+        results = []
+        client.request(bell.server.address, HttpRequest("GET", "/x"),
+                       lambda resp, stats: results.append(resp))
+        sim.run()
+        assert results[0].ok
+
+    def test_request_to_unknown_address_errors(self):
+        sim, bell, _server, client = build()
+        errors = []
+        client.request(Address.parse("203.0.113.77"),
+                       HttpRequest("GET", "/x"),
+                       lambda resp, stats: None, on_error=errors.append)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_request_to_router_errors(self):
+        sim, bell, _server, client = build()
+        errors = []
+        client.request(bell.left_router.address, HttpRequest("GET", "/x"),
+                       lambda resp, stats: None, on_error=errors.append)
+        sim.run()
+        assert len(errors) == 1
+        assert "not an end host" in str(errors[0])
+
+
+class TestPoolingKeys:
+    def test_tls_and_plain_use_distinct_connections(self):
+        sim, bell, server, client = build()
+        results = []
+        client.request(bell.server, HttpRequest("GET", "/x"),
+                       lambda resp, stats: results.append(stats))
+        sim.run()
+        client.request(bell.server, HttpRequest("GET", "/x"),
+                       lambda resp, stats: results.append(stats), tls=True)
+        sim.run()
+        assert results[1].connection_reused is False
+
+    def test_timeout_timer_cancelled_on_success(self):
+        """A successful exchange must not leave a live timeout that
+        keeps the simulation running or fires spuriously."""
+        sim, bell, server, client = build()
+        outcomes = []
+        client.request(bell.server, HttpRequest("GET", "/x"),
+                       lambda resp, stats: outcomes.append("ok"),
+                       on_error=lambda e: outcomes.append("error"),
+                       timeout=60.0)
+        sim.run()
+        assert outcomes == ["ok"]
+        assert sim.now < 1.0  # did not wait for the 60 s timer

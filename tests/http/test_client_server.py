@@ -1,0 +1,220 @@
+"""End-to-end HTTP exchange tests over the simulated transport."""
+
+import pytest
+
+from repro.http.client import HttpClient, HttpError
+from repro.http.messages import HttpRequest, not_found, ok
+from repro.http.server import HttpServer
+from repro.net.topology import build_dumbbell
+from repro.sim.engine import Simulator
+from repro.util.units import mib, ms
+
+
+def build():
+    sim = Simulator(seed=5)
+    bell = build_dumbbell(sim)
+    server = HttpServer(bell.server, 80)
+    client = HttpClient(bell.client, bell.network)
+    return sim, bell, server, client
+
+
+class TestBasicExchange:
+    def test_get_round_trip(self):
+        sim, bell, server, client = build()
+        server.route("/hello", lambda req: ok(body_size=5000, body="hi"))
+        results = []
+        client.request(bell.server, HttpRequest("GET", "/hello"),
+                       lambda resp, stats: results.append((resp, stats)))
+        sim.run()
+        assert len(results) == 1
+        resp, stats = results[0]
+        assert resp.ok and resp.body == "hi"
+        assert stats.total_time > 0
+        assert stats.response_bytes == 5000
+        assert server.requests_handled == 1
+        assert server.bytes_served == 5000
+
+    def test_unrouted_path_404(self):
+        sim, bell, server, client = build()
+        results = []
+        client.request(bell.server, HttpRequest("GET", "/nope"),
+                       lambda resp, stats: results.append(resp))
+        sim.run()
+        assert results[0].status == 404
+
+    def test_longest_prefix_wins(self):
+        sim, bell, server, client = build()
+        server.route("/", lambda req: ok(body=b"root"))
+        server.route("/api", lambda req: ok(body=b"api"))
+        results = []
+        client.request(bell.server, HttpRequest("GET", "/api/v1"),
+                       lambda resp, stats: results.append(resp.body))
+        client.request(bell.server, HttpRequest("GET", "/other"),
+                       lambda resp, stats: results.append(resp.body))
+        sim.run()
+        assert set(results) == {b"api", b"root"}
+
+    def test_exchange_latency_includes_handshake_and_transfer(self):
+        sim, bell, server, client = build()
+        server.route("/small", lambda req: ok(body_size=1000))
+        results = []
+        client.request(bell.server, HttpRequest("GET", "/small"),
+                       lambda resp, stats: results.append(stats))
+        sim.run()
+        stats = results[0]
+        rtt = bell.network.path_between(bell.client, bell.server).rtt
+        # handshake (1 RTT) + request (~half RTT one-way) + response (~half)
+        assert stats.total_time >= 2 * rtt
+        assert stats.total_time < 6 * rtt
+
+    def test_large_response_takes_bandwidth_time(self):
+        sim, bell, server, client = build()
+        server.route("/big", lambda req: ok(body_size=mib(50)))
+        done = []
+        client.request(bell.server, HttpRequest("GET", "/big"),
+                       lambda resp, stats: done.append(stats.total_time))
+        sim.run()
+        # 50 MiB over 1 Gbps is ~0.42 s minimum plus slow start.
+        assert done[0] > 0.4
+
+    def test_tls_adds_setup_time(self):
+        sim, bell, server, client = build()
+        server.route("/x", lambda req: ok(body_size=100))
+        plain, secure = [], []
+        client.request(bell.server, HttpRequest("GET", "/x"),
+                       lambda r, s: plain.append(s.total_time))
+        sim.run()
+        client2 = HttpClient(bell.client, bell.network)
+        client2.request(bell.server, HttpRequest("GET", "/x"),
+                        lambda r, s: secure.append(s.total_time), tls=True)
+        sim.run()
+        assert secure[0] > plain[0]
+
+
+class TestConnectionReuse:
+    def test_second_request_reuses_connection(self):
+        sim, bell, server, client = build()
+        server.route("/x", lambda req: ok(body_size=100))
+        times = []
+
+        def second(resp, stats):
+            times.append(("second", stats.total_time, stats.connection_reused))
+
+        def first(resp, stats):
+            times.append(("first", stats.total_time, stats.connection_reused))
+            client.request(bell.server, HttpRequest("GET", "/x"), second)
+
+        client.request(bell.server, HttpRequest("GET", "/x"), first)
+        sim.run()
+        assert times[0][2] is False
+        assert times[1][2] is True
+        assert times[1][1] < times[0][1]  # no handshake the second time
+
+    def test_close_all_forces_new_connection(self):
+        sim, bell, server, client = build()
+        server.route("/x", lambda req: ok(body_size=10))
+        done = []
+
+        def second(resp, stats):
+            done.append(stats.connection_reused)
+
+        def first(resp, stats):
+            client.close_all()
+            client.request(bell.server, HttpRequest("GET", "/x"), second)
+
+        client.request(bell.server, HttpRequest("GET", "/x"), first)
+        sim.run()
+        assert done == [False]
+
+
+class TestAsyncHandlers:
+    def test_async_route_responds_later(self):
+        sim, bell, server, client = build()
+
+        def slow_handler(request, respond):
+            sim.schedule(0.5, lambda: respond(ok(body_size=10, body="late")))
+
+        server.route_async("/slow", slow_handler)
+        results = []
+        client.request(bell.server, HttpRequest("GET", "/slow"),
+                       lambda resp, stats: results.append((resp.body, stats.total_time)))
+        sim.run()
+        assert results[0][0] == "late"
+        assert results[0][1] > 0.5
+
+    def test_think_time_applied(self):
+        sim = Simulator(seed=5)
+        bell = build_dumbbell(sim)
+        server = HttpServer(bell.server, 80, think_time=0.3)
+        server.route("/x", lambda req: ok(body_size=10))
+        client = HttpClient(bell.client, bell.network)
+        results = []
+        client.request(bell.server, HttpRequest("GET", "/x"),
+                       lambda resp, stats: results.append(stats.total_time))
+        sim.run()
+        assert results[0] > 0.3
+
+
+class TestVirtualHosting:
+    def test_vhost_routing(self):
+        sim, bell, server, client = build()
+        server.route("/", lambda req: ok(body=b"default"))
+        server.route("/", lambda req: ok(body=b"siteA"), virtual_host="a.example")
+        results = []
+        client.request(bell.server,
+                       HttpRequest("GET", "/", host="a.example"),
+                       lambda resp, stats: results.append(resp.body))
+        client.request(bell.server,
+                       HttpRequest("GET", "/", host="b.example"),
+                       lambda resp, stats: results.append(resp.body))
+        sim.run()
+        assert b"siteA" in results and b"default" in results
+        assert server.virtual_hosts() == ["a.example"]
+
+
+class TestFailures:
+    def test_no_server_bound_errors(self):
+        sim = Simulator(seed=5)
+        bell = build_dumbbell(sim)
+        client = HttpClient(bell.client, bell.network)
+        errors = []
+        client.request(bell.server, HttpRequest("GET", "/x"),
+                       lambda resp, stats: None,
+                       on_error=lambda e: errors.append(e))
+        sim.run()
+        assert len(errors) == 1
+        assert "no HTTP server" in str(errors[0])
+
+    def test_powered_off_server_times_out(self):
+        sim, bell, server, client = build()
+        server.route("/x", lambda req: ok(body_size=10))
+        bell.server.power_off()
+        errors, responses = [], []
+        client.request(bell.server, HttpRequest("GET", "/x"),
+                       lambda resp, stats: responses.append(resp),
+                       on_error=lambda e: errors.append(e), timeout=5.0)
+        sim.run()
+        assert responses == []
+        assert len(errors) == 1
+        assert "timeout" in str(errors[0]) or "no HTTP server" in str(errors[0])
+        assert client.exchanges_failed == 1
+
+    def test_partitioned_server_errors(self):
+        sim, bell, server, client = build()
+        server.route("/x", lambda req: ok(body_size=10))
+        bell.network.fail_link(bell.bottleneck)
+        errors = []
+        client.request(bell.server, HttpRequest("GET", "/x"),
+                       lambda resp, stats: None,
+                       on_error=lambda e: errors.append(e), timeout=5.0)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_counters(self):
+        sim, bell, server, client = build()
+        server.route("/x", lambda req: ok(body_size=10))
+        client.request(bell.server, HttpRequest("GET", "/x"),
+                       lambda resp, stats: None)
+        sim.run()
+        assert client.exchanges_completed == 1
+        assert client.exchanges_failed == 0

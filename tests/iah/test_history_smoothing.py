@@ -1,0 +1,176 @@
+"""History/profile, demand-smoother, vault, and trigger tests."""
+
+import pytest
+
+from repro.iah.deepweb import CredentialVault, PropertyTrigger
+from repro.iah.history import BrowsingHistory, InterestProfile
+from repro.iah.smoothing import DemandSmoother
+from repro.sim.engine import Simulator
+
+
+class TestHistoryProfile:
+    def test_counts_and_last_visit(self):
+        history = BrowsingHistory()
+        history.record(1.0, "s", "/a")
+        history.record(2.0, "s", "/a")
+        history.record(3.0, "s", "/b")
+        assert history.visit_count == 3
+        assert history.count_for("s", "/a") == 2
+        assert history.last_visit("s", "/a") == 2.0
+        assert history.count_for("s", "/zzz") == 0
+
+    def test_profile_ranks_by_frequency(self):
+        history = BrowsingHistory()
+        for _ in range(5):
+            history.record(10.0, "s", "/hot")
+        history.record(10.0, "s", "/cold")
+        profile = InterestProfile(history)
+        assert profile.ranked(now=10.0)[0] == ("s", "/hot")
+
+    def test_recency_decay(self):
+        history = BrowsingHistory()
+        for _ in range(3):
+            history.record(0.0, "s", "/old")
+        history.record(100 * 86400.0, "s", "/new")
+        history.record(100 * 86400.0, "s", "/new")
+        profile = InterestProfile(history, half_life=7 * 86400.0)
+        # Three visits 100 days ago lose to two visits today.
+        assert profile.ranked(now=100 * 86400.0)[0] == ("s", "/new")
+
+    def test_target_set_scales_with_aggressiveness(self):
+        history = BrowsingHistory()
+        for i in range(10):
+            history.record(float(i), "s", f"/p{i}")
+        profile = InterestProfile(history)
+        assert profile.target_set(20.0, 0.0) == []
+        assert len(profile.target_set(20.0, 0.5)) == 5
+        assert len(profile.target_set(20.0, 1.0)) == 10
+
+    def test_target_set_keeps_at_least_one(self):
+        history = BrowsingHistory()
+        history.record(0.0, "s", "/only")
+        profile = InterestProfile(history)
+        assert profile.target_set(1.0, 0.01) == [("s", "/only")]
+
+    def test_invalid_parameters(self):
+        history = BrowsingHistory()
+        with pytest.raises(ValueError):
+            InterestProfile(history, half_life=0)
+        profile = InterestProfile(history)
+        with pytest.raises(ValueError):
+            profile.target_set(0.0, 1.5)
+
+
+class TestDemandSmoother:
+    def test_jobs_release_at_rate(self):
+        sim = Simulator()
+        smoother = DemandSmoother(sim, rate_bytes_per_sec=1000,
+                                  burst_bytes=1000)
+        released = []
+        for i in range(3):
+            smoother.submit(1000, lambda i=i: released.append((i, sim.now)))
+        sim.run_until(10.0)
+        assert len(released) == 3
+        # First job immediate (full bucket), then one per second.
+        assert released[0][1] == pytest.approx(0.0)
+        assert released[1][1] == pytest.approx(1.0)
+        assert released[2][1] == pytest.approx(2.0)
+
+    def test_offpeak_window_defers(self):
+        sim = Simulator()
+        # Window: seconds [100, 200) of each day.
+        smoother = DemandSmoother(sim, rate_bytes_per_sec=1e6,
+                                  offpeak_windows=[(100.0, 200.0)])
+        released = []
+        smoother.submit(10, lambda: released.append(sim.now))
+        sim.run_until(50.0)
+        assert released == []
+        sim.run_until(150.0)
+        assert len(released) == 1
+        assert released[0] == pytest.approx(100.0)
+
+    def test_oversized_job_released_at_capacity(self):
+        sim = Simulator()
+        smoother = DemandSmoother(sim, rate_bytes_per_sec=100,
+                                  burst_bytes=1000)
+        released = []
+        smoother.submit(50_000, lambda: released.append(sim.now))
+        sim.run_until(20.0)
+        assert len(released) == 1  # does not starve
+
+    def test_queue_inspection(self):
+        sim = Simulator()
+        smoother = DemandSmoother(sim, rate_bytes_per_sec=1,
+                                  burst_bytes=1)
+        smoother.submit(1, lambda: None)
+        smoother.submit(1, lambda: None)
+        assert smoother.queued_jobs == 2
+        sim.run_until(5.0)
+        assert smoother.jobs_released == 2
+
+    def test_negative_size_rejected(self):
+        smoother = DemandSmoother(Simulator(), 10)
+        with pytest.raises(ValueError):
+            smoother.submit(-1, lambda: None)
+
+
+class TestCredentialVault:
+    def test_store_and_headers(self):
+        vault = CredentialVault()
+        vault.store("social.example", "ann", "pw")
+        headers = vault.auth_headers("social.example")
+        assert headers == {"Authorization": "Basic ann:pw"}
+        assert vault.auth_headers("other") == {}
+        assert vault.has("social.example")
+
+    def test_forget(self):
+        vault = CredentialVault()
+        vault.store("s", "u", "p")
+        vault.forget("s")
+        assert not vault.has("s")
+        assert vault.sites() == []
+
+
+class TestPropertyTrigger:
+    def make_attic(self):
+        """A minimal stand-in with a DAV tree (the real service works too)."""
+        from repro.webdav.server import WebDavServer
+
+        class FakeAttic:
+            dav = None
+
+        from repro.webdav.resources import ResourceTree
+
+        class FakeDav:
+            tree = ResourceTree()
+
+        attic = FakeAttic()
+        attic.dav = FakeDav()
+        return attic
+
+    def test_derives_targets_from_properties(self):
+        attic = self.make_attic()
+        attic.dav.tree.put("/taxes-2025.pdf", size=100)
+        attic.dav.tree.lookup("/taxes-2025.pdf").properties["tickers"] = \
+            "AAPL, MSFT"
+        trigger = PropertyTrigger("tickers", "finance.example", "quote/{}")
+        targets = trigger.derive(attic)
+        assert ("finance.example", "quote/AAPL") in targets
+        assert ("finance.example", "quote/MSFT") in targets
+
+    def test_deduplicates_symbols(self):
+        attic = self.make_attic()
+        attic.dav.tree.put("/a", size=1)
+        attic.dav.tree.put("/b", size=1)
+        attic.dav.tree.lookup("/a").properties["tickers"] = "AAPL"
+        attic.dav.tree.lookup("/b").properties["tickers"] = "AAPL"
+        trigger = PropertyTrigger("tickers", "fin", "quote/{}")
+        assert trigger.derive(attic) == [("fin", "quote/AAPL")]
+
+    def test_no_attic_no_targets(self):
+        trigger = PropertyTrigger("tickers", "fin", "quote/{}")
+        assert trigger.derive(None) == []
+
+    def test_bad_template_rejected(self):
+        with pytest.raises(ValueError):
+            PropertyTrigger("p", "s", "no-placeholder")

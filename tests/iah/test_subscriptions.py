@@ -1,0 +1,90 @@
+"""Subscription and personal-target tests for Internet@home."""
+
+import pytest
+
+from repro.http.content import ContentCatalog, WebObject
+from repro.iah.service import CoopGroup
+
+from tests.iah.test_service import build, visit_and_learn
+
+
+def add_personal_objects(site):
+    site.catalog.add_object(WebObject("private/feed2.json", 5_000))
+
+
+class TestSubscriptions:
+    def test_subscription_gathered_every_round(self):
+        sim, _city, site, services, _hpops = build(num_homes=1)
+        svc = services[0]
+        svc.vault.store(site.name, "ann", "pw")
+        svc.subscribe(site.name, "private/feed.json")
+        svc.gather()
+        sim.run()
+        assert svc.cache.contains("news.example|private/feed.json")
+
+    def test_subscribe_is_idempotent(self):
+        _sim, _city, site, services, _hpops = build(num_homes=1)
+        svc = services[0]
+        svc.subscribe(site.name, "quote/AAPL")
+        svc.subscribe(site.name, "quote/AAPL")
+        assert svc.subscriptions == [(site.name, "quote/AAPL")]
+
+    def test_subscription_without_credentials_not_cached(self):
+        sim, _city, site, services, _hpops = build(num_homes=1)
+        svc = services[0]
+        svc.subscribe(site.name, "private/feed.json")  # no vault entry
+        svc.gather()
+        sim.run()
+        assert not svc.cache.contains("news.example|private/feed.json")
+
+    def test_public_subscription_needs_no_credentials(self):
+        sim, _city, site, services, _hpops = build(num_homes=1)
+        svc = services[0]
+        svc.subscribe(site.name, "quote/AAPL")
+        svc.gather()
+        sim.run()
+        assert svc.cache.contains("news.example|quote/AAPL")
+
+
+class TestPersonalTargetsBypassCoop:
+    def test_subscription_not_delegated_to_neighbors(self):
+        """Personal feeds are gathered by the owner's HPoP even when the
+        rendezvous hash would assign them elsewhere."""
+        sim, _city, site, services, _hpops = build(num_homes=3)
+        group = CoopGroup()
+        for svc in services:
+            group.join(svc)
+        owner = services[0]
+        owner.vault.store(site.name, "ann", "pw")
+        owner.subscribe(site.name, "private/feed.json")
+        for svc in services:
+            svc.gather()
+        sim.run()
+        # Only the owner holds it, regardless of hash assignment.
+        assert owner.cache.contains("news.example|private/feed.json")
+        for other in services[1:]:
+            assert not other.cache.contains("news.example|private/feed.json")
+
+    def test_page_objects_still_partitioned(self):
+        sim, _city, site, services, _hpops = build(num_homes=3)
+        group = CoopGroup()
+        for svc in services:
+            group.join(svc)
+            visit_and_learn(svc, site, ["/page0"])
+        services[0].subscribe(site.name, "quote/AAPL")
+        for svc in services:
+            svc.gather()
+        sim.run()
+        page_fetches = sum(s.stats.full_fetches for s in services)
+        # 4 page objects fetched once each + 1 personal subscription.
+        assert page_fetches == 5
+
+    def test_personal_targets_listing(self):
+        _sim, _city, site, services, _hpops = build(num_homes=1)
+        svc = services[0]
+        svc.subscribe(site.name, "quote/AAPL")
+        assert (site.name, "quote/AAPL") in svc.personal_targets()
+        # Regular page history does not appear in personal targets.
+        visit_and_learn(svc, site, ["/page0"])
+        assert all(not url.startswith("__page__")
+                   for _s, url in svc.personal_targets())

@@ -1,0 +1,100 @@
+"""Direct tests for the Website origin (caching metadata, deep web)."""
+
+import pytest
+
+from repro.http.client import HttpClient
+from repro.http.content import ContentCatalog, WebObject, WebPage
+from repro.http.messages import HttpRequest
+from repro.iah.web import Website
+from repro.net.topology import build_dumbbell
+from repro.sim.engine import Simulator
+
+
+def build():
+    sim = Simulator(seed=35)
+    bell = build_dumbbell(sim)
+    catalog = ContentCatalog()
+    catalog.add_page(WebPage("/home", WebObject("home.html", 10_000),
+                             embedded=(WebObject("pic.jpg", 40_000),)))
+    catalog.add_object(WebObject("private/inbox", 5_000))
+    site = Website("example.org", bell.server, bell.network, catalog,
+                   object_ttl=120.0, credentials={"ann": "pw"})
+    client = HttpClient(bell.client, bell.network)
+    return sim, bell, site, client
+
+
+def fetch(sim, bell, client, path, headers=None):
+    results = []
+    client.request(bell.server,
+                   HttpRequest("GET", path, host="example.org",
+                               headers=headers or {}),
+                   lambda resp, stats: results.append(resp))
+    sim.run()
+    assert len(results) == 1
+    return results[0]
+
+
+class TestObjects:
+    def test_serves_with_cache_metadata(self):
+        sim, bell, site, client = build()
+        resp = fetch(sim, bell, client, "/objects/home.html")
+        assert resp.ok
+        assert resp.max_age == 120.0
+        assert resp.etag == '"home.html-v1"'
+        assert site.requests_served == 1
+
+    def test_conditional_get_304(self):
+        sim, bell, site, client = build()
+        resp = fetch(sim, bell, client, "/objects/home.html")
+        resp2 = fetch(sim, bell, client, "/objects/home.html",
+                      headers={"If-None-Match": resp.etag})
+        assert resp2.status == 304
+        assert site.validation_hits == 1
+
+    def test_update_invalidates_etag(self):
+        sim, bell, site, client = build()
+        resp = fetch(sim, bell, client, "/objects/home.html")
+        site.update_object("home.html")
+        resp2 = fetch(sim, bell, client, "/objects/home.html",
+                      headers={"If-None-Match": resp.etag})
+        assert resp2.status == 200
+        assert resp2.body.version == 2
+
+    def test_missing_object_404(self):
+        sim, bell, _site, client = build()
+        assert fetch(sim, bell, client, "/objects/ghost").status == 404
+
+
+class TestDeepWeb:
+    def test_deep_object_requires_credentials(self):
+        sim, bell, site, client = build()
+        assert site.is_deep("private/inbox")
+        assert not site.is_deep("home.html")
+        resp = fetch(sim, bell, client, "/objects/private/inbox")
+        assert resp.status == 401
+
+    def test_valid_credentials_admit(self):
+        sim, bell, _site, client = build()
+        resp = fetch(sim, bell, client, "/objects/private/inbox",
+                     headers={"Authorization": "Basic ann:pw"})
+        assert resp.ok
+
+    def test_bad_credentials_rejected(self):
+        sim, bell, _site, client = build()
+        for header in ("Basic ann:wrong", "Basic malformed", "Bearer tok"):
+            resp = fetch(sim, bell, client, "/objects/private/inbox",
+                         headers={"Authorization": header})
+            assert resp.status == 401
+
+
+class TestPageMeta:
+    def test_page_meta_served(self):
+        sim, bell, _site, client = build()
+        resp = fetch(sim, bell, client, "/pages/home")
+        assert resp.ok
+        assert isinstance(resp.body, WebPage)
+        assert resp.body.object_count == 2
+
+    def test_missing_page_404(self):
+        sim, bell, _site, client = build()
+        assert fetch(sim, bell, client, "/pages/nope").status == 404

@@ -1,0 +1,153 @@
+"""Integration: one appliance running every service at once.
+
+The paper's HPoP is "an extensible and configurable platform" — these
+tests make sure the services actually coexist: shared HTTP server,
+shared lifecycle, independent state, sensible behaviour across restarts.
+"""
+
+import pytest
+
+from repro.attic.backup_service import PeerBackupService
+from repro.attic.cloudmirror import KeyEscrowService
+from repro.attic.service import DataAtticService
+from repro.dcol.collective import DetourCollective, WaypointService
+from repro.hpop.core import Household, Hpop, User
+from repro.http.client import HttpClient
+from repro.http.messages import HttpRequest
+from repro.iah.service import InternetAtHomeService
+from repro.net.topology import build_city
+from repro.nocdn.origin import ContentProvider
+from repro.nocdn.peer import NoCdnPeerService
+from repro.sim.engine import Simulator
+from repro.workloads.web import CatalogSpec, generate_catalog
+import random
+
+ALL_SERVICES = ("attic", "nocdn-peer", "internet-at-home", "dcol-waypoint",
+                "peer-backup", "key-escrow")
+
+
+def build_kitchen_sink(seed=21):
+    sim = Simulator(seed=seed)
+    city = build_city(sim, homes_per_neighborhood=4,
+                      server_sites={"origin": 1})
+    home = city.neighborhoods[0].homes[0]
+    hpop = Hpop(home.hpop_host, city.network,
+                Household(name="h", users=[User("ann", "pw")]))
+    hpop.install(DataAtticService())
+    hpop.install(NoCdnPeerService())
+    hpop.install(InternetAtHomeService(gather_interval=0))
+    hpop.install(WaypointService())
+    hpop.install(PeerBackupService())
+    hpop.install(KeyEscrowService())
+    hpop.start()
+    return sim, city, home, hpop
+
+
+class TestCoexistence:
+    def test_all_services_install_and_start(self):
+        _sim, _city, _home, hpop = build_kitchen_sink()
+        for name in ALL_SERVICES:
+            assert hpop.has_service(name)
+            assert hpop.service(name).running
+
+    def test_portal_lists_everything(self):
+        sim, city, home, hpop = build_kitchen_sink()
+        client = HttpClient(home.devices[0], city.network)
+        results = []
+        client.request(hpop.host, HttpRequest("GET", "/portal/status"),
+                       lambda resp, stats: results.append(resp.body),
+                       port=443)
+        sim.run()
+        assert set(ALL_SERVICES) <= set(results[0]["services"])
+
+    def test_routes_do_not_collide(self):
+        """Each service owns distinct prefixes on the shared server."""
+        sim, city, home, hpop = build_kitchen_sink()
+        client = HttpClient(home.devices[0], city.network)
+        statuses = {}
+        probes = {
+            "/attic/ann": "attic",        # 401 (auth required), not 404
+            "/iah/page": "iah",           # 404 page body (route exists)
+            "/escrow/key": "escrow",      # 403 (unauthorized), not 404
+            "/portal/status": "portal",   # 200
+        }
+
+        def probe(path, tag):
+            client.request(
+                hpop.host,
+                HttpRequest("POST" if path == "/escrow/key" else "GET", path),
+                lambda resp, stats, t=tag: statuses.__setitem__(t, resp.status),
+                port=443)
+
+        for path, tag in probes.items():
+            probe(path, tag)
+        sim.run()
+        assert statuses["attic"] == 401
+        assert statuses["escrow"] == 403
+        assert statuses["portal"] == 200
+
+    def test_attic_and_nocdn_share_the_appliance(self):
+        """The attic serves the household while the NoCDN peer serves a
+        provider — concurrently, over the same uplink."""
+        sim, city, home, hpop = build_kitchen_sink()
+        catalog = generate_catalog(CatalogSpec(num_pages=2),
+                                   random.Random(1))
+        provider = ContentProvider(
+            "site", city.server_sites["origin"].servers[0],
+            city.network, catalog)
+        hpop.service("nocdn-peer").sign_up(provider)
+        from repro.nocdn.loader import PageLoader
+        attic = hpop.service("attic")
+        attic.dav.tree.put("/ann/big", size=5_000_000)
+
+        external = city.neighborhoods[0].homes[1].devices[0]
+        loader = PageLoader(external, city.network)
+        attic_client = HttpClient(city.neighborhoods[0].homes[2].devices[0],
+                                  city.network)
+        from repro.webdav.server import basic_auth
+        outcomes = {}
+        loader.load(provider, catalog.pages()[0].url,
+                    lambda r: outcomes.setdefault("page", r))
+        attic_client.request(
+            hpop.host,
+            HttpRequest("GET", "/attic/ann/big",
+                        headers=basic_auth("ann", "pw")),
+            lambda resp, stats: outcomes.setdefault("attic", resp),
+            port=443)
+        sim.run()
+        assert outcomes["attic"].ok
+        assert outcomes["page"].bytes_from_peers > 0
+
+
+class TestLifecycle:
+    def test_restart_preserves_attic_and_cache(self):
+        sim, city, home, hpop = build_kitchen_sink()
+        attic = hpop.service("attic")
+        attic.dav.tree.put("/ann/keep.txt", size=100)
+        hpop.restart()
+        assert attic.dav.tree.exists("/ann/keep.txt")
+        assert hpop.service("internet-at-home").running
+
+    def test_shutdown_takes_every_service_down(self):
+        sim, city, home, hpop = build_kitchen_sink()
+        hpop.shutdown()
+        for name in ALL_SERVICES:
+            assert not hpop.service(name).running
+        client = HttpClient(home.devices[0], city.network)
+        errors = []
+        client.request(hpop.host, HttpRequest("GET", "/portal/status"),
+                       lambda resp, stats: None, port=443,
+                       on_error=errors.append, timeout=3.0)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_waypoint_availability_follows_lifecycle(self):
+        sim, _city, _home, hpop = build_kitchen_sink()
+        collective = DetourCollective()
+        waypoint = hpop.service("dcol-waypoint")
+        collective.join(waypoint)
+        assert waypoint in collective.available_waypoints()
+        hpop.shutdown()
+        assert waypoint not in collective.available_waypoints()
+        hpop.restart()
+        assert waypoint in collective.available_waypoints()

@@ -1,0 +1,48 @@
+"""ExperimentReport tests."""
+
+import pytest
+
+from repro.metrics.report import ExperimentReport
+
+
+class TestReport:
+    def test_rows_and_render(self):
+        report = ExperimentReport("E0", "demo", columns=("name", "value"))
+        report.add_row("alpha", 1.5)
+        report.add_row("beta", 2.0)
+        text = report.render()
+        assert "E0: demo" in text
+        assert "alpha" in text and "beta" in text
+
+    def test_row_arity_checked(self):
+        report = ExperimentReport("E0", "demo", columns=("a", "b"))
+        with pytest.raises(ValueError):
+            report.add_row("only-one")
+
+    def test_claims(self):
+        report = ExperimentReport("E0", "demo")
+        report.check("thing holds", "x > 1", "x = 2", True)
+        report.check("other thing", "y < 1", "y = 3", False)
+        assert not report.all_claims_hold
+        assert len(report.failed_claims()) == 1
+        text = report.render()
+        assert "[PASS] thing holds" in text
+        assert "[FAIL] other thing" in text
+
+    def test_empty_report_holds(self):
+        report = ExperimentReport("E0", "demo")
+        assert report.all_claims_hold
+
+    def test_notes_rendered(self):
+        report = ExperimentReport("E0", "demo")
+        report.note("substitution: simulated substrate")
+        assert "substitution" in report.render()
+
+    def test_float_formatting(self):
+        report = ExperimentReport("E0", "demo", columns=("v",))
+        report.add_row(0.000001)
+        report.add_row(1234567.0)
+        report.add_row(3.14159)
+        text = report.render()
+        assert "e-06" in text or "1.000e-06" in text
+        assert "3.142" in text

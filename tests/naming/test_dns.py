@@ -1,0 +1,107 @@
+"""DNS zone and resolver tests."""
+
+import pytest
+
+from repro.naming.dns import DnsError, RequestRoutingZone, StubResolver, Zone
+from repro.net.address import Address
+from repro.sim.engine import Simulator
+
+
+class TestZone:
+    def test_static_resolution(self):
+        zone = Zone("example.com")
+        zone.add("www.example.com", Address.parse("198.18.0.1"))
+        record = zone.resolve("www.example.com")
+        assert record.address == Address.parse("198.18.0.1")
+        assert zone.queries_served == 1
+
+    def test_nxdomain(self):
+        zone = Zone("example.com")
+        with pytest.raises(DnsError):
+            zone.resolve("nope.example.com")
+
+    def test_remove(self):
+        zone = Zone("example.com")
+        zone.add("www.example.com", Address.parse("198.18.0.1"))
+        zone.remove("www.example.com")
+        with pytest.raises(DnsError):
+            zone.resolve("www.example.com")
+
+
+class TestRequestRouting:
+    def test_selector_answers_per_client(self):
+        answers = {"alice": Address.parse("10.0.0.1"),
+                   "bob": Address.parse("10.0.0.2")}
+
+        class FakeClient:
+            def __init__(self, name):
+                self.name = name
+
+        zone = RequestRoutingZone(
+            "cdn.example",
+            lambda name, client: answers.get(client.name) if client else None)
+        assert zone.resolve("www.cdn.example",
+                            FakeClient("alice")).address == answers["alice"]
+        assert zone.resolve("www.cdn.example",
+                            FakeClient("bob")).address == answers["bob"]
+
+    def test_short_ttl(self):
+        zone = RequestRoutingZone("cdn.example",
+                                  lambda n, c: Address.parse("10.0.0.1"))
+        assert zone.resolve("x.cdn.example").ttl == 20.0
+
+    def test_fallback_to_static(self):
+        zone = RequestRoutingZone("cdn.example", lambda n, c: None)
+        zone.add("www.cdn.example", Address.parse("10.9.9.9"))
+        assert zone.resolve("www.cdn.example").address == Address.parse("10.9.9.9")
+        with pytest.raises(DnsError):
+            zone.resolve("other.cdn.example")
+
+
+class TestStubResolver:
+    def make(self, ttl=100.0):
+        sim = Simulator()
+        zone = Zone("example.com")
+        zone.add("www.example.com", Address.parse("198.18.0.1"), ttl=ttl)
+        resolver = StubResolver(sim)
+        resolver.add_zone(zone)
+        return sim, zone, resolver
+
+    def test_caches_within_ttl(self):
+        sim, zone, resolver = self.make()
+        resolver.resolve("www.example.com")
+        resolver.resolve("www.example.com")
+        assert zone.queries_served == 1
+        assert resolver.cache_hits == 1
+
+    def test_ttl_expiry_requeries(self):
+        sim, zone, resolver = self.make(ttl=10.0)
+        resolver.resolve("www.example.com")
+        sim.run_until(11.0)
+        resolver.resolve("www.example.com")
+        assert zone.queries_served == 2
+
+    def test_zone_matching_by_suffix(self):
+        sim, _zone, resolver = self.make()
+        with pytest.raises(DnsError):
+            resolver.resolve("www.other.org")
+
+    def test_flush(self):
+        sim, zone, resolver = self.make()
+        resolver.resolve("www.example.com")
+        resolver.flush()
+        resolver.resolve("www.example.com")
+        assert zone.queries_served == 2
+
+    def test_cdn_zone_integration(self):
+        """TraditionalCdn.dns_zone steers a resolver to the nearest edge."""
+        from repro.cdn.baselines import TraditionalCdn
+        from tests.nocdn.harness import NoCdnWorld
+
+        world = NoCdnWorld(num_peers=0)
+        cdn = TraditionalCdn(world.provider, world.city.network)
+        edge = cdn.deploy_edge(world.city.server_sites["edge"].servers[0])
+        zone = cdn.dns_zone()
+        resolver = StubResolver(world.sim, client=world.client_device)
+        resolver.add_zone(zone)
+        assert resolver.resolve("www.news.example") == edge.host.address

@@ -1,0 +1,184 @@
+"""NAT device behaviour tests: mapping, filtering, UPnP, chains."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nat.devices import (
+    NatChain,
+    NatDevice,
+    NatType,
+    hole_punch_succeeds,
+    make_cgn,
+)
+from repro.net.address import Address
+
+PUB = Address.parse("100.64.0.1")
+INSIDE = Address.parse("192.168.1.10")
+REMOTE = (Address.parse("198.18.0.1"), 80)
+OTHER = (Address.parse("198.18.0.2"), 81)
+
+
+def make_nat(nat_type):
+    return NatDevice("nat", PUB, nat_type=nat_type)
+
+
+class TestMapping:
+    def test_outbound_creates_public_mapping(self):
+        nat = make_nat(NatType.FULL_CONE)
+        public = nat.map_outbound((INSIDE, 5000), REMOTE)
+        assert public[0] == PUB
+        assert public[1] >= 30000
+
+    def test_cone_nat_reuses_port_across_destinations(self):
+        nat = make_nat(NatType.PORT_RESTRICTED)
+        p1 = nat.map_outbound((INSIDE, 5000), REMOTE)
+        p2 = nat.map_outbound((INSIDE, 5000), OTHER)
+        assert p1 == p2
+
+    def test_symmetric_nat_allocates_per_destination(self):
+        nat = make_nat(NatType.SYMMETRIC)
+        p1 = nat.map_outbound((INSIDE, 5000), REMOTE)
+        p2 = nat.map_outbound((INSIDE, 5000), OTHER)
+        assert p1 != p2
+
+    def test_distinct_private_endpoints_get_distinct_ports(self):
+        nat = make_nat(NatType.FULL_CONE)
+        p1 = nat.map_outbound((INSIDE, 5000), REMOTE)
+        p2 = nat.map_outbound((INSIDE, 5001), REMOTE)
+        assert p1 != p2
+
+
+class TestInboundFiltering:
+    def test_full_cone_admits_anyone(self):
+        nat = make_nat(NatType.FULL_CONE)
+        public = nat.map_outbound((INSIDE, 5000), REMOTE)
+        assert nat.admit_inbound(OTHER, public[1]) == (INSIDE, 5000)
+
+    def test_restricted_cone_requires_prior_address_contact(self):
+        nat = make_nat(NatType.RESTRICTED_CONE)
+        public = nat.map_outbound((INSIDE, 5000), REMOTE)
+        # Same address, different port: admitted.
+        assert nat.admit_inbound((REMOTE[0], 9999), public[1]) is not None
+        # Never-contacted address: filtered.
+        assert nat.admit_inbound(OTHER, public[1]) is None
+
+    def test_port_restricted_requires_exact_endpoint(self):
+        nat = make_nat(NatType.PORT_RESTRICTED)
+        public = nat.map_outbound((INSIDE, 5000), REMOTE)
+        assert nat.admit_inbound(REMOTE, public[1]) is not None
+        assert nat.admit_inbound((REMOTE[0], 9999), public[1]) is None
+
+    def test_symmetric_binds_to_destination(self):
+        nat = make_nat(NatType.SYMMETRIC)
+        public = nat.map_outbound((INSIDE, 5000), REMOTE)
+        assert nat.admit_inbound(REMOTE, public[1]) == (INSIDE, 5000)
+        assert nat.admit_inbound(OTHER, public[1]) is None
+
+    def test_unmapped_port_filtered(self):
+        nat = make_nat(NatType.FULL_CONE)
+        assert nat.admit_inbound(REMOTE, 31337) is None
+
+
+class TestUpnp:
+    def test_forward_admits_anyone(self):
+        nat = make_nat(NatType.SYMMETRIC)  # even a symmetric NAT honors forwards
+        port = nat.upnp_add_port_mapping((INSIDE, 8080))
+        assert nat.admit_inbound(REMOTE, port) == (INSIDE, 8080)
+        assert nat.admit_inbound(OTHER, port) == (INSIDE, 8080)
+
+    def test_explicit_port_honored(self):
+        nat = make_nat(NatType.FULL_CONE)
+        port = nat.upnp_add_port_mapping((INSIDE, 8080), public_port=8443)
+        assert port == 8443
+
+    def test_duplicate_port_rejected(self):
+        nat = make_nat(NatType.FULL_CONE)
+        nat.upnp_add_port_mapping((INSIDE, 8080), public_port=8443)
+        with pytest.raises(ValueError):
+            nat.upnp_add_port_mapping((INSIDE, 8081), public_port=8443)
+
+    def test_delete_mapping(self):
+        nat = make_nat(NatType.FULL_CONE)
+        port = nat.upnp_add_port_mapping((INSIDE, 8080))
+        nat.upnp_delete_port_mapping(port)
+        assert nat.admit_inbound(REMOTE, port) is None
+        assert nat.forward_count == 0
+
+    def test_cgn_refuses_upnp(self):
+        cgn = make_cgn("cgn", PUB)
+        with pytest.raises(PermissionError):
+            cgn.upnp_add_port_mapping((INSIDE, 8080))
+
+
+class TestNatChain:
+    def test_public_chain(self):
+        chain = NatChain()
+        assert chain.is_public
+        assert chain.effective_type() is None
+        assert not chain.upnp_available()
+
+    def test_single_home_nat(self):
+        chain = NatChain([make_nat(NatType.PORT_RESTRICTED)])
+        assert not chain.is_public
+        assert not chain.has_cgn
+        assert chain.upnp_available()
+        assert chain.effective_type() is NatType.PORT_RESTRICTED
+
+    def test_cgn_stack_takes_most_restrictive(self):
+        chain = NatChain([make_nat(NatType.FULL_CONE),
+                          make_cgn("cgn", Address.parse("100.64.0.2"))])
+        assert chain.has_cgn
+        assert not chain.upnp_available()
+        assert chain.effective_type() is NatType.SYMMETRIC
+
+    def test_upnp_disabled_home_nat(self):
+        nat = NatDevice("nat", PUB, upnp_enabled=False)
+        chain = NatChain([nat])
+        assert not chain.upnp_available()
+
+
+class TestHolePunchMatrix:
+    def test_public_always_works(self):
+        assert hole_punch_succeeds(None, NatType.SYMMETRIC)
+        assert hole_punch_succeeds(NatType.SYMMETRIC, None)
+
+    def test_symmetric_pair_fails(self):
+        assert not hole_punch_succeeds(NatType.SYMMETRIC, NatType.SYMMETRIC)
+
+    def test_symmetric_vs_port_restricted_fails(self):
+        assert not hole_punch_succeeds(NatType.SYMMETRIC, NatType.PORT_RESTRICTED)
+        assert not hole_punch_succeeds(NatType.PORT_RESTRICTED, NatType.SYMMETRIC)
+
+    def test_symmetric_vs_cone_works(self):
+        assert hole_punch_succeeds(NatType.SYMMETRIC, NatType.FULL_CONE)
+        assert hole_punch_succeeds(NatType.SYMMETRIC, NatType.RESTRICTED_CONE)
+
+    def test_cone_pairs_work(self):
+        cones = [NatType.FULL_CONE, NatType.RESTRICTED_CONE, NatType.PORT_RESTRICTED]
+        for a in cones:
+            for b in cones:
+                assert hole_punch_succeeds(a, b)
+
+    def test_matrix_is_symmetric(self):
+        types = [None] + list(NatType)
+        for a in types:
+            for b in types:
+                assert hole_punch_succeeds(a, b) == hole_punch_succeeds(b, a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(5000, 5005),
+                          st.sampled_from([REMOTE, OTHER])), max_size=30))
+def test_property_mappings_stable_and_unique(pairs):
+    """Cone NAT: same private endpoint always maps to the same public port;
+    distinct private endpoints never share a port."""
+    nat = make_nat(NatType.PORT_RESTRICTED)
+    seen = {}
+    for private_port, dest in pairs:
+        public = nat.map_outbound((INSIDE, private_port), dest)
+        if private_port in seen:
+            assert seen[private_port] == public
+        seen[private_port] = public
+    ports = list(seen.values())
+    assert len(ports) == len(set(ports))

@@ -1,0 +1,156 @@
+"""Address, prefix, and subnet-allocator tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.address import (
+    Address,
+    AddressPool,
+    Prefix,
+    SubnetAllocator,
+    SubnetExhaustedError,
+)
+
+
+class TestAddress:
+    def test_parse_and_str_round_trip(self):
+        for text in ("0.0.0.0", "10.0.0.1", "255.255.255.255", "172.16.5.9"):
+            assert str(Address.parse(text)) == text
+
+    def test_parse_rejects_malformed(self):
+        for bad in ("10.0.0", "10.0.0.0.0", "300.0.0.1", "a.b.c.d"):
+            with pytest.raises(ValueError):
+                Address.parse(bad)
+
+    def test_out_of_range_value(self):
+        with pytest.raises(ValueError):
+            Address(-1)
+        with pytest.raises(ValueError):
+            Address(2 ** 32)
+
+    def test_ordering_and_arithmetic(self):
+        a = Address.parse("10.0.0.1")
+        assert a + 1 == Address.parse("10.0.0.2")
+        assert a < a + 1
+
+
+class TestPrefix:
+    def test_parse(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.length == 8
+        assert p.num_addresses == 2 ** 24
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.1/8")
+
+    def test_contains(self):
+        p = Prefix.parse("192.168.1.0/24")
+        assert p.contains(Address.parse("192.168.1.200"))
+        assert not p.contains(Address.parse("192.168.2.1"))
+
+    def test_overlaps(self):
+        big = Prefix.parse("10.0.0.0/8")
+        small = Prefix.parse("10.1.0.0/16")
+        other = Prefix.parse("11.0.0.0/8")
+        assert big.overlaps(small) and small.overlaps(big)
+        assert not big.overlaps(other)
+
+    def test_hosts_skips_network_and_broadcast(self):
+        p = Prefix.parse("192.168.0.0/30")
+        hosts = list(p.hosts())
+        assert hosts == [Address.parse("192.168.0.1"), Address.parse("192.168.0.2")]
+        assert p.num_hosts == 2
+
+    def test_slash_31_and_32(self):
+        assert Prefix.parse("10.0.0.0/31").num_hosts == 2
+        assert Prefix.parse("10.0.0.0/32").num_hosts == 1
+
+    def test_subnets(self):
+        p = Prefix.parse("10.0.0.0/24")
+        subs = list(p.subnets(26))
+        assert len(subs) == 4
+        assert str(subs[1]) == "10.0.0.64/26"
+
+    def test_paper_claim_26s_in_slash8(self):
+        """SIV-C: a /26 per waypoint from 10.0.0.0/8 gives 256K waypoints
+        of 64 addresses (62 usable hosts + net/bcast) each."""
+        p = Prefix.parse("10.0.0.0/8")
+        count = 2 ** (26 - 8)
+        assert count == 262_144  # "256K"
+        sub = next(p.subnets(26))
+        assert sub.num_addresses == 64
+
+
+class TestSubnetAllocator:
+    def test_allocations_never_overlap(self):
+        alloc = SubnetAllocator(Prefix.parse("10.0.0.0/24"), 26)
+        subnets = [alloc.allocate() for _ in range(4)]
+        for i, a in enumerate(subnets):
+            for b in subnets[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_exhaustion(self):
+        alloc = SubnetAllocator(Prefix.parse("10.0.0.0/24"), 26)
+        for _ in range(4):
+            alloc.allocate()
+        with pytest.raises(SubnetExhaustedError):
+            alloc.allocate()
+
+    def test_release_and_reuse(self):
+        alloc = SubnetAllocator(Prefix.parse("10.0.0.0/24"), 26)
+        first = alloc.allocate()
+        for _ in range(3):
+            alloc.allocate()
+        alloc.release(first)
+        again = alloc.allocate()
+        assert again == first
+
+    def test_release_unknown_rejected(self):
+        alloc = SubnetAllocator(Prefix.parse("10.0.0.0/24"), 26)
+        with pytest.raises(ValueError):
+            alloc.release(Prefix.parse("10.0.1.0/26"))
+
+    def test_capacity_matches_paper(self):
+        alloc = SubnetAllocator(Prefix.parse("10.0.0.0/8"), 26)
+        assert alloc.capacity == 262_144
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.booleans(), max_size=40))
+    def test_property_live_sets_disjoint(self, ops):
+        """Whatever the allocate/release sequence, live subnets never overlap."""
+        alloc = SubnetAllocator(Prefix.parse("10.0.0.0/20"), 26)
+        live = []
+        for do_allocate in ops:
+            if do_allocate or not live:
+                live.append(alloc.allocate())
+            else:
+                alloc.release(live.pop(0))
+            current = alloc.live_subnets()
+            for i, a in enumerate(current):
+                for b in current[i + 1:]:
+                    assert not a.overlaps(b)
+
+
+class TestAddressPool:
+    def test_sequential_allocation(self):
+        pool = AddressPool(Prefix.parse("192.168.0.0/29"))
+        first = pool.allocate()
+        second = pool.allocate()
+        assert first != second
+        assert pool.allocated_count == 2
+
+    def test_exhaustion_and_reuse(self):
+        pool = AddressPool(Prefix.parse("192.168.0.0/30"))
+        a = pool.allocate()
+        pool.allocate()
+        with pytest.raises(SubnetExhaustedError):
+            pool.allocate()
+        pool.release(a)
+        assert pool.allocate() == a
+
+    def test_release_unallocated_rejected(self):
+        pool = AddressPool(Prefix.parse("192.168.0.0/30"))
+        with pytest.raises(ValueError):
+            pool.release(Address.parse("192.168.0.1"))

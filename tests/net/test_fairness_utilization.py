@@ -1,0 +1,116 @@
+"""Property tests for max-min fairness and link utilization probes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.address import Address
+from repro.net.network import Network, compute_max_min_rates
+from repro.sim.engine import Simulator
+from repro.util.units import gbps, mbps, ms
+
+
+def build_parking_lot(num_hops=3):
+    """Classic parking-lot topology: long flow crosses every hop,
+    short flows cross one hop each."""
+    sim = Simulator()
+    net = Network(sim)
+    routers = []
+    for i in range(num_hops + 1):
+        r = net.add_router(f"r{i}")
+        r.add_interface(Address(Address.parse("172.16.0.1").value + i))
+        routers.append(r)
+    links = []
+    for a, b in zip(routers, routers[1:]):
+        links.append(net.connect(a, b, mbps(100), ms(5)))
+    hosts = []
+    for i, r in enumerate(routers):
+        h = net.add_host(f"h{i}")
+        h.add_interface(Address(Address.parse("10.0.0.1").value + i))
+        net.connect(h, r, gbps(1), ms(1))
+        hosts.append(h)
+    return sim, net, hosts, links
+
+
+class TestMaxMinProperties:
+    def test_parking_lot_allocation(self):
+        """The textbook result: every flow gets capacity/(flows on its
+        most-loaded link); the long flow is squeezed equally."""
+        _sim, net, hosts, _links = build_parking_lot(3)
+        long_flow = "long"
+        shorts = [f"s{i}" for i in range(3)]
+        paths = {long_flow: net.path_between(hosts[0], hosts[3])}
+        for i, name in enumerate(shorts):
+            paths[name] = net.path_between(hosts[i], hosts[i + 1])
+        rates = compute_max_min_rates([long_flow] + shorts, paths)
+        # Each hop shared by the long flow and one short: 50/50.
+        assert rates[long_flow] == pytest.approx(mbps(50))
+        for name in shorts:
+            assert rates[name] == pytest.approx(mbps(50))
+
+    @settings(max_examples=30, deadline=None)
+    @given(demands=st.lists(
+        st.floats(min_value=1e6, max_value=2e8, allow_nan=False),
+        min_size=1, max_size=6))
+    def test_property_no_link_oversubscribed(self, demands):
+        _sim, net, hosts, links = build_parking_lot(2)
+        flows = [f"f{i}" for i in range(len(demands))]
+        # All flows share the full 2-hop path.
+        paths = {f: net.path_between(hosts[0], hosts[2]) for f in flows}
+        rates = compute_max_min_rates(
+            flows, paths, demands=dict(zip(flows, demands)))
+        total = sum(rates.values())
+        assert total <= mbps(100) * 1.001
+        for f, demand in zip(flows, demands):
+            assert rates[f] <= demand * 1.001
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=8))
+    def test_property_equal_split_is_work_conserving(self, n):
+        _sim, net, hosts, _links = build_parking_lot(1)
+        flows = [f"f{i}" for i in range(n)]
+        paths = {f: net.path_between(hosts[0], hosts[1]) for f in flows}
+        rates = compute_max_min_rates(flows, paths)
+        assert sum(rates.values()) == pytest.approx(mbps(100))
+        for f in flows:
+            assert rates[f] == pytest.approx(mbps(100) / n)
+
+
+class TestUtilizationProbe:
+    def test_samples_accumulate_per_interval(self):
+        _sim, net, hosts, links = build_parking_lot(1)
+        direction = links[0].forward
+        direction.enable_utilization_sampling(interval=1.0)
+        # 100 Mbps link: 12.5 MB/s at 100% utilization.
+        direction.carry(0.2, 6_250_000)   # 50% of second 0
+        direction.carry(1.5, 12_500_000)  # 100% of second 1
+        series = direction.utilization_series()
+        assert series[0] == (0.0, pytest.approx(0.5))
+        assert series[1] == (1.0, pytest.approx(1.0))
+        assert direction.peak_utilization() == pytest.approx(1.0)
+
+    def test_probe_disabled_by_default(self):
+        _sim, _net, _hosts, links = build_parking_lot(1)
+        direction = links[0].forward
+        direction.carry(0.0, 1000)
+        assert direction.utilization_series() == []
+        assert direction.peak_utilization() == 0.0
+
+    def test_invalid_interval(self):
+        _sim, _net, _hosts, links = build_parking_lot(1)
+        with pytest.raises(ValueError):
+            links[0].forward.enable_utilization_sampling(interval=0)
+
+    def test_flow_traffic_shows_in_probe(self):
+        from repro.net.topology import build_dumbbell
+        from repro.transport.tcp import TcpFlow
+        from repro.util.units import mib
+
+        sim = Simulator(seed=27)
+        bell = build_dumbbell(sim)
+        direction = bell.bottleneck.forward
+        direction.enable_utilization_sampling(interval=1.0)
+        path = bell.network.path_between(bell.client, bell.server)
+        TcpFlow(sim, path, mib(200))
+        sim.run()
+        assert direction.peak_utilization() > 0.5

@@ -1,0 +1,230 @@
+"""Network graph, routing, path, and datagram tests."""
+
+import pytest
+
+from repro.net.address import Address
+from repro.net.network import (
+    Network,
+    NetworkError,
+    compose_paths,
+    compute_max_min_rates,
+)
+from repro.sim.engine import Simulator
+from repro.util.units import gbps, mbps, ms
+
+
+def build_line(sim=None):
+    """a -- r -- b with distinct capacities."""
+    sim = sim or Simulator()
+    net = Network(sim)
+    a = net.add_host("a")
+    a.add_interface(Address.parse("10.0.0.1"))
+    b = net.add_host("b")
+    b.add_interface(Address.parse("10.0.0.2"))
+    r = net.add_router("r")
+    r.add_interface(Address.parse("172.16.0.1"))
+    l1 = net.connect(a, r, gbps(1), ms(5))
+    l2 = net.connect(r, b, mbps(100), ms(10))
+    return sim, net, a, b, r, l1, l2
+
+
+class TestRouting:
+    def test_path_properties(self):
+        _sim, net, a, b, _r, _l1, _l2 = build_line()
+        path = net.path_between(a, b)
+        assert path.hop_count == 2
+        assert path.propagation_delay == pytest.approx(0.015)
+        assert path.rtt == pytest.approx(0.030)
+        assert path.bottleneck_bandwidth == mbps(100)
+
+    def test_path_is_cached(self):
+        _sim, net, a, b, _r, _l1, _l2 = build_line()
+        assert net.path_between(a, b) is net.path_between(a, b)
+
+    def test_no_self_path(self):
+        _sim, net, a, _b, _r, _l1, _l2 = build_line()
+        with pytest.raises(NetworkError):
+            net.path_between(a, a)
+
+    def test_unreachable_after_link_failure(self):
+        _sim, net, a, b, _r, l1, _l2 = build_line()
+        net.fail_link(l1)
+        with pytest.raises(NetworkError):
+            net.path_between(a, b)
+        net.restore_link(l1)
+        assert net.path_between(a, b).hop_count == 2
+
+    def test_routing_epoch_changes_on_failure(self):
+        _sim, net, _a, _b, _r, l1, _l2 = build_line()
+        epoch = net.routing_epoch
+        net.fail_link(l1)
+        assert net.routing_epoch > epoch
+
+    def test_shortest_delay_route_chosen(self):
+        sim = Simulator()
+        net = Network(sim)
+        a = net.add_host("a")
+        a.add_interface(Address.parse("10.0.0.1"))
+        b = net.add_host("b")
+        b.add_interface(Address.parse("10.0.0.2"))
+        r = net.add_router("r")
+        r.add_interface(Address.parse("172.16.0.1"))
+        net.connect(a, b, gbps(1), ms(50), name="slow-direct")
+        net.connect(a, r, gbps(1), ms(5))
+        net.connect(r, b, gbps(1), ms(5))
+        path = net.path_between(a, b)
+        assert path.hop_count == 2  # via r: 10ms beats 50ms direct
+
+    def test_routing_weight_override(self):
+        sim = Simulator()
+        net = Network(sim)
+        a = net.add_host("a")
+        a.add_interface(Address.parse("10.0.0.1"))
+        b = net.add_host("b")
+        b.add_interface(Address.parse("10.0.0.2"))
+        r = net.add_router("r")
+        r.add_interface(Address.parse("172.16.0.1"))
+        net.connect(a, b, gbps(1), ms(50), name="direct")
+        # Geographically shorter but policy-shunned.
+        net.connect(a, r, gbps(1), ms(5), routing_weight=10.0)
+        net.connect(r, b, gbps(1), ms(5), routing_weight=10.0)
+        assert net.path_between(a, b).hop_count == 1
+
+    def test_loss_composes_along_path(self):
+        sim = Simulator()
+        net = Network(sim)
+        a = net.add_host("a")
+        a.add_interface(Address.parse("10.0.0.1"))
+        b = net.add_host("b")
+        b.add_interface(Address.parse("10.0.0.2"))
+        r = net.add_router("r")
+        r.add_interface(Address.parse("172.16.0.1"))
+        net.connect(a, r, gbps(1), ms(1), loss_rate=0.1)
+        net.connect(r, b, gbps(1), ms(1), loss_rate=0.1)
+        path = net.path_between(a, b)
+        assert path.loss_rate == pytest.approx(1 - 0.9 * 0.9)
+
+    def test_duplicate_address_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        a = net.add_host("a")
+        a.add_interface(Address.parse("10.0.0.1"))
+        b = net.add_host("b")
+        with pytest.raises(NetworkError):
+            b.add_interface(Address.parse("10.0.0.1"))
+
+    def test_compose_paths(self):
+        _sim, net, a, b, r, _l1, _l2 = build_line()
+        # b -> a through r, composed from two halves around r is not
+        # possible (r is a router); compose a->b with b->a instead.
+        forward = net.path_between(a, b)
+        backward = net.path_between(b, a)
+        loop = compose_paths(forward, backward)
+        assert loop.source is a and loop.dest is a
+        assert loop.hop_count == 4
+
+    def test_compose_mismatched_raises(self):
+        _sim, net, a, b, _r, _l1, _l2 = build_line()
+        forward = net.path_between(a, b)
+        with pytest.raises(NetworkError):
+            compose_paths(forward, forward)
+
+
+class TestFairShare:
+    def test_single_flow_gets_bottleneck(self):
+        _sim, net, a, b, _r, _l1, _l2 = build_line()
+        path = net.path_between(a, b)
+        flow = object()
+        assert path.fair_share_bps(flow) == pytest.approx(mbps(100))
+
+    def test_two_flows_split_bottleneck(self):
+        _sim, net, a, b, _r, _l1, _l2 = build_line()
+        path = net.path_between(a, b)
+        f1, f2 = object(), object()
+        path.register_flow(f1)
+        assert path.fair_share_bps(f2) == pytest.approx(mbps(50))
+        # Registered flow sees the same share.
+        path.register_flow(f2)
+        assert path.fair_share_bps(f1) == pytest.approx(mbps(50))
+
+    def test_unregister_restores_share(self):
+        _sim, net, a, b, _r, _l1, _l2 = build_line()
+        path = net.path_between(a, b)
+        f1, f2 = object(), object()
+        path.register_flow(f1)
+        path.register_flow(f2)
+        path.unregister_flow(f1)
+        assert path.fair_share_bps(f2) == pytest.approx(mbps(100))
+
+    def test_max_min_respects_demands(self):
+        _sim, net, a, b, _r, _l1, _l2 = build_line()
+        path = net.path_between(a, b)
+        f1, f2 = "f1", "f2"
+        rates = compute_max_min_rates(
+            [f1, f2], {f1: path, f2: path}, demands={f1: mbps(10)})
+        assert rates[f1] == pytest.approx(mbps(10))
+        assert rates[f2] == pytest.approx(mbps(90))
+
+    def test_max_min_equal_split_without_demands(self):
+        _sim, net, a, b, _r, _l1, _l2 = build_line()
+        path = net.path_between(a, b)
+        flows = ["f1", "f2", "f3", "f4"]
+        rates = compute_max_min_rates(flows, {f: path for f in flows})
+        for f in flows:
+            assert rates[f] == pytest.approx(mbps(25))
+
+
+class TestDatagrams:
+    def test_delivery_latency(self):
+        sim, net, a, b, _r, _l1, _l2 = build_line()
+        got = []
+        b.bind_datagram(53, lambda src, sport, payload: got.append((src, payload)))
+        net.send_datagram(a, 1000, b.address, 53, "ping", size=1000)
+        sim.run()
+        assert got == [(a.address, "ping")]
+        # 15 ms propagation + 1000B at 100 Mbps = 0.08 ms
+        assert sim.now == pytest.approx(0.015 + 1000 * 8 / mbps(100))
+
+    def test_unbound_port_drops(self):
+        sim, net, a, b, _r, _l1, _l2 = build_line()
+        net.send_datagram(a, 1000, b.address, 54, "x")
+        sim.run()  # no handler, no error
+
+    def test_unknown_address_invokes_drop_callback(self):
+        sim, net, a, _b, _r, _l1, _l2 = build_line()
+        drops = []
+        net.send_datagram(a, 1, Address.parse("203.0.113.1"), 53, "x",
+                          on_dropped=lambda: drops.append(1))
+        sim.run()
+        assert drops == [1]
+
+    def test_powered_off_host_does_not_receive(self):
+        sim, net, a, b, _r, _l1, _l2 = build_line()
+        got = []
+        b.bind_datagram(53, lambda *args: got.append(args))
+        b.power_off()
+        net.send_datagram(a, 1, b.address, 53, "x")
+        sim.run()
+        assert got == []
+
+    def test_lossy_path_drops_some(self):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        a = net.add_host("a")
+        a.add_interface(Address.parse("10.0.0.1"))
+        b = net.add_host("b")
+        b.add_interface(Address.parse("10.0.0.2"))
+        net.connect(a, b, gbps(1), ms(1), loss_rate=0.5)
+        got = []
+        b.bind_datagram(7, lambda *args: got.append(args))
+        for _ in range(100):
+            net.send_datagram(a, 1, b.address, 7, "x")
+        sim.run()
+        assert 20 < len(got) < 80
+
+    def test_datagram_bytes_accounted(self):
+        sim, net, a, b, _r, l1, _l2 = build_line()
+        b.bind_datagram(53, lambda *args: None)
+        net.send_datagram(a, 1, b.address, 53, "x", size=500)
+        sim.run()
+        assert l1.direction(a).stats.bytes_carried == 500

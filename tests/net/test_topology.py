@@ -1,0 +1,132 @@
+"""Topology builder tests: the CCZ-shaped city, dumbbell, detour testbed."""
+
+import pytest
+
+from repro.net.topology import (
+    AccessProfile,
+    build_city,
+    build_detour_testbed,
+    build_dumbbell,
+)
+from repro.sim.engine import Simulator
+from repro.util.units import gbps, mbps
+
+
+class TestCity:
+    def test_ccz_shape(self):
+        sim = Simulator()
+        city = build_city(sim, homes_per_neighborhood=10)
+        nbhd = city.neighborhoods[0]
+        assert len(nbhd.homes) == 10
+        assert nbhd.uplink.forward.bandwidth_bps == gbps(10)
+        home = nbhd.homes[0]
+        assert home.access_link.forward.bandwidth_bps == gbps(1)
+        assert home.access_link.reverse.bandwidth_bps == gbps(1)
+        assert home.hpop_host is not None
+        assert len(home.devices) == 2
+
+    def test_legacy_access_is_asymmetric(self):
+        sim = Simulator()
+        city = build_city(sim, homes_per_neighborhood=2,
+                          access=AccessProfile.legacy_broadband())
+        link = city.neighborhoods[0].homes[0].access_link
+        # forward = agg -> home (download), reverse = upload
+        assert link.forward.bandwidth_bps == mbps(25)
+        assert link.reverse.bandwidth_bps == mbps(5)
+
+    def test_devices_route_to_servers(self):
+        sim = Simulator()
+        city = build_city(sim, homes_per_neighborhood=3,
+                          server_sites={"origin": 1})
+        device = city.neighborhoods[0].homes[0].devices[0]
+        server = city.server_sites["origin"].servers[0]
+        path = city.network.path_between(device, server)
+        assert path.hop_count >= 4
+        assert server.name.startswith("origin")
+
+    def test_lateral_paths_avoid_uplink(self):
+        """SII 'Lateral Bandwidth': neighbor-to-neighbor traffic stays
+        inside the neighborhood and sees gigabit capacity."""
+        sim = Simulator()
+        city = build_city(sim, homes_per_neighborhood=4)
+        nbhd = city.neighborhoods[0]
+        a = nbhd.homes[0].hpop_host
+        b = nbhd.homes[1].hpop_host
+        path = city.network.path_between(a, b)
+        uplink_dirs = set(nbhd.uplink.directions())
+        assert not any(d in uplink_dirs for d in path.directions)
+        assert path.bottleneck_bandwidth == gbps(1)
+
+    def test_multiple_neighborhoods(self):
+        sim = Simulator()
+        city = build_city(sim, num_neighborhoods=3, homes_per_neighborhood=2)
+        assert len(city.neighborhoods) == 3
+        assert len(city.all_homes()) == 6
+        assert len(city.all_hpops()) == 6
+        a = city.neighborhoods[0].homes[0].hpop_host
+        b = city.neighborhoods[2].homes[1].hpop_host
+        assert city.network.reachable(a, b)
+
+    def test_no_hpops_option(self):
+        sim = Simulator()
+        city = build_city(sim, homes_per_neighborhood=2, with_hpops=False)
+        assert city.all_hpops() == []
+
+    def test_unique_addresses(self):
+        sim = Simulator()
+        city = build_city(sim, num_neighborhoods=2, homes_per_neighborhood=5)
+        addresses = [
+            iface.address
+            for node in city.network.nodes.values()
+            for iface in node.interfaces
+        ]
+        assert len(addresses) == len(set(addresses))
+
+
+class TestDumbbell:
+    def test_paper_rtt_setting(self):
+        sim = Simulator()
+        bell = build_dumbbell(sim)
+        path = bell.network.path_between(bell.client, bell.server)
+        # ~50 ms RTT, 1 Gbps bottleneck: the SIV-D scenario.
+        assert path.rtt == pytest.approx(0.0504)
+        assert path.bottleneck_bandwidth == gbps(1)
+
+    def test_loss_configurable(self):
+        sim = Simulator()
+        bell = build_dumbbell(sim, loss_rate=0.01)
+        path = bell.network.path_between(bell.client, bell.server)
+        assert path.loss_rate == pytest.approx(0.01)
+
+
+class TestDetourTestbed:
+    def test_native_route_is_direct(self):
+        sim = Simulator()
+        bed = build_detour_testbed(sim)
+        path = bed.network.path_between(bed.client, bed.server)
+        assert bed.direct_link.forward in path.directions or \
+            bed.direct_link.reverse in path.directions
+
+    def test_detour_legs_beat_native_delay(self):
+        """The premise: two-leg waypoint path has lower true latency even
+        though native routing will not use it."""
+        sim = Simulator()
+        bed = build_detour_testbed(sim)
+        native = bed.network.path_between(bed.client, bed.server)
+        wp = bed.waypoints[0]
+        leg1 = bed.network.path_between(bed.client, wp)
+        leg2 = bed.network.path_between(wp, bed.server)
+        assert leg1.propagation_delay + leg2.propagation_delay < native.propagation_delay
+
+    def test_waypoints_vary(self):
+        sim = Simulator()
+        bed = build_detour_testbed(sim, num_waypoints=3)
+        delays = []
+        for wp in bed.waypoints:
+            leg = bed.network.path_between(bed.client, wp)
+            delays.append(leg.propagation_delay)
+        assert delays == sorted(delays)
+        assert delays[0] < delays[-1]
+        # Last waypoint is the lossy one.
+        lossy_leg = bed.network.path_between(bed.client, bed.waypoints[-1])
+        assert lossy_leg.loss_rate > 0

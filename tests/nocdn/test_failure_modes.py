@@ -1,0 +1,103 @@
+"""NoCDN failure-mode tests: origin outages, stale serving, combined attacks."""
+
+import pytest
+
+from repro.nocdn.peer import NoCdnPeerService
+from repro.nocdn.selection import AffinitySelection
+
+from tests.nocdn.harness import NoCdnWorld, make_catalog
+
+
+class TestOriginOutage:
+    def test_peer_serves_stale_when_origin_down(self):
+        """A peer with an expired cache entry serves it stale rather than
+        failing the client when the origin is unreachable."""
+        world = NoCdnWorld(num_peers=1, object_ttl=5.0)
+        world.load_page()  # warm the peer
+        # Let entries expire, then take the origin down.
+        world.sim.run_until(world.sim.now + 10.0)
+        wrapper = world.provider.build_wrapper(world.catalog.page("/page0"))
+        world.provider.host.power_off()
+        results = []
+        world.loader._wrapped_load(world.provider, wrapper, world.sim.now,
+                                   100, results.append, lambda e: None)
+        world.sim.run()
+        result = results[0]
+        page = world.catalog.page("/page0")
+        # Stale bytes still add up to a complete page.
+        assert result.bytes_from_peers == page.total_size
+        assert result.corrupted == []
+
+    def test_cold_peer_502s_without_origin(self):
+        world = NoCdnWorld(num_peers=1)
+        wrapper = world.provider.build_wrapper(world.catalog.page("/page0"))
+        world.provider.host.power_off()  # peer cache is cold, origin dead
+        results = []
+        world.loader._wrapped_load(world.provider, wrapper, world.sim.now,
+                                   100, results.append, lambda e: None)
+        world.sim.run()
+        result = results[0]
+        # Nothing could be served; the load completes with failures
+        # recorded rather than hanging.
+        assert result.bytes_from_peers == 0
+        assert len(result.peer_failures) == \
+            world.catalog.page("/page0").object_count
+
+
+class TestCombinedAttacks:
+    def test_chunked_delivery_with_tamperer(self):
+        """Range-sharded objects from a tampering peer still verify and
+        recover at whole-object granularity."""
+        catalog = make_catalog(objects_per_page=1, object_size=300_000)
+        tamperer = NoCdnPeerService(tamper=True)
+        honest = NoCdnPeerService()
+        world = NoCdnWorld(peer_services=[tamperer, honest],
+                           catalog=catalog, chunk_size=100_000)
+        result = world.load_page()
+        page = catalog.page("/page0")
+        # At least one chunk came from the tamperer -> object-level
+        # corruption detected and recovered from origin.
+        assert result.corrupted
+        assert result.bytes_from_origin >= page.container.size or \
+            result.bytes_from_origin >= 300_000
+        assert result.total_bytes >= page.total_size
+
+    def test_tamper_and_inflate_together(self):
+        cheater = NoCdnPeerService(tamper=True, inflate_factor=2.0)
+        world = NoCdnWorld(peer_services=[cheater])
+        result = world.load_page()
+        cheater.flush_usage()
+        world.sim.run()
+        # Tampered objects earn no usage records (client only signs for
+        # verified bytes); whatever the peer uploads anyway is inflated
+        # and fails HMAC.
+        assert world.provider.payable_bytes.get(cheater.peer_id, 0) == 0
+        info = world.provider.peers[cheater.peer_id]
+        assert info.trust < 1.0
+
+    def test_expelled_peer_not_in_new_wrappers(self):
+        tamperer = NoCdnPeerService(tamper=True)
+        honest = NoCdnPeerService()
+        world = NoCdnWorld(peer_services=[tamperer, honest])
+        for _ in range(6):
+            world.load_page()
+        assert world.provider.peers[tamperer.peer_id].expelled
+        wrapper = world.provider.build_wrapper(world.catalog.page("/page0"))
+        assert tamperer.peer_id not in wrapper.peers_used()
+
+
+class TestSignupValidation:
+    def test_double_signup_rejected(self):
+        world = NoCdnWorld(num_peers=1)
+        with pytest.raises(ValueError):
+            world.peers[0].sign_up(world.provider)
+
+    def test_signup_lookup(self):
+        world = NoCdnWorld(num_peers=1)
+        assert world.peers[0].providers() == ["news.example"]
+        with pytest.raises(KeyError):
+            world.peers[0].signup_for("unknown.example")
+
+    def test_invalid_inflate_factor(self):
+        with pytest.raises(ValueError):
+            NoCdnPeerService(inflate_factor=0.5)

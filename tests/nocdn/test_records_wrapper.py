@@ -1,0 +1,171 @@
+"""Unit tests: usage records, wrapper pages, selection policies."""
+
+import random
+
+import pytest
+
+from repro.http.content import WebObject, WebPage
+from repro.net.address import Address
+from repro.nocdn.records import UsageRecord, make_record
+from repro.nocdn.selection import chunked_assignment
+from repro.nocdn.wrapper import ChunkAssignment, WrapperPage
+from repro.util.crypto import deterministic_key
+
+KEY = deterministic_key("peer-key")
+
+
+def make_page(num_embedded=3, size=10_000):
+    return WebPage(
+        url="/index",
+        container=WebObject("index.html", 5_000),
+        embedded=tuple(WebObject(f"obj{i}.bin", size)
+                       for i in range(num_embedded)),
+    )
+
+
+class TestUsageRecords:
+    def test_sign_verify_round_trip(self):
+        record = make_record("w1", "peer-a", "obj", 1000, "n1", KEY)
+        assert record.verify(KEY)
+
+    def test_unsigned_record_fails(self):
+        record = UsageRecord("w1", "p", "o", 10, "n")
+        assert not record.verify(KEY)
+
+    def test_inflation_breaks_signature(self):
+        record = make_record("w1", "peer-a", "obj", 1000, "n1", KEY)
+        assert not record.inflated(2.0).verify(KEY)
+
+    def test_wrong_key_fails(self):
+        record = make_record("w1", "peer-a", "obj", 1000, "n1", KEY)
+        assert not record.verify(deterministic_key("other"))
+
+    def test_any_field_tamper_detected(self):
+        record = make_record("w1", "peer-a", "obj", 1000, "n1", KEY)
+        from dataclasses import replace
+        for change in (
+            {"wrapper_id": "w2"}, {"peer_id": "peer-b"},
+            {"object_name": "other"}, {"bytes_served": 2000},
+            {"nonce": "n2"},
+        ):
+            assert not replace(record, **change).verify(KEY)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            make_record("w", "p", "o", -1, "n", KEY)
+
+
+def build_wrapper(page, peers=("peer-a", "peer-b"), chunks=None,
+                  assignments=None):
+    peer_list = list(peers)
+    if assignments is None and chunks is None:
+        assignments = {obj.name: peer_list[i % len(peer_list)]
+                       for i, obj in enumerate(page.all_objects())}
+    return WrapperPage(
+        wrapper_id="w1",
+        page=page,
+        assignments=assignments or {},
+        chunks=chunks or [],
+        hashes={obj.name: obj.sha256 for obj in page.all_objects()},
+        peer_endpoints={p: (Address.parse("100.64.0.1"), 443)
+                        for p in peer_list},
+        peer_keys={p: deterministic_key(p) for p in peer_list},
+    )
+
+
+class TestWrapperPage:
+    def test_valid_wrapper(self):
+        wrapper = build_wrapper(make_page())
+        assert wrapper.size < 5_000  # small: the scalability point
+        assert set(wrapper.peers_used()) <= {"peer-a", "peer-b"}
+
+    def test_missing_assignment_rejected(self):
+        page = make_page()
+        with pytest.raises(ValueError):
+            build_wrapper(page, assignments={"index.html": "peer-a"})
+
+    def test_missing_key_rejected(self):
+        page = make_page(num_embedded=0)
+        with pytest.raises(ValueError):
+            WrapperPage(
+                wrapper_id="w", page=page,
+                assignments={"index.html": "peer-a"},
+                chunks=[],
+                hashes={"index.html": page.container.sha256},
+                peer_endpoints={"peer-a": (Address.parse("10.0.0.1"), 443)},
+                peer_keys={},
+            )
+
+    def test_expected_bytes_caps_by_peer(self):
+        page = make_page(num_embedded=2, size=10_000)
+        wrapper = build_wrapper(
+            page, assignments={
+                "index.html": "peer-a",
+                "obj0.bin": "peer-a",
+                "obj1.bin": "peer-b",
+            })
+        assert wrapper.expected_bytes_for("peer-a") == 15_000
+        assert wrapper.expected_bytes_for("peer-b") == 10_000
+        assert wrapper.expected_bytes_for("stranger") == 0
+
+    def test_work_items_cover_page(self):
+        page = make_page()
+        wrapper = build_wrapper(page)
+        items = wrapper.work_items()
+        total = sum(item.size for item in items)
+        assert total == page.total_size
+
+    def test_chunked_wrapper(self):
+        page = make_page(num_embedded=1, size=100_000)
+        chunks = [
+            ChunkAssignment("index.html", "peer-a", 0, 5_000),
+            ChunkAssignment("obj0.bin", "peer-a", 0, 50_000),
+            ChunkAssignment("obj0.bin", "peer-b", 50_000, 100_000),
+        ]
+        wrapper = build_wrapper(page, chunks=chunks, assignments={})
+        assert wrapper.expected_bytes_for("peer-b") == 50_000
+
+
+class FakePeerInfo:
+    def __init__(self, peer_id):
+        self.peer_id = peer_id
+        self.trust = 1.0
+        self.outstanding_bytes = 0
+        self.host = None
+
+
+class TestChunkedAssignment:
+    def test_chunks_cover_objects_exactly(self):
+        page = make_page(num_embedded=2, size=75_000)
+        peers = [FakePeerInfo(f"p{i}") for i in range(3)]
+        chunks = chunked_assignment(page, peers, random.Random(1),
+                                    chunk_size=20_000)
+        by_object = {}
+        for chunk in chunks:
+            by_object.setdefault(chunk.object_name, []).append(chunk)
+        for obj in page.all_objects():
+            ranges = sorted(by_object[obj.name], key=lambda c: c.start)
+            assert ranges[0].start == 0
+            assert ranges[-1].end == obj.size
+            for a, b in zip(ranges, ranges[1:]):
+                assert a.end == b.start  # contiguous, no gaps or overlap
+
+    def test_large_objects_use_multiple_peers(self):
+        page = WebPage(url="/", container=WebObject("big.bin", 200_000))
+        peers = [FakePeerInfo(f"p{i}") for i in range(4)]
+        chunks = chunked_assignment(page, peers, random.Random(2),
+                                    chunk_size=50_000)
+        assert len({c.peer_id for c in chunks}) > 1
+
+    def test_small_objects_stay_whole(self):
+        page = WebPage(url="/", container=WebObject("tiny.html", 1_000))
+        peers = [FakePeerInfo("p0"), FakePeerInfo("p1")]
+        chunks = chunked_assignment(page, peers, random.Random(3),
+                                    chunk_size=50_000)
+        assert len(chunks) == 1
+        assert chunks[0].size == 1_000
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            chunked_assignment(make_page(), [FakePeerInfo("p")],
+                               random.Random(0), chunk_size=0)

@@ -1,0 +1,90 @@
+"""Weak (daemon) event semantics: run() quiescence rules."""
+
+import pytest
+
+from repro.sim.engine import Process, Simulator
+
+
+class TestWeakEvents:
+    def test_run_ignores_pure_weak_backlog(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("weak"), weak=True)
+        sim.run()
+        assert fired == []
+        assert sim.now == 0.0
+
+    def test_weak_fires_if_strong_work_extends_past_it(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("weak"), weak=True)
+        sim.schedule(2.0, lambda: fired.append("strong"))
+        sim.run()
+        assert fired == ["weak", "strong"]
+
+    def test_weak_after_last_strong_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("strong"))
+        sim.schedule(2.0, lambda: fired.append("weak"), weak=True)
+        sim.run()
+        assert fired == ["strong"]
+
+    def test_run_until_fires_weak_events(self):
+        """Time-bounded runs execute everything in the window."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("weak"), weak=True)
+        sim.run_until(5.0)
+        assert fired == ["weak"]
+
+    def test_weak_backlog_resumes_with_new_strong_work(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("weak"), weak=True)
+        sim.run()
+        assert fired == []
+        sim.schedule(3.0, lambda: fired.append("strong"))
+        sim.run()
+        assert fired == ["weak", "strong"]
+
+    def test_cancelled_strong_event_reaches_quiescence(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        sim.schedule(0.5, lambda: None)
+        assert sim.run() == 1  # only the live strong event fires
+
+    def test_cancel_weak_event_is_safe(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None, weak=True)
+        event.cancel()
+        event.cancel()  # idempotent
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+
+    def test_periodic_process_is_weak(self):
+        """A Process.every loop never keeps run() from returning —
+        the regression that once made sim.run() spin forever."""
+        sim = Simulator()
+        proc = Process(sim, "maintenance")
+        ticks = []
+        proc.every(10.0, lambda: ticks.append(sim.now))
+        sim.schedule(35.0, lambda: None)  # strong work ends at t=35
+        fired = sim.run()
+        assert sim.now == 35.0
+        assert ticks == [10.0, 20.0, 30.0]
+        assert fired < 10  # terminated promptly
+
+    def test_strong_event_scheduled_by_weak_event_extends_run(self):
+        sim = Simulator()
+        fired = []
+
+        def weak_callback():
+            fired.append("weak")
+            sim.schedule(1.0, lambda: fired.append("spawned-strong"))
+
+        sim.schedule(1.0, weak_callback, weak=True)
+        sim.schedule(2.0, lambda: fired.append("strong"))
+        sim.run()
+        assert fired == ["weak", "strong", "spawned-strong"]

@@ -1,0 +1,129 @@
+"""Transport behaviour under link failures: reroute, stall, MPTCP failover."""
+
+import pytest
+
+from repro.net.address import Address
+from repro.net.network import Network, compose_paths
+from repro.net.topology import build_detour_testbed, build_dumbbell
+from repro.sim.engine import Simulator
+from repro.transport.mptcp import MptcpConnection
+from repro.transport.tcp import TcpFlow
+from repro.util.units import gbps, mib, ms
+
+
+def build_two_path_net():
+    """a -- r1 -- b plus a slower backup path a -- r2 -- b."""
+    sim = Simulator(seed=28)
+    net = Network(sim)
+    a = net.add_host("a")
+    a.add_interface(Address.parse("10.0.0.1"))
+    b = net.add_host("b")
+    b.add_interface(Address.parse("10.0.0.2"))
+    r1 = net.add_router("r1")
+    r1.add_interface(Address.parse("172.16.0.1"))
+    r2 = net.add_router("r2")
+    r2.add_interface(Address.parse("172.16.0.2"))
+    net.connect(a, r1, gbps(1), ms(2))
+    primary = net.connect(r1, b, gbps(1), ms(2))
+    net.connect(a, r2, gbps(1), ms(20))
+    net.connect(r2, b, gbps(1), ms(20))
+    return sim, net, a, b, primary
+
+
+class TestTcpReroute:
+    def test_flow_reroutes_around_failure(self):
+        sim, net, a, b, primary = build_two_path_net()
+        path = net.path_between(a, b)
+        assert path.propagation_delay == pytest.approx(0.004)
+        done = []
+        flow = TcpFlow(sim, path, mib(50), on_complete=lambda f: done.append(1))
+        sim.run_until(0.1)
+        net.fail_link(primary)
+        sim.run()
+        assert done == [1]
+        assert flow.stats.reroutes == 1
+        assert flow.stats.bytes_delivered == pytest.approx(mib(50))
+        # The flow ended on the backup path.
+        assert flow.path.propagation_delay == pytest.approx(0.040)
+
+    def test_flow_stalls_then_fails_when_partitioned(self):
+        sim = Simulator(seed=29)
+        bell = build_dumbbell(sim)
+        path = bell.network.path_between(bell.server, bell.client)
+        done = []
+        flow = TcpFlow(sim, path, mib(50), on_complete=lambda f: done.append(1))
+        sim.run_until(0.1)
+        bell.network.fail_link(bell.bottleneck)  # no alternative exists
+        sim.run()
+        assert done == []
+        assert flow.failed
+        assert flow.stats.stalls == flow.max_stalls
+        # The dead flow no longer occupies the path.
+        assert path.fair_share_bps(object()) == pytest.approx(gbps(1))
+
+    def test_flow_resumes_if_link_restored_during_stall(self):
+        sim = Simulator(seed=30)
+        bell = build_dumbbell(sim)
+        path = bell.network.path_between(bell.server, bell.client)
+        done = []
+        flow = TcpFlow(sim, path, mib(20), on_complete=lambda f: done.append(1))
+        sim.run_until(0.1)
+        bell.network.fail_link(bell.bottleneck)
+        sim.run_until(1.0)  # a few stall periods
+        bell.network.restore_link(bell.bottleneck)
+        sim.run()
+        assert done == [1]
+        assert not flow.failed
+        assert flow.stats.stalls > 0
+
+    def test_reroute_restarts_congestion_window(self):
+        sim, net, a, b, primary = build_two_path_net()
+        path = net.path_between(a, b)
+        flow = TcpFlow(sim, path, mib(100))
+        sim.run_until(0.5)
+        grown = flow.cwnd
+        net.fail_link(primary)
+        sim.run_until(0.51)
+        assert flow.stats.reroutes == 1
+        assert flow.cwnd < grown
+        flow.cancel()
+
+
+class TestMptcpFailover:
+    def test_dead_subflow_path_fails_over(self):
+        sim = Simulator(seed=31)
+        bed = build_detour_testbed(sim, num_waypoints=1, direct_loss=0.0)
+        conn = MptcpConnection(sim, mib(20))
+        direct = conn.add_subflow(
+            bed.network.path_between(bed.client, bed.server), label="direct")
+        wp = bed.waypoints[0]
+        detour_path = compose_paths(
+            bed.network.path_between(bed.client, wp),
+            bed.network.path_between(wp, bed.server))
+        detour = conn.add_subflow(detour_path, label="detour")
+        sim.run_until(0.3)
+        # Sever the waypoint's access link: the detour subflow dies, the
+        # transfer completes on the direct subflow.
+        wp_access = bed.network.links["wp0-access"]
+        bed.network.fail_link(wp_access)
+        sim.run()
+        assert conn.done
+        assert detour.removed
+        assert conn.stats.bytes_delivered >= mib(20) * 0.999
+
+    def test_all_paths_dead_means_stalled(self):
+        sim = Simulator(seed=32)
+        bell = build_dumbbell(sim)
+        conn = MptcpConnection(sim, mib(20))
+        path = bell.network.path_between(bell.server, bell.client)
+        conn.add_subflow(path)
+        sim.run_until(0.2)
+        bell.network.fail_link(bell.bottleneck)
+        sim.run()
+        assert not conn.done
+        assert conn.stalled
+        # Recovery: a new subflow on a restored path finishes the job.
+        bell.network.restore_link(bell.bottleneck)
+        conn.add_subflow(bell.network.path_between(bell.server, bell.client))
+        sim.run()
+        assert conn.done

@@ -1,0 +1,218 @@
+"""TCP flow-model tests, including the paper's ramp-up arithmetic."""
+
+import pytest
+
+from repro.net.topology import build_dumbbell
+from repro.sim.engine import Simulator
+from repro.transport.tcp import MSS, TcpConnection, TcpFlow
+from repro.util.units import gbps, mib, ms
+
+
+def make_path(loss=0.0, bottleneck=gbps(1), delay=ms(25)):
+    sim = Simulator(seed=2)
+    bell = build_dumbbell(sim, bottleneck_bps=bottleneck,
+                          bottleneck_delay=delay, loss_rate=loss)
+    path = bell.network.path_between(bell.server, bell.client)  # download
+    return sim, bell, path
+
+
+class TestTcpFlow:
+    def test_small_transfer_completes_quickly(self):
+        sim, _bell, path = make_path()
+        done = []
+        TcpFlow(sim, path, 10_000, on_complete=lambda f: done.append(f))
+        sim.run()
+        assert len(done) == 1
+        flow = done[0]
+        assert flow.done
+        assert flow.stats.bytes_delivered == pytest.approx(10_000)
+        # 10 KB fits in IW10: roughly one round.
+        assert flow.stats.rounds == 1
+        assert sim.now < 3 * path.rtt
+
+    def test_large_transfer_uses_capacity(self):
+        sim, _bell, path = make_path()
+        done = []
+        TcpFlow(sim, path, mib(100), on_complete=lambda f: done.append(f))
+        sim.run()
+        flow = done[0]
+        goodput = flow.stats.mean_goodput_bps
+        # 100 MiB over 1 Gbps x 50 ms: slow start costs ~10 RTTs, then
+        # line rate; mean goodput should be within 2x of capacity.
+        assert goodput > gbps(1) / 2
+        assert flow.stats.bytes_delivered == pytest.approx(mib(100))
+
+    def test_paper_rampup_claim(self):
+        """SIV-D: ~10 RTTs and >14 MB before a 1 Gbps x 50 ms path is full."""
+        sim, _bell, path = make_path()
+        done = []
+        TcpFlow(sim, path, mib(200), on_complete=lambda f: done.append(f))
+        sim.run()
+        flow = done[0]
+        bdp_bytes = gbps(1) * path.rtt / 8
+        # Find the first round at which the per-round delivery fills the BDP.
+        cumulative = flow.stats.progress
+        fill_round = None
+        prev_bytes = 0.0
+        for i, (_t, total) in enumerate(cumulative):
+            if total - prev_bytes >= 0.95 * bdp_bytes:
+                fill_round = i + 1
+                break
+            prev_bytes = total
+        assert fill_round is not None
+        assert 8 <= fill_round <= 12  # "10 RTTs"
+        # Paper: "over 14 MB of data before utilizing the available
+        # capacity" (sum of IW10 slow-start rounds, 14.6KB * (2^10 - 1)
+        # ~= 14.9 MB). Our final slow-start round is BDP-capped, so the
+        # cumulative figure lands slightly lower; assert the ~14 MB shape.
+        bytes_before_full = cumulative[fill_round - 1][1]
+        assert 12e6 < bytes_before_full < 16e6
+
+    def test_slow_start_doubles(self):
+        sim, _bell, path = make_path()
+        flow = TcpFlow(sim, path, mib(50), start=False)
+        initial = flow.cwnd
+        flow.start()
+        # cwnd for the *next* round doubles as soon as a round is sent.
+        sim.run_until(path.rtt * 0.5)
+        assert flow.cwnd == pytest.approx(initial * 2)
+        sim.run_until(path.rtt * 1.5)
+        assert flow.cwnd == pytest.approx(initial * 4)
+
+    def test_loss_halves_cwnd(self):
+        sim, _bell, path = make_path(loss=0.3)
+        flow = TcpFlow(sim, path, mib(1))
+        sim.run()
+        assert flow.stats.loss_events > 0
+        assert flow.stats.retransmitted_bytes > 0
+        assert flow.done  # lossy but finishes
+
+    def test_lossy_path_slower_than_clean(self):
+        sim_clean, _b1, path_clean = make_path(loss=0.0)
+        done_clean = []
+        TcpFlow(sim_clean, path_clean, mib(5),
+                on_complete=lambda f: done_clean.append(sim_clean.now))
+        sim_clean.run()
+        sim_lossy, _b2, path_lossy = make_path(loss=0.02)
+        done_lossy = []
+        TcpFlow(sim_lossy, path_lossy, mib(5),
+                on_complete=lambda f: done_lossy.append(sim_lossy.now))
+        sim_lossy.run()
+        assert done_lossy[0] > done_clean[0] * 1.5
+
+    def test_two_flows_share_bottleneck(self):
+        sim, bell, _path = make_path()
+        down_path = bell.network.path_between(bell.server, bell.client)
+        done = {}
+        TcpFlow(sim, down_path, mib(50), on_complete=lambda f: done.setdefault("a", sim.now))
+        TcpFlow(sim, down_path, mib(50), on_complete=lambda f: done.setdefault("b", sim.now))
+        sim.run()
+        # Two 50 MiB flows over 1 Gbps should take roughly as long as one
+        # 100 MiB flow (sharing), i.e. ~0.9-2 s, not ~0.5 s.
+        assert min(done.values()) > 0.75
+
+    def test_cancel_stops_flow(self):
+        sim, _bell, path = make_path()
+        done = []
+        flow = TcpFlow(sim, path, mib(100), on_complete=lambda f: done.append(1))
+        sim.run_until(0.2)
+        flow.cancel()
+        sim.run()
+        assert done == []
+        assert not flow.done
+        # Path no longer counts the flow.
+        assert path.fair_share_bps(object()) == pytest.approx(gbps(1))
+
+    def test_progress_is_monotone(self):
+        sim, _bell, path = make_path(loss=0.05)
+        flow = TcpFlow(sim, path, mib(2))
+        sim.run()
+        totals = [b for _t, b in flow.stats.progress]
+        assert totals == sorted(totals)
+
+    def test_overhead_reduces_goodput(self):
+        sim1, _b1, path1 = make_path()
+        done1 = []
+        TcpFlow(sim1, path1, mib(20), on_complete=lambda f: done1.append(sim1.now))
+        sim1.run()
+        sim2, _b2, path2 = make_path()
+        done2 = []
+        TcpFlow(sim2, path2, mib(20), overhead_per_packet=400,
+                on_complete=lambda f: done2.append(sim2.now))
+        sim2.run()
+        assert done2[0] > done1[0]
+
+    def test_rejects_nonpositive_bytes(self):
+        sim, _bell, path = make_path()
+        with pytest.raises(ValueError):
+            TcpFlow(sim, path, 0)
+
+
+class TestTcpConnection:
+    def make_conn(self, tls=0):
+        sim, bell, _path = make_path()
+        fwd = bell.network.path_between(bell.client, bell.server)
+        rev = bell.network.path_between(bell.server, bell.client)
+        return sim, TcpConnection(sim, fwd, rev, tls_round_trips=tls)
+
+    def test_handshake_takes_one_rtt(self):
+        sim, conn = self.make_conn()
+        ready = []
+        conn.establish(lambda: ready.append(sim.now))
+        sim.run()
+        assert ready[0] == pytest.approx(conn.forward_path.rtt)
+
+    def test_tls_adds_round_trips(self):
+        sim, conn = self.make_conn(tls=2)
+        ready = []
+        conn.establish(lambda: ready.append(sim.now))
+        sim.run()
+        assert ready[0] == pytest.approx(3 * conn.forward_path.rtt)
+
+    def test_transfer_requires_establishment(self):
+        _sim, conn = self.make_conn()
+        with pytest.raises(RuntimeError):
+            conn.transfer(1000, "down", lambda f: None)
+
+    def test_warm_connection_faster_second_transfer(self):
+        sim, conn = self.make_conn()
+        times = {}
+        size = mib(3)
+
+        def second_done(flow):
+            times["second"] = sim.now - times["second_start"]
+
+        def first_done(flow):
+            times["first"] = sim.now
+            times["second_start"] = sim.now
+            conn.transfer(size, "down", second_done)
+
+        conn.establish(lambda: conn.transfer(size, "down", first_done))
+        sim.run()
+        first_duration = times["first"] - conn.forward_path.rtt
+        assert times["second"] < first_duration
+
+    def test_concurrent_establish_callbacks(self):
+        sim, conn = self.make_conn()
+        ready = []
+        conn.establish(lambda: ready.append("a"))
+        conn.establish(lambda: ready.append("b"))
+        sim.run()
+        assert ready == ["a", "b"]
+
+    def test_closed_connection_rejects_use(self):
+        sim, conn = self.make_conn()
+        conn.establish(lambda: None)
+        sim.run()
+        conn.close()
+        with pytest.raises(RuntimeError):
+            conn.transfer(100, "down", lambda f: None)
+        with pytest.raises(RuntimeError):
+            conn.establish(lambda: None)
+
+    def test_bad_direction_rejected(self):
+        sim, conn = self.make_conn()
+        conn.establish(lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            conn.transfer(100, "sideways", lambda f: None)

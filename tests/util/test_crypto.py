@@ -1,0 +1,73 @@
+"""Crypto helper tests: hashing, HMAC, nonce registry."""
+
+from repro.util.crypto import (
+    NonceRegistry,
+    content_hash,
+    derive_payload,
+    deterministic_key,
+    hmac_sign,
+    hmac_verify,
+    random_key,
+    sha256_hex,
+)
+
+
+def test_sha256_hex_known_vector():
+    assert sha256_hex(b"") == (
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    )
+
+
+def test_derive_payload_is_deterministic_and_sized():
+    a = derive_payload("obj", 1, 1000)
+    b = derive_payload("obj", 1, 1000)
+    assert a == b
+    assert len(a) == 1000
+
+
+def test_derive_payload_differs_by_version_and_name():
+    assert derive_payload("obj", 1, 64) != derive_payload("obj", 2, 64)
+    assert derive_payload("obj", 1, 64) != derive_payload("other", 1, 64)
+
+
+def test_derive_payload_zero_size():
+    assert derive_payload("obj", 1, 0) == b""
+
+
+def test_content_hash_tracks_payload():
+    assert content_hash("a", 1, 128) == sha256_hex(derive_payload("a", 1, 128))
+    assert content_hash("a", 1, 128) != content_hash("a", 2, 128)
+
+
+def test_hmac_sign_and_verify_round_trip():
+    key = deterministic_key("peer-0")
+    sig = hmac_sign(key, b"usage record")
+    assert hmac_verify(key, b"usage record", sig)
+
+
+def test_hmac_verify_rejects_tampering():
+    key = deterministic_key("peer-0")
+    sig = hmac_sign(key, b"served 1000 bytes")
+    assert not hmac_verify(key, b"served 9999 bytes", sig)
+    assert not hmac_verify(deterministic_key("peer-1"), b"served 1000 bytes", sig)
+
+
+def test_random_key_has_requested_length():
+    assert len(random_key(16)) == 16
+    assert len(random_key()) == 32
+
+
+def test_nonce_registry_detects_replay():
+    registry = NonceRegistry()
+    assert registry.register("n1")
+    assert not registry.register("n1")
+    assert registry.register("n2")
+    assert "n1" in registry
+    assert len(registry) == 2
+
+
+def test_nonce_registry_reset_starts_new_epoch():
+    registry = NonceRegistry()
+    registry.register("n1")
+    registry.reset()
+    assert registry.register("n1")

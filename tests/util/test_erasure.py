@@ -1,0 +1,130 @@
+"""Reed-Solomon erasure coding tests, including property-based coverage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.erasure import ReedSolomonCodec, Shard, gf_div, gf_inv, gf_mul, gf_pow
+
+
+class TestGaloisField:
+    def test_mul_identity_and_zero(self):
+        for a in range(256):
+            assert gf_mul(a, 1) == a
+            assert gf_mul(a, 0) == 0
+
+    def test_mul_commutative(self):
+        for a in (3, 87, 255):
+            for b in (5, 120, 200):
+                assert gf_mul(a, b) == gf_mul(b, a)
+
+    def test_div_inverts_mul(self):
+        for a in (1, 7, 99, 255):
+            for b in (1, 13, 254):
+                assert gf_div(gf_mul(a, b), b) == a
+
+    def test_inv(self):
+        for a in range(1, 256):
+            assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    def test_pow(self):
+        assert gf_pow(2, 0) == 1
+        assert gf_pow(2, 1) == 2
+        assert gf_pow(0, 5) == 0
+        assert gf_pow(0, 0) == 1
+
+
+class TestCodecBasics:
+    def test_encode_produces_k_plus_m_shards(self):
+        codec = ReedSolomonCodec(4, 2)
+        shards = codec.encode(b"hello erasure world")
+        assert len(shards) == 6
+        assert sum(1 for s in shards if not s.is_parity) == 4
+        assert sum(1 for s in shards if s.is_parity) == 2
+
+    def test_decode_from_all_shards(self):
+        codec = ReedSolomonCodec(4, 2)
+        payload = b"hello erasure world"
+        assert codec.decode(codec.encode(payload)) == payload
+
+    def test_decode_from_systematic_only(self):
+        codec = ReedSolomonCodec(3, 2)
+        payload = bytes(range(100))
+        shards = codec.encode(payload)
+        assert codec.decode(shards[:3]) == payload
+
+    def test_decode_with_parity_substitution(self):
+        codec = ReedSolomonCodec(3, 2)
+        payload = bytes(range(97))  # not a multiple of k
+        shards = codec.encode(payload)
+        survivors = [shards[0], shards[3], shards[4]]  # one data, two parity
+        assert codec.decode(survivors) == payload
+
+    def test_too_few_shards_raises(self):
+        codec = ReedSolomonCodec(4, 2)
+        shards = codec.encode(b"data")
+        with pytest.raises(ValueError):
+            codec.decode(shards[:3])
+
+    def test_duplicate_shards_do_not_count_twice(self):
+        codec = ReedSolomonCodec(3, 2)
+        shards = codec.encode(b"abcdef")
+        with pytest.raises(ValueError):
+            codec.decode([shards[0], shards[0], shards[1]])
+
+    def test_mismatched_geometry_rejected(self):
+        codec_a = ReedSolomonCodec(3, 2)
+        codec_b = ReedSolomonCodec(4, 2)
+        shards = codec_a.encode(b"abcdef")
+        with pytest.raises(ValueError):
+            codec_b.decode(shards)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCodec(0, 2)
+        with pytest.raises(ValueError):
+            ReedSolomonCodec(200, 100)
+
+    def test_storage_overhead(self):
+        assert ReedSolomonCodec(4, 2).storage_overhead() == pytest.approx(1.5)
+        assert ReedSolomonCodec(1, 0).storage_overhead() == pytest.approx(1.0)
+
+    def test_empty_payload(self):
+        codec = ReedSolomonCodec(3, 2)
+        shards = codec.encode(b"")
+        assert codec.decode(shards[2:]) == b""
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    payload=st.binary(min_size=0, max_size=300),
+    k=st.integers(min_value=1, max_value=6),
+    m=st.integers(min_value=0, max_value=4),
+    data=st.data(),
+)
+def test_any_k_of_n_recovers(payload, k, m, data):
+    """THE erasure-coding invariant: any k distinct shards reconstruct."""
+    codec = ReedSolomonCodec(k, m)
+    shards = codec.encode(payload)
+    indices = data.draw(
+        st.lists(st.integers(min_value=0, max_value=k + m - 1),
+                 min_size=k, max_size=k, unique=True)
+    )
+    survivors = [shards[i] for i in indices]
+    assert codec.decode(survivors) == payload
+
+
+@settings(max_examples=30, deadline=None)
+@given(payload=st.binary(min_size=1, max_size=200))
+def test_parity_shards_differ_from_data(payload):
+    codec = ReedSolomonCodec(2, 2)
+    shards = codec.encode(payload)
+    # Parity shards carry the geometry tag.
+    assert all(s.is_parity == (s.index >= 2) for s in shards)
+    assert all(s.original_length == len(payload) for s in shards)

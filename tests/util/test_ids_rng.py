@@ -1,0 +1,78 @@
+"""Id factory and RNG stream tests."""
+
+import pytest
+
+from repro.util.ids import IdFactory
+from repro.util.rng import RngStreams, derive_seed, weighted_choice, zipf_weights
+
+
+def test_id_factory_sequences_per_prefix():
+    ids = IdFactory()
+    assert ids.next("host") == "host-0"
+    assert ids.next("host") == "host-1"
+    assert ids.next("flow") == "flow-0"
+    assert ids.next("host") == "host-2"
+
+
+def test_id_factory_int_namespace():
+    ids = IdFactory()
+    assert ids.next_int("port") == 0
+    assert ids.next_int("port") == 1
+
+
+def test_independent_factories_do_not_share_state():
+    a, b = IdFactory(), IdFactory()
+    a.next("x")
+    assert b.next("x") == "x-0"
+
+
+def test_derive_seed_deterministic_and_distinct():
+    assert derive_seed(42, "tcp") == derive_seed(42, "tcp")
+    assert derive_seed(42, "tcp") != derive_seed(42, "udp")
+    assert derive_seed(42, "tcp") != derive_seed(43, "tcp")
+
+
+def test_streams_are_reproducible():
+    a = RngStreams(7).stream("loss")
+    b = RngStreams(7).stream("loss")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_streams_are_independent_of_creation_order():
+    one = RngStreams(7)
+    one.stream("a")
+    draw_one = one.stream("b").random()
+    two = RngStreams(7)
+    draw_two = two.stream("b").random()  # no stream("a") created first
+    assert draw_one == draw_two
+
+
+def test_spawn_creates_namespaced_registry():
+    parent = RngStreams(7)
+    child = parent.spawn("nocdn")
+    assert child.stream("x").random() != parent.stream("x").random()
+    again = RngStreams(7).spawn("nocdn")
+    assert again.stream("x").random() == RngStreams(7).spawn("nocdn").stream("x").random()
+
+
+def test_zipf_weights_normalized_and_decreasing():
+    weights = zipf_weights(100, 0.8)
+    assert sum(weights) == pytest.approx(1.0)
+    assert all(weights[i] > weights[i + 1] for i in range(99))
+
+
+def test_zipf_rejects_empty():
+    with pytest.raises(ValueError):
+        zipf_weights(0, 1.0)
+
+
+def test_weighted_choice_respects_weights():
+    rng = RngStreams(1).stream("choice")
+    picks = [weighted_choice(rng, ["a", "b"], [0.999, 0.001]) for _ in range(200)]
+    assert picks.count("a") > 190
+
+
+def test_weighted_choice_length_mismatch():
+    rng = RngStreams(1).stream("choice")
+    with pytest.raises(ValueError):
+        weighted_choice(rng, ["a"], [0.5, 0.5])

@@ -1,0 +1,125 @@
+"""LRU cache and token-bucket tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.lru import LruCache
+from repro.util.tokenbucket import TokenBucket
+
+
+class TestLruCache:
+    def test_put_get(self):
+        cache = LruCache(100)
+        assert cache.put("a", "va", 10)
+        assert cache.get("a") == "va"
+        assert cache.used_bytes == 10
+
+    def test_miss_counts(self):
+        cache = LruCache(100)
+        assert cache.get("nope") is None
+        assert cache.stats.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = LruCache(30)
+        cache.put("a", 1, 10)
+        cache.put("b", 2, 10)
+        cache.put("c", 3, 10)
+        cache.get("a")           # refresh a; b becomes LRU
+        cache.put("d", 4, 10)    # evicts b
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+        assert cache.stats.evictions == 1
+
+    def test_oversized_entry_rejected(self):
+        cache = LruCache(10)
+        assert not cache.put("big", 1, 11)
+        assert len(cache) == 0
+
+    def test_replace_updates_size(self):
+        cache = LruCache(100)
+        cache.put("a", 1, 60)
+        cache.put("a", 2, 10)
+        assert cache.used_bytes == 10
+        assert cache.get("a") == 2
+
+    def test_invalidate(self):
+        cache = LruCache(100)
+        cache.put("a", 1, 10)
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        assert cache.used_bytes == 0
+
+    def test_evict_callback(self):
+        evicted = []
+        cache = LruCache(10, on_evict=lambda k, v: evicted.append(k))
+        cache.put("a", 1, 10)
+        cache.put("b", 2, 10)
+        assert evicted == ["a"]
+
+    def test_peek_does_not_touch_stats(self):
+        cache = LruCache(100)
+        cache.put("a", 1, 10)
+        assert cache.peek("a") == 1
+        assert cache.peek("z") is None
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+    def test_hit_rate(self):
+        cache = LruCache(100)
+        cache.put("a", 1, 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(1, 30)), max_size=60))
+    def test_capacity_invariant(self, ops):
+        """Used bytes never exceed capacity, whatever the op sequence."""
+        cache = LruCache(64)
+        for key, size in ops:
+            cache.put(key, key, size)
+            assert cache.used_bytes <= 64
+            assert cache.used_bytes == sum(cache.sizes().values())
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(rate=10, capacity=100)
+        assert bucket.available(0.0) == 100
+
+    def test_consume_and_refill(self):
+        bucket = TokenBucket(rate=10, capacity=100)
+        assert bucket.try_consume(0.0, 100)
+        assert not bucket.try_consume(0.0, 1)
+        assert bucket.try_consume(5.0, 50)  # 5s * 10/s = 50 accrued
+
+    def test_refill_caps_at_capacity(self):
+        bucket = TokenBucket(rate=10, capacity=100)
+        bucket.try_consume(0.0, 10)
+        assert bucket.available(1000.0) == 100
+
+    def test_time_until_available(self):
+        bucket = TokenBucket(rate=10, capacity=100)
+        bucket.try_consume(0.0, 100)
+        assert bucket.time_until_available(0.0, 50) == pytest.approx(5.0)
+        assert bucket.time_until_available(5.0, 50) == 0.0
+
+    def test_impossible_request_rejected(self):
+        bucket = TokenBucket(rate=10, capacity=100)
+        with pytest.raises(ValueError):
+            bucket.time_until_available(0.0, 101)
+
+    def test_time_cannot_go_backwards(self):
+        bucket = TokenBucket(rate=10, capacity=100)
+        bucket.available(10.0)
+        with pytest.raises(ValueError):
+            bucket.available(5.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, capacity=10)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, capacity=0)
+        bucket = TokenBucket(rate=1, capacity=1)
+        with pytest.raises(ValueError):
+            bucket.try_consume(0.0, -1)

@@ -1,0 +1,115 @@
+"""CDF, percentile, and rate-series tests."""
+
+import pytest
+
+from repro.util.stats import Cdf, RateSeries, fraction, mean, percentile
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5, 1, 9]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_single_value(self):
+        assert percentile([7], 99) == 7
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+def test_mean():
+    assert mean([1, 2, 3]) == 2
+    with pytest.raises(ValueError):
+        mean([])
+
+
+class TestCdf:
+    def test_fractions(self):
+        cdf = Cdf([1, 2, 3, 4])
+        assert cdf.fraction_at_most(2) == pytest.approx(0.5)
+        assert cdf.fraction_above(2) == pytest.approx(0.5)
+        assert cdf.fraction_at_least(2) == pytest.approx(0.75)
+
+    def test_quantile(self):
+        cdf = Cdf([0, 10])
+        assert cdf.quantile(0.5) == pytest.approx(5)
+
+    def test_points_monotone(self):
+        cdf = Cdf(list(range(100)))
+        points = cdf.points(10)
+        xs = [x for x, _ in points]
+        ys = [y for _, y in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Cdf([]).fraction_at_most(1)
+
+
+class TestRateSeries:
+    def test_single_bin(self):
+        series = RateSeries(interval=1.0)
+        series.record(0.5, 1_000)  # 1000 bytes in second 0
+        assert series.rates_bps() == [8_000.0]
+
+    def test_horizon_pads_quiet_time(self):
+        series = RateSeries(interval=1.0)
+        series.record(0.5, 1_000)
+        rates = series.rates_bps(horizon=4.0)
+        assert len(rates) == 4
+        assert rates[1:] == [0.0, 0.0, 0.0]
+
+    def test_span_spreads_bytes(self):
+        series = RateSeries(interval=1.0)
+        series.record_span(0.0, 2.0, 2_000)
+        rates = series.rates_bps()
+        assert rates[0] == pytest.approx(8_000.0)
+        assert rates[1] == pytest.approx(8_000.0)
+
+    def test_span_partial_bins(self):
+        series = RateSeries(interval=1.0)
+        series.record_span(0.5, 1.5, 1_000)
+        rates = series.rates_bps()
+        assert rates[0] == pytest.approx(4_000.0)
+        assert rates[1] == pytest.approx(4_000.0)
+
+    def test_zero_duration_span(self):
+        series = RateSeries(interval=1.0)
+        series.record_span(1.0, 1.0, 500)
+        assert series.rates_bps()[1] == pytest.approx(4_000.0)
+
+    def test_cdf_over_rates(self):
+        series = RateSeries(interval=1.0)
+        series.record(0.1, 1_000)
+        series.record(1.1, 3_000)
+        cdf = series.cdf(horizon=10.0)
+        # 8 of 10 seconds are idle.
+        assert cdf.fraction_above(0) == pytest.approx(0.2)
+
+    def test_negative_bytes_rejected(self):
+        series = RateSeries()
+        with pytest.raises(ValueError):
+            series.record(0.0, -1)
+
+    def test_backwards_span_rejected(self):
+        series = RateSeries()
+        with pytest.raises(ValueError):
+            series.record_span(2.0, 1.0, 10)
+
+
+def test_fraction():
+    assert fraction([True, False, True, True]) == pytest.approx(0.75)
+    assert fraction([]) == 0.0

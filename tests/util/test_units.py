@@ -1,0 +1,68 @@
+"""Unit conversion tests."""
+
+import pytest
+
+from repro.util import units
+
+
+def test_bandwidth_conversions():
+    assert units.kbps(1) == 1_000
+    assert units.mbps(1) == 1_000_000
+    assert units.gbps(1.5) == 1_500_000_000
+
+
+def test_size_conversions():
+    assert units.kib(1) == 1024
+    assert units.mib(2) == 2 * 1024 * 1024
+    assert units.gib(1) == 1024 ** 3
+    assert units.kb(1) == 1000
+    assert units.mb(3) == 3_000_000
+    assert units.gb(1) == 10 ** 9
+
+
+def test_time_conversions():
+    assert units.ms(250) == 0.25
+    assert units.us(1000) == pytest.approx(0.001)
+    assert units.minutes(2) == 120
+    assert units.hours(1) == 3600
+    assert units.days(1) == 86400
+
+
+def test_bits_bytes_round_trip():
+    assert units.bytes_to_bits(10) == 80
+    assert units.bits_to_bytes(80) == 10
+    assert units.bits_to_bytes(units.bytes_to_bits(1234.5)) == 1234.5
+
+
+def test_transmission_time():
+    # 1 MB over 8 Mbps takes exactly one second.
+    assert units.transmission_time(1_000_000, units.mbps(8)) == pytest.approx(1.0)
+
+
+def test_transmission_time_rejects_bad_bandwidth():
+    with pytest.raises(ValueError):
+        units.transmission_time(100, 0)
+    with pytest.raises(ValueError):
+        units.transmission_time(100, -5)
+
+
+def test_format_bps():
+    assert units.format_bps(2.5e9) == "2.50 Gbps"
+    assert units.format_bps(25e6) == "25.00 Mbps"
+    assert units.format_bps(1500) == "1.50 Kbps"
+    assert units.format_bps(500) == "500 bps"
+
+
+def test_format_bytes():
+    assert units.format_bytes(1536) == "1.50 KiB"
+    assert units.format_bytes(3 * 1024 * 1024) == "3.00 MiB"
+    assert units.format_bytes(2 * 1024 ** 3) == "2.00 GiB"
+    assert units.format_bytes(12) == "12 B"
+
+
+def test_format_duration():
+    assert units.format_duration(7200) == "2.00 h"
+    assert units.format_duration(90) == "1.50 min"
+    assert units.format_duration(2.5) == "2.50 s"
+    assert units.format_duration(0.0032) == "3.20 ms"
+    assert units.format_duration(0.0000051) == "5.10 us"

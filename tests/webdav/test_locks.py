@@ -1,0 +1,131 @@
+"""Lock-manager tests: exclusion, depth, expiry, write discipline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.webdav.locks import LockError, LockManager, LockScope
+
+
+class TestAcquire:
+    def test_exclusive_blocks_everyone(self):
+        mgr = LockManager()
+        mgr.acquire("/f", "alice", now=0.0)
+        with pytest.raises(LockError):
+            mgr.acquire("/f", "bob", now=1.0)
+        with pytest.raises(LockError):
+            mgr.acquire("/f", "alice", now=1.0)  # even the holder: new lock conflicts
+
+    def test_shared_locks_coexist(self):
+        mgr = LockManager()
+        mgr.acquire("/f", "alice", now=0.0, scope=LockScope.SHARED)
+        mgr.acquire("/f", "bob", now=0.0, scope=LockScope.SHARED)
+        with pytest.raises(LockError):
+            mgr.acquire("/f", "carol", now=0.0, scope=LockScope.EXCLUSIVE)
+
+    def test_depth_infinity_covers_descendants(self):
+        mgr = LockManager()
+        mgr.acquire("/dir", "alice", now=0.0, depth_infinity=True)
+        with pytest.raises(LockError):
+            mgr.acquire("/dir/sub/f", "bob", now=0.0)
+
+    def test_depth_zero_does_not_cover_descendants(self):
+        mgr = LockManager()
+        mgr.acquire("/dir", "alice", now=0.0, depth_infinity=False)
+        mgr.acquire("/dir/f", "bob", now=0.0)  # allowed
+
+    def test_descendant_lock_blocks_infinity_lock(self):
+        mgr = LockManager()
+        mgr.acquire("/dir/f", "bob", now=0.0)
+        with pytest.raises(LockError):
+            mgr.acquire("/dir", "alice", now=0.0, depth_infinity=True)
+
+    def test_sibling_prefix_not_covered(self):
+        mgr = LockManager()
+        mgr.acquire("/dir", "alice", now=0.0, depth_infinity=True)
+        # "/directory" is not a descendant of "/dir".
+        mgr.acquire("/directory", "bob", now=0.0)
+
+
+class TestExpiryAndRelease:
+    def test_lock_expires(self):
+        mgr = LockManager()
+        mgr.acquire("/f", "alice", now=0.0, timeout=10.0)
+        mgr.acquire("/f", "bob", now=11.0)  # alice's lock expired
+
+    def test_refresh_extends(self):
+        mgr = LockManager()
+        lock = mgr.acquire("/f", "alice", now=0.0, timeout=10.0)
+        mgr.refresh(lock.token, now=9.0, timeout=10.0)
+        with pytest.raises(LockError):
+            mgr.acquire("/f", "bob", now=15.0)
+
+    def test_refresh_expired_lock_fails(self):
+        mgr = LockManager()
+        lock = mgr.acquire("/f", "alice", now=0.0, timeout=10.0)
+        with pytest.raises(LockError):
+            mgr.refresh(lock.token, now=20.0)
+
+    def test_release(self):
+        mgr = LockManager()
+        lock = mgr.acquire("/f", "alice", now=0.0)
+        mgr.release(lock.token, "alice", now=1.0)
+        mgr.acquire("/f", "bob", now=1.0)
+
+    def test_release_wrong_owner(self):
+        mgr = LockManager()
+        lock = mgr.acquire("/f", "alice", now=0.0)
+        with pytest.raises(LockError):
+            mgr.release(lock.token, "bob", now=1.0)
+
+    def test_active_count(self):
+        mgr = LockManager()
+        mgr.acquire("/a", "alice", now=0.0, timeout=5.0)
+        mgr.acquire("/b", "bob", now=0.0, timeout=50.0)
+        assert mgr.active_count(now=10.0) == 1
+
+
+class TestWriteDiscipline:
+    def test_unlocked_write_allowed(self):
+        mgr = LockManager()
+        mgr.check_write_allowed("/f", "anyone", now=0.0, token=None)
+
+    def test_locked_write_without_token_blocked(self):
+        mgr = LockManager()
+        mgr.acquire("/f", "alice", now=0.0)
+        with pytest.raises(LockError):
+            mgr.check_write_allowed("/f", "alice", now=0.0, token=None)
+
+    def test_locked_write_with_token_allowed(self):
+        mgr = LockManager()
+        lock = mgr.acquire("/f", "alice", now=0.0)
+        mgr.check_write_allowed("/f", "alice", now=0.0, token=lock.token)
+
+    def test_token_of_other_owner_rejected(self):
+        mgr = LockManager()
+        lock = mgr.acquire("/f", "alice", now=0.0)
+        with pytest.raises(LockError):
+            mgr.check_write_allowed("/f", "bob", now=0.0, token=lock.token)
+
+    def test_infinity_token_covers_descendants(self):
+        mgr = LockManager()
+        lock = mgr.acquire("/dir", "alice", now=0.0, depth_infinity=True)
+        mgr.check_write_allowed("/dir/sub/f", "alice", now=0.0, token=lock.token)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["/a", "/b", "/a/x"]),
+                          st.sampled_from(["u1", "u2", "u3"])), max_size=25))
+def test_property_at_most_one_exclusive_holder(ops):
+    """However locks are requested, no path ever has two exclusive locks."""
+    mgr = LockManager()
+    granted = []
+    for path, owner in ops:
+        try:
+            granted.append(mgr.acquire(path, owner, now=0.0))
+        except LockError:
+            pass
+    for path in ("/a", "/b", "/a/x"):
+        covering = mgr.locks_covering(path, now=0.0)
+        exclusive = [l for l in covering if l.scope is LockScope.EXCLUSIVE]
+        assert len(exclusive) <= 1

@@ -1,0 +1,209 @@
+"""Resource-tree tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.webdav.resources import (
+    AlreadyExistsError,
+    ConflictError,
+    DavCollection,
+    DavFile,
+    FileContent,
+    NotFoundError,
+    ResourceTree,
+    basename_of,
+    parent_of,
+    split_path,
+)
+
+
+class TestPaths:
+    def test_split(self):
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+        assert split_path("/") == []
+        assert split_path("/a//b/") == ["a", "b"]
+
+    def test_relative_rejected(self):
+        with pytest.raises(ConflictError):
+            split_path("a/b")
+
+    def test_dot_segments_rejected(self):
+        with pytest.raises(ConflictError):
+            split_path("/a/../b")
+        with pytest.raises(ConflictError):
+            split_path("/a/./b")
+
+    def test_parent_and_basename(self):
+        assert parent_of("/a/b/c") == "/a/b"
+        assert parent_of("/a") == "/"
+        assert basename_of("/a/b") == "b"
+        with pytest.raises(ConflictError):
+            parent_of("/")
+
+
+class TestTreeBasics:
+    def test_put_and_lookup(self):
+        tree = ResourceTree()
+        tree.put("/f.txt", size=100, payload="data", now=1.0)
+        node = tree.lookup("/f.txt")
+        assert isinstance(node, DavFile)
+        assert node.content.size == 100
+        assert node.content.version == 1
+        assert node.modified_at == 1.0
+
+    def test_overwrite_bumps_version(self):
+        tree = ResourceTree()
+        tree.put("/f", size=10)
+        file = tree.put("/f", size=20, now=2.0)
+        assert file.content.version == 2
+        assert file.content.size == 20
+
+    def test_etag_changes_with_version(self):
+        tree = ResourceTree()
+        f1 = tree.put("/f", size=10)
+        tag1 = f1.etag
+        f2 = tree.put("/f", size=10)
+        assert f2.etag != tag1
+
+    def test_put_needs_parent(self):
+        tree = ResourceTree()
+        with pytest.raises(NotFoundError):
+            tree.put("/no/such/dir/f", size=1)
+
+    def test_put_over_collection_conflicts(self):
+        tree = ResourceTree()
+        tree.mkcol("/dir")
+        with pytest.raises(ConflictError):
+            tree.put("/dir", size=1)
+
+    def test_mkcol(self):
+        tree = ResourceTree()
+        tree.mkcol("/docs")
+        assert isinstance(tree.lookup("/docs"), DavCollection)
+        with pytest.raises(AlreadyExistsError):
+            tree.mkcol("/docs")
+
+    def test_mkcol_recursive(self):
+        tree = ResourceTree()
+        tree.mkcol_recursive("/a/b/c")
+        assert tree.exists("/a/b/c")
+        tree.mkcol_recursive("/a/b/c")  # idempotent
+
+    def test_mkcol_recursive_through_file_conflicts(self):
+        tree = ResourceTree()
+        tree.put("/a", size=1)
+        with pytest.raises(ConflictError):
+            tree.mkcol_recursive("/a/b")
+
+    def test_delete_file_and_subtree(self):
+        tree = ResourceTree()
+        tree.mkcol_recursive("/a/b")
+        tree.put("/a/b/f", size=1)
+        tree.delete("/a")
+        assert not tree.exists("/a")
+        with pytest.raises(NotFoundError):
+            tree.delete("/a")
+
+    def test_list_children_sorted(self):
+        tree = ResourceTree()
+        tree.mkcol("/d")
+        tree.put("/d/z", size=1)
+        tree.put("/d/a", size=1)
+        assert tree.list_children("/d") == ["a", "z"]
+
+    def test_list_children_of_file_conflicts(self):
+        tree = ResourceTree()
+        tree.put("/f", size=1)
+        with pytest.raises(ConflictError):
+            tree.list_children("/f")
+
+
+class TestCopyMove:
+    def test_copy_file(self):
+        tree = ResourceTree()
+        tree.put("/src", size=42, payload="x")
+        tree.copy("/src", "/dst")
+        assert tree.lookup("/dst").content.size == 42
+        assert tree.exists("/src")
+
+    def test_copy_deep(self):
+        tree = ResourceTree()
+        tree.mkcol_recursive("/a/b")
+        tree.put("/a/b/f", size=7)
+        tree.copy("/a", "/c")
+        assert tree.lookup("/c/b/f").content.size == 7
+        # Deep copy: mutating the copy leaves the source alone.
+        tree.put("/c/b/f", size=9)
+        assert tree.lookup("/a/b/f").content.size == 7
+
+    def test_copy_no_overwrite(self):
+        tree = ResourceTree()
+        tree.put("/src", size=1)
+        tree.put("/dst", size=2)
+        with pytest.raises(AlreadyExistsError):
+            tree.copy("/src", "/dst", overwrite=False)
+        tree.copy("/src", "/dst", overwrite=True)
+        assert tree.lookup("/dst").content.size == 1
+
+    def test_move(self):
+        tree = ResourceTree()
+        tree.put("/src", size=5)
+        tree.move("/src", "/dst")
+        assert not tree.exists("/src")
+        assert tree.lookup("/dst").content.size == 5
+
+
+class TestWalkAndTotals:
+    def test_walk_yields_all(self):
+        tree = ResourceTree()
+        tree.mkcol("/a")
+        tree.put("/a/f1", size=10)
+        tree.put("/a/f2", size=20)
+        paths = [p for p, _r in tree.walk("/")]
+        assert paths == ["/", "/a", "/a/f1", "/a/f2"]
+
+    def test_total_bytes(self):
+        tree = ResourceTree()
+        tree.mkcol("/a")
+        tree.put("/a/f1", size=10)
+        tree.put("/a/f2", size=20)
+        tree.put("/g", size=5)
+        assert tree.total_bytes("/") == 35
+        assert tree.total_bytes("/a") == 30
+
+
+class TestFileContent:
+    def test_updated_bumps_version(self):
+        content = FileContent(size=10)
+        newer = content.updated(20, payload="p")
+        assert newer.version == 2 and newer.size == 20
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FileContent(size=-1)
+        with pytest.raises(ValueError):
+            FileContent(size=1, version=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(["put", "delete", "mkcol"]),
+              st.sampled_from(["/a", "/b", "/a/x", "/b/y", "/c"])),
+    max_size=30))
+def test_property_tree_consistency(ops):
+    """Files reachable by walk() are exactly those that respond to lookup."""
+    tree = ResourceTree()
+    for op, path in ops:
+        try:
+            if op == "put":
+                tree.put(path, size=1)
+            elif op == "mkcol":
+                tree.mkcol(path)
+            else:
+                tree.delete(path)
+        except (NotFoundError, AlreadyExistsError, ConflictError):
+            pass
+    walked = {p for p, _r in tree.walk("/")}
+    for path in walked:
+        assert tree.exists(path)

@@ -1,0 +1,213 @@
+"""WebDAV server tests over the simulated HTTP stack."""
+
+import pytest
+
+from repro.http.client import HttpClient
+from repro.http.messages import HttpRequest
+from repro.http.server import HttpServer
+from repro.net.topology import build_dumbbell
+from repro.sim.engine import Simulator
+from repro.webdav.server import READ, WRITE, WebDavServer, basic_auth
+
+
+class DavHarness:
+    """Drives a WebDAV server through real simulated HTTP exchanges."""
+
+    def __init__(self):
+        self.sim = Simulator(seed=6)
+        self.bell = build_dumbbell(self.sim)
+        self.http = HttpServer(self.bell.server, 80)
+        self.dav = WebDavServer(self.http, mount="/dav")
+        self.client = HttpClient(self.bell.client, self.bell.network)
+        self.dav.add_user("alice", "pw-a")
+        self.dav.add_user("bob", "pw-b")
+        self.dav.grant("/", "alice", {READ, WRITE})
+        self.dav.grant("/shared", "bob", {READ})
+
+    def call(self, method, path, user="alice", password=None, headers=None,
+             body=None, body_size=0):
+        creds = basic_auth(user, password or f"pw-{user[0]}")
+        all_headers = dict(creds)
+        all_headers.update(headers or {})
+        results = []
+        self.client.request(
+            self.bell.server,
+            HttpRequest(method, f"/dav{path}", headers=all_headers,
+                        body=body, body_size=body_size),
+            lambda resp, stats: results.append(resp))
+        self.sim.run()
+        assert len(results) == 1
+        return results[0]
+
+
+@pytest.fixture
+def dav():
+    return DavHarness()
+
+
+class TestAuth:
+    def test_no_credentials_401(self, dav):
+        results = []
+        dav.client.request(dav.bell.server, HttpRequest("GET", "/dav/x"),
+                           lambda resp, stats: results.append(resp))
+        dav.sim.run()
+        assert results[0].status == 401
+
+    def test_wrong_password_401(self, dav):
+        resp = dav.call("GET", "/x", user="alice", password="wrong")
+        assert resp.status == 401
+
+    def test_unauthorized_path_403(self, dav):
+        resp = dav.call("PUT", "/f", user="bob", body_size=10)
+        assert resp.status == 403
+
+    def test_read_only_principal_cannot_write(self, dav):
+        dav.call("MKCOL", "/shared")
+        resp = dav.call("PUT", "/shared/f", user="bob", body_size=10)
+        assert resp.status == 403
+
+    def test_read_only_principal_can_read(self, dav):
+        dav.call("MKCOL", "/shared")
+        dav.call("PUT", "/shared/f", body_size=10)
+        resp = dav.call("GET", "/shared/f", user="bob")
+        assert resp.ok
+
+    def test_removed_user_loses_access(self, dav):
+        dav.dav.remove_user("alice")
+        resp = dav.call("GET", "/x", user="alice")
+        assert resp.status == 401
+
+
+class TestCrud:
+    def test_put_get_round_trip(self, dav):
+        put = dav.call("PUT", "/notes.txt", body="hello", body_size=5)
+        assert put.status == 201
+        got = dav.call("GET", "/notes.txt")
+        assert got.ok
+        assert got.body_size == 5
+        assert got.body.payload == "hello"
+
+    def test_put_twice_204_and_new_etag(self, dav):
+        first = dav.call("PUT", "/f", body_size=10)
+        second = dav.call("PUT", "/f", body_size=20)
+        assert second.status == 204
+        assert first.headers["ETag"] != second.headers["ETag"]
+
+    def test_conditional_get_304(self, dav):
+        put = dav.call("PUT", "/f", body_size=10)
+        etag = put.headers["ETag"]
+        resp = dav.call("GET", "/f", headers={"If-None-Match": etag})
+        assert resp.status == 304
+        assert resp.body_size == 0
+
+    def test_get_missing_404(self, dav):
+        assert dav.call("GET", "/ghost").status == 404
+
+    def test_delete(self, dav):
+        dav.call("PUT", "/f", body_size=1)
+        assert dav.call("DELETE", "/f").status == 204
+        assert dav.call("GET", "/f").status == 404
+
+    def test_mkcol_and_collection_get(self, dav):
+        assert dav.call("MKCOL", "/docs").status == 201
+        dav.call("PUT", "/docs/a", body_size=1)
+        dav.call("PUT", "/docs/b", body_size=1)
+        resp = dav.call("GET", "/docs")
+        assert resp.body == ["a", "b"]
+
+    def test_mkcol_existing_405(self, dav):
+        dav.call("MKCOL", "/docs")
+        assert dav.call("MKCOL", "/docs").status == 405
+
+    def test_head_reports_metadata(self, dav):
+        dav.call("PUT", "/f", body_size=123)
+        resp = dav.call("HEAD", "/f")
+        assert resp.headers["Content-Length"] == "123"
+        assert resp.body_size == 0
+
+    def test_copy_and_move(self, dav):
+        dav.call("PUT", "/src", body_size=9)
+        copy = dav.call("COPY", "/src", headers={"Destination": "/dav/dst"})
+        assert copy.status == 201
+        assert dav.call("GET", "/dst").body_size == 9
+        move = dav.call("MOVE", "/dst", headers={"Destination": "/dav/moved"})
+        assert move.status == 201
+        assert dav.call("GET", "/dst").status == 404
+        assert dav.call("GET", "/moved").ok
+
+    def test_copy_without_destination_409(self, dav):
+        dav.call("PUT", "/src", body_size=1)
+        assert dav.call("COPY", "/src").status == 409
+
+
+class TestProperties:
+    def test_proppatch_and_propfind(self, dav):
+        dav.call("PUT", "/f", body_size=10)
+        dav.call("PROPPATCH", "/f", body={"author": "alice"})
+        resp = dav.call("PROPFIND", "/f", headers={"Depth": "0"})
+        assert resp.status == 207
+        assert resp.body[0]["properties"]["author"] == "alice"
+        assert resp.body[0]["size"] == 10
+
+    def test_proppatch_remove(self, dav):
+        dav.call("PUT", "/f", body_size=1)
+        dav.call("PROPPATCH", "/f", body={"k": "v"})
+        dav.call("PROPPATCH", "/f", body={"k": None})
+        resp = dav.call("PROPFIND", "/f")
+        assert "k" not in resp.body[0]["properties"]
+
+    def test_propfind_depth_1(self, dav):
+        dav.call("MKCOL", "/d")
+        dav.call("PUT", "/d/f", body_size=1)
+        dav.call("MKCOL", "/d/sub")
+        dav.call("PUT", "/d/sub/deep", body_size=1)
+        resp = dav.call("PROPFIND", "/d", headers={"Depth": "1"})
+        paths = [e["path"] for e in resp.body]
+        assert "/d" in paths and "/d/f" in paths and "/d/sub" in paths
+        assert "/d/sub/deep" not in paths
+
+    def test_propfind_infinity(self, dav):
+        dav.call("MKCOL", "/d")
+        dav.call("PUT", "/d/f", body_size=1)
+        resp = dav.call("PROPFIND", "/d", headers={"Depth": "infinity"})
+        assert len(resp.body) == 2
+
+
+class TestLockingOverHttp:
+    def test_lock_blocks_other_writer(self, dav):
+        dav.dav.grant("/", "bob", {READ, WRITE})
+        dav.call("PUT", "/f", body_size=1)
+        lock = dav.call("LOCK", "/f")
+        assert lock.ok
+        token = lock.headers["Lock-Token"]
+        # Bob cannot write while alice holds the lock.
+        blocked = dav.call("PUT", "/f", user="bob", body_size=2)
+        assert blocked.status == 423
+        # Alice with the token can.
+        allowed = dav.call("PUT", "/f", headers={"Lock-Token": token},
+                           body_size=3)
+        assert allowed.status == 204
+
+    def test_unlock_releases(self, dav):
+        dav.dav.grant("/", "bob", {READ, WRITE})
+        dav.call("PUT", "/f", body_size=1)
+        token = dav.call("LOCK", "/f").headers["Lock-Token"]
+        dav.call("UNLOCK", "/f", headers={"Lock-Token": token})
+        assert dav.call("PUT", "/f", user="bob", body_size=2).status == 204
+
+    def test_lock_refresh(self, dav):
+        dav.call("PUT", "/f", body_size=1)
+        token = dav.call("LOCK", "/f",
+                         headers={"Timeout": "Second-100"}).headers["Lock-Token"]
+        refreshed = dav.call("LOCK", "/f", headers={"Lock-Token": token})
+        assert refreshed.ok
+
+    def test_unlock_without_token_409(self, dav):
+        dav.call("PUT", "/f", body_size=1)
+        assert dav.call("UNLOCK", "/f").status == 409
+
+    def test_second_exclusive_lock_423(self, dav):
+        dav.dav.grant("/", "bob", {READ, WRITE})
+        dav.call("PUT", "/f", body_size=1)
+        dav.call("LOCK", "/f")
+        assert dav.call("LOCK", "/f", user="bob").status == 423

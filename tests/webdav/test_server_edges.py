@@ -1,0 +1,105 @@
+"""WebDAV server edge cases: malformed auth, timeouts, locked moves."""
+
+import pytest
+
+from repro.webdav.server import _parse_timeout
+
+from tests.webdav.test_server import DavHarness
+
+
+@pytest.fixture
+def dav():
+    return DavHarness()
+
+
+class TestMalformedAuth:
+    def test_non_basic_scheme_rejected(self, dav):
+        # dav.call always injects valid Basic credentials, so craft the
+        # request manually to exercise the malformed-header path.
+        from repro.http.messages import HttpRequest
+        results = []
+        dav.client.request(
+            dav.bell.server,
+            HttpRequest("GET", "/dav/x",
+                        headers={"Authorization": "Bearer tok"}),
+            lambda resp, stats: results.append(resp))
+        dav.sim.run()
+        assert results[0].status == 401
+
+    def test_missing_colon_rejected(self, dav):
+        from repro.http.messages import HttpRequest
+        results = []
+        dav.client.request(
+            dav.bell.server,
+            HttpRequest("GET", "/dav/x",
+                        headers={"Authorization": "Basic nocolon"}),
+            lambda resp, stats: results.append(resp))
+        dav.sim.run()
+        assert results[0].status == 401
+
+
+class TestTimeoutParsing:
+    def test_second_format(self):
+        assert _parse_timeout({"Timeout": "Second-3600"}) == 3600.0
+
+    def test_missing_header(self):
+        assert _parse_timeout({}) is None
+
+    def test_malformed_values(self):
+        assert _parse_timeout({"Timeout": "Second-abc"}) is None
+        assert _parse_timeout({"Timeout": "Infinite"}) is None
+
+
+class TestLockedMoves:
+    def test_move_of_locked_source_blocked(self, dav):
+        dav.dav.grant("/", "bob", {"read", "write"})
+        dav.call("PUT", "/f", body_size=1)
+        dav.call("LOCK", "/f")  # alice holds it
+        resp = dav.call("MOVE", "/f", user="bob",
+                        headers={"Destination": "/dav/stolen"})
+        assert resp.status == 423
+
+    def test_move_with_token_allowed(self, dav):
+        dav.call("PUT", "/f", body_size=1)
+        token = dav.call("LOCK", "/f").headers["Lock-Token"]
+        resp = dav.call("MOVE", "/f",
+                        headers={"Destination": "/dav/moved",
+                                 "Lock-Token": token})
+        assert resp.status == 201
+        assert dav.call("GET", "/moved").ok
+
+    def test_overwrite_header_f_prevents_clobber(self, dav):
+        dav.call("PUT", "/src", body_size=1)
+        dav.call("PUT", "/dst", body_size=2)
+        resp = dav.call("COPY", "/src",
+                        headers={"Destination": "/dav/dst",
+                                 "Overwrite": "F"})
+        assert resp.status == 405
+        assert dav.call("GET", "/dst").body_size == 2
+
+
+class TestUnknownMethod:
+    def test_post_not_allowed_on_dav_tree(self, dav):
+        resp = dav.call("POST", "/f", body_size=10)
+        assert resp.status == 405
+
+
+class TestSharedLocksOverHttp:
+    def test_shared_lock_scope_header(self, dav):
+        dav.dav.grant("/", "bob", {"read", "write"})
+        dav.call("PUT", "/f", body_size=1)
+        r1 = dav.call("LOCK", "/f", headers={"Scope": "shared"})
+        assert r1.ok
+        r2 = dav.call("LOCK", "/f", user="bob",
+                      headers={"Scope": "shared"})
+        assert r2.ok  # shared locks coexist
+        r3 = dav.call("LOCK", "/f")  # exclusive now blocked
+        assert r3.status == 423
+
+    def test_depth_infinity_lock_over_http(self, dav):
+        dav.dav.grant("/", "bob", {"read", "write"})
+        dav.call("MKCOL", "/tree")
+        dav.call("PUT", "/tree/leaf", body_size=1)
+        dav.call("LOCK", "/tree", headers={"Depth": "infinity"})
+        blocked = dav.call("PUT", "/tree/leaf", user="bob", body_size=2)
+        assert blocked.status == 423

@@ -1,0 +1,161 @@
+"""Workload generator tests."""
+
+import random
+
+import pytest
+
+from repro.util.units import hours, mbps
+from repro.workloads.diurnal import DiurnalCurve
+from repro.workloads.ehr import EhrEventGenerator
+from repro.workloads.traffic import (
+    HouseholdProfile,
+    HouseholdTrafficModel,
+    TrafficEvent,
+)
+from repro.workloads.web import (
+    CatalogSpec,
+    ZipfPagePopularity,
+    generate_catalog,
+    poisson_arrivals,
+)
+
+
+class TestTrafficEvents:
+    def test_event_rate(self):
+        event = TrafficEvent(start=0, duration=2.0, nbytes=1_000_000,
+                             direction="down", kind="web")
+        assert event.rate_bps == pytest.approx(4_000_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficEvent(0, 0, 1, "down", "x")
+        with pytest.raises(ValueError):
+            TrafficEvent(0, 1, -1, "down", "x")
+        with pytest.raises(ValueError):
+            TrafficEvent(0, 1, 1, "sideways", "x")
+
+
+class TestHouseholdModel:
+    def test_generates_mixed_traffic(self):
+        model = HouseholdTrafficModel(HouseholdProfile.typical(),
+                                      random.Random(1))
+        events = model.generate(hours(2))
+        kinds = {e.kind for e in events}
+        assert "web" in kinds
+        assert any(e.direction == "up" for e in events)
+
+    def test_deterministic_given_seed(self):
+        a = HouseholdTrafficModel(HouseholdProfile.typical(),
+                                  random.Random(7)).generate(hours(1))
+        b = HouseholdTrafficModel(HouseholdProfile.typical(),
+                                  random.Random(7)).generate(hours(1))
+        assert a == b
+
+    def test_rate_series_mostly_idle_on_gigabit(self):
+        """The CCZ shape: conventional apps leave the link nearly idle."""
+        model = HouseholdTrafficModel(HouseholdProfile.typical(),
+                                      random.Random(2))
+        down, up = model.rate_series(hours(4))
+        down_cdf = down.cdf(horizon=hours(4))
+        up_cdf = up.cdf(horizon=hours(4))
+        # Well under 5% of seconds exceed 10 Mbps down / 0.5 Mbps up.
+        assert down_cdf.fraction_above(mbps(10)) < 0.05
+        assert up_cdf.fraction_above(mbps(0.5)) < 0.10
+        # And the link is essentially never near line rate.
+        assert down_cdf.fraction_above(mbps(500)) == 0.0
+
+    def test_heavy_profile_shifts_cdf(self):
+        rng = random.Random(3)
+        typical_down, _ = HouseholdTrafficModel(
+            HouseholdProfile.typical(), rng).rate_series(hours(4))
+        rng2 = random.Random(3)
+        heavy_down, _ = HouseholdTrafficModel(
+            HouseholdProfile.heavy(), rng2).rate_series(hours(4))
+        t = typical_down.cdf(horizon=hours(4)).fraction_above(mbps(10))
+        h = heavy_down.cdf(horizon=hours(4)).fraction_above(mbps(10))
+        assert h > t
+
+
+class TestCatalogGeneration:
+    def test_catalog_shape(self):
+        spec = CatalogSpec(num_pages=10)
+        catalog = generate_catalog(spec, random.Random(4))
+        assert len(catalog.pages()) == 10
+        for page in catalog.pages():
+            assert spec.objects_per_page_min <= len(page.embedded) \
+                <= spec.objects_per_page_max
+
+    def test_zipf_popularity_skews(self):
+        catalog = generate_catalog(CatalogSpec(num_pages=20), random.Random(5))
+        pop = ZipfPagePopularity(catalog, alpha=1.0, rng=random.Random(6))
+        draws = pop.draw_many(2000)
+        counts = {url: draws.count(url) for url in set(draws)}
+        top = max(counts.values())
+        assert top > len(draws) / 20  # far above uniform share
+
+    def test_empty_catalog_rejected(self):
+        from repro.http.content import ContentCatalog
+        with pytest.raises(ValueError):
+            ZipfPagePopularity(ContentCatalog(), 1.0, random.Random(0))
+
+    def test_poisson_arrivals_rate(self):
+        times = list(poisson_arrivals(10.0, 100.0, random.Random(7)))
+        assert 800 < len(times) < 1200
+        assert all(0 <= t < 100 for t in times)
+        assert times == sorted(times)
+
+    def test_poisson_zero_rate(self):
+        assert list(poisson_arrivals(0, 100.0, random.Random(7))) == []
+
+
+class TestDiurnal:
+    def test_interpolation(self):
+        curve = DiurnalCurve()
+        # Peak at 18-19h, trough overnight.
+        assert curve.multiplier(18.5 * 3600) > curve.multiplier(3.5 * 3600)
+
+    def test_wraps_at_midnight(self):
+        curve = DiurnalCurve()
+        assert curve.multiplier(0.0) == curve.multiplier(86400.0)
+
+    def test_peak_and_trough_hours(self):
+        curve = DiurnalCurve()
+        assert 18 in curve.peak_hours(3)
+        assert set(curve.trough_hours(3)) <= set(range(0, 7))
+
+    def test_offpeak_windows_contiguous(self):
+        curve = DiurnalCurve()
+        windows = curve.offpeak_windows(6)
+        assert windows
+        for start, end in windows:
+            assert 0 <= start < end <= 86400
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalCurve([1.0] * 23)
+        with pytest.raises(ValueError):
+            DiurnalCurve([-1.0] + [1.0] * 23)
+
+
+class TestEhrGenerator:
+    def test_events_generated(self):
+        gen = EhrEventGenerator(["ann", "bo"], events_per_patient_per_year=12,
+                                rng=random.Random(8))
+        events = gen.generate(duration=365 * 86400.0)
+        # ~24 expected over a year for two patients.
+        assert 8 < len(events) < 60
+        assert {e.patient for e in events} <= {"ann", "bo"}
+        assert all(e.size > 0 for e in events)
+
+    def test_kinds_weighted(self):
+        gen = EhrEventGenerator(["p"], events_per_patient_per_year=5000,
+                                rng=random.Random(9))
+        events = gen.generate(duration=365 * 86400.0)
+        kinds = [e.kind for e in events]
+        assert kinds.count("visit-note") > kinds.count("discharge-summary")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EhrEventGenerator([], 10, random.Random(0))
+        with pytest.raises(ValueError):
+            EhrEventGenerator(["p"], 0, random.Random(0))
