@@ -1,0 +1,16 @@
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH
+
+.PHONY: check test bench experiments
+
+check:
+	./scripts/check.sh
+
+test:
+	python -m pytest -x -q
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only -q
+
+experiments:
+	python -m repro.experiments all

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification + codec-regression gate.
+#
+# Runs the repo's tier-1 test command, then re-runs the exhaustive
+# erasure MDS tests explicitly so a regression in the codec (the one
+# spot the seed shipped broken) fails fast and loudly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: full suite =="
+python -m pytest -x -q
+
+echo
+echo "== erasure codec gate: exhaustive any-k-of-n =="
+python -m pytest -x -q \
+    tests/util/test_erasure.py::TestMdsConstruction \
+    tests/util/test_erasure.py::test_any_k_of_n_recovers
+
+echo
+echo "all checks passed"

@@ -25,7 +25,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.util.erasure import ReedSolomonCodec
 
@@ -186,6 +186,53 @@ class ErasureCodedBackup(BackupStrategy):
 
     def storage_overhead(self) -> float:
         return 1.0 + self.codec.storage_overhead()
+
+
+def shards_lost(placement: BackupPlacement, state: FailureState) -> List[str]:
+    """Shard homes currently down — candidates for repair."""
+    return [h for h in placement.shard_homes if not state.home_up(h)]
+
+
+def repair_placement(
+    placement: BackupPlacement,
+    state: FailureState,
+    peers: Sequence[str],
+) -> Tuple[BackupPlacement, int]:
+    """Re-place shards/replicas whose homes are down onto healthy peers.
+
+    Mirrors the operational repair path analytically: every down home in
+    the placement is swapped for an up peer not already used (and not the
+    owner). Returns the new placement and how many sites were repaired;
+    if there are not enough healthy unused peers, repairs as many as
+    possible.
+    """
+    used = {placement.owner_home, *placement.replica_homes,
+            *placement.shard_homes}
+    pool = [p for p in peers
+            if p not in used and state.home_up(p)]
+    repaired = 0
+
+    def fix(homes: List[str]) -> List[str]:
+        nonlocal repaired
+        out = []
+        for home in homes:
+            if not state.home_up(home) and pool:
+                out.append(pool.pop(0))
+                repaired += 1
+            else:
+                out.append(home)
+        return out
+
+    new_placement = BackupPlacement(
+        owner_home=placement.owner_home,
+        strategy_name=placement.strategy_name,
+        replica_homes=fix(placement.replica_homes),
+        shard_homes=fix(placement.shard_homes),
+        k=placement.k,
+        uses_cloud=placement.uses_cloud,
+        uses_local_disk=placement.uses_local_disk,
+    )
+    return new_placement, repaired
 
 
 def simulate_availability(

@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.hpop.core import Hpop, HpopService
 from repro.http.client import HttpClient
 from repro.http.messages import HttpRequest, HttpResponse, not_found, ok
+from repro.metrics.counters import MetricsRegistry
 from repro.util.crypto import sha256_hex
 from repro.util.erasure import ReedSolomonCodec, Shard
 from repro.webdav.resources import DavFile
@@ -73,6 +74,21 @@ class PeerBackupService(HpopService):
         self.shards_sent = 0
         self.shards_received = 0
         self.bytes_stored_for_friends = 0
+        self.metrics = MetricsRegistry(namespace="peer-backup")
+        self._c_shards_repaired = self.metrics.counter(
+            "shards_repaired", "lost shards reconstructed and re-placed")
+        self._c_repair_bytes = self.metrics.counter(
+            "repair_bytes", "bytes of reconstructed shards pushed to peers")
+        self._c_repair_retries = self.metrics.counter(
+            "repair_retries", "shard re-placements retried after failure")
+        self._c_repairs_succeeded = self.metrics.counter(
+            "repairs_succeeded", "files whose repair fully completed")
+        self._c_repairs_failed = self.metrics.counter(
+            "repairs_failed", "files whose repair could not complete")
+        self.metrics.gauge(
+            "decode_cache_hit_rate",
+            "hit rate of the cached inverted decode matrices",
+        ).set_function(lambda: self.codec.decode_cache_stats.hit_rate)
 
     def on_install(self, hpop: Hpop) -> None:
         self._client = HttpClient(hpop.host, hpop.network)
@@ -284,6 +300,187 @@ class PeerBackupService(HpopService):
 
         for path in paths:
             self.restore_file(path, one, target_attic=target_attic)
+
+    # -- repair ----------------------------------------------------------------------
+
+    def healthy_friends(self) -> List["PeerBackupService"]:
+        """Friends whose HPoP is currently running."""
+        return [f for f in self.friends if f.hpop.running]
+
+    def repair_file(self, path: str,
+                    on_done: Callable[[bool, int], None],
+                    max_attempts: int = 3,
+                    base_backoff: float = 0.5) -> None:
+        """Detect lost shards of ``path``, rebuild them, re-place them.
+
+        Probes every holder in the manifest; shards whose holder is gone
+        (or no longer has the shard) are reconstructed from any ``k``
+        survivors and pushed to healthy friends, preferring peers that do
+        not already hold a shard of this file. Each placement is retried
+        with exponential backoff up to ``max_attempts``. ``on_done``
+        receives (fully_repaired, shards_repaired).
+        """
+        entry = self.manifest.get(path)
+        if entry is None:
+            raise KeyError(f"no backup manifest for {path}")
+        holders = {f.owner_name: f for f in self.friends}
+        survivors: List[Shard] = []
+        lost: List[int] = []
+        probe = {"pending": 0}
+
+        def probe_done() -> None:
+            if probe["pending"] > 0:
+                return
+            if not lost:
+                on_done(True, 0)
+                return
+            if len({s.index for s in survivors}) < entry.k:
+                self._c_repairs_failed.inc()
+                on_done(False, 0)
+                return
+            self._rebuild_and_replace(entry, survivors, lost, on_done,
+                                      max_attempts, base_backoff)
+
+        def probe_holder(index: int, holder_name: str) -> None:
+            friend = holders.get(holder_name)
+            if friend is None or not friend.hpop.running:
+                lost.append(index)
+                return
+            probe["pending"] += 1
+
+            def got(resp: HttpResponse, _stats) -> None:
+                probe["pending"] -= 1
+                if resp.ok and isinstance(resp.body, Shard):
+                    survivors.append(resp.body)
+                else:
+                    lost.append(index)
+                probe_done()
+
+            def failed(exc) -> None:
+                probe["pending"] -= 1
+                lost.append(index)
+                probe_done()
+
+            assert self._client is not None
+            self._client.request(
+                friend.hpop.host,
+                HttpRequest("POST", SHARD_ROUTE,
+                            body={"action": "fetch",
+                                  "owner": entry.owner or self.owner_name,
+                                  "path": path, "index": index},
+                            body_size=200),
+                got, port=443, on_error=failed)
+
+        for index, holder_name in enumerate(entry.shard_holders):
+            probe_holder(index, holder_name)
+        probe_done()  # covers the all-holders-dead case (no async probes)
+
+    def _rebuild_and_replace(self, entry: BackupManifestEntry,
+                             survivors: List[Shard], lost: List[int],
+                             on_done: Callable[[bool, int], None],
+                             max_attempts: int, base_backoff: float) -> None:
+        """Decode from survivors, regenerate ``lost`` shards, push them."""
+        try:
+            payload = self.codec.decode(survivors)
+        except ValueError:
+            self._c_repairs_failed.inc()
+            on_done(False, 0)
+            return
+        if sha256_hex(payload) != entry.checksum:
+            self._c_repairs_failed.inc()
+            on_done(False, 0)
+            return
+        full = self.codec.encode(payload)
+        replacement_shards = [full[i] for i in lost]
+
+        # Prefer healthy friends not already holding a shard of this
+        # file; fall back to healthy existing holders (a peer holding
+        # two shards beats a shard that does not exist anywhere).
+        surviving_holder_names = {
+            entry.shard_holders[s.index] for s in survivors}
+        fresh = [f for f in self.healthy_friends()
+                 if f.owner_name not in surviving_holder_names]
+        fallback = [f for f in self.healthy_friends()
+                    if f.owner_name in surviving_holder_names]
+        candidates = fresh + fallback
+        if len(candidates) < len(lost):
+            self._c_repairs_failed.inc()
+            on_done(False, 0)
+            return
+
+        state = {"left": len(lost), "ok": True, "repaired": 0}
+
+        def one_placed(success: bool) -> None:
+            state["left"] -= 1
+            state["repaired"] += success
+            state["ok"] = state["ok"] and success
+            if state["left"] == 0:
+                if state["ok"]:
+                    self._c_repairs_succeeded.inc()
+                else:
+                    self._c_repairs_failed.inc()
+                on_done(state["ok"], state["repaired"])
+
+        for shard, friend in zip(replacement_shards, candidates):
+            self._place_with_retry(entry, shard, friend, one_placed,
+                                   attempt=1, max_attempts=max_attempts,
+                                   base_backoff=base_backoff)
+
+    def _place_with_retry(self, entry: BackupManifestEntry, shard: Shard,
+                          friend: "PeerBackupService",
+                          done: Callable[[bool], None], attempt: int,
+                          max_attempts: int, base_backoff: float) -> None:
+        def retry_or_fail() -> None:
+            if attempt >= max_attempts:
+                done(False)
+                return
+            self._c_repair_retries.inc()
+            delay = base_backoff * (2 ** (attempt - 1))
+            self.sim.schedule(
+                delay,
+                lambda: self._place_with_retry(
+                    entry, shard, friend, done, attempt + 1,
+                    max_attempts, base_backoff),
+                label="backup.repair.retry")
+
+        def stored(resp: HttpResponse, _stats) -> None:
+            if not resp.ok:
+                retry_or_fail()
+                return
+            entry.shard_holders[shard.index] = friend.owner_name
+            self._c_shards_repaired.inc()
+            self._c_repair_bytes.inc(len(shard.data))
+            done(True)
+
+        assert self._client is not None
+        self._client.request(
+            friend.hpop.host,
+            HttpRequest("POST", SHARD_ROUTE,
+                        body={"action": "store",
+                              "owner": entry.owner or self.owner_name,
+                              "path": entry.path, "index": shard.index,
+                              "shard": shard},
+                        body_size=len(shard.data) + 200),
+            stored, port=443, on_error=lambda exc: retry_or_fail())
+
+    def repair_all(self, on_done: Callable[[int, int, int], None]) -> None:
+        """Repair every manifest entry; reports (ok, total, shards)."""
+        paths = list(self.manifest)
+        if not paths:
+            self.sim.call_soon(lambda: on_done(0, 0, 0),
+                               label="repair.empty")
+            return
+        counts = {"done": 0, "ok": 0, "shards": 0}
+
+        def one(success: bool, repaired: int) -> None:
+            counts["done"] += 1
+            counts["ok"] += success
+            counts["shards"] += repaired
+            if counts["done"] == len(paths):
+                on_done(counts["ok"], len(paths), counts["shards"])
+
+        for path in paths:
+            self.repair_file(path, one)
 
     # -- accounting ---------------------------------------------------------------------
 

@@ -1,5 +1,8 @@
 """Experiment metrics and reporting."""
 
+from repro.metrics.counters import (Counter, Gauge, MetricsRegistry,
+                                    merge_snapshots)
 from repro.metrics.report import Claim, ExperimentReport
 
-__all__ = ["Claim", "ExperimentReport"]
+__all__ = ["Claim", "Counter", "ExperimentReport", "Gauge",
+           "MetricsRegistry", "merge_snapshots"]

@@ -1,0 +1,106 @@
+"""Operational counters and gauges for long-running services.
+
+:mod:`repro.metrics.report` covers one-shot experiment tables; this
+module covers the *service* side: monotonically increasing counters
+(shards repaired, repair bytes, retries) and sampled gauges (decode
+cache hit rate) that services register and benchmarks/tests scrape.
+
+Registries are plain objects (no global state) so each HPoP service can
+own one and a test can assert on exactly the counters it caused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (events, bytes, retries...)."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease "
+                             f"(inc by {amount})")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value, optionally backed by a callable."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+    _fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        self._fn = fn
+
+    def read(self) -> float:
+        return float(self._fn()) if self._fn is not None else self.value
+
+
+@dataclass
+class MetricsRegistry:
+    """A named bag of counters and gauges for one service instance."""
+
+    namespace: str = ""
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    gauges: Dict[str, Gauge] = field(default_factory=dict)
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        existing = self.counters.get(name)
+        if existing is None:
+            existing = Counter(name=name, help=help)
+            self.counters[name] = existing
+        return existing
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge ``name``."""
+        existing = self.gauges.get(name)
+        if existing is None:
+            existing = Gauge(name=name, help=help)
+            self.gauges[name] = existing
+        return existing
+
+    def value(self, name: str) -> float:
+        """Read one metric by name (counter or gauge)."""
+        if name in self.counters:
+            return self.counters[name].value
+        if name in self.gauges:
+            return self.gauges[name].read()
+        raise KeyError(f"no metric named {name!r} in "
+                       f"registry {self.namespace!r}")
+
+    def snapshot(self) -> Dict[str, float]:
+        """All current values, prefixed with the namespace."""
+        prefix = f"{self.namespace}." if self.namespace else ""
+        out = {f"{prefix}{n}": c.value for n, c in self.counters.items()}
+        out.update({f"{prefix}{n}": g.read() for n, g in self.gauges.items()})
+        return out
+
+    def render(self) -> str:
+        """Human-readable dump, one metric per line."""
+        lines: List[str] = []
+        for name, value in sorted(self.snapshot().items()):
+            lines.append(f"{name} {value:g}")
+        return "\n".join(lines)
+
+
+def merge_snapshots(snapshots: List[Dict[str, float]]) -> Dict[str, float]:
+    """Sum same-named metrics across registries (fleet-wide totals)."""
+    out: Dict[str, float] = {}
+    for snap in snapshots:
+        for name, value in snap.items():
+            out[name] = out.get(name, 0.0) + value
+    return out

@@ -5,15 +5,35 @@ encoding the contents -- e.g., using erasure codes -- and storing pieces
 with a variety of peers"). A file is split into ``k`` data shards and
 ``m`` parity shards; any ``k`` of the ``k+m`` shards recover the file.
 
-This is a real, self-contained implementation (Vandermonde construction,
-Gaussian elimination for decoding) -- not a stub -- so property tests can
-exercise arbitrary erasure patterns.
+Construction
+------------
+The generator matrix is the *inverted-Vandermonde* systematic form: take
+the full (k+m) x k Vandermonde matrix V over distinct evaluation points,
+invert its top k x k block, and right-multiply: G = V . (V_top)^-1. The
+top k rows of G become the identity (systematic), and because every
+k x k submatrix of V is itself a Vandermonde matrix over distinct points
+(hence invertible), every k x k submatrix of G is invertible too -- the
+MDS property that "any k of k+m shards decode".
+
+(The naive alternative -- identity rows stacked on top of raw Vandermonde
+parity rows -- is NOT MDS over GF(256): mixed identity/Vandermonde row
+subsets can be singular, e.g. k=5, m=4, surviving shards {3,5,6,7,8}.)
+
+Performance
+-----------
+Shard arithmetic is table-driven and bulk: multiplying a whole shard by
+a GF(256) constant is one ``bytes.translate`` over a precomputed
+256-byte table, and row accumulation is whole-buffer XOR via integer
+arithmetic -- no per-byte Python loops on the hot path. Inverted decode
+matrices are LRU-cached per surviving-index tuple so repeated repairs
+skip Gauss-Jordan.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 _PRIM_POLY = 0x11D  # x^8 + x^4 + x^3 + x^2 + 1, the usual RS polynomial
 
@@ -66,22 +86,73 @@ def gf_inv(a: int) -> int:
     return _EXP[255 - _LOG[a]]
 
 
-def _vandermonde_row(row_index: int, k: int) -> List[int]:
-    """Row ``row_index`` of the (systematic-extended) Vandermonde matrix."""
-    return [gf_pow(row_index + 1, col) for col in range(k)]
+# One 256-byte translation table per constant c: table[c][x] = c * x.
+# 64 KiB total, built once at import; bytes.translate(table) then applies
+# a constant multiply to a whole shard in C.
+_MUL_TABLE: List[bytes] = [
+    bytes(gf_mul(c, x) for x in range(256)) for c in range(256)
+]
 
 
-def _matrix_mul_vector(matrix: Sequence[Sequence[int]], vector: Sequence[int]) -> List[int]:
-    out = []
-    for row in matrix:
+def gf_mul_bytes(c: int, buf: bytes) -> bytes:
+    """Multiply every byte of ``buf`` by the constant ``c`` in GF(256)."""
+    if c == 0:
+        return bytes(len(buf))
+    if c == 1:
+        return bytes(buf)
+    return buf.translate(_MUL_TABLE[c])
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length buffers (whole-buffer, no per-byte loop)."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return (int.from_bytes(a, "little")
+            ^ int.from_bytes(b, "little")).to_bytes(len(a), "little")
+
+
+def _rows_times_shards(rows: Sequence[Sequence[int]],
+                       shards: Sequence[bytes], shard_len: int) -> List[bytes]:
+    """Apply a coefficient matrix to whole shard buffers.
+
+    Output row r = XOR_j rows[r][j] * shards[j], computed with translate
+    tables and integer-wide XOR.
+    """
+    out: List[bytes] = []
+    for row in rows:
         acc = 0
-        for coeff, value in zip(row, vector):
-            acc ^= gf_mul(coeff, value)
-        out.append(acc)
+        for coeff, shard in zip(row, shards):
+            if coeff == 0:
+                continue
+            term = shard if coeff == 1 else shard.translate(_MUL_TABLE[coeff])
+            acc ^= int.from_bytes(term, "little")
+        out.append(acc.to_bytes(shard_len, "little"))
     return out
 
 
-def _invert_matrix(matrix: List[List[int]]) -> List[List[int]]:
+def _vandermonde(n: int, k: int) -> List[List[int]]:
+    """Full n x k Vandermonde matrix over distinct points 0..n-1."""
+    return [[gf_pow(point, col) for col in range(k)] for point in range(n)]
+
+
+def _matrix_mul(a: Sequence[Sequence[int]],
+                b: Sequence[Sequence[int]]) -> List[List[int]]:
+    """Multiply two matrices over GF(256)."""
+    cols = len(b[0])
+    inner = len(b)
+    out = []
+    for row in a:
+        out_row = []
+        for j in range(cols):
+            acc = 0
+            for t in range(inner):
+                acc ^= gf_mul(row[t], b[t][j])
+            out_row.append(acc)
+        out.append(out_row)
+    return out
+
+
+def _invert_matrix(matrix: Sequence[Sequence[int]]) -> List[List[int]]:
     """Invert a square matrix over GF(256) by Gauss-Jordan elimination."""
     n = len(matrix)
     aug = [list(row) + [1 if i == j else 0 for j in range(n)] for i, row in enumerate(matrix)]
@@ -97,6 +168,33 @@ def _invert_matrix(matrix: List[List[int]]) -> List[List[int]]:
                 factor = aug[r][col]
                 aug[r] = [value ^ gf_mul(factor, pivot) for value, pivot in zip(aug[r], aug[col])]
     return [row[n:] for row in aug]
+
+
+def build_generator_matrix(k: int, m: int) -> List[List[int]]:
+    """The (k+m) x k systematic MDS generator (inverted-Vandermonde form)."""
+    n = k + m
+    vand = _vandermonde(n, k)
+    inv_top = _invert_matrix([row[:] for row in vand[:k]])
+    gen = _matrix_mul(vand, inv_top)
+    # Guard the construction: the top block must come out as identity.
+    for i in range(k):
+        assert all(gen[i][j] == (1 if i == j else 0) for j in range(k)), \
+            "generator top block is not identity"
+    return gen
+
+
+@dataclass
+class DecodeCacheStats:
+    """Hit/miss counters for the inverted-decode-matrix cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 @dataclass(frozen=True)
@@ -120,6 +218,8 @@ class Shard:
 class ReedSolomonCodec:
     """Encode/decode payloads into ``k`` data + ``m`` parity shards."""
 
+    DECODE_CACHE_ENTRIES = 128
+
     def __init__(self, k: int, m: int) -> None:
         if k <= 0 or m < 0:
             raise ValueError(f"need k > 0 and m >= 0, got k={k} m={m}")
@@ -127,8 +227,13 @@ class ReedSolomonCodec:
             raise ValueError(f"k + m must be <= 255 for GF(256), got {k + m}")
         self.k = k
         self.m = m
-        # Parity rows are Vandermonde rows k..k+m-1; data rows are identity.
-        self._parity_rows = [_vandermonde_row(k + i, k) for i in range(m)]
+        self._matrix = build_generator_matrix(k, m)
+        self._parity_rows = self._matrix[k:]
+        # LRU of inverted decode matrices keyed by the surviving-index
+        # tuple, so repeated repairs with the same erasure pattern skip
+        # Gauss-Jordan entirely.
+        self._decode_cache: "OrderedDict[Tuple[int, ...], List[List[int]]]" = OrderedDict()
+        self.decode_cache_stats = DecodeCacheStats()
 
     @property
     def total_shards(self) -> int:
@@ -138,25 +243,28 @@ class ReedSolomonCodec:
         """Split ``payload`` into k data shards and compute m parity shards."""
         shard_len = (len(payload) + self.k - 1) // self.k if payload else 1
         padded = payload.ljust(shard_len * self.k, b"\x00")
-        data_shards = [
-            bytearray(padded[i * shard_len:(i + 1) * shard_len]) for i in range(self.k)
-        ]
-        parity_shards = [bytearray(shard_len) for _ in range(self.m)]
-        for byte_idx in range(shard_len):
-            column = [shard[byte_idx] for shard in data_shards]
-            parity_column = _matrix_mul_vector(self._parity_rows, column)
-            for p, value in enumerate(parity_column):
-                parity_shards[p][byte_idx] = value
-        shards = [
-            Shard(index=i, data=bytes(s), k=self.k, m=self.m, original_length=len(payload))
-            for i, s in enumerate(data_shards)
-        ]
-        shards.extend(
-            Shard(index=self.k + i, data=bytes(s), k=self.k, m=self.m,
+        data = [padded[i * shard_len:(i + 1) * shard_len] for i in range(self.k)]
+        parity = _rows_times_shards(self._parity_rows, data, shard_len)
+        return [
+            Shard(index=i, data=buf, k=self.k, m=self.m,
                   original_length=len(payload))
-            for i, s in enumerate(parity_shards)
-        )
-        return shards
+            for i, buf in enumerate(data + parity)
+        ]
+
+    def _decode_matrix(self, indices: Tuple[int, ...]) -> List[List[int]]:
+        """The cached inverse of the generator rows for ``indices``."""
+        cached = self._decode_cache.get(indices)
+        if cached is not None:
+            self._decode_cache.move_to_end(indices)
+            self.decode_cache_stats.hits += 1
+            return cached
+        self.decode_cache_stats.misses += 1
+        inverse = _invert_matrix([self._matrix[i] for i in indices])
+        self._decode_cache[indices] = inverse
+        if len(self._decode_cache) > self.DECODE_CACHE_ENTRIES:
+            self._decode_cache.popitem(last=False)
+            self.decode_cache_stats.evictions += 1
+        return inverse
 
     def decode(self, shards: Sequence[Shard]) -> bytes:
         """Recover the original payload from any ``k`` distinct shards."""
@@ -176,29 +284,44 @@ class ReedSolomonCodec:
                for s in chosen):
             raise ValueError("inconsistent shard lengths or payload metadata")
 
-        # Fast path: all k systematic shards present.
-        if all(s.index < self.k for s in chosen):
-            payload = b"".join(s.data for s in chosen)
+        present = {s.index: s.data for s in chosen if s.index < self.k}
+        missing = [i for i in range(self.k) if i not in present]
+        if not missing:
+            # Fast path: all k systematic shards present.
+            payload = b"".join(present[i] for i in range(self.k))
             return payload[:original_length]
 
-        # Build the decoding matrix: identity rows for data shards,
-        # Vandermonde rows for parity shards, then invert.
-        matrix = []
-        for shard in chosen:
-            if shard.index < self.k:
-                matrix.append([1 if j == shard.index else 0 for j in range(self.k)])
-            else:
-                matrix.append(_vandermonde_row(shard.index, self.k))
-        inverse = _invert_matrix(matrix)
-
-        data_shards = [bytearray(shard_len) for _ in range(self.k)]
-        for byte_idx in range(shard_len):
-            column = [s.data[byte_idx] for s in chosen]
-            recovered = _matrix_mul_vector(inverse, column)
-            for row, value in enumerate(recovered):
-                data_shards[row][byte_idx] = value
-        payload = b"".join(bytes(s) for s in data_shards)
+        indices = tuple(s.index for s in chosen)
+        inverse = self._decode_matrix(indices)
+        survivors = [s.data for s in chosen]
+        # Only reconstruct rows that are actually missing; systematic
+        # survivors are used verbatim.
+        rebuilt = _rows_times_shards([inverse[i] for i in missing],
+                                     survivors, shard_len)
+        for row_index, buf in zip(missing, rebuilt):
+            present[row_index] = buf
+        payload = b"".join(present[i] for i in range(self.k))
         return payload[:original_length]
+
+    def reconstruct_shards(self, shards: Sequence[Shard],
+                           wanted: Sequence[int]) -> List[Shard]:
+        """Regenerate the shards at ``wanted`` indices from any k survivors.
+
+        This is the repair primitive: decode once, then re-project the
+        data through the generator rows for the lost indices.
+        """
+        for index in wanted:
+            if not 0 <= index < self.total_shards:
+                raise ValueError(f"shard index {index} out of range")
+        payload = self.decode(shards)
+        # Re-encoding is bulk table arithmetic, so regenerating from the
+        # decoded payload costs one encode pass.
+        full = self.encode(payload)
+        return [full[i] for i in wanted]
+
+    def clear_decode_cache(self) -> None:
+        self._decode_cache.clear()
+        self.decode_cache_stats = DecodeCacheStats()
 
     def storage_overhead(self) -> float:
         """Ratio of stored bytes to payload bytes, i.e. (k+m)/k."""

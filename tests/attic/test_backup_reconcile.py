@@ -14,6 +14,8 @@ from repro.attic.backup import (
     NoBackup,
     PeerReplication,
     analytic_availability,
+    repair_placement,
+    shards_lost,
     simulate_availability,
 )
 from repro.attic.reconcile import OfflineWorkspace, SyncAction
@@ -73,6 +75,33 @@ class TestStrategies:
         state = FailureState(down_homes=frozenset(
             {"me", *placement.shard_homes[:3]}))
         assert not strategy.available(placement, state)
+
+    def test_repair_placement_swaps_dead_shard_homes(self):
+        strategy = ErasureCodedBackup(k=3, m=2)
+        placement = strategy.place("me", PEERS)
+        dead = frozenset(placement.shard_homes[:2])
+        state = FailureState(down_homes=dead)
+        assert set(shards_lost(placement, state)) == dead
+        repaired, count = repair_placement(placement, state, PEERS)
+        assert count == 2
+        assert not shards_lost(repaired, state)
+        # Healthy homes keep their shards; replacements are fresh peers.
+        assert repaired.shard_homes[2:] == placement.shard_homes[2:]
+        assert not set(repaired.shard_homes) & dead
+        assert len(set(repaired.shard_homes)) == len(repaired.shard_homes)
+        # After repair the strategy is back to full m-loss tolerance.
+        state2 = FailureState(down_homes=frozenset(
+            {"me", *repaired.shard_homes[:2]}))
+        assert strategy.available(repaired, state2)
+
+    def test_repair_placement_partial_when_peers_scarce(self):
+        strategy = ErasureCodedBackup(k=3, m=2)
+        peers = PEERS[:6]  # 5 shard homes + 1 spare
+        placement = strategy.place("me", peers)
+        state = FailureState(down_homes=frozenset(placement.shard_homes[:2]))
+        repaired, count = repair_placement(placement, state, peers)
+        assert count == 1  # only one healthy unused peer existed
+        assert len(shards_lost(repaired, state)) == 1
 
     def test_erasure_cheaper_than_equivalent_replication(self):
         """The classic trade: 4+2 erasure tolerates 2 losses at 2.5x

@@ -167,6 +167,195 @@ class TestRestore:
             owner.add_friend(owner)
 
 
+class TestRepair:
+    """Peer failure injection: lost shards are rebuilt and re-placed."""
+
+    def backed_up_world(self, num_friends=8, k=3, m=2):
+        sim, city, owner, services = build(num_friends=num_friends, k=k, m=m)
+        put_file(owner, "/u0/docs/tax.pdf", kib(120))
+        done = []
+        owner.backup_file("/u0/docs/tax.pdf", done.append)
+        sim.run()
+        assert done == [True]
+        return sim, city, owner, services
+
+    def holders_of(self, owner, services, path="/u0/docs/tax.pdf"):
+        names = set(owner.manifest[path].shard_holders)
+        return [s for s in services[1:] if s.owner_name in names]
+
+    def test_repair_replaces_dead_holders(self):
+        sim, _city, owner, services = self.backed_up_world()
+        holders = self.holders_of(owner, services)
+        dead = holders[:2]
+        for svc in dead:
+            svc.hpop.shutdown()
+        results = []
+        owner.repair_file("/u0/docs/tax.pdf",
+                          lambda ok, n: results.append((ok, n)))
+        sim.run()
+        assert results == [(True, 2)]
+        entry = owner.manifest["/u0/docs/tax.pdf"]
+        dead_names = {d.owner_name for d in dead}
+        # Dead peers are out of the manifest; replacements are alive and
+        # actually hold the shard index they were assigned.
+        assert not dead_names & set(entry.shard_holders)
+        by_name = {s.owner_name: s for s in services[1:]}
+        for index, holder_name in enumerate(entry.shard_holders):
+            holder = by_name[holder_name]
+            assert holder.hpop.running
+            key = (owner.owner_name, "/u0/docs/tax.pdf", index)
+            assert key in holder.held_shards
+        assert owner.metrics.value("shards_repaired") == 2
+        assert owner.metrics.value("repair_bytes") > 0
+
+    def test_payload_stays_decodable_through_successive_failures(self):
+        # Kill peers mid-simulation in waves; repair between waves; the
+        # file must remain restorable the whole time.
+        sim, _city, owner, services = self.backed_up_world(num_friends=10)
+        attic = owner.hpop.service("attic")
+        for wave in range(3):
+            victim_name = owner.manifest["/u0/docs/tax.pdf"].shard_holders[0]
+            victim = next(s for s in services[1:]
+                          if s.owner_name == victim_name)
+            victim.hpop.shutdown()
+            repaired = []
+            owner.repair_file("/u0/docs/tax.pdf",
+                              lambda ok, n: repaired.append((ok, n)))
+            sim.run()
+            assert repaired == [(True, 1)], f"wave {wave}"
+            attic.dav.tree.delete("/u0/docs/tax.pdf")
+            restored = []
+            owner.restore_file("/u0/docs/tax.pdf", restored.append)
+            sim.run()
+            assert restored == [True], f"wave {wave}"
+        assert owner.metrics.value("shards_repaired") == 3
+        assert owner.metrics.value("repairs_succeeded") == 3
+
+    def test_repair_noop_when_all_holders_alive(self):
+        sim, _city, owner, _services = self.backed_up_world()
+        results = []
+        owner.repair_file("/u0/docs/tax.pdf",
+                          lambda ok, n: results.append((ok, n)))
+        sim.run()
+        assert results == [(True, 0)]
+        assert owner.metrics.value("shards_repaired") == 0
+
+    def test_repair_fails_below_k_survivors(self):
+        sim, _city, owner, services = self.backed_up_world()
+        holders = self.holders_of(owner, services)
+        for svc in holders[:3]:  # 2 of 5 survive < k=3
+            svc.hpop.shutdown()
+        results = []
+        owner.repair_file("/u0/docs/tax.pdf",
+                          lambda ok, n: results.append((ok, n)))
+        sim.run()
+        assert results == [(False, 0)]
+        assert owner.metrics.value("repairs_failed") == 1
+
+    def test_repair_all(self):
+        sim, _city, owner, services = self.backed_up_world()
+        put_file(owner, "/u0/more.bin", kib(40))
+        done = []
+        owner.backup_file("/u0/more.bin", done.append)
+        sim.run()
+        assert done == [True]
+        victim = self.holders_of(owner, services)[0]
+        victim.hpop.shutdown()
+        results = []
+        owner.repair_all(lambda ok, total, shards:
+                         results.append((ok, total, shards)))
+        sim.run()
+        (ok, total, shards), = results
+        assert ok == total == 2
+        assert shards >= 1  # the victim held a shard of at least one file
+
+    def test_repair_retries_transient_store_failure(self):
+        from repro.attic.backup_service import SHARD_ROUTE
+        from repro.http.messages import HttpResponse
+
+        sim, _city, owner, services = self.backed_up_world()
+        victim = self.holders_of(owner, services)[0]
+        victim.hpop.shutdown()
+        # Inject one transient failure: the first repair "store" anywhere
+        # in the fleet gets a 503, the retry goes through untouched.
+        flaky = {"left": 1}
+        for svc in services[1:]:
+            if not svc.hpop.running:
+                continue
+            for route in svc.hpop.http._routes[""]:
+                if route.prefix != SHARD_ROUTE:
+                    continue
+                real = route.handler
+
+                def wrapper(request, real=real):
+                    body = request.body if isinstance(request.body, dict) else {}
+                    if body.get("action") == "store" and flaky["left"] > 0:
+                        flaky["left"] -= 1
+                        return HttpResponse(503, body_size=20, body="busy")
+                    return real(request)
+
+                route.handler = wrapper
+        results = []
+        owner.repair_file("/u0/docs/tax.pdf",
+                          lambda ok, n: results.append((ok, n)))
+        sim.run()
+        assert results == [(True, 1)]
+        assert flaky["left"] == 0
+        assert owner.metrics.value("repair_retries") == 1
+        assert owner.metrics.value("shards_repaired") == 1
+
+    def test_repair_gives_up_after_max_attempts(self):
+        from repro.attic.backup_service import SHARD_ROUTE
+        from repro.http.messages import HttpResponse
+
+        sim, _city, owner, services = self.backed_up_world()
+        victim = self.holders_of(owner, services)[0]
+        victim.hpop.shutdown()
+        # Every store in the fleet fails: the repair must exhaust its
+        # retries and report failure rather than loop forever.
+        for svc in services[1:]:
+            if not svc.hpop.running:
+                continue
+            for route in svc.hpop.http._routes[""]:
+                if route.prefix != SHARD_ROUTE:
+                    continue
+                real = route.handler
+
+                def wrapper(request, real=real):
+                    body = request.body if isinstance(request.body, dict) else {}
+                    if body.get("action") == "store":
+                        return HttpResponse(503, body_size=20, body="busy")
+                    return real(request)
+
+                route.handler = wrapper
+        results = []
+        owner.repair_file("/u0/docs/tax.pdf",
+                          lambda ok, n: results.append((ok, n)),
+                          max_attempts=2)
+        sim.run()
+        assert results == [(False, 0)]
+        assert owner.metrics.value("repair_retries") == 1  # attempts-1
+        assert owner.metrics.value("repairs_failed") == 1
+
+    def test_repair_unknown_path(self):
+        _sim, _city, owner, _services = build()
+        with pytest.raises(KeyError):
+            owner.repair_file("/never/backed/up", lambda ok, n: None)
+
+    def test_decode_cache_hit_rate_gauge(self):
+        sim, _city, owner, services = self.backed_up_world()
+        victim = self.holders_of(owner, services)[0]
+        victim.hpop.shutdown()
+        results = []
+        owner.repair_file("/u0/docs/tax.pdf",
+                          lambda ok, n: results.append(ok))
+        sim.run()
+        assert results == [True]
+        # The gauge is wired through to the codec's cache stats.
+        assert (owner.metrics.value("decode_cache_hit_rate")
+                == owner.codec.decode_cache_stats.hit_rate)
+
+
 class TestCanonicalBytes:
     def test_deterministic_and_version_sensitive(self):
         a = file_backup_bytes("/f", 1, 100)

@@ -1,0 +1,82 @@
+"""Service counters/gauges registry tests."""
+
+import pytest
+
+from repro.metrics import (Counter, Gauge, MetricsRegistry, merge_snapshots)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("events")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_cannot_decrease(self):
+        c = Counter("events")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        g = Gauge("depth")
+        g.set(7)
+        assert g.read() == 7
+
+    def test_function_backed(self):
+        backing = {"v": 0.25}
+        g = Gauge("hit_rate")
+        g.set_function(lambda: backing["v"])
+        assert g.read() == 0.25
+        backing["v"] = 0.75
+        assert g.read() == 0.75
+
+
+class TestRegistry:
+    def test_counter_is_get_or_create(self):
+        reg = MetricsRegistry(namespace="svc")
+        a = reg.counter("shards", "help text")
+        b = reg.counter("shards")
+        assert a is b
+        a.inc(4)
+        assert reg.value("shards") == 4
+
+    def test_gauge_is_get_or_create(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("rate")
+        g.set(0.5)
+        assert reg.gauge("rate") is g
+        assert reg.value("rate") == 0.5
+
+    def test_unknown_metric(self):
+        reg = MetricsRegistry(namespace="svc")
+        with pytest.raises(KeyError):
+            reg.value("nope")
+
+    def test_snapshot_is_namespaced(self):
+        reg = MetricsRegistry(namespace="backup")
+        reg.counter("repaired").inc(3)
+        reg.gauge("hit_rate").set(0.9)
+        snap = reg.snapshot()
+        assert snap == {"backup.repaired": 3.0, "backup.hit_rate": 0.9}
+
+    def test_render_sorted_lines(self):
+        reg = MetricsRegistry(namespace="x")
+        reg.counter("b").inc()
+        reg.counter("a").inc(2)
+        assert reg.render() == "x.a 2\nx.b 1"
+
+
+class TestMerge:
+    def test_merge_sums_same_names(self):
+        fleet = []
+        for _ in range(3):
+            reg = MetricsRegistry(namespace="peer")
+            reg.counter("repaired").inc(2)
+            fleet.append(reg.snapshot())
+        merged = merge_snapshots(fleet)
+        assert merged == {"peer.repaired": 6.0}
+
+    def test_merge_empty(self):
+        assert merge_snapshots([]) == {}
