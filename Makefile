@@ -1,13 +1,16 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test bench experiments
+.PHONY: check test bench experiments trace-smoke
 
 check:
 	./scripts/check.sh
 
 test:
 	python -m pytest -x -q
+
+trace-smoke:
+	python scripts/trace_smoke.py
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only -q

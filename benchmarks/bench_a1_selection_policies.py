@@ -7,6 +7,7 @@ Metrics: page-load time, origin fill traffic (cache affinity), and
 load balance across peers.
 """
 
+import os
 import random
 
 from benchmarks.common import run_experiment
@@ -33,6 +34,11 @@ NUM_LOADS = 40
 
 def run_policy(policy, seed):
     sim = Simulator(seed=seed)
+    # REPRO_TRACE=<path> exports a trace of each policy's run, named per
+    # policy (e.g. a1.jsonl -> a1-affinity.jsonl), for trace_report.py.
+    trace_out = os.environ.get("REPRO_TRACE")
+    if trace_out:
+        sim.enable_tracing()
     city = build_city(sim, homes_per_neighborhood=NUM_PEERS + 2,
                       server_sites={"origin": 1})
     catalog = generate_catalog(CatalogSpec(num_pages=10), random.Random(seed))
@@ -61,6 +67,9 @@ def run_policy(policy, seed):
 
     chain()
     sim.run()
+    if trace_out:
+        root, ext = os.path.splitext(trace_out)
+        sim.tracer.export_jsonl(f"{root}-{policy.name}{ext or '.jsonl'}")
     plt = mean([r.duration * 1e3 for r in results])
     fills = sum(p.origin_fills for p in peers)
     served = sorted(p.bytes_served for p in peers)

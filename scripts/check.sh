@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 verification + codec-regression gate.
+# Tier-1 verification + codec-regression gate + trace smoke.
 #
 # Runs the repo's tier-1 test command, then re-runs the exhaustive
 # erasure MDS tests explicitly so a regression in the codec (the one
-# spot the seed shipped broken) fails fast and loudly.
+# spot the seed shipped broken) fails fast and loudly, then the
+# observability smoke stage: a traced end-to-end sim must produce a
+# parseable report with >= 1 span, same-seed traces must be
+# byte-identical, and tracer overhead on the erasure encode path must
+# stay within 5% of the no-op tracer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +21,10 @@ echo "== erasure codec gate: exhaustive any-k-of-n =="
 python -m pytest -x -q \
     tests/util/test_erasure.py::TestMdsConstruction \
     tests/util/test_erasure.py::test_any_k_of_n_recovers
+
+echo
+echo "== trace smoke: traced sim + report + determinism + overhead =="
+python scripts/trace_smoke.py
 
 echo
 echo "all checks passed"

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Summarize a JSONL trace produced by ``Tracer.export_jsonl``.
+
+Prints three sections: the per-span-name latency table (count / mean /
+p50 / p99 of simulated time), the critical path of the slowest span,
+and the top wall-clock hotspots by event label (event-count shares when
+the trace has no wall-clock profile).
+
+Usage:
+    python scripts/trace_report.py TRACE.jsonl [--top N]
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs.report import load_trace, render_report  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Summarize a repro.obs JSONL trace")
+    parser.add_argument("trace", help="path to the JSONL trace file")
+    parser.add_argument("--top", type=int, default=10,
+                        help="hotspot rows to show (default 10)")
+    args = parser.parse_args(argv)
+
+    trace = load_trace(args.trace)
+    if not trace.records:
+        print(f"no trace records in {args.trace}", file=sys.stderr)
+        return 1
+    print(render_report(trace, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

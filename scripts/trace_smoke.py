@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Trace smoke stage for scripts/check.sh.
+
+1. Runs a small end-to-end HPoP simulation (attic PUT + WAN GET) with
+   tracing enabled, exports the trace, runs the trace_report renderer
+   on it, and asserts it parses with >= 1 span and all three report
+   sections present.
+2. Runs the same traced sim twice from the same seed and asserts the
+   default (sim-time-only) JSONL exports are byte-identical.
+3. Times the erasure codec's encode path under the null tracer vs. an
+   enabled tracer and fails on > 5% overhead — the "tracing off must be
+   free, tracing on must be cheap outside the event loop" budget. The
+   codec never touches the tracer, so this pins the *ambient* cost of
+   the instrumentation hooks.
+
+Exit code 0 on success; raises on any violation.
+"""
+
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.attic.service import DataAtticService  # noqa: E402
+from repro.hpop.core import Household, Hpop, User  # noqa: E402
+from repro.http.client import HttpClient  # noqa: E402
+from repro.http.messages import HttpRequest  # noqa: E402
+from repro.net.topology import build_city  # noqa: E402
+from repro.obs.report import load_trace, render_report  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+from repro.util.erasure import ReedSolomonCodec  # noqa: E402
+from repro.util.units import kib  # noqa: E402
+
+OVERHEAD_BUDGET = 1.05
+
+
+def run_traced_sim(path: str, include_profile: bool) -> None:
+    """The quickstart flow (PUT from home, GET from the WAN), traced."""
+    sim = Simulator(seed=7)
+    tracer = sim.enable_tracing()
+    city = build_city(sim, homes_per_neighborhood=4,
+                      server_sites={"coffee-shop": 1})
+    home = city.neighborhoods[0].homes[0]
+    household = Household(name="smoke", users=[
+        User(name="ann", password="pw", devices=[home.devices[0]])])
+    hpop = Hpop(home.hpop_host, city.network, household)
+    hpop.install(DataAtticService())
+    hpop.start()
+
+    from repro.webdav.server import basic_auth
+    headers = basic_auth("ann", "pw")
+    statuses = []
+
+    inside = HttpClient(home.devices[0], city.network)
+    inside.request(hpop.host,
+                   HttpRequest("PUT", "/attic/ann/notes.txt",
+                               headers=headers, body="smoke",
+                               body_size=kib(64)),
+                   lambda resp, stats: statuses.append(resp.status),
+                   port=443)
+    sim.run()
+
+    laptop = city.server_sites["coffee-shop"].servers[0]
+    outside = HttpClient(laptop, city.network)
+    outside.request(hpop.host,
+                    HttpRequest("GET", "/attic/ann/notes.txt",
+                                headers=headers),
+                    lambda resp, stats: statuses.append(resp.status),
+                    port=443)
+    sim.run()
+
+    assert statuses == [201, 200], f"smoke sim failed: {statuses}"
+    tracer.export_jsonl(path, include_profile=include_profile)
+
+
+def check_report() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "trace.jsonl")
+        run_traced_sim(path, include_profile=True)
+        trace = load_trace(path)
+        spans = trace.spans()
+        assert len(spans) >= 1, "traced sim produced no spans"
+        report = render_report(trace)
+        for section in ("== span latency (simulated time) ==",
+                        "== critical path of slowest span",
+                        "== hotspots by event label =="):
+            assert section in report, f"report is missing {section!r}"
+        assert "http.request" in report, "no http.request spans in report"
+    print(f"  report OK ({len(spans)} spans, "
+          f"{len(trace.events())} event marks)")
+
+
+def check_determinism() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        a = os.path.join(tmp, "a.jsonl")
+        b = os.path.join(tmp, "b.jsonl")
+        run_traced_sim(a, include_profile=False)
+        run_traced_sim(b, include_profile=False)
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            blob_a, blob_b = fa.read(), fb.read()
+        assert blob_a, "empty trace export"
+        assert blob_a == blob_b, "same-seed traces are not byte-identical"
+    print(f"  determinism OK ({len(blob_a)} bytes, byte-identical)")
+
+
+def bench_encode(sim: Simulator, codec: ReedSolomonCodec,
+                 payload: bytes, repeats: int) -> float:
+    """Best-of-N wall time of the encode loop under sim's current tracer."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        codec.encode(payload)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def check_overhead() -> None:
+    payload = bytes(range(256)) * 512  # 128 KiB
+    codec = ReedSolomonCodec(4, 2)
+    codec.encode(payload)  # warm any caches
+
+    sim = Simulator(seed=0)
+    base = bench_encode(sim, codec, payload, repeats=5)
+    sim.enable_tracing()
+    traced = bench_encode(sim, codec, payload, repeats=5)
+
+    ratio = traced / base if base > 0 else 1.0
+    print(f"  overhead OK (null {base * 1e3:.2f} ms, "
+          f"traced {traced * 1e3:.2f} ms, ratio {ratio:.3f})")
+    assert ratio <= OVERHEAD_BUDGET, (
+        f"tracer overhead {ratio:.3f}x exceeds {OVERHEAD_BUDGET}x budget")
+
+
+def main() -> int:
+    print("trace smoke: end-to-end report")
+    check_report()
+    print("trace smoke: same-seed determinism")
+    check_determinism()
+    print("trace smoke: tracer overhead on the erasure bench")
+    check_overhead()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

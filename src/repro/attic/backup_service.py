@@ -85,6 +85,9 @@ class PeerBackupService(HpopService):
             "repairs_succeeded", "files whose repair fully completed")
         self._c_repairs_failed = self.metrics.counter(
             "repairs_failed", "files whose repair could not complete")
+        self._h_repair_latency = self.metrics.histogram(
+            "repair_latency_seconds",
+            "probe-to-replacement time of repair_file calls")
         self.metrics.gauge(
             "decode_cache_hit_rate",
             "hit rate of the cached inverted decode matrices",
@@ -159,6 +162,8 @@ class PeerBackupService(HpopService):
             shard_holders=[f.owner_name for f in holders],
             k=self.k, m=self.m, owner=self.owner_name)
         outstanding = {"n": len(shards), "ok": True}
+        span = self.sim.tracer.start_span("attic.backup", path=path,
+                                          shards=len(shards))
 
         def one_done(success: bool) -> None:
             outstanding["n"] -= 1
@@ -166,10 +171,12 @@ class PeerBackupService(HpopService):
             if outstanding["n"] == 0:
                 if outstanding["ok"]:
                     self.manifest[path] = entry
+                span.finish(ok=outstanding["ok"])
                 on_done(outstanding["ok"])
 
-        for shard, friend in zip(shards, holders):
-            self._send_shard(friend, path, shard, one_done)
+        with self.sim.tracer.activate(span):
+            for shard, friend in zip(shards, holders):
+                self._send_shard(friend, path, shard, one_done)
 
     def _send_shard(self, friend: "PeerBackupService", path: str,
                     shard: Shard, done: Callable[[bool], None]) -> None:
@@ -327,6 +334,14 @@ class PeerBackupService(HpopService):
         survivors: List[Shard] = []
         lost: List[int] = []
         probe = {"pending": 0}
+        span = self.sim.tracer.start_span("attic.repair", path=path)
+        started = self.sim.now
+        inner_done = on_done
+
+        def on_done(success: bool, repaired: int) -> None:
+            self._h_repair_latency.observe(self.sim.now - started)
+            span.finish(ok=success, repaired=repaired)
+            inner_done(success, repaired)
 
         def probe_done() -> None:
             if probe["pending"] > 0:
@@ -371,9 +386,10 @@ class PeerBackupService(HpopService):
                             body_size=200),
                 got, port=443, on_error=failed)
 
-        for index, holder_name in enumerate(entry.shard_holders):
-            probe_holder(index, holder_name)
-        probe_done()  # covers the all-holders-dead case (no async probes)
+        with self.sim.tracer.activate(span):
+            for index, holder_name in enumerate(entry.shard_holders):
+                probe_holder(index, holder_name)
+            probe_done()  # covers the all-holders-dead case (no async probes)
 
     def _rebuild_and_replace(self, entry: BackupManifestEntry,
                              survivors: List[Shard], lost: List[int],

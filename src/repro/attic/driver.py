@@ -130,8 +130,12 @@ class AtticDriver:
             fail = DriverError(f"{name} is already open on this device")
             self._soon_error(on_error, fail)
             return
+        sim = self.network.sim
+        span = sim.tracer.start_span("attic.open", file=name, mode=mode,
+                                     exclusive=exclusive)
 
         def fail(exc) -> None:
+            span.finish(error=str(exc))
             self._soon_error(on_error, DriverError(str(exc)))
 
         def fetch(lock_token: Optional[str]) -> None:
@@ -153,22 +157,25 @@ class AtticDriver:
                     fail(f"GET {url} -> {resp.status}")
                     return
                 self._open_files[url] = file
+                span.finish(size=file.size, created=file.dirty)
                 on_open(file)
 
             self._request(HttpRequest("GET", url, headers=self._headers()),
                           got, fail)
 
-        if exclusive:
-            def locked_cb(resp, _stats) -> None:
-                if not resp.ok:
-                    fail(f"LOCK {url} -> {resp.status}")
-                    return
-                fetch(resp.headers.get("Lock-Token"))
+        with sim.tracer.activate(span):
+            if exclusive:
+                def locked_cb(resp, _stats) -> None:
+                    if not resp.ok:
+                        fail(f"LOCK {url} -> {resp.status}")
+                        return
+                    fetch(resp.headers.get("Lock-Token"))
 
-            self._request(HttpRequest("LOCK", url, headers=self._headers()),
-                          locked_cb, fail)
-        else:
-            fetch(None)
+                self._request(HttpRequest("LOCK", url,
+                                          headers=self._headers()),
+                              locked_cb, fail)
+            else:
+                fetch(None)
 
     # -- close ------------------------------------------------------------------
 
@@ -182,13 +189,18 @@ class AtticDriver:
         if file.closed:
             self._soon_error(on_error, DriverError(f"{file.path} already closed"))
             return
+        sim = self.network.sim
+        span = sim.tracer.start_span("attic.close", path=file.path,
+                                     dirty=file.dirty)
 
         def finish() -> None:
             file.closed = True
             self._open_files.pop(file.path, None)
+            span.finish(written=file.size if file.dirty else 0)
             on_closed()
 
         def fail(exc) -> None:
+            span.finish(error=str(exc))
             self._soon_error(on_error, DriverError(str(exc)))
 
         def unlock_then_finish() -> None:
@@ -200,23 +212,24 @@ class AtticDriver:
                             headers=self._headers({"Lock-Token": file.lock_token})),
                 lambda resp, _s: finish(), fail)
 
-        if file.dirty:
-            headers = self._headers(
-                {"Lock-Token": file.lock_token} if file.lock_token else None)
+        with sim.tracer.activate(span):
+            if file.dirty:
+                headers = self._headers(
+                    {"Lock-Token": file.lock_token} if file.lock_token else None)
 
-            def wrote(resp, _stats) -> None:
-                if resp.status not in (201, 204):
-                    fail(f"PUT {file.path} -> {resp.status}")
-                    return
-                self.writebacks += 1
+                def wrote(resp, _stats) -> None:
+                    if resp.status not in (201, 204):
+                        fail(f"PUT {file.path} -> {resp.status}")
+                        return
+                    self.writebacks += 1
+                    unlock_then_finish()
+
+                self._request(
+                    HttpRequest("PUT", file.path, headers=headers,
+                                body=file.payload, body_size=file.size),
+                    wrote, fail)
+            else:
                 unlock_then_finish()
-
-            self._request(
-                HttpRequest("PUT", file.path, headers=headers,
-                            body=file.payload, body_size=file.size),
-                wrote, fail)
-        else:
-            unlock_then_finish()
 
     # -- misc ----------------------------------------------------------------------
 

@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.dcol.collective import DetourCollective, WaypointService
 from repro.dcol.tunnels import Tunnel, TunnelError, TunnelFactory
+from repro.metrics.counters import MetricsRegistry
 from repro.net.network import Network, compose_paths
 from repro.net.node import Host
 from repro.transport.mptcp import MptcpConnection, MptcpSubflow
@@ -70,11 +71,19 @@ class DetourTransfer:
         self.proxy = proxy
         self.label = label
         self.detours: List[DetourHandle] = []
+        self._span = manager.sim.tracer.start_span(
+            "dcol.transfer", label=label, bytes=nbytes,
+            direction=direction, tls=tls)
+        self._started_at = manager.sim.now
+
+        def complete(conn) -> None:
+            manager._transfer_time.observe(manager.sim.now - self._started_at)
+            self._span.finish(detours=len(self.detours))
+            if on_complete is not None:
+                on_complete(self)
+
         self.connection = MptcpConnection(
-            manager.sim, nbytes,
-            on_complete=(lambda conn: on_complete(self))
-            if on_complete else None,
-            label=label)
+            manager.sim, nbytes, on_complete=complete, label=label)
         self.direct_subflow: Optional[MptcpSubflow] = None
         self._handshake_done = False
         self._pending_detours: List[Callable[[], None]] = []
@@ -116,8 +125,11 @@ class DetourTransfer:
     def _start_handshake(self) -> None:
         direct = self._data_path()  # includes the proxy leg if any
         rtts = 1 + (TLS_HANDSHAKE_RTTS if self.tls else 0)
+        hs_span = self.sim.tracer.start_span(
+            "dcol.handshake", parent=self._span, rtts=rtts, tls=self.tls)
 
         def established() -> None:
+            hs_span.finish()
             self._handshake_done = True
             self.direct_subflow = self.connection.add_subflow(
                 self._data_path(), label=f"{self.label}.direct")
@@ -125,8 +137,9 @@ class DetourTransfer:
             for action in pending:
                 action()
 
-        self.sim.schedule(rtts * direct.rtt, established,
-                          label=f"{self.label}.handshake")
+        with self.sim.tracer.activate(hs_span):
+            self.sim.schedule(rtts * direct.rtt, established,
+                              label=f"{self.label}.handshake")
 
     @property
     def handshake_done(self) -> bool:
@@ -156,8 +169,10 @@ class DetourTransfer:
             def tunnel_ready(tunnel: Tunnel) -> None:
                 if self.connection.done:
                     return
+                detour_path = self._data_path(via=waypoint.host)
+                self.manager._detour_rtt.observe(detour_path.rtt)
                 subflow = self.connection.add_subflow(
-                    self._data_path(via=waypoint.host),
+                    detour_path,
                     label=f"{self.label}.via-{waypoint.host.name}",
                     overhead_per_packet=tunnel.overhead_per_packet,
                     extra_ack_delay=ack_delay)
@@ -272,6 +287,11 @@ class DetourManager:
         self.network = network
         self.collective = collective
         self.factory = factory or TunnelFactory(network)
+        self.metrics = MetricsRegistry(namespace="dcol")
+        self._detour_rtt = self.metrics.histogram(
+            "detour_rtt_seconds", help="RTT of engaged detour paths")
+        self._transfer_time = self.metrics.histogram(
+            "transfer_seconds", help="Handshake-to-completion transfer time")
 
     @property
     def sim(self):

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.http.content import WebObject
+from repro.metrics.counters import MetricsRegistry
 from repro.util.lru import LruCache
 
 
@@ -41,13 +42,24 @@ class CacheEntry:
 class HttpCache:
     """Byte-budgeted object cache with TTL freshness and ETag validation."""
 
-    def __init__(self, capacity_bytes: int, default_ttl: float = 300.0) -> None:
+    def __init__(self, capacity_bytes: int, default_ttl: float = 300.0,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if default_ttl <= 0:
             raise ValueError("default_ttl must be positive")
         self.default_ttl = default_ttl
         self._store: LruCache[str, CacheEntry] = LruCache(capacity_bytes)
         self.revalidations = 0
         self.refreshed_in_place = 0
+        # Owners pass their registry so cache traffic shows up next to
+        # the service's own counters; standalone caches count privately.
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            namespace="http_cache")
+        self._hits = self.metrics.counter(
+            "cache_hits", help="Lookups served fresh from cache")
+        self._misses = self.metrics.counter(
+            "cache_misses", help="Lookups with no cached copy")
+        self._stale = self.metrics.counter(
+            "cache_stale", help="Lookups needing revalidation")
 
     @property
     def stats(self):
@@ -64,9 +76,12 @@ class HttpCache:
         """(disposition, entry-or-None)."""
         entry = self._store.get(name)
         if entry is None:
+            self._misses.inc()
             return (CacheDisposition.MISS, None)
         if entry.is_fresh(now):
+            self._hits.inc()
             return (CacheDisposition.FRESH, entry)
+        self._stale.inc()
         return (CacheDisposition.STALE, entry)
 
     def store(self, obj: WebObject, now: float,

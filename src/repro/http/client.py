@@ -13,6 +13,7 @@ from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.http.messages import HttpRequest, HttpResponse
 from repro.http.server import DEFAULT_HTTP_PORT, HttpServer
+from repro.metrics.counters import MetricsRegistry
 from repro.net.address import Address
 from repro.net.network import Network, NetworkError, Path
 from repro.net.node import Host
@@ -60,6 +61,14 @@ class HttpClient:
         self._pool: Dict[Tuple, TcpConnection] = {}
         self.exchanges_completed = 0
         self.exchanges_failed = 0
+        self.metrics = MetricsRegistry(namespace="http")
+        self._request_latency = self.metrics.histogram(
+            "request_latency_seconds",
+            help="Start-to-response time of completed exchanges")
+        self._requests_ok = self.metrics.counter(
+            "requests_ok", help="Exchanges that produced a response")
+        self._requests_failed = self.metrics.counter(
+            "requests_failed", help="Exchanges that timed out or errored")
 
     @property
     def sim(self) -> Simulator:
@@ -89,12 +98,16 @@ class HttpClient:
         stats = ExchangeStats(started_at=self.sim.now)
         deadline = timeout if timeout is not None else self.timeout
         finished = {"done": False}
+        span = self.sim.tracer.start_span(
+            "http.request", method=request.method, path=request.path)
 
         def fail(message: str) -> None:
             if finished["done"]:
                 return
             finished["done"] = True
             self.exchanges_failed += 1
+            self._requests_failed.inc()
+            span.finish(error=message)
             if on_error is not None:
                 on_error(HttpError(message))
 
@@ -141,6 +154,11 @@ class HttpClient:
                 stats.completed_at = self.sim.now
                 stats.response_bytes = response.body_size
                 self.exchanges_completed += 1
+                self._requests_ok.inc()
+                self._request_latency.observe(stats.total_time)
+                span.finish(status=response.status,
+                            bytes=response.body_size,
+                            reused=stats.connection_reused)
                 on_response(response, stats)
 
             conn.transfer(max(1, response.wire_size), "down", done,
@@ -155,7 +173,8 @@ class HttpClient:
             conn.transfer(max(1, request.wire_size), "up", on_request_uploaded,
                           label=f"http.req.{request.path}")
 
-        conn.establish(on_connected)
+        with self.sim.tracer.activate(span):
+            conn.establish(on_connected)
 
     # -- pooling ---------------------------------------------------------------
 

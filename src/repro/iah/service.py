@@ -33,6 +33,7 @@ from repro.iah.deepweb import AtticTrigger, CredentialVault, GatherTarget
 from repro.iah.history import BrowsingHistory, InterestProfile
 from repro.iah.smoothing import DemandSmoother
 from repro.iah.web import Website
+from repro.metrics.counters import MetricsRegistry
 from repro.util.units import gib
 
 OBJECT_ROUTE = "/iah/object"
@@ -91,11 +92,18 @@ class InternetAtHomeService(HpopService):
         self._page_meta: Dict[Tuple[str, str], WebPage] = {}
         self._cache: Optional[HttpCache] = None
         self._client: Optional[HttpClient] = None
+        self.metrics = MetricsRegistry(namespace="iah")
+        self._h_serve_age = self.metrics.histogram(
+            "serve_age_seconds",
+            help="Age of prefetched entries at fresh-serve time")
+        self._c_serves = self.metrics.counter(
+            "objects_served", help="Device requests answered")
 
     # -- lifecycle --------------------------------------------------------
 
     def on_install(self, hpop: Hpop) -> None:
-        self._cache = HttpCache(self.cache_bytes)
+        # Cache hit/miss counters land in this service's registry.
+        self._cache = HttpCache(self.cache_bytes, metrics=self.metrics)
         self._client = HttpClient(hpop.host, hpop.network)
         hpop.http.route_async(OBJECT_ROUTE, self._serve_object)
         hpop.http.route(PAGE_ROUTE, self._serve_page_meta)
@@ -184,22 +192,27 @@ class InternetAtHomeService(HpopService):
         self.stats.rounds += 1
         targets = self.gather_targets()
         outstanding = {"count": len(targets)}
+        span = self.sim.tracer.start_span("iah.gather", targets=len(targets))
 
         def one_done() -> None:
             outstanding["count"] -= 1
-            if outstanding["count"] == 0 and on_done is not None:
-                on_done()
+            if outstanding["count"] == 0:
+                span.finish()
+                if on_done is not None:
+                    on_done()
 
         if not targets:
+            span.finish()
             if on_done is not None:
                 self.sim.call_soon(on_done, label="iah.gather.empty")
             return
-        for site, object_name in targets:
-            if object_name.startswith("__page__"):
-                self._fetch_page_meta(site, object_name[len("__page__"):],
-                                      one_done)
-            else:
-                self._gather_object(site, object_name, one_done)
+        with self.sim.tracer.activate(span):
+            for site, object_name in targets:
+                if object_name.startswith("__page__"):
+                    self._fetch_page_meta(site, object_name[len("__page__"):],
+                                          one_done)
+                else:
+                    self._gather_object(site, object_name, one_done)
 
     def _gather_object(self, site: str, object_name: str,
                        done: Callable[[], None]) -> None:
@@ -292,8 +305,11 @@ class InternetAtHomeService(HpopService):
             return
         key = self._cache_key(site_name, object_name)
         disposition, entry = self.cache.lookup(key, self.sim.now)
+        self._c_serves.inc()
         if disposition is CacheDisposition.FRESH:
             self.stats.local_hits += 1
+            # How stale was the prefetched copy when a device wanted it?
+            self._h_serve_age.observe(self.sim.now - entry.stored_at)
             obj = entry.obj
             respond(ok(body_size=obj.size, body=obj,
                        headers={"X-Cache": "hit"}))

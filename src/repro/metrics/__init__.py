@@ -1,8 +1,9 @@
 """Experiment metrics and reporting."""
 
-from repro.metrics.counters import (Counter, Gauge, MetricsRegistry,
+from repro.metrics.counters import (Counter, Gauge, Histogram,
+                                    MetricsRegistry, expose_registries,
                                     merge_snapshots)
 from repro.metrics.report import Claim, ExperimentReport
 
-__all__ = ["Claim", "Counter", "ExperimentReport", "Gauge",
-           "MetricsRegistry", "merge_snapshots"]
+__all__ = ["Claim", "Counter", "ExperimentReport", "Gauge", "Histogram",
+           "MetricsRegistry", "expose_registries", "merge_snapshots"]

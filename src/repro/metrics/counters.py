@@ -1,18 +1,26 @@
-"""Operational counters and gauges for long-running services.
+"""Operational counters, gauges, and histograms for long-running services.
 
 :mod:`repro.metrics.report` covers one-shot experiment tables; this
 module covers the *service* side: monotonically increasing counters
-(shards repaired, repair bytes, retries) and sampled gauges (decode
-cache hit rate) that services register and benchmarks/tests scrape.
+(shards repaired, repair bytes, retries), sampled gauges (decode cache
+hit rate), and latency/size histograms (request latency, repair time)
+that services register and benchmarks/tests scrape.
 
 Registries are plain objects (no global state) so each HPoP service can
 own one and a test can assert on exactly the counters it caused.
+:meth:`MetricsRegistry.expose` renders the whole registry in the
+Prometheus text exposition format for external scrapers.
 """
 
 from __future__ import annotations
 
+import math
+import re
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.util.stats import percentile
 
 
 @dataclass
@@ -49,28 +57,145 @@ class Gauge:
         return float(self._fn()) if self._fn is not None else self.value
 
 
+# Log-spaced defaults: 10 us .. ~2100 s at ratio ~2.15 per bucket —
+# wide enough for LAN object serves and WAN repair storms alike.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    10.0 ** (e / 3) for e in range(-15, 11))
+
+
+class Histogram:
+    """A distribution: fixed log-spaced buckets plus exact quantiles.
+
+    Buckets are Prometheus-style inclusive upper bounds (``value <=
+    bound`` lands in that bucket; larger values land in the implicit
+    ``+Inf`` bucket). All observations are also retained, so
+    :meth:`quantile` is exact rather than bucket-interpolated — the
+    right trade for simulation scale, where sample counts are modest
+    and "what is the p99 fetch latency" deserves a true answer.
+    """
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.help = help
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(
+                f"histogram {name} buckets must be strictly increasing")
+        self.buckets = bounds
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)  # +Inf last
+        self.count = 0
+        self.sum = 0.0
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name} is empty")
+        return self.sum / self.count
+
+    def quantile(self, q: float) -> float:
+        """Exact quantile ``q`` in [0, 1] over all observations."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if not self._samples:
+            raise ValueError(f"histogram {self.name} is empty")
+        return percentile(self._samples, q * 100)
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """(upper bound, cumulative count) pairs, ending with +Inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self.bucket_counts):
+            running += count
+            out.append((bound, running))
+        out.append((math.inf, self.count))
+        return out
+
+
+_METRIC_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _expo_name(namespace: str, name: str) -> str:
+    full = f"{namespace}_{name}" if namespace else name
+    return _METRIC_NAME_BAD.sub("_", full)
+
+
+def _expo_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
 @dataclass
 class MetricsRegistry:
-    """A named bag of counters and gauges for one service instance."""
+    """A named bag of counters, gauges, and histograms for one service."""
 
     namespace: str = ""
     counters: Dict[str, Counter] = field(default_factory=dict)
     gauges: Dict[str, Gauge] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+
+    def _check_collision(self, name: str, want: str) -> None:
+        kinds = (("counter", self.counters), ("gauge", self.gauges),
+                 ("histogram", self.histograms))
+        for kind, table in kinds:
+            if kind != want and name in table:
+                raise TypeError(
+                    f"metric {name!r} in registry {self.namespace!r} is "
+                    f"already registered as a {kind}, not a {want}")
 
     def counter(self, name: str, help: str = "") -> Counter:
-        """Get or create the counter ``name``."""
+        """Get or create the counter ``name``.
+
+        Raises :class:`TypeError` if ``name`` already names a gauge or
+        histogram. The first non-empty help text wins; later differing
+        help strings are ignored rather than silently replacing it.
+        """
+        self._check_collision(name, "counter")
         existing = self.counters.get(name)
         if existing is None:
             existing = Counter(name=name, help=help)
             self.counters[name] = existing
+        elif not existing.help and help:
+            existing.help = help
         return existing
 
     def gauge(self, name: str, help: str = "") -> Gauge:
-        """Get or create the gauge ``name``."""
+        """Get or create the gauge ``name`` (same collision/help rules)."""
+        self._check_collision(name, "gauge")
         existing = self.gauges.get(name)
         if existing is None:
             existing = Gauge(name=name, help=help)
             self.gauges[name] = existing
+        elif not existing.help and help:
+            existing.help = help
+        return existing
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """Get or create the histogram ``name`` (same rules as above).
+
+        ``buckets`` only applies on first registration.
+        """
+        self._check_collision(name, "histogram")
+        existing = self.histograms.get(name)
+        if existing is None:
+            existing = Histogram(name=name, help=help, buckets=buckets)
+            self.histograms[name] = existing
+        elif not existing.help and help:
+            existing.help = help
         return existing
 
     def value(self, name: str) -> float:
@@ -83,10 +208,17 @@ class MetricsRegistry:
                        f"registry {self.namespace!r}")
 
     def snapshot(self) -> Dict[str, float]:
-        """All current values, prefixed with the namespace."""
+        """All current values, prefixed with the namespace.
+
+        Histograms contribute their ``_count`` and ``_sum`` (both
+        counter-like, so they merge correctly across a fleet).
+        """
         prefix = f"{self.namespace}." if self.namespace else ""
         out = {f"{prefix}{n}": c.value for n, c in self.counters.items()}
         out.update({f"{prefix}{n}": g.read() for n, g in self.gauges.items()})
+        for name, hist in self.histograms.items():
+            out[f"{prefix}{name}_count"] = float(hist.count)
+            out[f"{prefix}{name}_sum"] = hist.sum
         return out
 
     def render(self) -> str:
@@ -96,11 +228,74 @@ class MetricsRegistry:
             lines.append(f"{name} {value:g}")
         return "\n".join(lines)
 
+    def expose(self) -> str:
+        """Prometheus text exposition of every metric in this registry."""
+        lines: List[str] = []
+        for name in sorted(self.counters):
+            counter = self.counters[name]
+            full = _expo_name(self.namespace, name)
+            if counter.help:
+                lines.append(f"# HELP {full} {counter.help}")
+            lines.append(f"# TYPE {full} counter")
+            lines.append(f"{full} {_expo_value(counter.value)}")
+        for name in sorted(self.gauges):
+            gauge = self.gauges[name]
+            full = _expo_name(self.namespace, name)
+            if gauge.help:
+                lines.append(f"# HELP {full} {gauge.help}")
+            lines.append(f"# TYPE {full} gauge")
+            lines.append(f"{full} {_expo_value(gauge.read())}")
+        for name in sorted(self.histograms):
+            hist = self.histograms[name]
+            full = _expo_name(self.namespace, name)
+            if hist.help:
+                lines.append(f"# HELP {full} {hist.help}")
+            lines.append(f"# TYPE {full} histogram")
+            for bound, cumulative in hist.cumulative_buckets():
+                lines.append(f'{full}_bucket{{le="{_expo_value(bound)}"}} '
+                             f"{cumulative}")
+            lines.append(f"{full}_sum {_expo_value(hist.sum)}")
+            lines.append(f"{full}_count {hist.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
 
-def merge_snapshots(snapshots: List[Dict[str, float]]) -> Dict[str, float]:
-    """Sum same-named metrics across registries (fleet-wide totals)."""
-    out: Dict[str, float] = {}
+
+def expose_registries(registries: Iterable[MetricsRegistry]) -> str:
+    """One exposition page over several registries (an HPoP's services)."""
+    return "".join(registry.expose() for registry in registries)
+
+
+def merge_snapshots(
+    snapshots: Sequence[Union[Dict[str, float], MetricsRegistry]],
+    gauge_names: Optional[Iterable[str]] = None,
+) -> Dict[str, float]:
+    """Merge same-named metrics across a fleet of registries.
+
+    Counters (and histogram ``_count``/``_sum`` components) are summed;
+    gauges are *averaged* — summing a rate gauge like
+    ``decode_cache_hit_rate`` across peers would manufacture a nonsense
+    fleet total (three peers at 0.5 are not at 1.5).
+
+    Items may be plain snapshot dicts or :class:`MetricsRegistry`
+    instances; registries declare their own gauge names. For plain
+    dicts, pass the namespaced gauge names via ``gauge_names`` — without
+    it every plain-dict metric is treated as a counter, matching the
+    old behaviour.
+    """
+    gauges: Set[str] = set(gauge_names or ())
+    resolved: List[Dict[str, float]] = []
     for snap in snapshots:
+        if isinstance(snap, MetricsRegistry):
+            prefix = f"{snap.namespace}." if snap.namespace else ""
+            gauges.update(f"{prefix}{n}" for n in snap.gauges)
+            resolved.append(snap.snapshot())
+        else:
+            resolved.append(snap)
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for snap in resolved:
         for name, value in snap.items():
-            out[name] = out.get(name, 0.0) + value
-    return out
+            sums[name] = sums.get(name, 0.0) + value
+            counts[name] = counts.get(name, 0) + 1
+    return {name: (sums[name] / counts[name] if name in gauges
+                   else sums[name])
+            for name in sums}

@@ -19,10 +19,14 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
+from repro.metrics.counters import MetricsRegistry
 from repro.net.address import Address, AddressPool, Prefix
 from repro.net.link import Link, LinkDirection
 from repro.net.node import Host, Node, Router
 from repro.sim.engine import Simulator
+
+# Path lengths are small integers; dedicated buckets beat log-spaced.
+_HOP_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0)
 
 
 class NetworkError(RuntimeError):
@@ -119,6 +123,20 @@ class Network:
         self._graph = nx.Graph()
         self._path_cache: Dict[Tuple[str, str], Path] = {}
         self._routing_epoch = 0
+        self.metrics = MetricsRegistry(namespace="net")
+        self._path_hops = self.metrics.histogram(
+            "path_hops", help="Hop count of freshly computed routes",
+            buckets=_HOP_BUCKETS)
+        self._datagram_latency = self.metrics.histogram(
+            "datagram_latency_seconds",
+            help="Delivery latency of delivered datagrams")
+        self._flow_latency = self.metrics.histogram(
+            "flow_latency_seconds",
+            help="Start-to-completion time of finished flows")
+        self._datagrams_sent = self.metrics.counter(
+            "datagrams_sent", help="Datagrams handed to the network")
+        self._datagrams_dropped = self.metrics.counter(
+            "datagrams_dropped", help="Datagrams lost or unroutable")
 
     # -- construction -----------------------------------------------------
 
@@ -231,6 +249,7 @@ class Network:
             directions.append(link.direction(self.nodes[a_name]))
         path = Path(source=source, dest=dest, directions=tuple(directions))
         self._path_cache[key] = path
+        self._path_hops.observe(float(path.hop_count))
         return path
 
     def path_to(self, source: Node, dest_address: Address) -> Path:
@@ -265,15 +284,22 @@ class Network:
         """
         if not source.powered:
             return
+        self._datagrams_sent.inc()
+        span = self.sim.tracer.start_span("net.datagram", source=source.name,
+                                          dest=str(dest), size=size)
         dest_node = self._by_address.get(dest)
         if dest_node is None:
             # Unknown destination: silently dropped, like the real net.
+            self._datagrams_dropped.inc()
+            span.finish(outcome="unroutable")
             if on_dropped is not None:
                 self.sim.call_soon(on_dropped, label="datagram-unroutable")
             return
         try:
             path = self.path_between(source, dest_node)
         except NetworkError:
+            self._datagrams_dropped.inc()
+            span.finish(outcome="unroutable")
             if on_dropped is not None:
                 self.sim.call_soon(on_dropped, label="datagram-unroutable")
             return
@@ -282,6 +308,8 @@ class Network:
         for d in path.directions:
             if d.loss_rate > 0 and rng.random() < d.loss_rate:
                 d.stats.drops += 1
+                self._datagrams_dropped.inc()
+                span.finish(outcome="lost")
                 if on_dropped is not None:
                     self.sim.call_soon(on_dropped, label="datagram-lost")
                 return
@@ -289,11 +317,22 @@ class Network:
         latency = path.propagation_delay + size * 8 / path.bottleneck_bandwidth
 
         def deliver() -> None:
+            self._datagram_latency.observe(latency)
+            span.finish(outcome="delivered", hops=path.hop_count)
             if isinstance(dest_node, Host):
                 dest_node.deliver_datagram(source.address, source_port,
                                            dest_port, payload)
 
-        self.sim.schedule(latency, deliver, label="datagram-delivery")
+        with self.sim.tracer.activate(span):
+            self.sim.schedule(latency, deliver, label="datagram-delivery")
+
+    def note_flow_complete(self, flow: object) -> None:
+        """Flow-completion hook: transports report finished transfers here
+        so flow latency lands in one network-wide histogram."""
+        stats = getattr(flow, "stats", None)
+        duration = getattr(stats, "duration", None)
+        if duration is not None:
+            self._flow_latency.observe(duration)
 
 
 def compute_max_min_rates(

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.http.client import HttpClient
 from repro.http.content import WebPage
 from repro.http.messages import HttpRequest
+from repro.metrics.counters import MetricsRegistry
 from repro.net.network import Network
 from repro.net.node import Host
 from repro.nocdn.origin import ContentProvider
@@ -64,6 +65,13 @@ class PageLoader:
         self._loader_cached: Set[str] = set()
         self.records_sent = 0
         self.loads_completed = 0
+        self.metrics = MetricsRegistry(namespace="nocdn")
+        self._page_load_time = self.metrics.histogram(
+            "page_load_seconds", help="Wrapper fetch to full assembly")
+        self._c_peer_bytes = self.metrics.counter(
+            "bytes_from_peers", help="Verified bytes served by peer HPoPs")
+        self._c_origin_bytes = self.metrics.counter(
+            "bytes_from_origin", help="Bytes served by the origin")
 
     @property
     def sim(self):
@@ -79,8 +87,21 @@ class PageLoader:
         on_error: Optional[Callable[[Exception], None]] = None,
     ) -> None:
         started = self.sim.now
+        span = self.sim.tracer.start_span("nocdn.page_load", url=url,
+                                          site=provider.site_name)
+        inner_done = on_done
+
+        def on_done(result: PageLoadResult) -> None:
+            self._page_load_time.observe(result.duration)
+            self._c_peer_bytes.inc(result.bytes_from_peers)
+            self._c_origin_bytes.inc(result.bytes_from_origin)
+            span.finish(direct=result.direct_mode,
+                        objects=result.object_count,
+                        bytes=result.total_bytes)
+            inner_done(result)
 
         def fail(exc) -> None:
+            span.finish(error=str(exc))
             if on_error is not None:
                 on_error(exc if isinstance(exc, Exception)
                          else RuntimeError(str(exc)))
@@ -106,20 +127,21 @@ class PageLoader:
                             headers={"X-Client-Host": self.device.name}),
                 got_wrapper, port=provider.port, on_error=fail)
 
-        if provider.site_name not in self._loader_cached:
-            # First visit: also pull the generic loader script (cacheable).
-            def got_loader(resp, _stats) -> None:
-                if resp.ok:
-                    self._loader_cached.add(provider.site_name)
-                fetch_wrapper()
+        with self.sim.tracer.activate(span):
+            if provider.site_name not in self._loader_cached:
+                # First visit: also pull the generic loader script (cacheable).
+                def got_loader(resp, _stats) -> None:
+                    if resp.ok:
+                        self._loader_cached.add(provider.site_name)
+                    fetch_wrapper()
 
-            self.client.request(
-                provider.host,
-                HttpRequest("GET", provider.loader_script_path,
-                            host=provider.site_name),
-                got_loader, port=provider.port, on_error=fail)
-        else:
-            fetch_wrapper()
+                self.client.request(
+                    provider.host,
+                    HttpRequest("GET", provider.loader_script_path,
+                                host=provider.site_name),
+                    got_loader, port=provider.port, on_error=fail)
+            else:
+                fetch_wrapper()
 
     # -- direct (no peers) mode ---------------------------------------------
 
@@ -210,9 +232,12 @@ class PageLoader:
                 "GET",
                 f"/nocdn/{provider.site_name}/{item.object_name}",
                 range=None if is_whole else (item.start, item.end))
+            fetch_span = self.sim.tracer.start_span(
+                "nocdn.fetch", object=item.object_name, peer=item.peer_id)
 
             def got(resp, _stats) -> None:
                 if resp.ok and isinstance(resp.body, ChunkBody):
+                    fetch_span.finish(outcome="peer", bytes=resp.body_size)
                     result.bytes_from_peers += resp.body_size
                     for slot in per_object[item.object_name]:
                         if slot[0] is item:
@@ -222,13 +247,15 @@ class PageLoader:
                     failed(None)
 
             def failed(_exc) -> None:
+                fetch_span.finish(outcome="peer-failed")
                 result.peer_failures.append((item.object_name, item.peer_id))
                 self._origin_recover_chunk(provider, item, obj, result,
                                            per_object[item.object_name],
                                            verify_object)
 
-            self.client.request(endpoint[0], request, got,
-                                port=endpoint[1], on_error=failed)
+            with self.sim.tracer.activate(fetch_span):
+                self.client.request(endpoint[0], request, got,
+                                    port=endpoint[1], on_error=failed)
 
         for item in items:
             fetch_item(item)

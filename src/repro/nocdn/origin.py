@@ -252,11 +252,16 @@ class ContentProvider:
 
         chunks: List[ChunkAssignment] = []
         assignments: Dict[str, str] = {}
-        if self.chunk_size is not None and len(peers) > 1:
-            chunks = chunked_assignment(page, peers, rng, self.chunk_size)
-        else:
-            assignments = self.selection.assign(page, client, peers,
-                                                self.network, rng)
+        with self.sim.tracer.trace(
+                "nocdn.select", site=self.site_name,
+                policy=type(self.selection).__name__,
+                peers=len(peers)) as select_span:
+            if self.chunk_size is not None and len(peers) > 1:
+                chunks = chunked_assignment(page, peers, rng, self.chunk_size)
+            else:
+                assignments = self.selection.assign(page, client, peers,
+                                                    self.network, rng)
+            select_span.set(assigned=len(assignments) + len(chunks))
 
         used_peer_ids = set(assignments.values()) | {c.peer_id for c in chunks}
         peer_endpoints = {}

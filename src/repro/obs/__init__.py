@@ -1,0 +1,20 @@
+"""Observability: causal tracing and trace analysis.
+
+``repro.obs.trace`` is the recording side (spans keyed to simulated
+time, propagated through the event heap); ``repro.obs.report`` is the
+analysis side (latency tables, critical paths, hotspots). Histogram
+metrics live with the other service metrics in
+:mod:`repro.metrics.counters`.
+"""
+
+from repro.obs.report import (Trace, TraceRecord, critical_path, hotspots,
+                              load_trace, render_report, slowest_span,
+                              span_table)
+from repro.obs.trace import (NULL_SPAN, NULL_TRACER, NullTracer, Span,
+                             Tracer)
+
+__all__ = [
+    "Span", "Tracer", "NullTracer", "NULL_SPAN", "NULL_TRACER",
+    "Trace", "TraceRecord", "load_trace", "span_table", "slowest_span",
+    "critical_path", "hotspots", "render_report",
+]

@@ -1,0 +1,250 @@
+"""Trace analysis: latency tables, critical paths, hotspots.
+
+Consumes the JSONL produced by :meth:`repro.obs.trace.Tracer.
+export_jsonl` and answers the questions the HPoP services are argued
+in terms of: where did a request's simulated time go, what is the p99
+of each operation, and which event labels burn the host's wall clock.
+``scripts/trace_report.py`` is the thin CLI over this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.trace import iter_jsonl
+from repro.util.stats import mean, percentile
+
+
+@dataclass
+class TraceRecord:
+    """One span or event mark loaded from a trace file."""
+
+    kind: str
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    end: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """A fully loaded trace: records plus optional wall-clock profile."""
+
+    records: List[TraceRecord] = field(default_factory=list)
+    # label -> (fired count, wall seconds); empty unless the export
+    # included profile records.
+    profile: Dict[str, Tuple[int, float]] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def spans(self) -> List[TraceRecord]:
+        return [r for r in self.records if r.kind == "span"]
+
+    def events(self) -> List[TraceRecord]:
+        return [r for r in self.records if r.kind == "event"]
+
+    def by_id(self) -> Dict[int, TraceRecord]:
+        return {r.span_id: r for r in self.records}
+
+
+def load_trace(path: str) -> Trace:
+    """Parse a JSONL trace file into a :class:`Trace`."""
+    trace = Trace()
+    for raw in iter_jsonl(path):
+        kind = raw.get("kind")
+        if kind == "profile":
+            trace.profile[raw["label"]] = (int(raw["count"]),
+                                           float(raw["wall_s"]))
+        elif kind == "meta":
+            trace.meta = raw
+        elif kind in ("span", "event"):
+            end = raw.get("end")
+            if end is None:
+                continue  # unfinished span leaked into the file; skip
+            trace.records.append(TraceRecord(
+                kind=kind, span_id=int(raw["id"]),
+                parent_id=raw.get("parent"), name=raw.get("name", ""),
+                start=float(raw["start"]), end=float(end),
+                attrs=raw.get("attrs") or {}))
+    return trace
+
+
+# -- per-span-name latency table ------------------------------------------
+
+
+def span_table(trace: Trace) -> List[Tuple[str, int, float, float, float]]:
+    """(name, count, mean, p50, p99) per span name, busiest total first."""
+    groups: Dict[str, List[float]] = {}
+    for record in trace.spans():
+        groups.setdefault(record.name, []).append(record.duration)
+    rows = []
+    for name, durations in groups.items():
+        rows.append((name, len(durations), mean(durations),
+                     percentile(durations, 50), percentile(durations, 99)))
+    rows.sort(key=lambda row: -(row[1] * row[2]))  # total simulated time
+    return rows
+
+
+# -- critical path ---------------------------------------------------------
+
+
+def slowest_span(trace: Trace) -> Optional[TraceRecord]:
+    """The longest-duration proper span (event marks are instants)."""
+    spans = trace.spans()
+    if not spans:
+        return None
+    return max(spans, key=lambda r: (r.duration, -r.span_id))
+
+
+def critical_path(trace: Trace,
+                  target: Optional[TraceRecord] = None) -> List[TraceRecord]:
+    """Root-to-leaf chain through the slowest span.
+
+    Walks up from ``target`` (default: the slowest span) to its root,
+    then descends by always taking the child that *finishes last* —
+    the sub-operation that kept the request open. The returned list is
+    ordered root first.
+    """
+    if target is None:
+        target = slowest_span(trace)
+    if target is None:
+        return []
+    by_id = trace.by_id()
+    children: Dict[Optional[int], List[TraceRecord]] = {}
+    for record in trace.records:
+        children.setdefault(record.parent_id, []).append(record)
+
+    # Ancestors of the target, root first.
+    up: List[TraceRecord] = []
+    node: Optional[TraceRecord] = target
+    seen = set()
+    while node is not None and node.span_id not in seen:
+        seen.add(node.span_id)
+        up.append(node)
+        node = by_id.get(node.parent_id) if node.parent_id is not None else None
+    up.reverse()
+
+    # Descend from the target along the latest-finishing child.
+    path = up
+    node = target
+    while True:
+        kids = [k for k in children.get(node.span_id, ())
+                if k.span_id not in seen]
+        if not kids:
+            break
+        node = max(kids, key=lambda r: (r.end, r.span_id))
+        seen.add(node.span_id)
+        path.append(node)
+    return path
+
+
+# -- hotspots --------------------------------------------------------------
+
+
+def hotspots(trace: Trace, top: int = 10
+             ) -> List[Tuple[str, int, float, float]]:
+    """(label, count, wall seconds, share) for the hottest event labels.
+
+    Uses exported wall-clock profile records when present; otherwise
+    falls back to event-mark counts (with zero wall time), so the
+    section still identifies the busiest labels on spans-only traces.
+    """
+    if trace.profile:
+        total = sum(wall for _count, wall in trace.profile.values()) or 1.0
+        rows = [(label, count, wall, wall / total)
+                for label, (count, wall) in trace.profile.items()]
+        rows.sort(key=lambda row: -row[2])
+        return rows[:top]
+    counts: Dict[str, int] = {}
+    for record in trace.events():
+        counts[record.name] = counts.get(record.name, 0) + 1
+    total_count = sum(counts.values()) or 1
+    rows = [(label, count, 0.0, count / total_count)
+            for label, count in counts.items()]
+    rows.sort(key=lambda row: (-row[1], row[0]))
+    return rows[:top]
+
+
+# -- rendering -------------------------------------------------------------
+
+
+def _format_table(headers: Sequence[str],
+                  rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt_s(value: float) -> str:
+    return f"{value * 1e3:.3f} ms" if value < 1.0 else f"{value:.4f} s"
+
+
+def render_report(trace: Trace, top: int = 10) -> str:
+    """The full human-readable report ``trace_report.py`` prints."""
+    sections: List[str] = []
+
+    rows = span_table(trace)
+    sections.append("== span latency (simulated time) ==")
+    if rows:
+        sections.append(_format_table(
+            ("span", "count", "mean", "p50", "p99"),
+            [(name, str(count), _fmt_s(avg), _fmt_s(p50), _fmt_s(p99))
+             for name, count, avg, p50, p99 in rows]))
+    else:
+        sections.append("(no spans recorded)")
+
+    target = slowest_span(trace)
+    if target is not None:
+        sections.append("")
+        sections.append(
+            f"== critical path of slowest span: {target.name} "
+            f"({_fmt_s(target.duration)}) ==")
+        for record in critical_path(trace, target):
+            marker = "*" if record.span_id == target.span_id else " "
+            attrs = " ".join(f"{k}={v}" for k, v in
+                             sorted(record.attrs.items()))
+            sections.append(
+                f" {marker} t={record.start:>12.6f}  "
+                f"+{record.duration * 1e3:>10.3f} ms  "
+                f"[{record.kind}] {record.name}"
+                + (f"  {attrs}" if attrs else ""))
+
+    sections.append("")
+    sections.append("== hotspots by event label ==")
+    hot = hotspots(trace, top=top)
+    if hot:
+        wall_based = bool(trace.profile)
+        sections.append(_format_table(
+            ("label", "count", "wall", "share"),
+            [(label, str(count),
+              f"{wall * 1e3:.2f} ms" if wall_based else "-",
+              f"{share * 100:.1f}%")
+             for label, count, wall, share in hot]))
+        if not wall_based:
+            sections.append("(no wall-clock profile in this trace; "
+                            "shares are event-count shares)")
+    else:
+        sections.append("(no events recorded)")
+
+    if trace.meta:
+        sections.append("")
+        eps = trace.meta.get("events_per_s", 0.0)
+        sections.append(
+            f"meta: {trace.meta.get('events', 0)} events fired, "
+            f"{trace.meta.get('wall_s', 0.0) * 1e3:.1f} ms callback wall "
+            f"clock, {eps:,.0f} events/s, "
+            f"{trace.meta.get('dropped', 0)} records dropped")
+    return "\n".join(sections)

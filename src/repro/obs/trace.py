@@ -1,0 +1,351 @@
+"""Causal tracing keyed to simulated time.
+
+A :class:`Tracer` records *spans* — named intervals of simulated time
+with attributes and a parent — into a bounded ring buffer, and exports
+them as JSONL for :mod:`repro.obs.report` / ``scripts/trace_report.py``.
+
+Design notes
+------------
+- **Off by default, near-zero overhead.** Every :class:`~repro.sim.engine.
+  Simulator` starts with the shared :data:`NULL_TRACER`; instrumentation
+  sites call ``sim.tracer.start_span(...)`` unconditionally and get back
+  the inert :data:`NULL_SPAN`, so the disabled path is one attribute
+  load and a no-op method call — no branching at call sites.
+- **Causality through the event heap.** ``Simulator.at`` captures
+  ``tracer.current`` into the event; when the event fires the engine
+  makes that context current again (and, when event marks are enabled,
+  records a ``kind="event"`` instant span as the child). A span started
+  in one callback and finished in another therefore still nests under
+  the request that caused it.
+- **Determinism.** Span ids come from a monotonic counter and all
+  recorded fields are simulated-time values, so two traced runs from the
+  same seed export byte-identical JSONL. Wall-clock profiling (per-label
+  callback time, for finding *host* hotspots) is kept out of the default
+  export and only written with ``include_profile=True``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from time import perf_counter
+from typing import Any, Dict, Iterable, List, Optional
+
+_UNSET = object()
+
+
+class Span:
+    """One named interval of simulated time in a trace."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "attrs",
+                 "kind", "_tracer")
+
+    def __init__(self, tracer: "Tracer", span_id: int,
+                 parent_id: Optional[int], name: str, start: float,
+                 attrs: Dict[str, Any], kind: str = "span") -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs
+        self.kind = kind
+        self._tracer = tracer
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes to an open span."""
+        self.attrs.update(attrs)
+
+    def finish(self, **attrs: Any) -> None:
+        """Close the span at the current simulated time and record it.
+
+        Idempotent: only the first call records. Spans that are never
+        finished are never exported.
+        """
+        if self.end is not None:
+            return
+        self.attrs.update(attrs)
+        self.end = self._tracer.now
+        self._tracer._record(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Span #{self.span_id} {self.name!r} "
+                f"[{self.start:.6f}, {self.end}]>")
+
+
+class _NullSpan:
+    """The inert span returned by the disabled tracer."""
+
+    __slots__ = ()
+    span_id = None
+    parent_id = None
+    name = ""
+    kind = "span"
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    attrs: Dict[str, Any] = {}
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def finish(self, **attrs: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _NullContext:
+    """Reusable no-op context manager yielding :data:`NULL_SPAN`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_CTX = _NullContext()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is an allocation-free no-op."""
+
+    enabled = False
+    current: Optional[Span] = None
+
+    def trace(self, name: str, **attrs: Any) -> _NullContext:
+        return _NULL_CTX
+
+    def start_span(self, name: str, parent: Any = None,
+                   **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def activate(self, span: Any) -> _NullContext:
+        return _NULL_CTX
+
+    def spans(self) -> List[Span]:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+class _SpanContext:
+    """``with tracer.trace(...)``: activates a new span, finishes on exit."""
+
+    __slots__ = ("_tracer", "_span", "_prev")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._prev: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._prev = self._tracer.current
+        self._tracer.current = self._span
+        return self._span
+
+    def __exit__(self, *exc: Any) -> bool:
+        self._tracer.current = self._prev
+        self._span.finish()
+        return False
+
+
+class _ActivateContext:
+    """``with tracer.activate(span)``: makes an open span current without
+    finishing it — used around scheduling so child events inherit it."""
+
+    __slots__ = ("_tracer", "_span", "_prev")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._prev: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._prev = self._tracer.current
+        self._tracer.current = self._span
+        return self._span
+
+    def __exit__(self, *exc: Any) -> bool:
+        self._tracer.current = self._prev
+        return False
+
+
+class Tracer:
+    """Span recorder bound to one simulator clock.
+
+    ``clock`` is any object with a ``now`` attribute in simulated
+    seconds (a :class:`~repro.sim.engine.Simulator`). ``capacity``
+    bounds the ring buffer; the oldest records are evicted and counted
+    in :attr:`dropped`. ``trace_events`` controls whether each fired
+    engine event is recorded as an instant ``kind="event"`` mark (the
+    glue that lets :mod:`repro.obs.report` reconstruct critical paths
+    across the heap).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Any, capacity: int = 65536,
+                 trace_events: bool = True) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._clock = clock
+        self.capacity = capacity
+        self.trace_events = trace_events
+        self._records: deque = deque(maxlen=capacity)
+        self._next_id = 1
+        self.current: Optional[Span] = None
+        self.dropped = 0
+        # Wall-clock profiling: label -> [fired count, wall seconds].
+        self.profile: Dict[str, List[float]] = {}
+        self.events_traced = 0
+        self.wall_seconds = 0.0
+        self._t0 = 0.0
+
+    # -- span API ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._clock.now
+
+    def start_span(self, name: str, parent: Any = _UNSET,
+                   **attrs: Any) -> Span:
+        """Open a span at the current simulated time.
+
+        The caller finishes it later with :meth:`Span.finish` —
+        possibly several events downstream. ``parent`` defaults to the
+        current context; pass ``None`` to force a root span.
+        """
+        if parent is _UNSET:
+            parent = self.current
+        parent_id = parent.span_id if isinstance(parent, Span) else parent
+        span = Span(self, self._next_id, parent_id, name, self._clock.now,
+                    attrs)
+        self._next_id += 1
+        return span
+
+    def trace(self, name: str, **attrs: Any) -> _SpanContext:
+        """Context manager: span over a synchronous scope, auto-finished.
+
+        Events scheduled inside the ``with`` block inherit the span as
+        their parent context.
+        """
+        return _SpanContext(self, self.start_span(name, **attrs))
+
+    def activate(self, span: Span) -> _ActivateContext:
+        """Make an *open* span current for a scope without finishing it."""
+        return _ActivateContext(self, span)
+
+    # -- engine integration ------------------------------------------------
+
+    def begin_event(self, event: Any) -> None:
+        """Called by the engine just before an event's callback runs."""
+        ctx = event.ctx
+        if self.trace_events:
+            now = self._clock.now
+            mark = Span(self, self._next_id,
+                        ctx.span_id if ctx is not None else None,
+                        event.label, now, {}, kind="event")
+            self._next_id += 1
+            mark.end = now
+            self._record(mark)
+            self.current = mark
+        else:
+            self.current = ctx
+        self._t0 = perf_counter()
+
+    def end_event(self, event: Any) -> None:
+        """Called by the engine after the callback returns (or raises)."""
+        wall = perf_counter() - self._t0
+        self.current = None
+        prof = self.profile.get(event.label)
+        if prof is None:
+            self.profile[event.label] = prof = [0, 0.0]
+        prof[0] += 1
+        prof[1] += wall
+        self.events_traced += 1
+        self.wall_seconds += wall
+
+    # -- storage / export ----------------------------------------------------
+
+    def _record(self, span: Span) -> None:
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self._records.append(span)
+
+    def spans(self) -> List[Span]:
+        """Recorded (finished) spans and event marks, oldest first."""
+        return list(self._records)
+
+    @property
+    def events_per_second(self) -> float:
+        """Events fired per wall-clock second of traced callback time."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_traced / self.wall_seconds
+
+    def export_jsonl(self, path: str, include_profile: bool = False) -> int:
+        """Write the trace as JSON Lines; returns the record count.
+
+        The default export contains only simulated-time records, so two
+        runs from the same seed produce byte-identical files. With
+        ``include_profile=True``, per-label wall-clock profile records
+        and a trailing ``meta`` record are appended — useful for hotspot
+        reports, at the cost of run-to-run byte stability.
+        """
+        written = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            for span in self._records:
+                fh.write(json.dumps(span.to_dict(), sort_keys=True,
+                                    separators=(",", ":"), default=str))
+                fh.write("\n")
+                written += 1
+            if include_profile:
+                for label in sorted(self.profile):
+                    count, wall = self.profile[label]
+                    fh.write(json.dumps(
+                        {"kind": "profile", "label": label,
+                         "count": int(count), "wall_s": wall},
+                        sort_keys=True, separators=(",", ":")))
+                    fh.write("\n")
+                    written += 1
+                fh.write(json.dumps(
+                    {"kind": "meta", "events": self.events_traced,
+                     "wall_s": self.wall_seconds,
+                     "events_per_s": self.events_per_second,
+                     "dropped": self.dropped},
+                    sort_keys=True, separators=(",", ":")))
+                fh.write("\n")
+                written += 1
+        return written
+
+
+def iter_jsonl(path: str) -> Iterable[Dict[str, Any]]:
+    """Yield parsed records from a JSONL trace file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

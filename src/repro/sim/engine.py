@@ -22,6 +22,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.util.ids import IdFactory
 from repro.util.rng import RngStreams
 
@@ -44,15 +45,18 @@ class Event:
     ``run()`` still means "run to quiescence".
     """
 
-    __slots__ = ("time", "callback", "label", "cancelled", "weak", "_sim")
+    __slots__ = ("time", "callback", "label", "cancelled", "weak", "ctx",
+                 "_sim")
 
     def __init__(self, time: float, callback: Callable[[], None], label: str,
-                 weak: bool = False, sim: "Simulator" = None) -> None:
+                 weak: bool = False, sim: "Simulator" = None,
+                 ctx: Any = None) -> None:
         self.time = time
         self.callback = callback
         self.label = label
         self.cancelled = False
         self.weak = weak
+        self.ctx = ctx
         self._sim = sim
 
     def cancel(self) -> None:
@@ -84,6 +88,9 @@ class Simulator:
         self._events_fired = 0
         self._strong_pending = 0
         self._trace_hooks: List[Callable[[Event], None]] = []
+        # Disabled by default: the shared null tracer makes every
+        # instrumentation site a cheap no-op. See enable_tracing().
+        self.tracer = NULL_TRACER
 
     # -- scheduling ----------------------------------------------------
 
@@ -101,7 +108,11 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} before now={self.now}"
             )
-        event = Event(time, callback, label, weak=weak, sim=self)
+        # Capture the scheduling context so the event inherits the span
+        # that caused it; with the null tracer this reads a class
+        # attribute that is always None.
+        event = Event(time, callback, label, weak=weak, sim=self,
+                      ctx=self.tracer.current)
         heapq.heappush(self._heap, _HeapEntry(time, self._seq, event))
         self._seq += 1
         if not weak:
@@ -126,7 +137,15 @@ class Simulator:
                 self._strong_pending -= 1
             for hook in self._trace_hooks:
                 hook(event)
-            event.callback()
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.begin_event(event)
+                try:
+                    event.callback()
+                finally:
+                    tracer.end_event(event)
+            else:
+                event.callback()
             self._events_fired += 1
             return True
         return False
@@ -185,6 +204,27 @@ class Simulator:
     def add_trace_hook(self, hook: Callable[[Event], None]) -> None:
         """Register a hook called with each event just before it fires."""
         self._trace_hooks.append(hook)
+
+    # -- tracing ---------------------------------------------------------
+
+    def enable_tracing(self, capacity: int = 65536,
+                       trace_events: bool = True) -> Tracer:
+        """Attach a recording :class:`~repro.obs.trace.Tracer`.
+
+        Spans started via ``sim.tracer`` from here on are recorded into
+        a ring buffer of ``capacity`` records; each fired event also
+        leaves an instant mark when ``trace_events`` is true. Returns
+        the tracer (also available as :attr:`tracer`). Idempotent: a
+        second call keeps the existing recording tracer.
+        """
+        if not self.tracer.enabled:
+            self.tracer = Tracer(self, capacity=capacity,
+                                 trace_events=trace_events)
+        return self.tracer
+
+    def disable_tracing(self) -> None:
+        """Detach the recording tracer and return to the no-op default."""
+        self.tracer = NULL_TRACER
 
 
 class Process:

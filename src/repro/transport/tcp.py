@@ -107,6 +107,9 @@ class TcpFlow:
         self._failed = False
         self._pending_event = None
         self.max_stalls = 30  # give up after ~30 stall periods on a dead path
+        self._span = sim.tracer.start_span(
+            "net.flow", label=label, bytes=nbytes,
+            src=path.source.name, dst=path.dest.name)
         if start:
             self.start()
 
@@ -132,7 +135,11 @@ class TcpFlow:
         self._active = True
         self.stats.start_time = self.sim.now
         self.path.register_flow(self)
-        self._pending_event = self.sim.call_soon(self._round, label=f"{self.label}.round")
+        # Rounds re-schedule themselves from inside their own event, so
+        # activating here parents the whole round chain under the flow.
+        with self.sim.tracer.activate(self._span):
+            self._pending_event = self.sim.call_soon(
+                self._round, label=f"{self.label}.round")
 
     def cancel(self) -> None:
         """Abort the transfer (peer death, detour withdrawal)."""
@@ -141,6 +148,8 @@ class TcpFlow:
         self._cancelled = True
         if self._pending_event is not None:
             self._pending_event.cancel()
+        self._span.finish(outcome="cancelled",
+                          delivered=self.stats.bytes_delivered)
         self._teardown()
 
     def _teardown(self) -> None:
@@ -186,6 +195,7 @@ class TcpFlow:
         self.stats.stalls += 1
         if self.stats.stalls >= self.max_stalls:
             self._failed = True
+            self._span.finish(outcome="failed", stalls=self.stats.stalls)
             self._teardown()
             return
         self._pending_event = self.sim.schedule(
@@ -276,6 +286,11 @@ class TcpFlow:
             return
         self._done = True
         self.stats.end_time = self.sim.now
+        self._span.finish(outcome="ok", rounds=self.stats.rounds,
+                          loss_events=self.stats.loss_events)
+        network = getattr(self.path.source, "network", None)
+        if network is not None:
+            network.note_flow_complete(self)
         self._teardown()
         if self.on_complete is not None:
             self.on_complete(self)

@@ -1,8 +1,11 @@
-"""Service counters/gauges registry tests."""
+"""Service counters/gauges/histograms registry tests."""
+
+import math
 
 import pytest
 
-from repro.metrics import (Counter, Gauge, MetricsRegistry, merge_snapshots)
+from repro.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                           expose_registries, merge_snapshots)
 
 
 class TestCounter:
@@ -68,6 +71,147 @@ class TestRegistry:
         assert reg.render() == "x.a 2\nx.b 1"
 
 
+class TestHistogram:
+    def test_observe_count_sum_mean(self):
+        h = Histogram("lat")
+        for v in (0.1, 0.2, 0.3):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(0.6)
+        assert h.mean == pytest.approx(0.2)
+
+    def test_quantiles_are_exact(self):
+        h = Histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.quantile(0.5) == pytest.approx(50.5)
+        assert h.quantile(0.99) == pytest.approx(99.01)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_quantile_validation(self):
+        h = Histogram("lat")
+        with pytest.raises(ValueError):
+            h.quantile(0.5)  # empty
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").mean
+
+    def test_bucket_upper_bound_inclusive(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        h.observe(1.0)    # le="1"
+        h.observe(5.0)    # le="10"
+        h.observe(100.0)  # +Inf
+        assert h.bucket_counts == [1, 1, 1]
+        assert h.cumulative_buckets() == [(1.0, 1), (10.0, 2),
+                                          (math.inf, 3)]
+
+    def test_default_buckets_log_spaced(self):
+        h = Histogram("lat")
+        ratios = [b / a for a, b in zip(h.buckets, h.buckets[1:])]
+        assert all(r == pytest.approx(ratios[0]) for r in ratios)
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(1.0, 1.0))
+
+    def test_registry_get_or_create_and_snapshot(self):
+        reg = MetricsRegistry(namespace="svc")
+        h = reg.histogram("lat", "latency")
+        assert reg.histogram("lat") is h
+        h.observe(2.0)
+        snap = reg.snapshot()
+        assert snap["svc.lat_count"] == 1.0
+        assert snap["svc.lat_sum"] == 2.0
+
+
+class TestTypeCollisions:
+    def test_counter_vs_gauge_collision(self):
+        reg = MetricsRegistry(namespace="svc")
+        reg.counter("n")
+        with pytest.raises(TypeError):
+            reg.gauge("n")
+
+    def test_gauge_vs_counter_collision(self):
+        reg = MetricsRegistry(namespace="svc")
+        reg.gauge("rate")
+        with pytest.raises(TypeError):
+            reg.counter("rate")
+
+    def test_histogram_collisions(self):
+        reg = MetricsRegistry(namespace="svc")
+        reg.histogram("lat")
+        with pytest.raises(TypeError):
+            reg.counter("lat")
+        with pytest.raises(TypeError):
+            reg.gauge("lat")
+        reg.counter("n")
+        with pytest.raises(TypeError):
+            reg.histogram("n")
+
+    def test_first_nonempty_help_wins(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n", "")
+        reg.counter("n", "late help")
+        assert c.help == "late help"  # filled the empty slot
+        reg.counter("n", "different help")
+        assert c.help == "late help"  # first non-empty is kept
+        g = reg.gauge("g", "original")
+        reg.gauge("g", "other")
+        assert g.help == "original"
+
+
+class TestExposition:
+    def test_counter_gauge_exposition(self):
+        reg = MetricsRegistry(namespace="svc")
+        reg.counter("reqs", "requests served").inc(5)
+        reg.gauge("depth").set(2.5)
+        text = reg.expose()
+        assert "# HELP svc_reqs requests served" in text
+        assert "# TYPE svc_reqs counter" in text
+        assert "svc_reqs 5" in text
+        assert "# TYPE svc_depth gauge" in text
+        assert "svc_depth 2.5" in text
+
+    def test_histogram_exposition_cumulative(self):
+        reg = MetricsRegistry(namespace="svc")
+        h = reg.histogram("lat", "latency", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        text = reg.expose()
+        assert '# TYPE svc_lat histogram' in text
+        assert 'svc_lat_bucket{le="0.1"} 1' in text
+        assert 'svc_lat_bucket{le="1"} 2' in text
+        assert 'svc_lat_bucket{le="+Inf"} 3' in text
+        assert "svc_lat_sum 5.55" in text
+        assert "svc_lat_count 3" in text
+
+    def test_name_sanitization(self):
+        reg = MetricsRegistry(namespace="peer-backup")
+        reg.counter("shards.repaired").inc()
+        assert "peer_backup_shards_repaired 1" in reg.expose()
+
+    def test_expose_registries_concatenates(self):
+        a = MetricsRegistry(namespace="a")
+        a.counter("x").inc()
+        b = MetricsRegistry(namespace="b")
+        b.counter("y").inc(2)
+        page = expose_registries([a, b])
+        assert "a_x 1" in page and "b_y 2" in page
+
+    def test_empty_registry_exposes_nothing(self):
+        assert MetricsRegistry(namespace="svc").expose() == ""
+
+
 class TestMerge:
     def test_merge_sums_same_names(self):
         fleet = []
@@ -80,3 +224,45 @@ class TestMerge:
 
     def test_merge_empty(self):
         assert merge_snapshots([]) == {}
+
+    def test_gauges_merge_by_mean_not_sum(self):
+        """Regression: rate gauges must average across the fleet.
+
+        Three peers with decode-cache hit rates 0.5/0.7/0.9 have a
+        fleet hit rate of 0.7 — the old sum (2.1) is not a rate at all.
+        """
+        fleet = []
+        for rate in (0.5, 0.7, 0.9):
+            reg = MetricsRegistry(namespace="peer-backup")
+            reg.gauge("decode_cache_hit_rate").set(rate)
+            reg.counter("shards_repaired").inc(10)
+            fleet.append(reg)
+        merged = merge_snapshots(fleet)
+        assert merged["peer-backup.decode_cache_hit_rate"] == \
+            pytest.approx(0.7)
+        assert merged["peer-backup.shards_repaired"] == 30.0
+
+    def test_plain_dicts_with_gauge_names(self):
+        snaps = [{"svc.rate": 0.2, "svc.n": 1.0},
+                 {"svc.rate": 0.4, "svc.n": 2.0}]
+        merged = merge_snapshots(snaps, gauge_names={"svc.rate"})
+        assert merged == {"svc.rate": pytest.approx(0.3), "svc.n": 3.0}
+
+    def test_gauge_missing_from_some_registries(self):
+        a = MetricsRegistry(namespace="svc")
+        a.gauge("rate").set(0.4)
+        b = MetricsRegistry(namespace="svc")
+        b.counter("n").inc()
+        merged = merge_snapshots([a, b])
+        # Averaged over registries that report it, not the whole fleet.
+        assert merged["svc.rate"] == pytest.approx(0.4)
+
+    def test_histogram_components_sum(self):
+        fleet = []
+        for v in (1.0, 3.0):
+            reg = MetricsRegistry(namespace="svc")
+            reg.histogram("lat").observe(v)
+            fleet.append(reg)
+        merged = merge_snapshots(fleet)
+        assert merged["svc.lat_count"] == 2.0
+        assert merged["svc.lat_sum"] == 4.0

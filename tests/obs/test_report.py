@@ -1,0 +1,107 @@
+"""Trace analysis: latency tables, critical path, hotspots, rendering."""
+
+from repro.obs.report import (critical_path, hotspots, load_trace,
+                              render_report, slowest_span, span_table)
+from repro.sim.engine import Simulator
+
+
+def build_trace(tmp_path, include_profile=False):
+    """A three-level async trace: request -> subop -> leaf events."""
+    sim = Simulator(seed=1)
+    tracer = sim.enable_tracing()
+
+    request = tracer.start_span("request")
+
+    def do_subop():
+        sub = tracer.start_span("subop", parent=request)
+
+        def leaf():
+            sub.finish()
+            request.finish()
+
+        with tracer.activate(sub):
+            sim.schedule(2.0, leaf, label="leaf")
+
+    with tracer.activate(request):
+        sim.schedule(1.0, do_subop, label="start-subop")
+    # An unrelated fast root span, to exercise table ordering.
+    with tracer.trace("fast"):
+        pass
+    sim.run()
+    path = str(tmp_path / "trace.jsonl")
+    tracer.export_jsonl(path, include_profile=include_profile)
+    return load_trace(path)
+
+
+class TestLoading:
+    def test_load_counts(self, tmp_path):
+        trace = build_trace(tmp_path)
+        assert len(trace.spans()) == 3
+        assert len(trace.events()) == 2
+        assert trace.profile == {}
+
+    def test_load_profile(self, tmp_path):
+        trace = build_trace(tmp_path, include_profile=True)
+        assert set(trace.profile) == {"start-subop", "leaf"}
+        assert trace.meta["events"] == 2
+
+
+class TestSpanTable:
+    def test_rows_and_ordering(self, tmp_path):
+        trace = build_trace(tmp_path)
+        rows = span_table(trace)
+        names = [r[0] for r in rows]
+        # request (3.0s total) before subop (2.0s) before fast (0s)
+        assert names == ["request", "subop", "fast"]
+        request_row = rows[0]
+        assert request_row[1] == 1
+        assert request_row[2] == request_row[3] == request_row[4] == 3.0
+
+
+class TestCriticalPath:
+    def test_follows_ancestors_and_descendants(self, tmp_path):
+        trace = build_trace(tmp_path)
+        target = slowest_span(trace)
+        assert target.name == "request"
+        names = [r.name for r in critical_path(trace, target)]
+        assert names[0] == "request"
+        assert "subop" in names
+        assert "leaf" in names
+
+    def test_empty_trace(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        open(path, "w").close()
+        trace = load_trace(path)
+        assert slowest_span(trace) is None
+        assert critical_path(trace) == []
+
+
+class TestHotspots:
+    def test_event_count_fallback(self, tmp_path):
+        trace = build_trace(tmp_path)
+        rows = hotspots(trace)
+        assert {r[0] for r in rows} == {"start-subop", "leaf"}
+        assert all(r[2] == 0.0 for r in rows)  # no wall profile
+
+    def test_profile_based(self, tmp_path):
+        trace = build_trace(tmp_path, include_profile=True)
+        rows = hotspots(trace)
+        assert {r[0] for r in rows} == {"start-subop", "leaf"}
+        assert abs(sum(r[3] for r in rows) - 1.0) < 1e-9
+
+
+class TestRender:
+    def test_all_sections_present(self, tmp_path):
+        trace = build_trace(tmp_path, include_profile=True)
+        report = render_report(trace)
+        assert "== span latency (simulated time) ==" in report
+        assert "== critical path of slowest span: request" in report
+        assert "== hotspots by event label ==" in report
+        assert "meta:" in report
+
+    def test_render_empty(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        open(path, "w").close()
+        report = render_report(load_trace(path))
+        assert "(no spans recorded)" in report
+        assert "(no events recorded)" in report
