@@ -1,7 +1,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test bench experiments trace-smoke
+.PHONY: check test bench experiments trace-smoke chaos
 
 check:
 	./scripts/check.sh
@@ -11,6 +11,9 @@ test:
 
 trace-smoke:
 	python scripts/trace_smoke.py
+
+chaos:
+	python scripts/chaos_soak.py
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only -q

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Fixed-seed chaos soak (``make chaos``).
+
+Drives the acceptance scenario from ``tests/integration/test_chaos.py``
+at a fixed seed and churn level, twice, and verifies the headline
+guarantees of the fault-injection subsystem:
+
+1. every page load started during the churn window completes,
+2. the attic returns to full shard redundancy, and
+3. the two runs export byte-identical fault-event logs.
+
+Exits non-zero (with a diagnosis) if any guarantee is violated.
+"""
+
+import argparse
+import pathlib
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from tests.integration.test_chaos import (  # noqa: E402
+    CHURN_FRACTION,
+    NUM_LOADS,
+    run_chaos,
+)
+
+
+def soak(seed: int, fraction: float) -> int:
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        logs = []
+        for run in ("a", "b"):
+            path = pathlib.Path(tmp) / f"faults-{run}.jsonl"
+            world, plan, results, errors = run_chaos(seed, path, fraction)
+            logs.append(path.read_bytes())
+        crashes = world.injector.metrics.counters["node_crashes"].value
+        failovers = (
+            world.loader.metrics.counters["peer_failovers"].value
+            + world.loader.metrics.counters["origin_fallbacks"].value)
+
+        print(f"seed={seed} fraction={fraction}: "
+              f"{crashes} crashes, {len(plan)} planned faults, "
+              f"{len(results)}/{NUM_LOADS} loads ok, "
+              f"{len(errors)} load errors, {failovers} failovers")
+
+        if errors:
+            failures.append(f"{len(errors)} page loads failed")
+        if len(results) != NUM_LOADS:
+            failures.append(
+                f"only {len(results)}/{NUM_LOADS} page loads completed")
+        if not world.attic_fully_redundant():
+            failures.append("attic did not return to full redundancy")
+        if world.owner.metrics.counters["auto_repair_gave_up"].value:
+            failures.append("attic auto-repair gave up")
+        if logs[0] != logs[1]:
+            failures.append("same-seed fault logs differ (determinism bug)")
+        if fraction > 0 and not logs[0]:
+            failures.append("fault log empty despite non-zero churn")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=101)
+    parser.add_argument("--fraction", type=float, default=CHURN_FRACTION)
+    args = parser.parse_args()
+    status = soak(args.seed, args.fraction)
+    if status == 0:
+        print("chaos soak passed")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,13 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1: full suite =="
-python -m pytest -x -q
+if python -c "import pytest_cov" >/dev/null 2>&1; then
+    # Coverage gate only where the plugin exists; the container image
+    # does not ship pytest-cov and we cannot install it there.
+    python -m pytest -x -q --cov=repro --cov-report=term-missing:skip-covered
+else
+    python -m pytest -x -q
+fi
 
 echo
 echo "== erasure codec gate: exhaustive any-k-of-n =="
@@ -25,6 +31,10 @@ python -m pytest -x -q \
 echo
 echo "== trace smoke: traced sim + report + determinism + overhead =="
 python scripts/trace_smoke.py
+
+echo
+echo "== chaos soak: fixed-seed churn + degradation guarantees =="
+python scripts/chaos_soak.py
 
 echo
 echo "all checks passed"

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.faults.detector import HeartbeatMonitor
 from repro.hpop.core import Hpop, HpopService
 from repro.http.client import HttpClient
 from repro.http.messages import HttpRequest, HttpResponse, not_found, ok
@@ -57,15 +58,39 @@ class BackupManifestEntry:
 
 
 class PeerBackupService(HpopService):
-    """Install on an HPoP; add friends; back up and restore the attic."""
+    """Install on an HPoP; add friends; back up and restore the attic.
+
+    With ``heartbeat_interval`` set, the service also runs a failure
+    detector: it pings every friend each interval and declares one dead
+    when no pong arrives within ``heartbeat_timeout`` (default 3x the
+    interval). A death — or a recovery, since a crashed friend may come
+    back with its held shards gone — triggers an automatic
+    :meth:`repair_all` sweep, retried with capped exponential backoff
+    until the manifest is back at full redundancy or
+    ``max_repair_sweeps`` consecutive sweeps fail.
+    """
 
     name = "peer-backup"
 
-    def __init__(self, k: int = 4, m: int = 2) -> None:
+    def __init__(self, k: int = 4, m: int = 2,
+                 heartbeat_interval: Optional[float] = None,
+                 heartbeat_timeout: Optional[float] = None,
+                 repair_backoff_base: float = 0.5,
+                 repair_backoff_cap: float = 30.0,
+                 max_repair_sweeps: int = 6) -> None:
         super().__init__()
         self.codec = ReedSolomonCodec(k, m)
         self.k = k
         self.m = m
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.repair_backoff_base = repair_backoff_base
+        self.repair_backoff_cap = repair_backoff_cap
+        self.max_repair_sweeps = max_repair_sweeps
+        self.monitor: Optional[HeartbeatMonitor] = None
+        self._repair_pending = False
+        self._repair_attempt = 0
+        self._down_since: Dict[str, float] = {}
         self.friends: List["PeerBackupService"] = []
         self.manifest: Dict[str, BackupManifestEntry] = {}
         # Shards this HPoP holds *for others*: (owner, path, index) -> Shard
@@ -88,6 +113,18 @@ class PeerBackupService(HpopService):
         self._h_repair_latency = self.metrics.histogram(
             "repair_latency_seconds",
             "probe-to-replacement time of repair_file calls")
+        self._c_peers_declared_dead = self.metrics.counter(
+            "peers_declared_dead", "friends that missed the heartbeat timeout")
+        self._c_peers_recovered = self.metrics.counter(
+            "peers_recovered", "dead friends that resumed heartbeating")
+        self._c_auto_repair_sweeps = self.metrics.counter(
+            "auto_repair_sweeps", "repair_all sweeps the detector triggered")
+        self._c_auto_repair_gave_up = self.metrics.counter(
+            "auto_repair_gave_up",
+            "auto-repair abandoned after max_repair_sweeps failures")
+        self._h_time_to_repair = self.metrics.histogram(
+            "time_to_repair_seconds",
+            "first peer death to full-redundancy recovery")
         self.metrics.gauge(
             "decode_cache_hit_rate",
             "hit rate of the cached inverted decode matrices",
@@ -97,6 +134,33 @@ class PeerBackupService(HpopService):
         self._client = HttpClient(hpop.host, hpop.network)
         hpop.http.route(SHARD_ROUTE, self._handle_shard_request)
 
+    def on_start(self) -> None:
+        if self.heartbeat_interval is None:
+            return
+        # A fresh monitor per boot: every friend gets a grace period of
+        # one timeout, so a long outage does not cause a storm of death
+        # verdicts the instant we come back.
+        timeout = (self.heartbeat_timeout
+                   if self.heartbeat_timeout is not None
+                   else 3 * self.heartbeat_interval)
+        self.monitor = HeartbeatMonitor(
+            self.sim, timeout,
+            on_dead=self._peer_dead, on_alive=self._peer_recovered)
+        for friend in self.friends:
+            self.monitor.watch(friend.owner_name)
+        self.hpop.every(self.heartbeat_interval, self._heartbeat_tick,
+                        label=f"{self.owner_name}.attic.heartbeat")
+
+    def on_crash(self) -> None:
+        """Power loss: shards held as a favor for friends are volatile;
+        our own manifest and attic contents are on disk and survive."""
+        self.held_shards.clear()
+        self.bytes_stored_for_friends = 0
+        self.monitor = None
+        self._repair_pending = False
+        self._repair_attempt = 0
+        self._down_since.clear()
+
     # -- friendship -------------------------------------------------------
 
     def add_friend(self, friend: "PeerBackupService") -> None:
@@ -105,8 +169,12 @@ class PeerBackupService(HpopService):
             raise ValueError("cannot befriend yourself")
         if friend not in self.friends:
             self.friends.append(friend)
+            if self.monitor is not None:
+                self.monitor.watch(friend.owner_name)
         if self not in friend.friends:
             friend.friends.append(self)
+            if friend.monitor is not None:
+                friend.monitor.watch(self.owner_name)
 
     @property
     def owner_name(self) -> str:
@@ -117,6 +185,11 @@ class PeerBackupService(HpopService):
     def _handle_shard_request(self, request: HttpRequest) -> HttpResponse:
         body = request.body if isinstance(request.body, dict) else {}
         action = body.get("action")
+        if action == "ping":
+            # Liveness probe for the failure detector. A powered-off
+            # HPoP never reaches this handler — the sender's timeout is
+            # the death signal.
+            return ok(body_size=20, body={"pong": self.owner_name})
         key = (body.get("owner", ""), body.get("path", ""),
                body.get("index", -1))
         if action == "store":
@@ -138,6 +211,87 @@ class PeerBackupService(HpopService):
                 self.bytes_stored_for_friends -= len(removed.data)
             return ok(body_size=20)
         return HttpResponse(400, body_size=40, body="bad action")
+
+    # -- failure detection / auto repair ----------------------------------------
+
+    def _heartbeat_tick(self) -> None:
+        if not self.running or self.monitor is None:
+            return
+        for friend in self.friends:
+            self._ping(friend)
+        self.monitor.sweep()  # verdicts fire the on_dead/on_alive hooks
+
+    def _ping(self, friend: "PeerBackupService") -> None:
+        name = friend.owner_name
+
+        def pong(resp: HttpResponse, _stats) -> None:
+            if resp.ok and self.monitor is not None:
+                self.monitor.beat(name)
+
+        assert self._client is not None
+        self._client.request(
+            friend.hpop.host,
+            HttpRequest("POST", SHARD_ROUTE, body={"action": "ping"},
+                        body_size=60),
+            pong, port=443, timeout=self.heartbeat_interval,
+            on_error=lambda exc: None)
+
+    def _peer_dead(self, name: str) -> None:
+        self._c_peers_declared_dead.inc()
+        self._down_since.setdefault(name, self.sim.now)
+        self.sim.tracer.start_span(
+            "attic.peer_dead", parent=None, peer=name,
+            owner=self.owner_name).finish()
+        self._repair_attempt = 0
+        self._schedule_auto_repair()
+
+    def _peer_recovered(self, name: str) -> None:
+        self._c_peers_recovered.inc()
+        self.sim.tracer.start_span(
+            "attic.peer_recovered", parent=None, peer=name,
+            owner=self.owner_name).finish()
+        # The friend may have crashed and restarted with our shards
+        # gone (held shards are volatile), so re-verify placements.
+        self._repair_attempt = 0
+        self._schedule_auto_repair()
+
+    def _schedule_auto_repair(self) -> None:
+        if self._repair_pending or not self.manifest:
+            return
+        self._repair_pending = True
+        delay = min(self.repair_backoff_cap,
+                    self.repair_backoff_base * (2 ** self._repair_attempt))
+        self.sim.schedule(delay, self._auto_repair_sweep,
+                          label=f"{self.owner_name}.attic.auto-repair")
+
+    def _auto_repair_sweep(self) -> None:
+        self._repair_pending = False
+        if not self.running:
+            return
+        self._c_auto_repair_sweeps.inc()
+        span = self.sim.tracer.start_span(
+            "attic.auto_repair", parent=None, owner=self.owner_name,
+            attempt=self._repair_attempt)
+
+        def done(ok_count: int, total: int, shards: int) -> None:
+            healthy = ok_count == total
+            span.finish(ok=healthy, files=total, shards_repaired=shards)
+            if healthy:
+                if self._down_since:
+                    first = min(self._down_since.values())
+                    self._h_time_to_repair.observe(self.sim.now - first)
+                self._down_since.clear()
+                self._repair_attempt = 0
+                return
+            self._repair_attempt += 1
+            if self._repair_attempt >= self.max_repair_sweeps:
+                self._c_auto_repair_gave_up.inc()
+                self._repair_attempt = 0  # a future death re-arms the sweep
+                return
+            self._schedule_auto_repair()
+
+        with self.sim.tracer.activate(span):
+            self.repair_all(done)
 
     # -- backup -------------------------------------------------------------------
 

@@ -59,6 +59,7 @@ class DetourTransfer:
         label: str,
         server_port: int = 443,
         proxy=None,
+        watchdog_interval: Optional[float] = 1.0,
     ) -> None:
         if direction not in ("up", "down"):
             raise ValueError(f"direction must be 'up' or 'down', got {direction!r}")
@@ -88,6 +89,7 @@ class DetourTransfer:
         self._handshake_done = False
         self._pending_detours: List[Callable[[], None]] = []
         self.tls = tls
+        self.watchdog_interval = watchdog_interval
         self._start_handshake()
 
     # -- setup ------------------------------------------------------------
@@ -136,6 +138,8 @@ class DetourTransfer:
             pending, self._pending_detours = self._pending_detours, []
             for action in pending:
                 action()
+            if self.watchdog_interval:
+                self._schedule_watchdog()
 
         with self.sim.tracer.activate(hs_span):
             self.sim.schedule(rtts * direct.rtt, established,
@@ -204,6 +208,48 @@ class DetourTransfer:
             engage()
         else:
             self._pending_detours.append(engage)
+
+    # -- liveness watchdog -------------------------------------------------------
+
+    def _schedule_watchdog(self) -> None:
+        if self.connection.done:
+            return
+        self.sim.schedule(self.watchdog_interval, self._watchdog_tick,
+                          label=f"{self.label}.watchdog", weak=True)
+
+    def _watchdog_tick(self) -> None:
+        """Fail over dead detours so the transfer survives waypoint churn.
+
+        A crashed waypoint's host stops forwarding but its access links
+        stay up, so MPTCP's path-level detection never fires — liveness
+        has to be checked at the service level. Dead detours are
+        withdrawn; if that (or an earlier path failure) left the
+        connection stalled, a fresh direct subflow revives it.
+        """
+        if self.connection.done:
+            return
+        for handle in list(self.detours):
+            if handle.subflow.removed:
+                # Path-level failure already removed the subflow; just
+                # drop our bookkeeping for it.
+                self.detours.remove(handle)
+                continue
+            if not handle.waypoint.available:
+                self.withdraw_detour(handle)
+                self.manager._c_waypoint_failovers.inc()
+                self.sim.tracer.start_span(
+                    "dcol.waypoint_failover", parent=self._span,
+                    waypoint=handle.waypoint.host.name).finish()
+        if self.connection.stalled:
+            try:
+                self.direct_subflow = self.connection.add_subflow(
+                    self._data_path(), label=f"{self.label}.direct-revive")
+                self.manager._c_direct_failovers.inc()
+                self.sim.tracer.start_span(
+                    "dcol.direct_failover", parent=self._span).finish()
+            except Exception:
+                pass  # still partitioned; try again next tick
+        self._schedule_watchdog()
 
     def withdraw_detour(self, handle: DetourHandle) -> None:
         """Close a detour subflow; in-flight data recovers transparently."""
@@ -292,6 +338,12 @@ class DetourManager:
             "detour_rtt_seconds", help="RTT of engaged detour paths")
         self._transfer_time = self.metrics.histogram(
             "transfer_seconds", help="Handshake-to-completion transfer time")
+        self._c_waypoint_failovers = self.metrics.counter(
+            "waypoint_failovers",
+            help="Detours withdrawn because their waypoint died")
+        self._c_direct_failovers = self.metrics.counter(
+            "direct_failovers",
+            help="Stalled transfers revived with a fresh direct subflow")
 
     @property
     def sim(self):
@@ -307,17 +359,22 @@ class DetourManager:
         label: Optional[str] = None,
         server_port: int = 443,
         proxy=None,
+        watchdog_interval: Optional[float] = 1.0,
     ) -> DetourTransfer:
         """Begin an MPTCP transfer; detours can be added once the direct
         handshake completes.
 
         Pass an :class:`~repro.dcol.proxy.MptcpProxy` as ``proxy`` when
         the server does not speak MPTCP (the SIV-C proxy deployment).
+        ``watchdog_interval`` paces the waypoint-liveness watchdog that
+        fails a dead detour over to a direct subflow; pass ``None`` to
+        disable it.
         """
         return DetourTransfer(
             self, server, nbytes, direction, on_complete, tls,
             label or f"dcol:{self.client.name}->{server.name}",
-            server_port=server_port, proxy=proxy)
+            server_port=server_port, proxy=proxy,
+            watchdog_interval=watchdog_interval)
 
     def candidate_waypoints(self) -> List[WaypointService]:
         return self.collective.available_waypoints(exclude=self.client)

@@ -1,0 +1,33 @@
+"""Seeded, deterministic fault injection for the simulation stack.
+
+``repro.faults`` is the chaos layer: declarative :class:`FaultPlan`
+descriptions of link flaps, loss/corruption bursts, latency spikes, and
+HPoP node churn, executed by a :class:`FaultInjector` that emits spans,
+metrics, and a byte-stable JSONL event log. :class:`HeartbeatMonitor`
+is the shared failure detector services build their degradation paths
+on. See DESIGN.md "Fault model" for the taxonomy and the per-service
+degradation matrix.
+"""
+
+from repro.faults.detector import HeartbeatMonitor
+from repro.faults.injector import FaultError, FaultInjector
+from repro.faults.plan import (
+    Fault,
+    FaultPlan,
+    LatencySpike,
+    LinkFlap,
+    LossBurst,
+    NodeCrash,
+)
+
+__all__ = [
+    "Fault",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "HeartbeatMonitor",
+    "LatencySpike",
+    "LinkFlap",
+    "LossBurst",
+    "NodeCrash",
+]

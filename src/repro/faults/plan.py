@@ -1,0 +1,184 @@
+"""Declarative fault plans (the "what goes wrong, when" of a chaos run).
+
+A :class:`FaultPlan` is a plain list of frozen fault descriptions —
+link flaps, loss/corruption bursts, latency spikes, and HPoP node
+churn — that :class:`repro.faults.injector.FaultInjector` schedules
+against a simulation. Plans are data, not behaviour: they can be
+built by hand for targeted tests or generated from a seeded RNG
+(:meth:`FaultPlan.churn`), and the same plan applied to the same seed
+always produces the same fault schedule.
+
+Corruption is modelled through :class:`LossBurst` with
+``corrupting=True``: in the flow-level transport model a corrupted
+packet fails its checksum and is retransmitted exactly like a lost
+one, so the two are observationally identical on the wire — the flag
+only tags the event taxonomy in logs and traces.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple, Union
+
+
+def _check_window(at: float, duration: float) -> None:
+    if at < 0:
+        raise ValueError(f"fault time must be non-negative, got {at}")
+    if duration <= 0:
+        raise ValueError(f"fault duration must be positive, got {duration}")
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """Take a link down at ``at``; restore it ``duration`` later.
+
+    ``link`` is a link name or :class:`~repro.net.link.Link`. An
+    infinite ``duration`` is a permanent cut.
+    """
+
+    link: object
+    at: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.at, self.duration)
+
+
+@dataclass(frozen=True)
+class LossBurst:
+    """Raise a link's loss rate to at least ``loss_rate`` for a window."""
+
+    link: object
+    at: float
+    duration: float
+    loss_rate: float = 0.2
+    corrupting: bool = False  # taxonomy tag; see module docstring
+
+    def __post_init__(self) -> None:
+        _check_window(self.at, self.duration)
+        if not 0 <= self.loss_rate < 1:
+            raise ValueError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}")
+
+
+@dataclass(frozen=True)
+class LatencySpike:
+    """Add ``extra_delay`` seconds to a link's propagation delay."""
+
+    link: object
+    at: float
+    duration: float
+    extra_delay: float = 0.1
+
+    def __post_init__(self) -> None:
+        _check_window(self.at, self.duration)
+        if self.extra_delay <= 0:
+            raise ValueError(
+                f"extra_delay must be positive, got {self.extra_delay}")
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Crash an HPoP at ``at``; restart it ``downtime`` later.
+
+    ``node`` is the HPoP's host name. ``lose_state=True`` (the default)
+    models abrupt power loss: volatile service state — e.g. shards an
+    attic holds for friends — is gone when the node comes back. An
+    infinite ``downtime`` is a permanent departure.
+    """
+
+    node: str
+    at: float
+    downtime: float
+    lose_state: bool = True
+
+    def __post_init__(self) -> None:
+        _check_window(self.at, self.downtime)
+
+
+Fault = Union[LinkFlap, LossBurst, LatencySpike, NodeCrash]
+
+
+@dataclass
+class FaultPlan:
+    """An ordered collection of faults to inject into one run."""
+
+    faults: List[Fault] = field(default_factory=list)
+
+    def add(self, fault: Fault) -> "FaultPlan":
+        """Append one fault; returns self for chaining."""
+        self.faults.append(fault)
+        return self
+
+    def extend(self, other: "FaultPlan") -> "FaultPlan":
+        self.faults.extend(other.faults)
+        return self
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last scheduled fault start (0.0 for an empty plan)."""
+        return max((f.at for f in self.faults), default=0.0)
+
+    @property
+    def end(self) -> float:
+        """Time by which every finite fault has been restored."""
+        out = 0.0
+        for f in self.faults:
+            window = f.downtime if isinstance(f, NodeCrash) else f.duration
+            if math.isfinite(window):
+                out = max(out, f.at + window)
+            else:
+                out = max(out, f.at)
+        return out
+
+    def node_crashes(self) -> List[NodeCrash]:
+        return [f for f in self.faults if isinstance(f, NodeCrash)]
+
+    @classmethod
+    def churn(
+        cls,
+        nodes: Sequence[str],
+        fraction: float,
+        horizon: float,
+        rng: random.Random,
+        downtime: Tuple[float, float] = (2.0, 10.0),
+        start: float = 0.0,
+        lose_state: bool = True,
+    ) -> "FaultPlan":
+        """A seeded churn plan: crash ``fraction`` of ``nodes`` once each.
+
+        Victims are sampled from the *sorted* node list so the plan
+        depends only on the membership set and the RNG state — the
+        determinism contract. Crash times are uniform in
+        ``[start, horizon)`` and downtimes uniform in ``downtime``.
+        A non-zero fraction always claims at least one victim.
+        """
+        if not 0 <= fraction <= 1:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if horizon <= start:
+            raise ValueError(
+                f"horizon ({horizon}) must exceed start ({start})")
+        lo, hi = downtime
+        if lo <= 0 or hi < lo:
+            raise ValueError(f"bad downtime range {downtime}")
+        plan = cls()
+        pool = sorted(nodes)
+        if fraction == 0 or not pool:
+            return plan
+        count = min(len(pool), max(1, round(len(pool) * fraction)))
+        for victim in rng.sample(pool, count):
+            plan.add(NodeCrash(
+                node=victim,
+                at=rng.uniform(start, horizon),
+                downtime=rng.uniform(lo, hi),
+                lose_state=lose_state,
+            ))
+        return plan

@@ -91,6 +91,15 @@ class HpopService:
     def on_stop(self) -> None:
         """Called when the appliance stops."""
 
+    def on_crash(self) -> None:
+        """Called on abrupt failure, before :meth:`on_stop`.
+
+        Services drop *volatile* state here (caches, shards held as a
+        favor for friends); durable state — the config store, the
+        household's own data — survives a crash the way disk contents
+        survive a power cut.
+        """
+
     @property
     def sim(self) -> Simulator:
         assert self.hpop is not None, f"{self.name} not installed"
@@ -207,6 +216,22 @@ class Hpop(Process):
         self._running = False
         for service in self._services.values():
             service.running = False
+            service.on_stop()
+        self.stop()  # cancel periodic work
+        self.host.power_off()
+
+    def crash(self, lose_state: bool = True) -> None:
+        """Abrupt failure (power cut): like :meth:`shutdown`, but with
+        ``lose_state=True`` each service's :meth:`HpopService.on_crash`
+        hook runs first so volatile state is lost. The appliance comes
+        back with :meth:`restart`."""
+        if not self._running:
+            return
+        self._running = False
+        for service in self._services.values():
+            service.running = False
+            if lose_state:
+                service.on_crash()
             service.on_stop()
         self.stop()  # cancel periodic work
         self.host.power_off()

@@ -57,6 +57,7 @@ class GatherStats:
     lateral_fetches: int = 0
     lateral_bytes: float = 0.0
     lateral_served: int = 0
+    degraded_serves: int = 0
 
 
 class InternetAtHomeService(HpopService):
@@ -70,6 +71,7 @@ class InternetAtHomeService(HpopService):
         aggressiveness: float = 0.5,
         gather_interval: float = 300.0,
         smoother: Optional[DemandSmoother] = None,
+        upstream_timeout: float = 10.0,
     ) -> None:
         super().__init__()
         if not 0 <= aggressiveness <= 1:
@@ -77,6 +79,9 @@ class InternetAtHomeService(HpopService):
         self.cache_bytes = cache_bytes
         self.aggressiveness = aggressiveness
         self.gather_interval = gather_interval
+        # Shorter than a device's own request timeout, so an unreachable
+        # upstream degrades to a stale serve before the device gives up.
+        self.upstream_timeout = upstream_timeout
         self.smoother = smoother
         self.history = BrowsingHistory()
         self.profile = InterestProfile(self.history)
@@ -98,6 +103,9 @@ class InternetAtHomeService(HpopService):
             help="Age of prefetched entries at fresh-serve time")
         self._c_serves = self.metrics.counter(
             "objects_served", help="Device requests answered")
+        self._c_degraded = self.metrics.counter(
+            "degraded_serves",
+            help="Stale entries served because the upstream was unreachable")
 
     # -- lifecycle --------------------------------------------------------
 
@@ -292,7 +300,8 @@ class InternetAtHomeService(HpopService):
             site.host,
             HttpRequest("GET", f"{site.objects_prefix}/{object_name}",
                         host=site_name, headers=headers),
-            got, port=site.port, on_error=lambda exc: on_done(None))
+            got, port=site.port, timeout=self.upstream_timeout,
+            on_error=lambda exc: on_done(None))
 
     # -- serving devices -----------------------------------------------------------
 
@@ -329,6 +338,21 @@ class InternetAtHomeService(HpopService):
                       respond) -> None:
         def done(resp: Optional[HttpResponse]) -> None:
             if resp is None:
+                if entry is not None:
+                    # Upstream unreachable but we hold an expired copy:
+                    # serve it, clearly marked stale, instead of failing
+                    # the device — "a local copy of the Internet" keeps
+                    # working through the outage.
+                    self.stats.degraded_serves += 1
+                    self._c_degraded.inc()
+                    self.sim.tracer.start_span(
+                        "iah.degraded_serve", site=site_name,
+                        object=object_name,
+                        age=self.sim.now - entry.stored_at).finish()
+                    respond(ok(body_size=entry.obj.size, body=entry.obj,
+                               headers={"X-Cache": "stale",
+                                        "Warning": "110 - response is stale"}))
+                    return
                 respond(HttpResponse(502, body_size=40, body="origin down"))
                 return
             if resp.status == 304 and entry is not None:
@@ -352,8 +376,10 @@ class InternetAtHomeService(HpopService):
                 respond(ok(body_size=resp.body.size, body=resp.body,
                            headers={"X-Cache": "lateral"}))
             else:
-                # Neighbor could not help; go upstream ourselves.
-                self._demand_fetch(site_name, object_name, entry, None, respond)
+                # Neighbor could not help; go upstream ourselves (a
+                # stale local entry still backstops a dead upstream).
+                self._demand_fetch(site_name, object_name, entry, None,
+                                   respond)
 
         assert self._client is not None
         self._client.request(

@@ -220,6 +220,15 @@ class Network:
         self._path_cache.clear()
         self._routing_epoch += 1
 
+    def invalidate_routes(self) -> None:
+        """Drop cached routes and bump the routing epoch.
+
+        Public hook for out-of-band topology mutation (fault injection
+        changing link delays in place); transports re-evaluate their
+        paths when the epoch moves.
+        """
+        self._invalidate_routes()
+
     @property
     def routing_epoch(self) -> int:
         """Increments whenever routes may have changed; flows use this to

@@ -56,12 +56,22 @@ class PageLoadResult:
 
 
 class PageLoader:
-    """One browser-equivalent on a client device."""
+    """One browser-equivalent on a client device.
 
-    def __init__(self, device: Host, network: Network) -> None:
+    ``peer_timeout`` bounds each peer fetch: a peer that does not
+    answer within it is treated as failed and the loader fails over to
+    the wrapper's next-ranked fallback peer, then to the origin. It is
+    deliberately much shorter than the client's default 30 s timeout —
+    the whole point of the failover chain is that a dead peer costs one
+    short timeout, not a hung page load.
+    """
+
+    def __init__(self, device: Host, network: Network,
+                 peer_timeout: float = 5.0) -> None:
         self.device = device
         self.network = network
         self.client = HttpClient(device, network)
+        self.peer_timeout = peer_timeout
         self._loader_cached: Set[str] = set()
         self.records_sent = 0
         self.loads_completed = 0
@@ -72,6 +82,12 @@ class PageLoader:
             "bytes_from_peers", help="Verified bytes served by peer HPoPs")
         self._c_origin_bytes = self.metrics.counter(
             "bytes_from_origin", help="Bytes served by the origin")
+        self._c_peer_failovers = self.metrics.counter(
+            "peer_failovers",
+            help="Chunk fetches retried against a fallback peer")
+        self._c_origin_fallbacks = self.metrics.counter(
+            "origin_fallbacks",
+            help="Chunk fetches recovered from the origin after peers failed")
 
     @property
     def sim(self):
@@ -192,6 +208,9 @@ class PageLoader:
         outstanding = {"count": len(items)}
         # peer id -> {object name -> verified bytes fetched}
         peer_credit: Dict[str, Dict[str, int]] = {}
+        # item identity -> peer that actually served it (failover may
+        # substitute the wrapper's assignment)
+        served_by: Dict[int, str] = {}
         objects_by_name = {o.name: o for o in wrapper.page.all_objects()}
 
         def item_finished() -> None:
@@ -211,21 +230,26 @@ class PageLoader:
             )
             if sha256_hex(assembled) == wrapper.hashes[name]:
                 for item, body in slots:
-                    peer_credit.setdefault(item.peer_id, {}).setdefault(name, 0)
-                    peer_credit[item.peer_id][name] += body.size
+                    server = served_by.get(id(item), item.peer_id)
+                    peer_credit.setdefault(server, {}).setdefault(name, 0)
+                    peer_credit[server][name] += body.size
                 for _ in slots:
                     item_finished()
             else:
                 # Integrity failure: blame every serving peer, recover
                 # the whole object from the origin.
                 for item, _body in slots:
-                    result.corrupted.append((name, item.peer_id))
-                    self._report_corruption(provider, item.peer_id, name)
+                    server = served_by.get(id(item), item.peer_id)
+                    result.corrupted.append((name, server))
+                    self._report_corruption(provider, server, name)
                 self._origin_recover(provider, name, objects_by_name[name],
                                      result, slots, item_finished)
 
-        def fetch_item(item) -> None:
-            endpoint = wrapper.peer_endpoints[item.peer_id]
+        def fetch_item(item, peer_id: Optional[str] = None,
+                       tried: Optional[Set[str]] = None) -> None:
+            serving_peer = peer_id or item.peer_id
+            attempted = tried if tried is not None else {item.peer_id}
+            endpoint = wrapper.peer_endpoints[serving_peer]
             obj = objects_by_name[item.object_name]
             is_whole = item.start == 0 and item.end == obj.size
             request = HttpRequest(
@@ -233,12 +257,16 @@ class PageLoader:
                 f"/nocdn/{provider.site_name}/{item.object_name}",
                 range=None if is_whole else (item.start, item.end))
             fetch_span = self.sim.tracer.start_span(
-                "nocdn.fetch", object=item.object_name, peer=item.peer_id)
+                "nocdn.fetch", object=item.object_name, peer=serving_peer)
 
             def got(resp, _stats) -> None:
                 if resp.ok and isinstance(resp.body, ChunkBody):
-                    fetch_span.finish(outcome="peer", bytes=resp.body_size)
+                    fetch_span.finish(
+                        outcome=("peer" if serving_peer == item.peer_id
+                                 else "failover"),
+                        bytes=resp.body_size)
                     result.bytes_from_peers += resp.body_size
+                    served_by[id(item)] = serving_peer
                     for slot in per_object[item.object_name]:
                         if slot[0] is item:
                             slot[1] = resp.body
@@ -248,14 +276,23 @@ class PageLoader:
 
             def failed(_exc) -> None:
                 fetch_span.finish(outcome="peer-failed")
-                result.peer_failures.append((item.object_name, item.peer_id))
+                result.peer_failures.append((item.object_name, serving_peer))
+                next_peer = next(
+                    (p for p in wrapper.fallbacks if p not in attempted), None)
+                if next_peer is not None:
+                    attempted.add(next_peer)
+                    self._c_peer_failovers.inc()
+                    fetch_item(item, peer_id=next_peer, tried=attempted)
+                    return
+                self._c_origin_fallbacks.inc()
                 self._origin_recover_chunk(provider, item, obj, result,
                                            per_object[item.object_name],
                                            verify_object)
 
             with self.sim.tracer.activate(fetch_span):
                 self.client.request(endpoint[0], request, got,
-                                    port=endpoint[1], on_error=failed)
+                                    port=endpoint[1], on_error=failed,
+                                    timeout=self.peer_timeout)
 
         for item in items:
             fetch_item(item)

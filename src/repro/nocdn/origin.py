@@ -264,10 +264,20 @@ class ContentProvider:
             select_span.set(assigned=len(assignments) + len(chunks))
 
         used_peer_ids = set(assignments.values()) | {c.peer_id for c in chunks}
+        # Ranked substitutes (most trusted first) the loader may retry a
+        # failed fetch against before going back to the origin. Only
+        # peers *without* an assignment qualify: a substitute serves
+        # arbitrary objects, so its byte cap must cover the whole page,
+        # which would defeat auditing for an already-capped peer.
+        fallbacks = [
+            info.peer_id for info in sorted(
+                (p for p in peers if p.peer_id not in used_peer_ids),
+                key=lambda p: (-p.trust, p.peer_id))
+        ]
         peer_endpoints = {}
         peer_keys = {}
         from repro.hpop.core import HPOP_PORT
-        for peer_id in used_peer_ids:
+        for peer_id in used_peer_ids | set(fallbacks):
             info = self.peers[peer_id]
             peer_endpoints[peer_id] = (info.host.address, HPOP_PORT)
             peer_keys[peer_id] = deterministic_key(
@@ -281,13 +291,16 @@ class ContentProvider:
             hashes={obj.name: obj.sha256 for obj in page.all_objects()},
             peer_endpoints=peer_endpoints,
             peer_keys=peer_keys,
+            fallbacks=fallbacks,
             issued_at=self.sim.now,
         )
-        for peer_id in used_peer_ids:
+        page_bytes = sum(obj.size for obj in page.all_objects())
+        for peer_id in used_peer_ids | set(fallbacks):
             self._keys[(wrapper_id, peer_id)] = KeyIssue(
                 key=peer_keys[peer_id], wrapper_id=wrapper_id,
                 peer_id=peer_id, issued_at=self.sim.now,
-                cap_bytes=wrapper.expected_bytes_for(peer_id))
+                cap_bytes=(wrapper.expected_bytes_for(peer_id)
+                           if peer_id in used_peer_ids else page_bytes))
         return wrapper
 
     # -- usage auditing ---------------------------------------------------------------

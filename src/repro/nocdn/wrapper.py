@@ -54,6 +54,10 @@ class WrapperPage:
     peer_endpoints: Dict[str, Tuple[Address, int]]
     # peer id -> short-term HMAC key (origin <-> client shared secret)
     peer_keys: Dict[str, bytes]
+    # ranked substitute peers (best first) the loader may retry a failed
+    # fetch against before falling back to the origin; each has an
+    # endpoint and key above
+    fallbacks: List[str] = field(default_factory=list)
     issued_at: float = 0.0
     ttl: float = 30.0
 
@@ -75,6 +79,11 @@ class WrapperPage:
         if unendpointed:
             raise ValueError(
                 f"wrapper misses endpoints for peers {sorted(unendpointed)}")
+        bad_fallbacks = (set(self.fallbacks) - set(self.peer_keys)
+                         | set(self.fallbacks) - set(self.peer_endpoints))
+        if bad_fallbacks:
+            raise ValueError(
+                f"fallback peers lack keys/endpoints: {sorted(bad_fallbacks)}")
 
     @property
     def size(self) -> int:

@@ -1,0 +1,82 @@
+"""Degradation paths for offline-mode devices.
+
+A network partition between the away device and the home attic must
+behave exactly like the device's own offline mode: operations fail
+cleanly, nothing in the workspace is lost, and the next reconcile after
+the partition heals lands every local edit.
+"""
+
+import math
+
+from repro.attic.reconcile import SyncAction
+from repro.faults import FaultInjector, FaultPlan, LinkFlap, NodeCrash
+
+from tests.attic.test_offline import build, checkout
+
+HPOP_LINK = "hpop-n0h0"  # the attic home's access link in build()
+HPOP_NODE = "nbhd0-home0-hpop"
+
+
+def build_with_injector():
+    sim, city, attic, device = build()
+    injector = FaultInjector(sim, city.network, hpops=[attic.hpop])
+    return sim, city, attic, device, injector
+
+
+class TestPartitionedReconcile:
+    def test_checkout_fails_cleanly_during_partition(self):
+        sim, _city, _attic, device, injector = build_with_injector()
+        injector.apply(FaultPlan([
+            LinkFlap(HPOP_LINK, at=sim.now, duration=math.inf)]))
+        sim.run_until(sim.now + 1.0)
+        done = []
+        device.checkout("thesis.tex", done.append)
+        sim.run_until(sim.now + 60.0)
+        assert done == [False]
+        assert device.workspace.files() == []
+
+    def test_reconcile_during_partition_loses_nothing(self):
+        sim, _city, attic, device, injector = build_with_injector()
+        checkout(sim, device)
+        device.go_offline()
+        device.edit("thesis.tex", size=120_000, payload="laptop-edit")
+        device.go_online()
+        # The device thinks it is online, but the path home is cut.
+        injector.apply(FaultPlan([
+            LinkFlap(HPOP_LINK, at=sim.now, duration=30.0)]))
+        sim.run_until(sim.now + 1.0)
+        results = []
+        device.reconcile_all(results.append)
+        sim.run_until(sim.now + 60.0)  # partition heals mid-wait
+        # The unreachable file is skipped, not synced and not dropped.
+        assert results[0] == []
+        state = device.workspace.state_of("thesis.tex")
+        assert state.payload == "laptop-edit"
+        assert attic.dav.tree.lookup("/ann/docs/thesis.tex").content.version == 1
+        # After the partition heals the same reconcile succeeds.
+        device.reconcile_all(results.append)
+        sim.run()
+        assert [r.action for r in results[1]] == [SyncAction.PUSH]
+        node = attic.dav.tree.lookup("/ann/docs/thesis.tex")
+        assert node.content.payload == "laptop-edit"
+        assert node.content.version == 2
+
+    def test_attic_crash_behaves_like_partition(self):
+        sim, _city, attic, device, injector = build_with_injector()
+        checkout(sim, device)
+        device.go_offline()
+        device.edit("thesis.tex", size=120_000, payload="laptop-edit")
+        injector.apply(FaultPlan([
+            NodeCrash(HPOP_NODE, at=sim.now + 1.0, downtime=5.0)]))
+        sim.run_until(sim.now + 2.0)  # attic is down
+        device.go_online()
+        results = []
+        device.reconcile_all(results.append)
+        sim.run_until(sim.now + 60.0)  # attic restarted
+        assert results[0] == []
+        # The attic tree survived the crash; reconcile now pushes.
+        device.reconcile_all(results.append)
+        sim.run()
+        assert [r.action for r in results[1]] == [SyncAction.PUSH]
+        assert attic.dav.tree.lookup(
+            "/ann/docs/thesis.tex").content.payload == "laptop-edit"

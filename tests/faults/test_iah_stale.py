@@ -1,0 +1,103 @@
+"""IaH degradation path: when the upstream site is unreachable, the
+HPoP serves stale-but-marked cached copies instead of failing."""
+
+from repro.http.client import HttpClient
+from repro.http.messages import HttpRequest
+from repro.iah.service import OBJECT_ROUTE
+
+from tests.iah.test_service import build, visit_and_learn
+
+
+def gather_page(sim, svc, site, url="/page0"):
+    visit_and_learn(svc, site, [url])
+    done = []
+    svc.gather(lambda: done.append(sim.now))
+    sim.run()
+    assert done
+    return site.catalog.page(url)
+
+
+def fetch_via_hpop(sim, city, hpop_host, site, object_name):
+    """One device-side object fetch through the HPoP's IaH route."""
+    device = city.neighborhoods[0].homes[0].devices[0]
+    client = HttpClient(device, city.network)
+    responses, errors = [], []
+    client.request(
+        hpop_host,
+        HttpRequest("POST", OBJECT_ROUTE,
+                    body={"site": site.name, "object": object_name},
+                    body_size=150),
+        lambda resp, _stats: responses.append(resp),
+        port=443, on_error=errors.append)
+    sim.run_until(sim.now + 60.0)
+    assert not errors, f"device fetch errored: {errors}"
+    assert len(responses) == 1
+    return responses[0]
+
+
+class TestStaleServing:
+    def test_stale_served_when_upstream_unreachable(self):
+        sim, city, site, services, hpops = build(num_homes=1)
+        svc = services[0]
+        gather_page(sim, svc, site)
+        # Expire the cache (site ttl = 300), then cut the site off.
+        sim.run_until(sim.now + 400)
+        city.network.fail_link(city.network.links["dc-web-srv0"])
+        resp = fetch_via_hpop(sim, city, hpops[0].host, site,
+                              "p0-obj0.bin")
+        assert resp.ok
+        assert resp.headers["X-Cache"] == "stale"
+        assert "stale" in resp.headers["Warning"]
+        assert svc.stats.degraded_serves == 1
+        assert svc.metrics.counters["degraded_serves"].value == 1
+
+    def test_degraded_serve_emits_span_with_age(self):
+        sim, city, site, services, hpops = build(num_homes=1)
+        svc = services[0]
+        tracer = sim.enable_tracing()
+        gather_page(sim, svc, site)
+        sim.run_until(sim.now + 400)
+        city.network.fail_link(city.network.links["dc-web-srv0"])
+        fetch_via_hpop(sim, city, hpops[0].host, site, "p0-obj0.bin")
+        spans = [s for s in tracer.spans()
+                 if s.name == "iah.degraded_serve"]
+        assert len(spans) == 1
+        assert spans[0].attrs["object"] == "p0-obj0.bin"
+        assert spans[0].attrs["age"] > 300  # older than the ttl
+
+    def test_uncached_object_still_fails(self):
+        sim, city, site, services, hpops = build(num_homes=1)
+        svc = services[0]
+        gather_page(sim, svc, site)  # page0 only
+        city.network.fail_link(city.network.links["dc-web-srv0"])
+        resp = fetch_via_hpop(sim, city, hpops[0].host, site,
+                              "p1-obj0.bin")  # never gathered
+        assert resp.status == 502
+        assert svc.stats.degraded_serves == 0
+
+    def test_fresh_cache_needs_no_degradation(self):
+        sim, city, site, services, hpops = build(num_homes=1)
+        svc = services[0]
+        gather_page(sim, svc, site)
+        # Still fresh: the outage is invisible to the device.
+        city.network.fail_link(city.network.links["dc-web-srv0"])
+        resp = fetch_via_hpop(sim, city, hpops[0].host, site,
+                              "p0-obj0.bin")
+        assert resp.ok
+        assert resp.headers["X-Cache"] == "hit"
+        assert svc.stats.degraded_serves == 0
+
+    def test_upstream_recovery_ends_degradation(self):
+        sim, city, site, services, hpops = build(num_homes=1)
+        svc = services[0]
+        gather_page(sim, svc, site)
+        sim.run_until(sim.now + 400)
+        link = city.network.links["dc-web-srv0"]
+        city.network.fail_link(link)
+        fetch_via_hpop(sim, city, hpops[0].host, site, "p0-obj0.bin")
+        city.network.restore_link(link)
+        resp = fetch_via_hpop(sim, city, hpops[0].host, site,
+                              "p0-obj0.bin")
+        assert resp.ok
+        assert resp.headers["X-Cache"] != "stale"
+        assert svc.stats.degraded_serves == 1  # no new degraded serve

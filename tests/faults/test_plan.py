@@ -1,0 +1,141 @@
+"""FaultPlan construction, validation, and seeded-churn determinism."""
+
+import math
+import random
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    LatencySpike,
+    LinkFlap,
+    LossBurst,
+    NodeCrash,
+)
+
+
+class TestValidation:
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            LinkFlap("uplink-n0", at=-1.0, duration=2.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            LinkFlap("uplink-n0", at=1.0, duration=0.0)
+
+    def test_loss_rate_bounds(self):
+        with pytest.raises(ValueError):
+            LossBurst("uplink-n0", at=0.0, duration=1.0, loss_rate=1.0)
+        with pytest.raises(ValueError):
+            LossBurst("uplink-n0", at=0.0, duration=1.0, loss_rate=-0.1)
+        LossBurst("uplink-n0", at=0.0, duration=1.0, loss_rate=0.0)  # ok
+
+    def test_latency_spike_needs_positive_delay(self):
+        with pytest.raises(ValueError):
+            LatencySpike("uplink-n0", at=0.0, duration=1.0, extra_delay=0.0)
+
+    def test_node_crash_needs_positive_downtime(self):
+        with pytest.raises(ValueError):
+            NodeCrash("hpop-n0h0", at=0.0, downtime=-3.0)
+
+    def test_faults_are_frozen(self):
+        fault = LinkFlap("uplink-n0", at=1.0, duration=2.0)
+        with pytest.raises(Exception):
+            fault.at = 5.0
+
+
+class TestPlan:
+    def test_add_chains_and_iterates(self):
+        plan = (FaultPlan()
+                .add(LinkFlap("a", at=1.0, duration=2.0))
+                .add(NodeCrash("n", at=4.0, downtime=3.0)))
+        assert len(plan) == 2
+        assert [type(f).__name__ for f in plan] == ["LinkFlap", "NodeCrash"]
+        assert plan.node_crashes() == [plan.faults[1]]
+
+    def test_extend_merges_plans(self):
+        a = FaultPlan().add(LinkFlap("a", at=1.0, duration=2.0))
+        b = FaultPlan().add(LinkFlap("b", at=2.0, duration=2.0))
+        assert len(a.extend(b)) == 2
+
+    def test_horizon_and_end(self):
+        plan = (FaultPlan()
+                .add(LinkFlap("a", at=1.0, duration=10.0))
+                .add(NodeCrash("n", at=5.0, downtime=2.0)))
+        assert plan.horizon == 5.0
+        assert plan.end == 11.0
+
+    def test_end_ignores_infinite_windows(self):
+        plan = (FaultPlan()
+                .add(LinkFlap("a", at=3.0, duration=math.inf))
+                .add(LinkFlap("b", at=1.0, duration=1.0)))
+        assert plan.end == 3.0  # permanent cut contributes only its start
+
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert len(plan) == 0
+        assert plan.horizon == 0.0
+        assert plan.end == 0.0
+
+
+class TestChurn:
+    NODES = [f"hpop-n0h{i}" for i in range(10)]
+
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.churn(self.NODES, 0.3, horizon=20.0,
+                            rng=random.Random(42))
+        b = FaultPlan.churn(self.NODES, 0.3, horizon=20.0,
+                            rng=random.Random(42))
+        assert a.faults == b.faults
+
+    def test_node_order_does_not_matter(self):
+        shuffled = list(reversed(self.NODES))
+        a = FaultPlan.churn(self.NODES, 0.3, horizon=20.0,
+                            rng=random.Random(7))
+        b = FaultPlan.churn(shuffled, 0.3, horizon=20.0,
+                            rng=random.Random(7))
+        assert a.faults == b.faults
+
+    def test_different_seed_different_plan(self):
+        a = FaultPlan.churn(self.NODES, 0.3, horizon=20.0,
+                            rng=random.Random(1))
+        b = FaultPlan.churn(self.NODES, 0.3, horizon=20.0,
+                            rng=random.Random(2))
+        assert a.faults != b.faults
+
+    def test_fraction_controls_victim_count(self):
+        plan = FaultPlan.churn(self.NODES, 0.2, horizon=20.0,
+                               rng=random.Random(3))
+        assert len(plan) == 2
+        victims = {f.node for f in plan}
+        assert victims <= set(self.NODES)
+        assert len(victims) == 2  # each victim crashes once
+
+    def test_nonzero_fraction_claims_at_least_one(self):
+        plan = FaultPlan.churn(self.NODES, 0.01, horizon=20.0,
+                               rng=random.Random(4))
+        assert len(plan) == 1
+
+    def test_zero_fraction_is_empty(self):
+        plan = FaultPlan.churn(self.NODES, 0.0, horizon=20.0,
+                               rng=random.Random(5))
+        assert len(plan) == 0
+
+    def test_times_within_window(self):
+        plan = FaultPlan.churn(self.NODES, 1.0, horizon=20.0,
+                               rng=random.Random(6),
+                               downtime=(2.0, 6.0), start=5.0)
+        assert len(plan) == len(self.NODES)
+        for fault in plan:
+            assert 5.0 <= fault.at < 20.0
+            assert 2.0 <= fault.downtime <= 6.0
+
+    def test_bad_parameters_rejected(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            FaultPlan.churn(self.NODES, 1.5, horizon=20.0, rng=rng)
+        with pytest.raises(ValueError):
+            FaultPlan.churn(self.NODES, 0.5, horizon=1.0, rng=rng, start=2.0)
+        with pytest.raises(ValueError):
+            FaultPlan.churn(self.NODES, 0.5, horizon=20.0, rng=rng,
+                            downtime=(0.0, 5.0))

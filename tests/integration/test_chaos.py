@@ -1,0 +1,193 @@
+"""Chaos acceptance scenario: seeded 20% HPoP churn against a world
+running NoCDN page serving and attic peer backup simultaneously.
+
+Proves the headline claims of the fault-injection subsystem:
+
+- every page load started during the churn window completes (peer
+  failover / origin fallback absorb dead peers),
+- the attic returns to full shard redundancy once the dust settles
+  (heartbeat detection -> auto repair), and
+- the same seed yields a byte-identical fault-event JSONL export.
+"""
+
+from repro.attic.backup_service import PeerBackupService
+from repro.attic.service import DataAtticService
+from repro.faults import FaultInjector, FaultPlan, LinkFlap
+from repro.hpop.core import Household, Hpop, User
+from repro.net.topology import build_city
+from repro.nocdn.loader import PageLoader
+from repro.nocdn.origin import ContentProvider
+from repro.nocdn.peer import NoCdnPeerService
+from repro.sim.engine import Simulator
+from repro.util.units import kib
+
+from tests.nocdn.harness import make_catalog
+
+CHURN_FRACTION = 0.2
+CHURN_START = 2.0
+CHURN_HORIZON = 20.0
+NUM_PEERS = 8
+NUM_LOADS = 40
+
+
+class ChaosWorld:
+    """NoCDN peers that are also each other's attic backup friends.
+
+    HPoP index 0 is the attic owner whose files must survive; every
+    HPoP additionally serves NoCDN chunks. Churn victims are drawn
+    from indices 1..n so the owner's manifest stays authoritative.
+    """
+
+    def __init__(self, seed: int, num_peers: int = NUM_PEERS):
+        self.num_peers = num_peers
+        self.sim = Simulator(seed=seed)
+        self.city = build_city(self.sim,
+                               homes_per_neighborhood=num_peers + 2,
+                               server_sites={"origin": 1})
+        self.catalog = make_catalog(num_pages=2)
+        origin_host = self.city.server_sites["origin"].servers[0]
+        self.provider = ContentProvider(
+            "news.example", origin_host, self.city.network, self.catalog)
+        self.hpops, self.backups = [], []
+        for i in range(num_peers):
+            home = self.city.neighborhoods[0].homes[i]
+            hpop = Hpop(home.hpop_host, self.city.network,
+                        Household(name=f"h{i}", users=[User("u", "p")]))
+            hpop.install(DataAtticService())
+            backup = hpop.install(PeerBackupService(
+                k=2, m=1,
+                heartbeat_interval=1.0 if i == 0 else None))
+            peer = hpop.install(NoCdnPeerService())
+            hpop.start()
+            peer.sign_up(self.provider)
+            self.hpops.append(hpop)
+            self.backups.append(backup)
+        self.owner = self.backups[0]
+        for friend in self.backups[1:]:
+            self.owner.add_friend(friend)
+        self.client_device = (
+            self.city.neighborhoods[0].homes[num_peers].devices[0])
+        self.loader = PageLoader(self.client_device, self.city.network,
+                                 peer_timeout=1.0)
+        self.injector = FaultInjector(self.sim, self.city.network,
+                                      hpops=self.hpops)
+
+    def seed_attic(self):
+        attic = self.owner.hpop.service("attic")
+        attic.dav.tree.mkcol_recursive("/u0")
+        for i in range(3):
+            attic.dav.tree.put(f"/u0/file{i}.dat", size=kib(80),
+                               payload="original")
+        done = []
+        self.owner.backup_all(lambda ok, total: done.append((ok, total)))
+        self.sim.run_until(self.sim.now + 30.0)
+        assert done == [(3, 3)]
+
+    def apply_churn(self, fraction: float = CHURN_FRACTION):
+        t0 = self.sim.now
+        victims = [h.host.name for h in self.hpops[1:]]
+        plan = FaultPlan.churn(
+            victims, fraction, horizon=t0 + CHURN_HORIZON,
+            rng=self.sim.rng.stream("chaos.plan"),
+            downtime=(3.0, 6.0), start=t0 + CHURN_START)
+        if fraction > 0:
+            # A partitioned (but powered) peer: the origin cannot see
+            # link state, keeps assigning it, and every load in the
+            # window exercises client-side failover.
+            plan.add(LinkFlap("hpop-n0h3", at=t0 + 5.0, duration=4.0))
+        self.injector.apply(plan)
+        return plan
+
+    def schedule_loads(self):
+        results, errors = [], []
+        t0 = self.sim.now
+        for i in range(NUM_LOADS):
+            url = f"/page{i % 2}"
+            self.sim.at(
+                t0 + 1.0 + 0.5 * i,
+                lambda u=url: self.loader.load(self.provider, u,
+                                               results.append,
+                                               errors.append),
+                label=f"chaos.load{i}")
+        return results, errors
+
+    def attic_fully_redundant(self) -> bool:
+        by_name = {b.owner_name: b for b in self.backups}
+        for entry in self.owner.manifest.values():
+            if len(entry.shard_holders) != self.owner.k + self.owner.m:
+                return False
+            for index, holder_name in enumerate(entry.shard_holders):
+                holder = by_name[holder_name]
+                if not holder.hpop.running:
+                    return False
+                if not any(key[1] == entry.path and key[2] == index
+                           for key in holder.held_shards):
+                    return False
+        return True
+
+
+def run_chaos(seed: int, export_path=None, fraction: float = CHURN_FRACTION,
+              num_peers: int = NUM_PEERS):
+    world = ChaosWorld(seed, num_peers=num_peers)
+    world.seed_attic()
+    plan = world.apply_churn(fraction)
+    results, errors = world.schedule_loads()
+    world.sim.run_until(world.sim.now + 150.0)
+    if export_path is not None:
+        world.injector.export_jsonl(str(export_path))
+    return world, plan, results, errors
+
+
+class TestChaosScenario:
+    def test_churn_scenario_degrades_gracefully(self, tmp_path):
+        world, plan, results, errors = run_chaos(101, tmp_path / "f.jsonl")
+        # The plan actually did damage.
+        assert plan.node_crashes()
+        assert world.injector.metrics.counters["node_crashes"].value \
+            == len(plan.node_crashes())
+        assert world.injector.metrics.counters["node_restarts"].value \
+            == len(plan.node_crashes())
+        assert world.injector.metrics.counters["link_flaps"].value == 1
+        # 1) Every page load completed despite dead peers.
+        assert not errors, f"page loads failed: {errors}"
+        assert len(results) == NUM_LOADS
+        for result in results:
+            assert result.total_bytes > 0
+        # 2) The attic is back at full redundancy.
+        assert world.attic_fully_redundant(), (
+            "attic not repaired to full redundancy")
+        # Steady state: no repair loop left spinning, nothing gave up.
+        assert world.owner.metrics.counters["auto_repair_gave_up"].value == 0
+
+    def test_failovers_actually_exercised(self):
+        """The scenario is only meaningful if faults hit live traffic."""
+        world, _plan, results, _errors = run_chaos(101)
+        failovers = (
+            world.loader.metrics.counters["peer_failovers"].value
+            + world.loader.metrics.counters["origin_fallbacks"].value)
+        peer_failures = sum(len(r.peer_failures) for r in results)
+        assert failovers > 0
+        assert peer_failures > 0
+
+    def test_same_seed_byte_identical_fault_log(self, tmp_path):
+        _w1, _p1, _r1, _e1 = run_chaos(101, tmp_path / "a.jsonl")
+        _w2, _p2, _r2, _e2 = run_chaos(101, tmp_path / "b.jsonl")
+        a = (tmp_path / "a.jsonl").read_bytes()
+        b = (tmp_path / "b.jsonl").read_bytes()
+        assert a == b
+        assert a  # non-empty: the plan really fired
+
+    def test_different_seed_different_fault_log(self, tmp_path):
+        run_chaos(101, tmp_path / "a.jsonl")
+        run_chaos(202, tmp_path / "b.jsonl")
+        assert (tmp_path / "a.jsonl").read_bytes() \
+            != (tmp_path / "b.jsonl").read_bytes()
+
+    def test_zero_churn_is_faultless_baseline(self, tmp_path):
+        world, plan, results, errors = run_chaos(
+            101, tmp_path / "f.jsonl", fraction=0.0)
+        assert len(plan) == 0
+        assert not errors
+        assert len(results) == NUM_LOADS
+        assert (tmp_path / "f.jsonl").read_bytes() == b""
+        assert world.loader.metrics.counters["peer_failovers"].value == 0

@@ -101,12 +101,12 @@ class TestUtilizationProbe:
         with pytest.raises(ValueError):
             links[0].forward.enable_utilization_sampling(interval=0)
 
-    def test_flow_traffic_shows_in_probe(self):
+    def test_flow_traffic_shows_in_probe(self, seeded_sim):
         from repro.net.topology import build_dumbbell
         from repro.transport.tcp import TcpFlow
         from repro.util.units import mib
 
-        sim = Simulator(seed=27)
+        sim = seeded_sim(27)
         bell = build_dumbbell(sim)
         direction = bell.bottleneck.forward
         direction.enable_utilization_sampling(interval=1.0)

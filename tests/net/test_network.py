@@ -207,8 +207,8 @@ class TestDatagrams:
         sim.run()
         assert got == []
 
-    def test_lossy_path_drops_some(self):
-        sim = Simulator(seed=1)
+    def test_lossy_path_drops_some(self, seeded_sim):
+        sim = seeded_sim(1)
         net = Network(sim)
         a = net.add_host("a")
         a.add_interface(Address.parse("10.0.0.1"))

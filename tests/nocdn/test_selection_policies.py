@@ -39,49 +39,49 @@ def peers(n):
 
 
 class TestDisjoint:
-    def test_all_distinct_when_enough_peers(self):
+    def test_all_distinct_when_enough_peers(self, seeded_rng):
         page = make_page(4)  # 5 objects
         assignment = DisjointSelection().assign(page, None, peers(6), None,
-                                                random.Random(1))
+                                                seeded_rng(1))
         assert len(set(assignment.values())) == 5
 
-    def test_even_reuse_when_fewer_peers(self):
+    def test_even_reuse_when_fewer_peers(self, seeded_rng):
         page = make_page(5)  # 6 objects over 3 peers
         assignment = DisjointSelection().assign(page, None, peers(3), None,
-                                                random.Random(2))
+                                                seeded_rng(2))
         counts = {}
         for peer in assignment.values():
             counts[peer] = counts.get(peer, 0) + 1
         assert sorted(counts.values()) == [2, 2, 2]
 
-    def test_shuffle_varies_by_rng(self):
+    def test_shuffle_varies_by_rng(self, seeded_rng):
         page = make_page(4)
         a = DisjointSelection().assign(page, None, peers(5), None,
-                                       random.Random(1))
+                                       seeded_rng(1))
         b = DisjointSelection().assign(page, None, peers(5), None,
-                                       random.Random(99))
+                                       seeded_rng(99))
         assert a != b  # randomized mapping (collusion mitigation)
 
 
 class TestAffinity:
-    def test_same_object_same_candidate_set(self):
+    def test_same_object_same_candidate_set(self, seeded_rng):
         page = make_page(3)
         policy = AffinitySelection(spread=2)
         seen = {name: set() for name in
                 (o.name for o in page.all_objects())}
         for seed in range(30):
             assignment = policy.assign(page, None, peers(6), None,
-                                       random.Random(seed))
+                                       seeded_rng(seed))
             for name, pid in assignment.items():
                 seen[name].add(pid)
         # Despite 30 random draws, each object stays on <= spread peers.
         assert all(len(pids) <= 2 for pids in seen.values())
 
-    def test_spread_one_is_deterministic(self):
+    def test_spread_one_is_deterministic(self, seeded_rng):
         page = make_page(3)
         policy = AffinitySelection(spread=1)
-        a = policy.assign(page, None, peers(6), None, random.Random(1))
-        b = policy.assign(page, None, peers(6), None, random.Random(2))
+        a = policy.assign(page, None, peers(6), None, seeded_rng(1))
+        b = policy.assign(page, None, peers(6), None, seeded_rng(2))
         assert a == b
 
     def test_invalid_spread(self):
@@ -90,21 +90,21 @@ class TestAffinity:
 
 
 class TestTrustWeighted:
-    def test_zero_trust_gets_floor_not_exclusion(self):
+    def test_zero_trust_gets_floor_not_exclusion(self, seeded_rng):
         page = make_page(0)
         policy = TrustWeightedSelection(floor=0.01)
         pool = [FakePeer("good"), FakePeer("bad", trust=0.0)]
         picks = set()
         for seed in range(200):
             assignment = policy.assign(page, None, pool, None,
-                                       random.Random(seed))
+                                       seeded_rng(seed))
             picks.update(assignment.values())
         assert "good" in picks  # dominant
         # With a floor, 'bad' is rare but possible; 'good' must dominate.
         good_count = sum(
             1 for seed in range(200)
             if policy.assign(page, None, pool, None,
-                             random.Random(seed))["c.html"] == "good")
+                             seeded_rng(seed))["c.html"] == "good")
         assert good_count > 180
 
 

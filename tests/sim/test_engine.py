@@ -120,9 +120,9 @@ class TestIntrospection:
         sim.run()
         assert seen == ["tick"]
 
-    def test_simulator_rng_deterministic(self):
-        a = Simulator(seed=5).rng.stream("x").random()
-        b = Simulator(seed=5).rng.stream("x").random()
+    def test_simulator_rng_deterministic(self, seeded_sim):
+        a = seeded_sim(5).rng.stream("x").random()
+        b = seeded_sim(5).rng.stream("x").random()
         assert a == b
 
 
@@ -143,8 +143,8 @@ class TestProcess:
         with pytest.raises(SimulationError):
             proc.every(0, lambda: None)
 
-    def test_jittered_periodic_still_fires(self):
-        sim = Simulator(seed=3)
+    def test_jittered_periodic_still_fires(self, seeded_sim):
+        sim = seeded_sim(3)
         proc = Process(sim, "jitter")
         ticks = []
         proc.every(1.0, lambda: ticks.append(sim.now), jitter_stream="jit")

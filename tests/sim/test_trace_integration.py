@@ -1,15 +1,19 @@
 """Simulator semantics interacting with tracing (weak events, cancel)."""
 
-from repro.sim.engine import Simulator
+import pytest
 
 
-def traced_sim(**kwargs):
-    sim = Simulator(seed=0)
-    return sim, sim.enable_tracing(**kwargs)
+@pytest.fixture
+def traced_sim(seeded_sim):
+    def make(seed=0, **kwargs):
+        sim = seeded_sim(seed)
+        return sim, sim.enable_tracing(**kwargs)
+
+    return make
 
 
 class TestCancellation:
-    def test_cancelled_traced_event_emits_no_span(self):
+    def test_cancelled_traced_event_emits_no_span(self, traced_sim):
         sim, tracer = traced_sim()
         with tracer.trace("root"):
             doomed = sim.schedule(1.0, lambda: None, label="doomed")
@@ -20,7 +24,7 @@ class TestCancellation:
         assert "doomed" not in marks
         assert "survivor" in marks
 
-    def test_cancel_inside_traced_callback(self):
+    def test_cancel_inside_traced_callback(self, traced_sim):
         sim, tracer = traced_sim()
         later = sim.schedule(5.0, lambda: None, label="later")
         sim.schedule(1.0, later.cancel, label="canceller")
@@ -29,7 +33,7 @@ class TestCancellation:
         assert marks == ["canceller"]
         assert sim.pending_events == 0
 
-    def test_cancelled_event_keeps_no_context(self):
+    def test_cancelled_event_keeps_no_context(self, traced_sim):
         """A cancelled event's captured ctx must never become current."""
         sim, tracer = traced_sim()
         seen = []
@@ -43,7 +47,7 @@ class TestCancellation:
 
 
 class TestWeakEvents:
-    def test_run_quiesces_with_only_weak_spans_pending(self):
+    def test_run_quiesces_with_only_weak_spans_pending(self, traced_sim):
         """Traced weak (daemon) events do not keep run() alive."""
         sim, tracer = traced_sim()
         fired = []
@@ -65,7 +69,7 @@ class TestWeakEvents:
         # alone must not have kept the run going.
         assert sim.now == 25.0
 
-    def test_weak_event_marks_inherit_context(self):
+    def test_weak_event_marks_inherit_context(self, traced_sim):
         sim, tracer = traced_sim()
         with tracer.trace("root") as root:
             sim.schedule(1.0, lambda: None, label="maint", weak=True)
@@ -76,9 +80,9 @@ class TestWeakEvents:
 
 
 class TestDeterminismWithTracing:
-    def test_tracing_does_not_change_event_order(self):
+    def test_tracing_does_not_change_event_order(self, seeded_sim):
         def run(traced):
-            sim = Simulator(seed=3)
+            sim = seeded_sim(3)
             if traced:
                 sim.enable_tracing()
             order = []
@@ -89,7 +93,7 @@ class TestDeterminismWithTracing:
 
         assert run(False) == run(True)
 
-    def test_callback_exception_still_ends_event(self):
+    def test_callback_exception_still_ends_event(self, traced_sim):
         sim, tracer = traced_sim()
         sim.schedule(1.0, lambda: 1 / 0, label="boom")
         try:

@@ -1,0 +1,83 @@
+"""Property tests for the token bucket: conservation (consumed tokens
+never exceed initial burst + accrual) and level bounds under arbitrary
+consume sequences."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.util.tokenbucket import TokenBucket
+
+rates = st.floats(min_value=0.5, max_value=1000.0,
+                  allow_nan=False, allow_infinity=False)
+capacities = st.floats(min_value=1.0, max_value=10_000.0,
+                       allow_nan=False, allow_infinity=False)
+# (time_step, amount) pairs; steps are non-negative so time moves forward.
+steps = st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=10.0,
+                        allow_nan=False, allow_infinity=False),
+              st.floats(min_value=0.0, max_value=5_000.0,
+                        allow_nan=False, allow_infinity=False)),
+    min_size=0, max_size=50)
+
+
+class TestConservation:
+    @given(rate=rates, capacity=capacities, sequence=steps)
+    @settings(max_examples=200, deadline=None)
+    def test_consumed_never_exceeds_accrual_plus_burst(self, rate, capacity,
+                                                       sequence):
+        bucket = TokenBucket(rate, capacity)
+        now, consumed = 0.0, 0.0
+        for dt, amount in sequence:
+            now += dt
+            if bucket.try_consume(now, amount):
+                consumed += amount
+        # Conservation: nothing is created out of thin air. A fudge of
+        # 1e-6 absorbs float accumulation over the sequence.
+        assert consumed <= capacity + rate * now + 1e-6
+
+    @given(rate=rates, capacity=capacities, sequence=steps)
+    @settings(max_examples=200, deadline=None)
+    def test_level_stays_within_bounds(self, rate, capacity, sequence):
+        bucket = TokenBucket(rate, capacity)
+        now = 0.0
+        for dt, amount in sequence:
+            now += dt
+            bucket.try_consume(now, amount)
+            level = bucket.available(now)
+            assert -1e-9 <= level <= capacity + 1e-9
+
+    @given(rate=rates, capacity=capacities, sequence=steps)
+    @settings(max_examples=100, deadline=None)
+    def test_failed_consume_changes_nothing(self, rate, capacity, sequence):
+        bucket = TokenBucket(rate, capacity)
+        now = 0.0
+        for dt, amount in sequence:
+            now += dt
+            before = bucket.available(now)
+            ok = bucket.try_consume(now, amount)
+            after = bucket.available(now)
+            if ok:
+                assert after == before - amount
+            else:
+                assert after == before
+                assert amount > before
+
+    @given(rate=rates, capacity=capacities,
+           amount=st.floats(min_value=0.0, max_value=10_000.0,
+                            allow_nan=False, allow_infinity=False),
+           drain=st.floats(min_value=0.0, max_value=10_000.0,
+                           allow_nan=False, allow_infinity=False))
+    @settings(max_examples=100, deadline=None)
+    def test_time_until_available_is_exact(self, rate, capacity, amount,
+                                           drain):
+        bucket = TokenBucket(rate, capacity)
+        bucket.try_consume(0.0, min(drain, capacity))
+        if amount > capacity:
+            return  # rejected loudly; covered by the unit tests
+        wait = bucket.time_until_available(0.0, amount)
+        assert wait >= 0.0
+        # A meaningful wait means the request was not satisfiable now
+        # (checked first: available() advances the refill clock).
+        if wait > 1e-6:
+            assert bucket.available(0.0) < amount
+        # After exactly `wait` seconds the request must succeed.
+        assert bucket.available(wait) >= amount - 1e-6
