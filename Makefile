@@ -1,7 +1,8 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test bench experiments trace-smoke chaos
+.PHONY: check test bench bench-check experiments trace-smoke obs-smoke \
+	chaos dashboard
 
 check:
 	./scripts/check.sh
@@ -12,11 +13,22 @@ test:
 trace-smoke:
 	python scripts/trace_smoke.py
 
+obs-smoke:
+	python scripts/obs_smoke.py
+
 chaos:
 	python scripts/chaos_soak.py
 
+dashboard:
+	python scripts/dashboard_report.py --chaos --out-dir artifacts/dashboard
+
 bench:
 	python -m pytest benchmarks/ --benchmark-only -q
+
+# Opt-in perf gate: regenerate BENCH_*.json and fail on >15% regression
+# against benchmarks/baselines/. Wall-clock sensitive, so not in `check`.
+bench-check:
+	python scripts/bench_regress.py --run
 
 experiments:
 	python -m repro.experiments all

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate (``make bench-check``, opt-in).
+
+Compares freshly produced ``BENCH_*.json`` files at the repo root
+against the committed baselines in ``benchmarks/baselines/`` and fails
+(exit 1) when a key metric regresses by more than ``--threshold``
+(default 15%). Wall-clock throughput numbers are machine-dependent, so
+this is an opt-in gate rather than part of ``make check`` — the
+committed baselines record the perf trajectory, and the threshold is
+wide enough to absorb normal jitter while catching real regressions
+(e.g. reintroducing a per-byte GF(256) loop).
+
+``--run`` regenerates the fresh files first by invoking the bench
+experiments in-process; without it, whatever ``make bench`` last wrote
+at the repo root is compared. A missing fresh file is reported and
+skipped (the gate only judges benches that actually ran).
+
+Key metrics:
+
+- ``BENCH_erasure.json``: per-geometry encode/decode MB/s
+  (higher-is-better).
+- ``BENCH_faults.json``: per-churn-level page-load p50/p99 seconds
+  (lower-is-better) plus exact-match guards on ``loads_completed``,
+  ``load_errors``, and ``fully_redundant`` — a "perf" win that drops
+  loads is a correctness regression, not a speedup.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
+
+# (file, dotted metric path, direction). Directions: "higher" /
+# "lower" are thresholded ratios; "exact" must match the baseline.
+KEY_METRICS = [
+    ("BENCH_erasure.json", "geometries.{geom}.encode_mb_per_s", "higher"),
+    ("BENCH_erasure.json", "geometries.{geom}.decode_mb_per_s", "higher"),
+    ("BENCH_faults.json", "churn_levels.{level}.load_p50_s", "lower"),
+    ("BENCH_faults.json", "churn_levels.{level}.load_p99_s", "lower"),
+    ("BENCH_faults.json", "churn_levels.{level}.loads_completed", "exact"),
+    ("BENCH_faults.json", "churn_levels.{level}.load_errors", "exact"),
+    ("BENCH_faults.json", "churn_levels.{level}.fully_redundant", "exact"),
+]
+
+BENCH_MODULES = {
+    "BENCH_erasure.json": "benchmarks.bench_a6_erasure_throughput",
+    "BENCH_faults.json": "benchmarks.bench_a7_fault_injection",
+}
+
+
+def lookup(doc, dotted):
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def expand_paths(baseline, template):
+    """Instantiate {geom}/{level} placeholders from the baseline keys."""
+    if "{geom}" in template:
+        return [template.replace("{geom}", g)
+                for g in sorted(baseline.get("geometries", {}))]
+    if "{level}" in template:
+        return [template.replace("{level}", lv)
+                for lv in sorted(baseline.get("churn_levels", {}))]
+    return [template]
+
+
+def compare_file(name, threshold):
+    """Returns (failures, checks, skipped_reason_or_None)."""
+    baseline_path = BASELINE_DIR / name
+    fresh_path = REPO_ROOT / name
+    if not baseline_path.exists():
+        return [], 0, f"no committed baseline {baseline_path}"
+    if not fresh_path.exists():
+        return [], 0, (f"no fresh {name} at the repo root "
+                       f"(run `make bench` or pass --run)")
+    baseline = json.loads(baseline_path.read_text())
+    fresh = json.loads(fresh_path.read_text())
+
+    failures, checks = [], 0
+    for metric_file, template, direction in KEY_METRICS:
+        if metric_file != name:
+            continue
+        for path in expand_paths(baseline, template):
+            base_v = lookup(baseline, path)
+            fresh_v = lookup(fresh, path)
+            if base_v is None:
+                continue
+            checks += 1
+            label = f"{name}:{path}"
+            if fresh_v is None:
+                failures.append(f"{label}: missing from fresh run")
+                continue
+            if direction == "exact":
+                if fresh_v != base_v:
+                    failures.append(
+                        f"{label}: {fresh_v!r} != baseline {base_v!r}")
+                continue
+            base_f, fresh_f = float(base_v), float(fresh_v)
+            if base_f == 0.0:
+                continue
+            if direction == "higher":
+                change = (base_f - fresh_f) / base_f
+            else:
+                change = (fresh_f - base_f) / base_f
+            if change > threshold:
+                worse = "slower" if direction == "higher" else "higher"
+                failures.append(
+                    f"{label}: {fresh_f:g} vs baseline {base_f:g} "
+                    f"({change * 100:.1f}% {worse}, "
+                    f"budget {threshold * 100:.0f}%)")
+    return failures, checks, None
+
+
+def run_fresh(names):
+    """Regenerate the root BENCH files by running the experiments."""
+    import importlib
+    for name in names:
+        module_name = BENCH_MODULES.get(name)
+        if module_name is None:
+            continue
+        print(f"running {module_name} -> {name} ...")
+        module = importlib.import_module(module_name)
+        module.experiment()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional regression (default 0.15)")
+    parser.add_argument("--run", action="store_true",
+                        help="regenerate fresh BENCH files before comparing")
+    args = parser.parse_args(argv)
+
+    names = sorted({name for name, _, _ in KEY_METRICS})
+    if args.run:
+        run_fresh(names)
+
+    total_failures, total_checks = [], 0
+    for name in names:
+        failures, checks, skipped = compare_file(name, args.threshold)
+        if skipped:
+            print(f"SKIP {name}: {skipped}")
+            continue
+        total_checks += checks
+        total_failures.extend(failures)
+        verdict = "FAIL" if failures else "ok"
+        print(f"{verdict:>4} {name}: {checks} metrics vs "
+              f"benchmarks/baselines/{name}"
+              + (f", {len(failures)} regressed" if failures else ""))
+
+    for failure in total_failures:
+        print(f"  REGRESSION {failure}")
+    if total_failures:
+        return 1
+    if total_checks == 0:
+        print("no benches compared (nothing fresh); nothing to gate")
+    else:
+        print(f"bench-check ok: {total_checks} metrics within "
+              f"{args.threshold * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

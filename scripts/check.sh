@@ -33,6 +33,10 @@ echo "== trace smoke: traced sim + report + determinism + overhead =="
 python scripts/trace_smoke.py
 
 echo
+echo "== obs smoke: TSDB determinism + profiler overhead =="
+python scripts/obs_smoke.py
+
+echo
 echo "== chaos soak: fixed-seed churn + degradation guarantees =="
 python scripts/chaos_soak.py
 

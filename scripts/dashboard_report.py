@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Build the unified run dashboard (``make dashboard``).
+
+Two modes:
+
+- ``--chaos``: run the fixed-seed chaos scenario under the full
+  telemetry stack (tracer + TSDB scraper + SLO monitor + event-loop
+  profiler), export every artifact into ``--out-dir``, and render the
+  dashboard from them.
+- artifact mode: point ``--trace/--tsdb/--faults/--slo/--profile`` at
+  the JSONL files an earlier run exported and render those (any subset
+  works; missing artifacts just omit their dashboard sections).
+
+Outputs ``dashboard.md`` and ``dashboard.html`` (self-contained, no
+external assets) plus, in ``--chaos`` mode, the raw artifacts:
+``trace.jsonl``, ``tsdb.jsonl``, ``faults.jsonl``, ``slo.jsonl``,
+``profile.json``, and ``profile.collapsed`` (flamegraph input).
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.obs.dashboard import (RunArtifacts, build_html,  # noqa: E402
+                                 build_markdown)
+
+
+def run_chaos_instrumented(seed: int, out_dir: pathlib.Path) -> dict:
+    """Drive the chaos scenario with every telemetry layer attached."""
+    from tests.integration.test_chaos import ChaosWorld, CHURN_FRACTION
+
+    world = ChaosWorld(seed)
+    tracer = world.sim.enable_tracing(capacity=262144)
+    profiler = world.sim.enable_profiling()
+    world.enable_telemetry()
+    world.seed_attic()
+    plan = world.apply_churn(CHURN_FRACTION)
+    results, errors = world.schedule_loads()
+    world.sim.run_until(world.sim.now + 150.0)
+    world.slo_monitor.finish()
+
+    paths = {
+        "trace": out_dir / "trace.jsonl",
+        "tsdb": out_dir / "tsdb.jsonl",
+        "faults": out_dir / "faults.jsonl",
+        "slo": out_dir / "slo.jsonl",
+        "profile": out_dir / "profile.json",
+    }
+    tracer.export_jsonl(str(paths["trace"]), include_profile=True)
+    world.tsdb.export_jsonl(str(paths["tsdb"]))
+    world.injector.export_jsonl(str(paths["faults"]))
+    world.slo_monitor.export_jsonl(str(paths["slo"]))
+    paths["profile"].write_text(json.dumps(profiler.to_dict(), indent=2,
+                                           sort_keys=True))
+    profiler.export_collapsed(str(out_dir / "profile.collapsed"))
+
+    print(f"chaos run: seed={seed} {len(plan)} planned faults, "
+          f"{len(results)} loads ok, {len(errors)} load errors, "
+          f"{len(world.slo_monitor.events)} SLO transitions, "
+          f"wall/sim ratio {profiler.wall_sim_ratio:.4f}")
+    return {key: str(path) for key, path in paths.items()}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the chaos scenario and dashboard it")
+    parser.add_argument("--seed", type=int, default=101)
+    parser.add_argument("--out-dir", default="artifacts/dashboard",
+                        help="artifact + dashboard output directory")
+    parser.add_argument("--trace", help="trace JSONL from Tracer.export_jsonl")
+    parser.add_argument("--tsdb", help="TSDB JSONL from TimeSeriesDB")
+    parser.add_argument("--faults", help="fault log from FaultInjector")
+    parser.add_argument("--slo", help="SLO log from SloMonitor")
+    parser.add_argument("--profile", help="profiler JSON (LoopProfiler)")
+    parser.add_argument("--lookback", type=float, default=10.0,
+                        help="alert->fault correlation window (sim s)")
+    parser.add_argument("--title", default=None)
+    args = parser.parse_args(argv)
+
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    if args.chaos:
+        produced = run_chaos_instrumented(args.seed, out_dir)
+        for key, value in produced.items():
+            setattr(args, key, getattr(args, key) or value)
+        title = args.title or f"chaos scenario, seed {args.seed}"
+    else:
+        if not any((args.trace, args.tsdb, args.faults, args.slo)):
+            parser.error("give --chaos or at least one artifact path")
+        title = args.title or "simulation run"
+
+    art = RunArtifacts.load(trace_path=args.trace, tsdb_path=args.tsdb,
+                            faults_path=args.faults, slo_path=args.slo,
+                            profile_path=args.profile, title=title)
+
+    md_path = out_dir / "dashboard.md"
+    html_path = out_dir / "dashboard.html"
+    md_path.write_text(build_markdown(art, lookback=args.lookback),
+                       encoding="utf-8")
+    html_path.write_text(build_html(art, lookback=args.lookback),
+                         encoding="utf-8")
+    print(f"wrote {md_path} and {html_path}")
+
+    firing = [e for e in art.slo_events if e.get("state") == "firing"]
+    correlated = [r for r in art.correlations(args.lookback) if r["causes"]]
+    if firing:
+        print(f"{len(firing)} burn-rate alerts, "
+              f"{len(correlated)} correlated to an injected fault")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Telemetry smoke stage for scripts/check.sh (``make check``).
+
+1. Runs a small seeded end-to-end scenario (attic PUT + WAN GET) with
+   the TSDB scraper attached, twice, and asserts the exports are
+   byte-identical — the determinism contract of the telemetry layer.
+2. Asserts the scrape actually produced counter *and* gauge series
+   with multiple points (an empty TSDB would also be byte-identical).
+3. Times a dense event spin on a simulator that never had the profiler
+   against one where profiling was enabled and then disabled, and
+   fails if the disabled path costs more than 5% — enabling the
+   profiler must be free once it is off again, and the engine's
+   per-step profiler check must stay in the noise.
+
+Exit code 0 on success; raises on any violation.
+"""
+
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.attic.service import DataAtticService  # noqa: E402
+from repro.hpop.core import Household, Hpop, User  # noqa: E402
+from repro.http.client import HttpClient  # noqa: E402
+from repro.http.messages import HttpRequest  # noqa: E402
+from repro.net.topology import build_city  # noqa: E402
+from repro.obs.timeseries import TimeSeriesDB  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+from repro.util.units import kib  # noqa: E402
+
+DISABLED_OVERHEAD_BUDGET = 1.05
+SPIN_EVENTS = 20_000
+
+
+def run_scraped_sim(path: str) -> TimeSeriesDB:
+    """The quickstart flow (PUT from home, GET from the WAN), scraped."""
+    sim = Simulator(seed=7)
+    city = build_city(sim, homes_per_neighborhood=4,
+                      server_sites={"coffee-shop": 1})
+    home = city.neighborhoods[0].homes[0]
+    household = Household(name="smoke", users=[
+        User(name="ann", password="pw", devices=[home.devices[0]])])
+    hpop = Hpop(home.hpop_host, city.network, household)
+    hpop.install(DataAtticService())
+    hpop.start()
+
+    inside = HttpClient(home.devices[0], city.network)
+    tsdb = TimeSeriesDB(sim, interval=0.01)
+    tsdb.add_registry(city.network.metrics, source="net")
+    tsdb.add_registry(inside.metrics, source="client")
+    tsdb.start()
+
+    from repro.webdav.server import basic_auth
+    headers = basic_auth("ann", "pw")
+    statuses = []
+
+    inside.request(hpop.host,
+                   HttpRequest("PUT", "/attic/ann/notes.txt",
+                               headers=headers, body="smoke",
+                               body_size=kib(64)),
+                   lambda resp, stats: statuses.append(resp.status),
+                   port=443)
+    sim.run()
+
+    laptop = city.server_sites["coffee-shop"].servers[0]
+    outside = HttpClient(laptop, city.network)
+    outside.request(hpop.host,
+                    HttpRequest("GET", "/attic/ann/notes.txt",
+                                headers=headers),
+                    lambda resp, stats: statuses.append(resp.status),
+                    port=443)
+    sim.run()
+
+    assert statuses == [201, 200], f"smoke sim failed: {statuses}"
+    tsdb.export_jsonl(path)
+    return tsdb
+
+
+def check_determinism() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        a = os.path.join(tmp, "a.jsonl")
+        b = os.path.join(tmp, "b.jsonl")
+        tsdb = run_scraped_sim(a)
+        run_scraped_sim(b)
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            blob_a, blob_b = fa.read(), fb.read()
+    assert blob_a, "empty TSDB export"
+    assert blob_a == blob_b, "same-seed TSDB exports are not byte-identical"
+    kinds = {s.kind for s in tsdb.series.values()}
+    assert kinds == {"counter", "gauge"}, f"missing series kinds: {kinds}"
+    multi = [s for s in tsdb.series.values() if len(s.points) > 3]
+    assert multi, "no series collected more than 3 points"
+    print(f"  determinism OK ({len(blob_a)} bytes, {len(tsdb.series)} "
+          f"series, {tsdb.scrapes} scrapes, byte-identical)")
+
+
+def spin(sim: Simulator, events: int) -> float:
+    """Wall time to fire ``events`` small self-rescheduling callbacks."""
+    fired = {"n": 0}
+
+    def tick() -> None:
+        fired["n"] += 1
+        sum(range(50))  # a smidgen of real work per event
+        if fired["n"] < events:
+            sim.schedule(0.001, tick, label="spin.tick")
+
+    sim.schedule(0.001, tick, label="spin.tick")
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    assert fired["n"] == events
+    return elapsed
+
+
+def check_disabled_overhead() -> None:
+    base = float("inf")
+    disabled = float("inf")
+    for _ in range(5):
+        never = Simulator(seed=1)
+        base = min(base, spin(never, SPIN_EVENTS))
+
+        toggled = Simulator(seed=1)
+        toggled.enable_profiling()
+        toggled.disable_profiling()
+        disabled = min(disabled, spin(toggled, SPIN_EVENTS))
+
+    ratio = disabled / base if base > 0 else 1.0
+    print(f"  disabled-profiler overhead OK (never-enabled "
+          f"{base * 1e3:.1f} ms, enabled-then-disabled "
+          f"{disabled * 1e3:.1f} ms, ratio {ratio:.3f})")
+    assert ratio <= DISABLED_OVERHEAD_BUDGET, (
+        f"disabled profiler costs {ratio:.3f}x, "
+        f"budget {DISABLED_OVERHEAD_BUDGET}x")
+
+
+def check_enabled_profile() -> None:
+    """Sanity (no budget): an enabled profiler sees every event."""
+    sim = Simulator(seed=2)
+    profiler = sim.enable_profiling()
+    spin(sim, 2_000)
+    assert profiler.events == 2_000
+    assert profiler.stats["spin.tick"].count == 2_000
+    assert profiler.wall_seconds > 0
+    assert profiler.collapsed_stacks()
+    print(f"  profiler attribution OK ({profiler.events} events, "
+          f"{profiler.events_per_second:,.0f} events/s, "
+          f"wall/sim ratio {profiler.wall_sim_ratio:.4f})")
+
+
+def main() -> int:
+    print("obs smoke: TSDB same-seed determinism")
+    check_determinism()
+    print("obs smoke: disabled-profiler overhead")
+    check_disabled_overhead()
+    print("obs smoke: enabled-profiler attribution")
+    check_enabled_profile()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,19 +4,25 @@
 Prints three sections: the per-span-name latency table (count / mean /
 p50 / p99 of simulated time), the critical path of the slowest span,
 and the top wall-clock hotspots by event label (event-count shares when
-the trace has no wall-clock profile).
+the trace has no wall-clock profile). A trace truncated by the ring
+buffer is flagged loudly with its dropped-span count.
+
+With ``--json`` the same analysis is emitted as one JSON document so CI
+and ``scripts/dashboard_report.py`` can consume it without screen-
+scraping the text tables.
 
 Usage:
-    python scripts/trace_report.py TRACE.jsonl [--top N]
+    python scripts/trace_report.py TRACE.jsonl [--top N] [--json]
 """
 
 import argparse
+import json
 import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.obs.report import load_trace, render_report  # noqa: E402
+from repro.obs.report import load_trace, render_report, report_json  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -25,13 +31,19 @@ def main(argv=None) -> int:
     parser.add_argument("trace", help="path to the JSONL trace file")
     parser.add_argument("--top", type=int, default=10,
                         help="hotspot rows to show (default 10)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of text")
     args = parser.parse_args(argv)
 
     trace = load_trace(args.trace)
     if not trace.records:
         print(f"no trace records in {args.trace}", file=sys.stderr)
         return 1
-    print(render_report(trace, top=args.top))
+    if args.json:
+        print(json.dumps(report_json(trace, top=args.top), sort_keys=True,
+                         indent=2))
+    else:
+        print(render_report(trace, top=args.top))
     return 0
 
 

@@ -659,3 +659,25 @@ class PeerBackupService(HpopService):
 
     def storage_overhead(self) -> float:
         return self.codec.storage_overhead()
+
+
+def default_slos(source: str = ""):
+    """Data-attic objectives over a scraped :class:`PeerBackupService`."""
+    from repro.obs.slo import RatioSli, SloSpec, ThresholdSli
+
+    prefix = f"{source}/" if source else ""
+    return [
+        SloSpec(
+            name="attic-repair-success", service="attic", objective=0.9,
+            sli=RatioSli(
+                total=(f"{prefix}peer-backup.repairs_succeeded",
+                       f"{prefix}peer-backup.repairs_failed"),
+                bad=(f"{prefix}peer-backup.repairs_failed",)),
+            description="File repairs that complete on the first sweep"),
+        SloSpec(
+            name="attic-time-to-repair", service="attic", objective=0.9,
+            sli=ThresholdSli(
+                f"{prefix}peer-backup.time_to_repair_seconds_p99",
+                max_value=30.0),
+            description="Peer-death to full-redundancy p99 under 30 s"),
+    ]

@@ -121,6 +121,18 @@ class Histogram:
         out.append((math.inf, self.count))
         return out
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this histogram.
+
+        Because every histogram retains its raw samples, the merge
+        simply re-observes them under *this* histogram's bucket bounds —
+        so merging histograms with disjoint or differently spaced
+        buckets is well defined (quantiles stay exact; bucket counts
+        reflect the receiver's bounds). ``other`` is left untouched.
+        """
+        for value in other._samples:
+            self.observe(value)
+
 
 _METRIC_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -207,18 +219,43 @@ class MetricsRegistry:
         raise KeyError(f"no metric named {name!r} in "
                        f"registry {self.namespace!r}")
 
-    def snapshot(self) -> Dict[str, float]:
+    def snapshot(self, quantiles: Sequence[float] = ()) -> Dict[str, float]:
         """All current values, prefixed with the namespace.
 
         Histograms contribute their ``_count`` and ``_sum`` (both
-        counter-like, so they merge correctly across a fleet).
+        counter-like, so they merge correctly across a fleet). With
+        ``quantiles`` (fractions in [0, 1]), each non-empty histogram
+        also contributes ``name_p50``-style exact quantiles computed at
+        snapshot time — the "snapshot-at-time" view the time-series
+        scraper samples.
+        """
+        return {name: value
+                for name, _kind, value in self.snapshot_series(quantiles)}
+
+    def snapshot_series(
+        self, quantiles: Sequence[float] = (),
+    ) -> List[Tuple[str, str, float]]:
+        """Typed snapshot: ``(namespaced name, kind, value)`` triples.
+
+        ``kind`` is ``"counter"`` or ``"gauge"``; histogram ``_count``/
+        ``_sum`` components are counters and quantile samples are
+        gauges. This is what :class:`repro.obs.timeseries.TimeSeriesDB`
+        scrapes, since the right merge/rate semantics differ by kind.
         """
         prefix = f"{self.namespace}." if self.namespace else ""
-        out = {f"{prefix}{n}": c.value for n, c in self.counters.items()}
-        out.update({f"{prefix}{n}": g.read() for n, g in self.gauges.items()})
+        out: List[Tuple[str, str, float]] = []
+        for name, counter in self.counters.items():
+            out.append((f"{prefix}{name}", "counter", counter.value))
+        for name, gauge in self.gauges.items():
+            out.append((f"{prefix}{name}", "gauge", gauge.read()))
         for name, hist in self.histograms.items():
-            out[f"{prefix}{name}_count"] = float(hist.count)
-            out[f"{prefix}{name}_sum"] = hist.sum
+            out.append((f"{prefix}{name}_count", "counter",
+                        float(hist.count)))
+            out.append((f"{prefix}{name}_sum", "counter", hist.sum))
+            if hist.count:
+                for q in quantiles:
+                    out.append((f"{prefix}{name}_p{q * 100:g}", "gauge",
+                                hist.quantile(q)))
         return out
 
     def render(self) -> str:

@@ -88,6 +88,12 @@ class PageLoader:
         self._c_origin_fallbacks = self.metrics.counter(
             "origin_fallbacks",
             help="Chunk fetches recovered from the origin after peers failed")
+        self._c_chunk_fetches = self.metrics.counter(
+            "chunk_fetches",
+            help="Chunk fetch attempts issued against peer HPoPs")
+        self._c_chunk_failures = self.metrics.counter(
+            "chunk_fetch_failures",
+            help="Peer chunk fetches that failed or timed out")
 
     @property
     def sim(self):
@@ -256,6 +262,7 @@ class PageLoader:
                 "GET",
                 f"/nocdn/{provider.site_name}/{item.object_name}",
                 range=None if is_whole else (item.start, item.end))
+            self._c_chunk_fetches.inc()
             fetch_span = self.sim.tracer.start_span(
                 "nocdn.fetch", object=item.object_name, peer=serving_peer)
 
@@ -276,6 +283,7 @@ class PageLoader:
 
             def failed(_exc) -> None:
                 fetch_span.finish(outcome="peer-failed")
+                self._c_chunk_failures.inc()
                 result.peer_failures.append((item.object_name, serving_peer))
                 next_peer = next(
                     (p for p in wrapper.fallbacks if p not in attempted), None)
@@ -378,3 +386,27 @@ class PageLoader:
         result.completed_at = self.sim.now
         self.loads_completed += 1
         on_done(result)
+
+
+def default_slos(source: str = ""):
+    """NoCDN service objectives over a scraped :class:`PageLoader`.
+
+    ``source`` is the TSDB source prefix the loader's registry was
+    registered under (see :meth:`repro.obs.timeseries.TimeSeriesDB.
+    add_registry`).
+    """
+    from repro.obs.slo import RatioSli, SloSpec, ThresholdSli
+
+    prefix = f"{source}/" if source else ""
+    return [
+        SloSpec(
+            name="nocdn-chunk-integrity", service="nocdn", objective=0.99,
+            sli=RatioSli(total=(f"{prefix}nocdn.chunk_fetches",),
+                         bad=(f"{prefix}nocdn.chunk_fetch_failures",)),
+            description="Peer chunk fetches answered without failover"),
+        SloSpec(
+            name="nocdn-page-latency", service="nocdn", objective=0.9,
+            sli=ThresholdSli(f"{prefix}nocdn.page_load_seconds_p99",
+                             max_value=1.5),
+            description="Page-load p99 stays under 1.5 simulated seconds"),
+    ]

@@ -1,20 +1,38 @@
-"""Observability: causal tracing and trace analysis.
+"""Observability: tracing, time series, SLOs, profiling, dashboards.
 
-``repro.obs.trace`` is the recording side (spans keyed to simulated
-time, propagated through the event heap); ``repro.obs.report`` is the
-analysis side (latency tables, critical paths, hotspots). Histogram
-metrics live with the other service metrics in
+- :mod:`repro.obs.trace` — causal spans keyed to simulated time.
+- :mod:`repro.obs.report` — trace analysis (latency tables, critical
+  paths, hotspots) behind ``scripts/trace_report.py``.
+- :mod:`repro.obs.timeseries` — the sim-time TSDB that periodically
+  scrapes every :class:`~repro.metrics.counters.MetricsRegistry`.
+- :mod:`repro.obs.slo` — declarative objectives with multi-window
+  error-budget burn-rate alerts over TSDB windows.
+- :mod:`repro.obs.profile` — the event-loop profiler (wall-clock CPU
+  per event label, wall-vs-sim ratio, flamegraph export).
+- :mod:`repro.obs.dashboard` — merges one run's trace, TSDB export,
+  fault log, and SLO verdicts into a single report
+  (``scripts/dashboard_report.py``).
+
+Histogram metrics live with the other service metrics in
 :mod:`repro.metrics.counters`.
 """
 
+from repro.obs.profile import LoopProfiler
 from repro.obs.report import (Trace, TraceRecord, critical_path, hotspots,
-                              load_trace, render_report, slowest_span,
-                              span_table)
+                              load_trace, render_report, report_json,
+                              slowest_span, span_table)
+from repro.obs.slo import (BurnRule, RatioSli, SloMonitor, SloSpec,
+                           ThresholdSli, correlate_alerts)
+from repro.obs.timeseries import Series, TimeSeriesDB
 from repro.obs.trace import (NULL_SPAN, NULL_TRACER, NullTracer, Span,
                              Tracer)
 
 __all__ = [
     "Span", "Tracer", "NullTracer", "NULL_SPAN", "NULL_TRACER",
     "Trace", "TraceRecord", "load_trace", "span_table", "slowest_span",
-    "critical_path", "hotspots", "render_report",
+    "critical_path", "hotspots", "render_report", "report_json",
+    "Series", "TimeSeriesDB",
+    "SloSpec", "SloMonitor", "BurnRule", "RatioSli", "ThresholdSli",
+    "correlate_alerts",
+    "LoopProfiler",
 ]

@@ -1,0 +1,407 @@
+"""The unified run dashboard: one report per simulation run.
+
+Merges the four artifacts a fully instrumented run exports — the trace
+JSONL, the TSDB export, the fault-event log, and the SLO alert/verdict
+log (plus an optional profiler summary) — into a single self-contained
+document, as markdown or HTML. ``scripts/dashboard_report.py`` is the
+CLI; ``make dashboard`` runs the chaos scenario under full telemetry
+and renders the result.
+
+Everything here is read-side: the dashboard never recomputes SLIs or
+re-runs anything, it only joins and renders what the run exported, so
+a dashboard can be rebuilt from archived artifacts long after the run.
+"""
+
+from __future__ import annotations
+
+import html as html_mod
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.report import Trace, hotspots, load_trace, span_table
+from repro.obs.slo import correlate_alerts, load_slo_jsonl
+from repro.obs.timeseries import Series, load_jsonl as load_tsdb
+from repro.obs.trace import iter_jsonl
+
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(points: Sequence[Tuple[float, float]], width: int = 40) -> str:
+    """A unicode sparkline over ``(t, value)`` points, time-bucketed.
+
+    Buckets the time range into ``width`` columns and plots each
+    column's max (gaps render as the lowest block), so bursts survive
+    downsampling to terminal width.
+    """
+    if not points:
+        return ""
+    t0, t1 = points[0][0], points[-1][0]
+    values = [v for _t, v in points]
+    lo, hi = min(values), max(values)
+    if t1 <= t0 or hi <= lo:
+        return SPARK_BLOCKS[0] * min(width, max(1, len(points)))
+    cols: List[Optional[float]] = [None] * width
+    for t, v in points:
+        i = min(width - 1, int((t - t0) / (t1 - t0) * width))
+        cols[i] = v if cols[i] is None else max(cols[i], v)
+    out = []
+    for v in cols:
+        if v is None:
+            out.append(SPARK_BLOCKS[0])
+        else:
+            out.append(SPARK_BLOCKS[min(
+                len(SPARK_BLOCKS) - 1,
+                int((v - lo) / (hi - lo) * (len(SPARK_BLOCKS) - 1)))])
+    return "".join(out)
+
+
+@dataclass
+class RunArtifacts:
+    """Everything one instrumented run exported, loaded and parsed."""
+
+    trace: Optional[Trace] = None
+    tsdb: Dict[str, Series] = field(default_factory=dict)
+    faults: List[dict] = field(default_factory=list)
+    slo_events: List[dict] = field(default_factory=list)
+    slo_verdicts: List[dict] = field(default_factory=list)
+    profile: Dict[str, Any] = field(default_factory=dict)
+    title: str = "simulation run"
+
+    @classmethod
+    def load(cls, trace_path: Optional[str] = None,
+             tsdb_path: Optional[str] = None,
+             faults_path: Optional[str] = None,
+             slo_path: Optional[str] = None,
+             profile_path: Optional[str] = None,
+             title: str = "simulation run") -> "RunArtifacts":
+        art = cls(title=title)
+        if trace_path:
+            art.trace = load_trace(trace_path)
+        if tsdb_path:
+            art.tsdb = load_tsdb(tsdb_path)
+        if faults_path:
+            art.faults = list(iter_jsonl(faults_path))
+        if slo_path:
+            art.slo_events, art.slo_verdicts = load_slo_jsonl(slo_path)
+        if profile_path:
+            with open(profile_path, "r", encoding="utf-8") as fh:
+                art.profile = json.load(fh)
+        return art
+
+    def correlations(self, lookback: float = 10.0) -> List[Dict[str, Any]]:
+        return correlate_alerts(self.slo_events, self.faults,
+                                lookback=lookback)
+
+
+# -- section builders (shared rows for both renderers) -----------------------
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def _verdict_rows(art: RunArtifacts) -> List[List[str]]:
+    rows = []
+    for v in art.slo_verdicts:
+        rows.append([
+            v["slo"], v["service"], f"{v['objective']:.2%}",
+            f"{v['error_rate']:.2%}", f"{v['budget_spent']:.0%}",
+            "MET" if v["met"] else "VIOLATED", str(v["alerts"])])
+    return rows
+
+
+def _alert_rows(art: RunArtifacts, lookback: float) -> List[Dict[str, Any]]:
+    rows = []
+    for match in art.correlations(lookback):
+        alert = match["alert"]
+        causes = [
+            f"t={float(f['t']):.2f} {f.get('event', '?')}"
+            f" on {f.get('target', '?')}" for f in match["causes"][:5]]
+        rows.append({
+            "t": float(alert["t"]),
+            "slo": alert["slo"],
+            "severity": alert.get("severity", "?"),
+            "burn": (f"{alert.get('burn_long', 0):.1f}x / "
+                     f"{alert.get('burn_short', 0):.1f}x"),
+            "causes": causes,
+        })
+    return rows
+
+
+def _fault_summary(art: RunArtifacts) -> List[List[str]]:
+    by_kind: Dict[str, List[float]] = {}
+    for record in art.faults:
+        by_kind.setdefault(record.get("event", "?"), []).append(
+            float(record["t"]))
+    rows = []
+    for kind in sorted(by_kind):
+        times = by_kind[kind]
+        rows.append([kind, str(len(times)), f"{min(times):.2f}",
+                     f"{max(times):.2f}"])
+    return rows
+
+
+KEY_SERIES_HINTS = (
+    "active_faults", "page_load_seconds_p99", "chunk_fetch_failures",
+    "alerts_active", "time_to_repair", "degraded_serves",
+)
+
+
+def _key_series(art: RunArtifacts, limit: int = 12) -> List[Tuple[str, Series]]:
+    """The series worth a sparkline: hinted names first, then the rest."""
+    hinted, rest = [], []
+    for name in sorted(art.tsdb):
+        series = art.tsdb[name]
+        if len(series.points) < 2:
+            continue
+        values = {v for _t, v in series.points}
+        if len(values) < 2:
+            continue  # flatlines earn no pixels
+        if any(hint in name for hint in KEY_SERIES_HINTS):
+            hinted.append((name, series))
+        else:
+            rest.append((name, series))
+    return (hinted + rest)[:limit]
+
+
+def _span_rows(trace: Trace, top: int = 10) -> List[List[str]]:
+    return [[name, str(count), f"{mean_ * 1e3:.2f}", f"{p50 * 1e3:.2f}",
+             f"{p99 * 1e3:.2f}"]
+            for name, count, mean_, p50, p99 in span_table(trace)[:top]]
+
+
+def _hotspot_rows(trace: Trace, top: int = 10) -> List[List[str]]:
+    return [[label, str(count), f"{wall * 1e3:.2f}", f"{share:.1%}"]
+            for label, count, wall, share in hotspots(trace, top=top)]
+
+
+def _profile_rows(art: RunArtifacts, top: int = 10) -> List[List[str]]:
+    labels = art.profile.get("labels", {})
+    ranked = sorted(labels.items(), key=lambda kv: -kv[1]["wall_s"])[:top]
+    total = art.profile.get("wall_seconds") or 1.0
+    return [[label, str(stat["count"]), f"{stat['wall_s'] * 1e3:.2f}",
+             f"{stat['wall_s'] / total:.1%}"] for label, stat in ranked]
+
+
+# -- markdown renderer -------------------------------------------------------
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def build_markdown(art: RunArtifacts, lookback: float = 10.0) -> str:
+    """The whole dashboard as one markdown document."""
+    out: List[str] = [f"# Run dashboard — {art.title}", ""]
+
+    firing = [e for e in art.slo_events if e.get("state") == "firing"]
+    met = sum(1 for v in art.slo_verdicts if v["met"])
+    out.append(
+        f"**{met}/{len(art.slo_verdicts)} SLOs met** · "
+        f"{len(firing)} burn-rate alerts · "
+        f"{len(art.faults)} fault events · "
+        f"{len(art.tsdb)} time series"
+        + (f" · wall/sim ratio {art.profile.get('wall_sim_ratio', 0):.4f}"
+           if art.profile else ""))
+    out.append("")
+
+    if art.slo_verdicts:
+        out += ["## SLO verdicts", "",
+                _md_table(("SLO", "service", "objective", "error rate",
+                           "budget spent", "verdict", "alerts"),
+                          _verdict_rows(art)), ""]
+
+    out.append("## Burn-rate alerts and correlated faults")
+    out.append("")
+    alert_rows = _alert_rows(art, lookback)
+    if alert_rows:
+        for row in alert_rows:
+            out.append(f"- **t={row['t']:.2f}** `{row['slo']}` "
+                       f"({row['severity']}, burn {row['burn']})")
+            if row["causes"]:
+                for cause in row["causes"]:
+                    out.append(f"  - likely cause: {cause}")
+            else:
+                out.append("  - no fault event within the lookback window")
+    else:
+        out.append("(no alerts fired)")
+    out.append("")
+
+    if art.faults:
+        out += ["## Fault timeline", "",
+                _md_table(("fault event", "count", "first t", "last t"),
+                          _fault_summary(art)), ""]
+
+    key = _key_series(art)
+    if key:
+        out += ["## Key time series", ""]
+        rows = []
+        for name, series in key:
+            last = series.points[-1][1]
+            rows.append([f"`{name}`", sparkline(series.points),
+                         _fmt(last), str(series.resolution)])
+        out += [_md_table(("series", "sparkline", "last", "res"), rows), ""]
+
+    if art.trace is not None and art.trace.records:
+        if art.trace.dropped:
+            out.append(f"> **WARNING:** trace truncated — "
+                       f"{art.trace.dropped} spans dropped by the ring "
+                       f"buffer.")
+            out.append("")
+        out += ["## Span latency (simulated time, top 10)", "",
+                _md_table(("span", "count", "mean ms", "p50 ms", "p99 ms"),
+                          _span_rows(art.trace)), ""]
+        hot = _hotspot_rows(art.trace)
+        if hot:
+            out += ["## Trace hotspots by event label", "",
+                    _md_table(("label", "count", "wall ms", "share"), hot),
+                    ""]
+
+    if art.profile:
+        out += ["## Event-loop profile (host CPU)", "",
+                f"{art.profile.get('events', 0)} events · "
+                f"{art.profile.get('wall_seconds', 0) * 1e3:.1f} ms wall · "
+                f"{art.profile.get('events_per_second', 0):,.0f} events/s · "
+                f"wall/sim ratio "
+                f"{art.profile.get('wall_sim_ratio', 0):.4f}", "",
+                _md_table(("label", "count", "wall ms", "share"),
+                          _profile_rows(art)), ""]
+
+    return "\n".join(out)
+
+
+# -- HTML renderer -----------------------------------------------------------
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 70rem; color: #1a1a2e;
+       line-height: 1.45; }
+h1 { border-bottom: 2px solid #4a4e69; padding-bottom: .3rem; }
+h2 { margin-top: 2rem; color: #22223b; }
+table { border-collapse: collapse; margin: .5rem 0; font-size: .9rem; }
+th, td { border: 1px solid #c9cad9; padding: .3rem .6rem; text-align: left; }
+th { background: #f2f3f7; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.spark { font-family: monospace; letter-spacing: -1px; color: #3a6ea5; }
+.met { color: #1b7837; font-weight: 600; }
+.violated { color: #b2182b; font-weight: 600; }
+.warn { background: #fff3cd; border: 1px solid #ffe08a;
+        padding: .5rem .8rem; border-radius: 4px; }
+code { background: #f2f3f7; padding: 0 .25rem; border-radius: 3px; }
+ul.alerts li { margin-bottom: .4rem; }
+.summary { font-size: 1.05rem; }
+"""
+
+
+def _html_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                spark_col: Optional[int] = None) -> str:
+    esc = html_mod.escape
+    parts = ["<table><tr>"]
+    parts += [f"<th>{esc(h)}</th>" for h in headers]
+    parts.append("</tr>")
+    for row in rows:
+        parts.append("<tr>")
+        for i, cell in enumerate(row):
+            klass = ""
+            if cell == "MET":
+                klass = ' class="met"'
+            elif cell == "VIOLATED":
+                klass = ' class="violated"'
+            elif spark_col is not None and i == spark_col:
+                klass = ' class="spark"'
+            parts.append(f"<td{klass}>{esc(cell)}</td>")
+        parts.append("</tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def build_html(art: RunArtifacts, lookback: float = 10.0) -> str:
+    """The whole dashboard as one self-contained HTML page."""
+    esc = html_mod.escape
+    body: List[str] = [f"<h1>Run dashboard — {esc(art.title)}</h1>"]
+
+    firing = [e for e in art.slo_events if e.get("state") == "firing"]
+    met = sum(1 for v in art.slo_verdicts if v["met"])
+    summary = (f"<b>{met}/{len(art.slo_verdicts)} SLOs met</b> · "
+               f"{len(firing)} burn-rate alerts · "
+               f"{len(art.faults)} fault events · "
+               f"{len(art.tsdb)} time series")
+    if art.profile:
+        summary += (f" · wall/sim ratio "
+                    f"{art.profile.get('wall_sim_ratio', 0):.4f}")
+    body.append(f'<p class="summary">{summary}</p>')
+
+    if art.slo_verdicts:
+        body.append("<h2>SLO verdicts</h2>")
+        body.append(_html_table(
+            ("SLO", "service", "objective", "error rate", "budget spent",
+             "verdict", "alerts"), _verdict_rows(art)))
+
+    body.append("<h2>Burn-rate alerts and correlated faults</h2>")
+    alert_rows = _alert_rows(art, lookback)
+    if alert_rows:
+        body.append('<ul class="alerts">')
+        for row in alert_rows:
+            causes = "".join(f"<li>likely cause: {esc(c)}</li>"
+                             for c in row["causes"]) or \
+                "<li>no fault event within the lookback window</li>"
+            body.append(
+                f"<li><b>t={row['t']:.2f}</b> <code>{esc(row['slo'])}</code> "
+                f"({esc(row['severity'])}, burn {esc(row['burn'])})"
+                f"<ul>{causes}</ul></li>")
+        body.append("</ul>")
+    else:
+        body.append("<p>(no alerts fired)</p>")
+
+    if art.faults:
+        body.append("<h2>Fault timeline</h2>")
+        body.append(_html_table(
+            ("fault event", "count", "first t", "last t"),
+            _fault_summary(art)))
+
+    key = _key_series(art)
+    if key:
+        body.append("<h2>Key time series</h2>")
+        rows = []
+        for name, series in key:
+            rows.append([name, sparkline(series.points),
+                         _fmt(series.points[-1][1]), str(series.resolution)])
+        body.append(_html_table(("series", "sparkline", "last", "res"),
+                                rows, spark_col=1))
+
+    if art.trace is not None and art.trace.records:
+        if art.trace.dropped:
+            body.append(
+                f'<p class="warn">WARNING: trace truncated — '
+                f"{art.trace.dropped} spans dropped by the ring buffer.</p>")
+        body.append("<h2>Span latency (simulated time, top 10)</h2>")
+        body.append(_html_table(
+            ("span", "count", "mean ms", "p50 ms", "p99 ms"),
+            _span_rows(art.trace)))
+        hot = _hotspot_rows(art.trace)
+        if hot:
+            body.append("<h2>Trace hotspots by event label</h2>")
+            body.append(_html_table(("label", "count", "wall ms", "share"),
+                                    hot))
+
+    if art.profile:
+        body.append("<h2>Event-loop profile (host CPU)</h2>")
+        body.append(
+            f"<p>{art.profile.get('events', 0)} events · "
+            f"{art.profile.get('wall_seconds', 0) * 1e3:.1f} ms wall · "
+            f"{art.profile.get('events_per_second', 0):,.0f} events/s · "
+            f"wall/sim ratio "
+            f"{art.profile.get('wall_sim_ratio', 0):.4f}</p>")
+        body.append(_html_table(("label", "count", "wall ms", "share"),
+                                _profile_rows(art)))
+
+    return ("<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            f"<title>{esc(art.title)}</title><style>{_CSS}</style></head>"
+            f"<body>{''.join(body)}</body></html>")

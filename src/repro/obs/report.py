@@ -42,6 +42,8 @@ class Trace:
     # included profile records.
     profile: Dict[str, Tuple[int, float]] = field(default_factory=dict)
     meta: Dict[str, Any] = field(default_factory=dict)
+    # Spans lost to ring-buffer wrap before export (0 = complete trace).
+    dropped: int = 0
 
     def spans(self) -> List[TraceRecord]:
         return [r for r in self.records if r.kind == "span"]
@@ -63,6 +65,10 @@ def load_trace(path: str) -> Trace:
                                            float(raw["wall_s"]))
         elif kind == "meta":
             trace.meta = raw
+            trace.dropped = max(trace.dropped, int(raw.get("dropped", 0)))
+        elif kind == "dropped":
+            trace.dropped = max(trace.dropped,
+                                int(raw.get("spans_dropped", 0)))
         elif kind in ("span", "event"):
             end = raw.get("end")
             if end is None:
@@ -196,6 +202,13 @@ def render_report(trace: Trace, top: int = 10) -> str:
     """The full human-readable report ``trace_report.py`` prints."""
     sections: List[str] = []
 
+    if trace.dropped:
+        sections.append(
+            f"WARNING: {trace.dropped} spans dropped by the ring buffer "
+            f"before export; this trace is truncated (raise the tracer "
+            f"capacity to capture everything)")
+        sections.append("")
+
     rows = span_table(trace)
     sections.append("== span latency (simulated time) ==")
     if rows:
@@ -248,3 +261,31 @@ def render_report(trace: Trace, top: int = 10) -> str:
             f"clock, {eps:,.0f} events/s, "
             f"{trace.meta.get('dropped', 0)} records dropped")
     return "\n".join(sections)
+
+
+def report_json(trace: Trace, top: int = 10) -> Dict[str, Any]:
+    """The machine-readable twin of :func:`render_report`.
+
+    Consumed by CI and the run dashboard (``trace_report.py --json``),
+    so the schema is part of the tooling contract: ``span_table`` rows
+    mirror the text table, ``critical_path`` is root-first, and
+    ``dropped`` is always present so truncation is machine-visible.
+    """
+    target = slowest_span(trace)
+    return {
+        "spans": len(trace.spans()),
+        "events": len(trace.events()),
+        "dropped": trace.dropped,
+        "span_table": [
+            {"name": name, "count": count, "mean_s": avg, "p50_s": p50,
+             "p99_s": p99}
+            for name, count, avg, p50, p99 in span_table(trace)],
+        "critical_path": [
+            {"kind": r.kind, "name": r.name, "start": r.start,
+             "duration_s": r.duration, "attrs": r.attrs}
+            for r in (critical_path(trace, target) if target else [])],
+        "hotspots": [
+            {"label": label, "count": count, "wall_s": wall, "share": share}
+            for label, count, wall, share in hotspots(trace, top=top)],
+        "meta": trace.meta,
+    }

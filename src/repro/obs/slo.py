@@ -1,0 +1,321 @@
+"""Declarative service-level objectives over TSDB windows.
+
+An :class:`SloSpec` names a service-level indicator (an error fraction
+computed from :class:`~repro.obs.timeseries.TimeSeriesDB` series), an
+objective (the fraction of good events promised, e.g. ``0.99``), and
+one or more multi-window **burn-rate rules** in the Google SRE style:
+an alert fires when the error budget is being consumed at ``threshold``
+times the sustainable rate over *both* a long window (significance)
+and a short window (recency, so alerts resolve quickly once the fault
+clears).
+
+The :class:`SloMonitor` evaluates every spec on a sim-time cadence,
+emits ``slo.alert`` spans through the simulator's tracer (so alerts
+land in the same trace as the ``fault.*`` spans that caused them),
+counts alerts in a metrics registry, and keeps a deterministic JSONL
+event log — same contract as the fault injector's, byte-identical
+across runs from one seed. :func:`correlate_alerts` then joins the
+alert log against a fault-event log to answer "which injected fault
+burned this budget".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.metrics.counters import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesDB
+
+
+# -- service-level indicators ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RatioSli:
+    """Error fraction = delta(bad) / delta(total) over the window.
+
+    ``bad`` and ``total`` each name one or more counter series (their
+    deltas sum); a window with no ``total`` increase has error rate 0 —
+    no traffic means no budget burned.
+    """
+
+    total: Tuple[str, ...]
+    bad: Tuple[str, ...]
+
+    def error_rate(self, db: TimeSeriesDB, start: float, end: float) -> float:
+        total = db.sum_delta(self.total, end - start, end)
+        if total <= 0:
+            return 0.0
+        bad = db.sum_delta(self.bad, end - start, end)
+        return min(1.0, bad / total)
+
+
+@dataclass(frozen=True)
+class ThresholdSli:
+    """Error fraction = share of window samples violating a bound.
+
+    For gauge series (histogram quantiles, staleness ages): a sample
+    ``> max_value`` is bad. A window with no samples has error rate 0.
+    """
+
+    metric: str
+    max_value: float
+
+    def error_rate(self, db: TimeSeriesDB, start: float, end: float) -> float:
+        series = db.series.get(self.metric)
+        if series is None:
+            return 0.0
+        window = series.window(start, end)
+        if not window:
+            return 0.0
+        bad = sum(1 for _t, v in window if v > self.max_value)
+        return bad / len(window)
+
+
+# -- specs -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BurnRule:
+    """One multi-window burn-rate alerting rule."""
+
+    severity: str          # "fast" (page) or "slow" (ticket), by convention
+    long_window: float     # sim seconds of sustained burn required
+    short_window: float    # sim seconds of *current* burn required
+    threshold: float       # burn-rate multiple that fires the rule
+
+
+# Scaled-down defaults of the SRE-workbook 1h/5m + 6h/30m pairs: sim
+# scenarios play out over tens of seconds, not days.
+DEFAULT_RULES: Tuple[BurnRule, ...] = (
+    BurnRule("fast", long_window=10.0, short_window=2.0, threshold=4.0),
+    BurnRule("slow", long_window=30.0, short_window=6.0, threshold=1.5),
+)
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One service objective evaluated against the TSDB."""
+
+    name: str
+    service: str
+    objective: float                 # promised good fraction in (0, 1)
+    sli: Any                         # RatioSli | ThresholdSli
+    rules: Tuple[BurnRule, ...] = DEFAULT_RULES
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"SLO {self.name}: objective must be in (0, 1), "
+                f"got {self.objective}")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: tolerable long-run error fraction."""
+        return 1.0 - self.objective
+
+    def burn_rate(self, db: TimeSeriesDB, window: float,
+                  end: float) -> float:
+        """Budget-consumption multiple over the trailing ``window``."""
+        return self.sli.error_rate(db, end - window, end) / self.budget
+
+
+# -- monitor -----------------------------------------------------------------
+
+
+class SloMonitor:
+    """Evaluates SLO specs on a sim-time cadence and raises alerts.
+
+    Alert lifecycle: a spec is *firing* while any of its rules burns
+    above threshold on both windows; the transition into and out of
+    that state appends a record to :attr:`events` (deterministic, like
+    the fault log) and opens/finishes an ``slo.alert`` span so traces
+    show alert intervals alongside ``fault.*`` spans.
+    """
+
+    def __init__(self, sim: Any, db: TimeSeriesDB,
+                 specs: Iterable[SloSpec], interval: float = 1.0,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        if interval <= 0:
+            raise ValueError(f"eval interval must be positive: {interval}")
+        self.sim = sim
+        self.db = db
+        self.specs: List[SloSpec] = list(specs)
+        names = [spec.name for spec in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {sorted(names)}")
+        self.interval = interval
+        self.metrics = metrics or MetricsRegistry(namespace="slo")
+        self._c_fired = self.metrics.counter(
+            "alerts_fired", "burn-rate alerts that started firing")
+        self._c_resolved = self.metrics.counter(
+            "alerts_resolved", "burn-rate alerts that stopped firing")
+        self.metrics.gauge(
+            "alerts_active", "SLOs currently in the firing state"
+        ).set_function(lambda: float(len(self._active)))
+        self.events: List[dict] = []
+        self._active: Dict[str, Any] = {}   # spec name -> open alert span
+        self._started = False
+        self._stopped = False
+        self.started_at: Optional[float] = None
+
+    # -- cadence ----------------------------------------------------------
+
+    def start(self) -> "SloMonitor":
+        if not self._started:
+            self._started = True
+            self.started_at = self.sim.now
+            self._schedule_next()
+        return self
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _schedule_next(self) -> None:
+        self.sim.schedule(self.interval, self._tick, label="slo.evaluate",
+                          weak=True)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.evaluate()
+        self._schedule_next()
+
+    # -- evaluation -------------------------------------------------------
+
+    def evaluate(self) -> List[dict]:
+        """Evaluate every spec now; returns records appended this pass."""
+        now = self.sim.now
+        appended: List[dict] = []
+        for spec in self.specs:
+            fired_rule: Optional[BurnRule] = None
+            burn_long = burn_short = 0.0
+            for rule in spec.rules:
+                b_long = spec.burn_rate(self.db, rule.long_window, now)
+                b_short = spec.burn_rate(self.db, rule.short_window, now)
+                if b_long >= rule.threshold and b_short >= rule.threshold:
+                    fired_rule, burn_long, burn_short = rule, b_long, b_short
+                    break
+            was_active = spec.name in self._active
+            if fired_rule is not None and not was_active:
+                span = self.sim.tracer.start_span(
+                    "slo.alert", parent=None, slo=spec.name,
+                    service=spec.service, severity=fired_rule.severity)
+                self._active[spec.name] = span
+                self._c_fired.inc()
+                appended.append(self._log(
+                    "firing", spec, severity=fired_rule.severity,
+                    burn_long=round(burn_long, 6),
+                    burn_short=round(burn_short, 6),
+                    long_window=fired_rule.long_window,
+                    short_window=fired_rule.short_window))
+            elif fired_rule is None and was_active:
+                span = self._active.pop(spec.name)
+                span.finish(resolved_at=round(now, 9))
+                self._c_resolved.inc()
+                appended.append(self._log("resolved", spec))
+        return appended
+
+    def _log(self, state: str, spec: SloSpec, **extra) -> dict:
+        record = {"t": round(self.sim.now, 9), "state": state,
+                  "slo": spec.name, "service": spec.service,
+                  "objective": spec.objective}
+        record.update(extra)
+        self.events.append(record)
+        return record
+
+    def finish(self) -> None:
+        """End-of-run: resolve anything still firing (spans must close)."""
+        for name in list(self._active):
+            span = self._active.pop(name)
+            span.finish(resolved_at=round(self.sim.now, 9), at_run_end=True)
+            self._c_resolved.inc()
+            spec = next(s for s in self.specs if s.name == name)
+            self._log("resolved", spec, at_run_end=True)
+
+    # -- verdicts ---------------------------------------------------------
+
+    def verdicts(self) -> List[Dict[str, Any]]:
+        """Whole-run compliance per spec (the dashboard's headline table)."""
+        now = self.sim.now
+        start = self.started_at if self.started_at is not None else 0.0
+        out: List[Dict[str, Any]] = []
+        for spec in self.specs:
+            error_rate = spec.sli.error_rate(self.db, start, now)
+            alerts = sum(1 for e in self.events
+                         if e["slo"] == spec.name and e["state"] == "firing")
+            out.append({
+                "slo": spec.name,
+                "service": spec.service,
+                "objective": spec.objective,
+                "error_rate": round(error_rate, 6),
+                "budget_spent": round(min(1.0, error_rate / spec.budget), 6)
+                if spec.budget else 1.0,
+                "met": error_rate <= spec.budget,
+                "alerts": alerts,
+                "description": spec.description,
+            })
+        return out
+
+    # -- export -----------------------------------------------------------
+
+    def export_jsonl(self, path: str) -> int:
+        """Alert log + trailing verdict records, deterministically encoded."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in self.events:
+                fh.write(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")))
+                fh.write("\n")
+            for verdict in self.verdicts():
+                fh.write(json.dumps({"kind": "verdict", **verdict},
+                                    sort_keys=True, separators=(",", ":")))
+                fh.write("\n")
+        return len(self.events) + len(self.specs)
+
+
+# -- alert/fault correlation -------------------------------------------------
+
+
+def correlate_alerts(
+    alerts: Sequence[dict], fault_events: Sequence[dict],
+    lookback: float = 10.0,
+) -> List[Dict[str, Any]]:
+    """Join firing alerts to the fault events that plausibly caused them.
+
+    For each ``state == "firing"`` alert, collects fault-log records
+    whose timestamp falls in ``[alert.t - lookback, alert.t]`` — the
+    budget burned *after* the fault hit, so the fault precedes the
+    alert. Returns one row per firing alert with its candidate causes,
+    nearest-first.
+    """
+    rows: List[Dict[str, Any]] = []
+    for alert in alerts:
+        if alert.get("state") != "firing":
+            continue
+        t = float(alert["t"])
+        causes = [f for f in fault_events
+                  if t - lookback <= float(f["t"]) <= t]
+        causes.sort(key=lambda f: (t - float(f["t"]),
+                                   f.get("event", ""), f.get("target", "")))
+        rows.append({"alert": alert, "causes": causes})
+    return rows
+
+
+def load_slo_jsonl(path: str) -> Tuple[List[dict], List[dict]]:
+    """Split an exported SLO log into (alert events, verdicts)."""
+    events: List[dict] = []
+    verdicts: List[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            if raw.get("kind") == "verdict":
+                verdicts.append(raw)
+            else:
+                events.append(raw)
+    return events, verdicts

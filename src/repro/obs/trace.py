@@ -217,7 +217,10 @@ class Tracer:
         self._records: deque = deque(maxlen=capacity)
         self._next_id = 1
         self.current: Optional[Span] = None
-        self.dropped = 0
+        # Spans evicted by ring-buffer wrap. Surfaced in every export
+        # (a "dropped" record) and by trace_report, so a truncated
+        # trace can never masquerade as a complete one.
+        self.spans_dropped = 0
         # Wall-clock profiling: label -> [fired count, wall seconds].
         self.profile: Dict[str, List[float]] = {}
         self.events_traced = 0
@@ -290,9 +293,14 @@ class Tracer:
 
     # -- storage / export ----------------------------------------------------
 
+    @property
+    def dropped(self) -> int:
+        """Back-compat alias for :attr:`spans_dropped`."""
+        return self.spans_dropped
+
     def _record(self, span: Span) -> None:
         if len(self._records) == self.capacity:
-            self.dropped += 1
+            self.spans_dropped += 1
         self._records.append(span)
 
     def spans(self) -> List[Span]:
@@ -322,6 +330,15 @@ class Tracer:
                                     separators=(",", ":"), default=str))
                 fh.write("\n")
                 written += 1
+            if self.spans_dropped:
+                # Deterministic (sim-side count), so it is safe in the
+                # byte-identity contract of the default export.
+                fh.write(json.dumps(
+                    {"kind": "dropped", "capacity": self.capacity,
+                     "spans_dropped": self.spans_dropped},
+                    sort_keys=True, separators=(",", ":")))
+                fh.write("\n")
+                written += 1
             if include_profile:
                 for label in sorted(self.profile):
                     count, wall = self.profile[label]
@@ -335,7 +352,7 @@ class Tracer:
                     {"kind": "meta", "events": self.events_traced,
                      "wall_s": self.wall_seconds,
                      "events_per_s": self.events_per_second,
-                     "dropped": self.dropped},
+                     "dropped": self.spans_dropped},
                     sort_keys=True, separators=(",", ":")))
                 fh.write("\n")
                 written += 1

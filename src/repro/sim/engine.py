@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs.trace import NULL_TRACER, Tracer
@@ -91,6 +92,9 @@ class Simulator:
         # Disabled by default: the shared null tracer makes every
         # instrumentation site a cheap no-op. See enable_tracing().
         self.tracer = NULL_TRACER
+        # Disabled by default: the event-loop profiler costs one `is
+        # not None` check per step when off. See enable_profiling().
+        self.profiler: Optional["object"] = None
 
     # -- scheduling ----------------------------------------------------
 
@@ -138,6 +142,9 @@ class Simulator:
             for hook in self._trace_hooks:
                 hook(event)
             tracer = self.tracer
+            profiler = self.profiler
+            if profiler is not None:
+                t0 = perf_counter()
             if tracer.enabled:
                 tracer.begin_event(event)
                 try:
@@ -146,6 +153,8 @@ class Simulator:
                     tracer.end_event(event)
             else:
                 event.callback()
+            if profiler is not None:
+                profiler.record(event, perf_counter() - t0)
             self._events_fired += 1
             return True
         return False
@@ -225,6 +234,27 @@ class Simulator:
     def disable_tracing(self) -> None:
         """Detach the recording tracer and return to the no-op default."""
         self.tracer = NULL_TRACER
+
+    # -- profiling --------------------------------------------------------
+
+    def enable_profiling(self) -> "LoopProfiler":
+        """Attach a :class:`~repro.obs.profile.LoopProfiler`.
+
+        Each fired event's callback is wall-clock timed and attributed
+        to its label, independently of tracing (the profiler answers
+        "where does the *host* burn CPU", the tracer "where does
+        *simulated* time go"). Idempotent: a second call keeps the
+        existing profiler. Returns the profiler (also available as
+        :attr:`profiler`).
+        """
+        if self.profiler is None:
+            from repro.obs.profile import LoopProfiler  # avoid cycle
+            self.profiler = LoopProfiler(self)
+        return self.profiler
+
+    def disable_profiling(self) -> None:
+        """Detach the profiler; recorded stats remain readable on it."""
+        self.profiler = None
 
 
 class Process:

@@ -71,6 +71,36 @@ class ChaosWorld:
                                  peer_timeout=1.0)
         self.injector = FaultInjector(self.sim, self.city.network,
                                       hpops=self.hpops)
+        self.tsdb = None
+        self.slo_monitor = None
+
+    def enable_telemetry(self, scrape_interval: float = 0.25,
+                         eval_interval: float = 0.5):
+        """Attach the full fleet-telemetry stack to this world.
+
+        Scrapes every registry (loader, injector, network, each HPoP's
+        peer-backup service) into a :class:`TimeSeriesDB` under a
+        per-source prefix, and evaluates the NoCDN + attic default SLOs
+        against it. Returns ``(tsdb, slo_monitor)``.
+        """
+        from repro.attic.backup_service import default_slos as attic_slos
+        from repro.nocdn.loader import default_slos as nocdn_slos
+        from repro.obs.slo import SloMonitor
+        from repro.obs.timeseries import TimeSeriesDB
+
+        self.tsdb = TimeSeriesDB(self.sim, interval=scrape_interval)
+        self.tsdb.add_registry(self.loader.metrics, source="client")
+        self.tsdb.add_registry(self.injector.metrics, source="injector")
+        self.tsdb.add_registry(self.city.network.metrics, source="net")
+        for i, backup in enumerate(self.backups):
+            self.tsdb.add_registry(backup.metrics, source=f"h{i}")
+        specs = nocdn_slos("client") + attic_slos("h0")
+        self.slo_monitor = SloMonitor(self.sim, self.tsdb, specs,
+                                      interval=eval_interval)
+        self.tsdb.add_registry(self.slo_monitor.metrics, source="slo")
+        self.tsdb.start()
+        self.slo_monitor.start()
+        return self.tsdb, self.slo_monitor
 
     def seed_attic(self):
         attic = self.owner.hpop.service("attic")
@@ -127,12 +157,16 @@ class ChaosWorld:
 
 
 def run_chaos(seed: int, export_path=None, fraction: float = CHURN_FRACTION,
-              num_peers: int = NUM_PEERS):
+              num_peers: int = NUM_PEERS, telemetry: bool = False):
     world = ChaosWorld(seed, num_peers=num_peers)
+    if telemetry:
+        world.enable_telemetry()
     world.seed_attic()
     plan = world.apply_churn(fraction)
     results, errors = world.schedule_loads()
     world.sim.run_until(world.sim.now + 150.0)
+    if telemetry:
+        world.slo_monitor.finish()
     if export_path is not None:
         world.injector.export_jsonl(str(export_path))
     return world, plan, results, errors

@@ -266,3 +266,132 @@ class TestMerge:
         merged = merge_snapshots(fleet)
         assert merged["svc.lat_count"] == 2.0
         assert merged["svc.lat_sum"] == 4.0
+
+
+class TestHistogramMerge:
+    def test_merge_empty_other_is_noop(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        h.merge(Histogram("other"))
+        assert h.count == 1
+        assert h.sum == 1.0
+
+    def test_merge_into_empty(self):
+        other = Histogram("other")
+        other.observe(2.0)
+        other.observe(4.0)
+        h = Histogram("lat")
+        h.merge(other)
+        assert h.count == 2
+        assert h.mean == pytest.approx(3.0)
+        # The source is untouched.
+        assert other.count == 2
+
+    def test_merge_single_sample(self):
+        other = Histogram("other")
+        other.observe(7.5)
+        h = Histogram("lat")
+        h.observe(0.5)
+        h.merge(other)
+        assert h.count == 2
+        assert h.quantile(1.0) == 7.5
+
+    def test_merge_disjoint_bucket_ranges(self):
+        """Samples re-bucket under the receiver's bounds; quantiles stay
+        exact even when the two histograms share no bucket edges."""
+        lo = Histogram("lo", buckets=(0.1, 0.2, 0.4))
+        for v in (0.05, 0.15, 0.3):
+            lo.observe(v)
+        hi = Histogram("hi", buckets=(10.0, 100.0))
+        for v in (5.0, 50.0):
+            hi.observe(v)
+        lo.merge(hi)
+        assert lo.count == 5
+        assert lo.sum == pytest.approx(55.5)
+        # Everything from `hi` lands in lo's +Inf bucket.
+        assert lo.bucket_counts == [1, 1, 1, 2]
+        assert lo.quantile(1.0) == 50.0
+        assert lo.quantile(0.5) == pytest.approx(0.3)
+
+    def test_merged_quantiles_match_pooled_samples(self):
+        a, b = Histogram("a"), Histogram("b")
+        for v in range(10):
+            a.observe(float(v))
+        for v in range(10, 20):
+            b.observe(float(v))
+        a.merge(b)
+        pooled = Histogram("pooled")
+        for v in range(20):
+            pooled.observe(float(v))
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert a.quantile(q) == pooled.quantile(q)
+
+
+class TestSnapshotSeries:
+    def test_kinds_and_names(self):
+        reg = MetricsRegistry(namespace="svc")
+        reg.counter("requests").inc(3)
+        reg.gauge("depth").set(1.5)
+        reg.histogram("lat").observe(0.2)
+        triples = reg.snapshot_series()
+        as_map = {name: (kind, value) for name, kind, value in triples}
+        assert as_map["svc.requests"] == ("counter", 3.0)
+        assert as_map["svc.depth"] == ("gauge", 1.5)
+        assert as_map["svc.lat_count"] == ("counter", 1.0)
+        assert as_map["svc.lat_sum"] == ("counter", 0.2)
+
+    def test_quantiles_only_when_requested_and_nonempty(self):
+        reg = MetricsRegistry(namespace="svc")
+        reg.histogram("empty")
+        hist = reg.histogram("lat")
+        names = {name for name, _k, _v in reg.snapshot_series((0.5,))}
+        assert "svc.lat_p50" not in names     # no samples yet
+        assert "svc.empty_p50" not in names
+        hist.observe(0.3)
+        as_map = {name: (kind, value)
+                  for name, kind, value in reg.snapshot_series((0.5, 0.99))}
+        assert as_map["svc.lat_p50"] == ("gauge", 0.3)
+        assert as_map["svc.lat_p99"] == ("gauge", 0.3)
+        assert "svc.empty_p50" not in as_map
+
+    def test_snapshot_delegates_to_series(self):
+        reg = MetricsRegistry(namespace="svc")
+        reg.histogram("lat").observe(2.0)
+        snap = reg.snapshot(quantiles=(0.5,))
+        assert snap["svc.lat_p50"] == 2.0
+
+    def test_no_namespace_prefix(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        [(name, kind, value)] = reg.snapshot_series()
+        assert (name, kind, value) == ("n", "counter", 1.0)
+
+
+class TestMergeMixedFleet:
+    def test_mixed_gauge_counter_histogram_fleet(self):
+        """A realistic fleet merge: counters sum, gauges average,
+        histogram components sum — all in one pass."""
+        fleet = []
+        for i, (hits, rate, lat) in enumerate(
+                [(10, 0.2, 0.1), (20, 0.4, 0.3), (30, 0.9, 0.5)]):
+            reg = MetricsRegistry(namespace="peer")
+            reg.counter("hits").inc(hits)
+            reg.gauge("hit_rate").set(rate)
+            reg.histogram("lat").observe(lat)
+            fleet.append(reg)
+        merged = merge_snapshots(fleet)
+        assert merged["peer.hits"] == 60.0
+        assert merged["peer.hit_rate"] == pytest.approx(0.5)
+        assert merged["peer.lat_count"] == 3.0
+        assert merged["peer.lat_sum"] == pytest.approx(0.9)
+
+    def test_mixed_registry_and_dict_items(self):
+        reg = MetricsRegistry(namespace="svc")
+        reg.gauge("rate").set(0.6)
+        reg.counter("n").inc(2)
+        plain = {"svc.rate": 0.2, "svc.n": 3.0}
+        merged = merge_snapshots([reg, plain])
+        # The registry declares svc.rate as a gauge; that declaration
+        # covers the plain dict's sample too.
+        assert merged["svc.rate"] == pytest.approx(0.4)
+        assert merged["svc.n"] == 5.0

@@ -1,0 +1,150 @@
+"""Dashboard rendering from exported artifacts, plus the sparkline."""
+
+import json
+
+import pytest
+
+from repro.metrics.counters import MetricsRegistry
+from repro.obs.dashboard import (RunArtifacts, build_html, build_markdown,
+                                 sparkline)
+from repro.obs.slo import RatioSli, SloMonitor, SloSpec, BurnRule
+from repro.obs.timeseries import TimeSeriesDB
+from repro.sim.engine import Simulator
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flatline_is_lowest_block(self):
+        out = sparkline([(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)])
+        assert set(out) == {"▁"}
+
+    def test_peak_maps_to_highest_block(self):
+        out = sparkline([(float(t), v)
+                         for t, v in enumerate([0, 1, 9, 1, 0])], width=5)
+        assert "█" in out
+        assert out[0] == "▁"
+
+    def test_bucketed_to_width(self):
+        points = [(float(t), float(t % 3)) for t in range(200)]
+        assert len(sparkline(points, width=30)) == 30
+
+    def test_burst_survives_bucketing(self):
+        # One spike among many flat points must still render as the max.
+        points = [(float(t), 100.0 if t == 57 else 1.0) for t in range(100)]
+        assert "█" in sparkline(points, width=10)
+
+
+def fixture_artifacts(tmp_path):
+    """Run a tiny instrumented sim and load its exports as RunArtifacts."""
+    sim = Simulator(seed=5)
+    tracer = sim.enable_tracing()
+    reg = MetricsRegistry(namespace="svc")
+    total = reg.counter("requests", "")
+    bad = reg.counter("errors", "")
+    db = TimeSeriesDB(sim, interval=0.25)
+    db.add_registry(reg, source="client")
+    spec = SloSpec(
+        "svc-availability", "svc", 0.9,
+        RatioSli(total=("client/svc.requests",), bad=("client/svc.errors",)),
+        rules=(BurnRule("fast", 2.0, 0.5, 2.0),))
+    monitor = SloMonitor(sim, db, [spec], interval=0.5)
+    db.start()
+    monitor.start()
+
+    def traffic():
+        with tracer.trace("svc.request"):
+            total.inc(2)
+            if sim.now < 3.0:
+                bad.inc(1)
+        if sim.now < 6.0:
+            sim.schedule(0.25, traffic, label="svc.tick")
+
+    sim.schedule(0.25, traffic, label="svc.tick")
+    sim.run()
+    monitor.finish()
+
+    trace_path = tmp_path / "trace.jsonl"
+    tsdb_path = tmp_path / "tsdb.jsonl"
+    slo_path = tmp_path / "slo.jsonl"
+    faults_path = tmp_path / "faults.jsonl"
+    profile_path = tmp_path / "profile.json"
+    tracer.export_jsonl(str(trace_path))
+    db.export_jsonl(str(tsdb_path))
+    monitor.export_jsonl(str(slo_path))
+    faults_path.write_text(json.dumps(
+        {"t": 0.5, "event": "link_flap_start", "target": "hpop-x"}) + "\n")
+    profile_path.write_text(json.dumps({
+        "events": 42, "wall_seconds": 0.01, "sim_seconds": 6.0,
+        "wall_sim_ratio": 0.0017, "events_per_second": 4200.0,
+        "labels": {"svc.tick": {"count": 24, "wall_s": 0.008}}}))
+
+    return RunArtifacts.load(
+        trace_path=str(trace_path), tsdb_path=str(tsdb_path),
+        faults_path=str(faults_path), slo_path=str(slo_path),
+        profile_path=str(profile_path), title="unit fixture")
+
+
+class TestRunArtifacts:
+    def test_load_all(self, tmp_path):
+        art = fixture_artifacts(tmp_path)
+        assert art.trace is not None and art.trace.records
+        assert art.tsdb
+        assert art.faults[0]["event"] == "link_flap_start"
+        assert [e["state"] for e in art.slo_events if "state" in e]
+        assert len(art.slo_verdicts) == 1
+        assert art.profile["events"] == 42
+
+    def test_partial_load(self, tmp_path):
+        art = fixture_artifacts(tmp_path)
+        partial = RunArtifacts.load(tsdb_path=None, trace_path=None)
+        assert partial.trace is None
+        assert partial.tsdb == {}
+        # Rendering a near-empty artifact set must not raise.
+        assert "Run dashboard" in build_markdown(partial)
+        assert "<html>" in build_html(partial)
+        del art
+
+    def test_correlations(self, tmp_path):
+        art = fixture_artifacts(tmp_path)
+        rows = art.correlations(lookback=10.0)
+        assert rows  # the alert fired
+        assert rows[0]["causes"][0]["event"] == "link_flap_start"
+
+
+class TestMarkdown:
+    def test_sections_present(self, tmp_path):
+        md = build_markdown(fixture_artifacts(tmp_path))
+        assert md.startswith("# Run dashboard — unit fixture")
+        assert "## SLO verdicts" in md
+        assert "## Burn-rate alerts and correlated faults" in md
+        assert "likely cause: t=0.50 link_flap_start on hpop-x" in md
+        assert "## Fault timeline" in md
+        assert "## Key time series" in md
+        assert "## Span latency" in md
+        assert "## Event-loop profile" in md
+        assert "VIOLATED" in md  # 50% errors against a 10% budget
+
+    def test_alert_line_shows_burn(self, tmp_path):
+        md = build_markdown(fixture_artifacts(tmp_path))
+        assert "`svc-availability`" in md
+        assert "burn " in md
+
+
+class TestHtml:
+    def test_self_contained_page(self, tmp_path):
+        html = build_html(fixture_artifacts(tmp_path))
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<style>" in html
+        assert "src=" not in html  # no external assets
+        assert "unit fixture" in html
+        assert 'class="violated"' in html
+        assert "link_flap_start" in html
+
+    def test_escapes_artifact_strings(self, tmp_path):
+        art = fixture_artifacts(tmp_path)
+        art.title = "<script>alert(1)</script>"
+        html = build_html(art)
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html

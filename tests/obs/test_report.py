@@ -105,3 +105,60 @@ class TestRender:
         report = render_report(load_trace(path))
         assert "(no spans recorded)" in report
         assert "(no events recorded)" in report
+
+
+class TestDroppedSpans:
+    def build_wrapped(self, tmp_path):
+        sim = Simulator(seed=1)
+        tracer = sim.enable_tracing(capacity=2, trace_events=False)
+        for i in range(7):
+            with tracer.trace(f"op{i}"):
+                sim.now += 1.0
+        path = str(tmp_path / "wrapped.jsonl")
+        tracer.export_jsonl(path)
+        return load_trace(path)
+
+    def test_loader_surfaces_drop_count(self, tmp_path):
+        trace = self.build_wrapped(tmp_path)
+        assert trace.dropped == 5
+        assert len(trace.spans()) == 2
+
+    def test_render_warns_on_truncation(self, tmp_path):
+        report = render_report(self.build_wrapped(tmp_path))
+        assert report.startswith("WARNING: 5 spans dropped")
+        assert "truncated" in report
+
+    def test_complete_trace_has_no_warning(self, tmp_path):
+        report = render_report(build_trace(tmp_path))
+        assert "WARNING" not in report
+
+
+class TestReportJson:
+    def test_schema(self, tmp_path):
+        from repro.obs.report import report_json
+
+        doc = report_json(build_trace(tmp_path, include_profile=True))
+        assert doc["spans"] == 3
+        assert doc["events"] == 2
+        assert doc["dropped"] == 0
+        names = [row["name"] for row in doc["span_table"]]
+        assert names == ["request", "subop", "fast"]
+        assert doc["span_table"][0]["mean_s"] == 3.0
+        assert doc["critical_path"][0]["name"] == "request"
+        assert {h["label"] for h in doc["hotspots"]} \
+            == {"start-subop", "leaf"}
+        assert doc["meta"]["events"] == 2
+
+    def test_dropped_visible_in_json(self, tmp_path):
+        from repro.obs.report import report_json
+
+        trace = TestDroppedSpans().build_wrapped(tmp_path)
+        assert report_json(trace)["dropped"] == 5
+
+    def test_json_serializable(self, tmp_path):
+        import json
+
+        from repro.obs.report import report_json
+
+        doc = report_json(build_trace(tmp_path, include_profile=True))
+        json.dumps(doc, sort_keys=True)

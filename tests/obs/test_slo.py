@@ -1,0 +1,274 @@
+"""SLO specs, burn-rate alert lifecycle, verdicts, fault correlation."""
+
+import json
+
+import pytest
+
+from repro.metrics.counters import MetricsRegistry
+from repro.obs.slo import (BurnRule, RatioSli, SloMonitor, SloSpec,
+                           ThresholdSli, correlate_alerts, load_slo_jsonl)
+from repro.obs.timeseries import TimeSeriesDB
+from repro.sim.engine import Simulator
+
+
+def make_world(objective=0.9, interval=0.5):
+    """A sim + TSDB scraping one service registry + a monitor on it."""
+    sim = Simulator(seed=11)
+    reg = MetricsRegistry(namespace="svc")
+    total = reg.counter("requests", "")
+    bad = reg.counter("errors", "")
+    db = TimeSeriesDB(sim, interval=0.25)
+    db.add_registry(reg)
+    spec = SloSpec(
+        name="svc-availability", service="svc", objective=objective,
+        sli=RatioSli(total=("svc.requests",), bad=("svc.errors",)),
+        rules=(BurnRule("fast", long_window=2.0, short_window=0.5,
+                        threshold=2.0),))
+    monitor = SloMonitor(sim, db, [spec], interval=interval)
+    return sim, db, monitor, total, bad
+
+
+class TestSlis:
+    def test_ratio_sli_no_traffic_is_clean(self):
+        sim = Simulator()
+        db = TimeSeriesDB(sim)
+        sli = RatioSli(total=("t",), bad=("b",))
+        assert sli.error_rate(db, 0.0, 10.0) == 0.0
+
+    def test_ratio_sli_sums_multiple_series(self):
+        sim = Simulator()
+        db = TimeSeriesDB(sim)
+        for name, values in (("ok", [0, 8]), ("fail", [0, 2])):
+            for t, v in enumerate(values):
+                db._append(name, "counter", float(t), float(v))
+        sim.now = 1.0
+        sli = RatioSli(total=("ok", "fail"), bad=("fail",))
+        assert sli.error_rate(db, 0.0, 1.0) == pytest.approx(0.2)
+
+    def test_ratio_sli_clamped_to_one(self):
+        sim = Simulator()
+        db = TimeSeriesDB(sim)
+        db._append("t", "counter", 0.0, 0.0)
+        db._append("t", "counter", 1.0, 1.0)
+        db._append("b", "counter", 0.0, 0.0)
+        db._append("b", "counter", 1.0, 5.0)
+        sli = RatioSli(total=("t",), bad=("b",))
+        assert sli.error_rate(db, 0.0, 1.0) == 1.0
+
+    def test_threshold_sli_counts_violating_samples(self):
+        sim = Simulator()
+        db = TimeSeriesDB(sim)
+        for t, v in enumerate([0.1, 0.4, 2.0, 3.0]):
+            db._append("lat_p99", "gauge", float(t), v)
+        sli = ThresholdSli(metric="lat_p99", max_value=1.0)
+        assert sli.error_rate(db, 0.0, 3.0) == pytest.approx(0.5)
+        assert sli.error_rate(db, 0.0, 1.0) == 0.0
+
+    def test_threshold_sli_missing_series_is_clean(self):
+        sim = Simulator()
+        db = TimeSeriesDB(sim)
+        assert ThresholdSli("nope", 1.0).error_rate(db, 0.0, 9.0) == 0.0
+
+
+class TestSpec:
+    def test_objective_bounds(self):
+        sli = RatioSli(total=("t",), bad=("b",))
+        with pytest.raises(ValueError, match="objective"):
+            SloSpec("x", "svc", objective=1.0, sli=sli)
+        with pytest.raises(ValueError, match="objective"):
+            SloSpec("x", "svc", objective=0.0, sli=sli)
+
+    def test_budget_and_burn_rate(self):
+        sim = Simulator()
+        db = TimeSeriesDB(sim)
+        db._append("t", "counter", 0.0, 0.0)
+        db._append("t", "counter", 1.0, 10.0)
+        db._append("b", "counter", 0.0, 0.0)
+        db._append("b", "counter", 1.0, 2.0)
+        spec = SloSpec("x", "svc", objective=0.9,
+                       sli=RatioSli(total=("t",), bad=("b",)))
+        assert spec.budget == pytest.approx(0.1)
+        # 20% errors against a 10% budget: burning 2x.
+        assert spec.burn_rate(db, window=1.0, end=1.0) == pytest.approx(2.0)
+
+
+class TestMonitorLifecycle:
+    def test_duplicate_names_rejected(self):
+        sim = Simulator()
+        db = TimeSeriesDB(sim)
+        sli = RatioSli(total=("t",), bad=("b",))
+        specs = [SloSpec("dup", "a", 0.9, sli), SloSpec("dup", "b", 0.9, sli)]
+        with pytest.raises(ValueError, match="duplicate"):
+            SloMonitor(sim, db, specs)
+
+    def test_fires_on_burn_and_resolves_on_recovery(self):
+        sim, db, monitor, total, bad = make_world()
+        db.start()
+        monitor.start()
+
+        def traffic():
+            # 50% errors against a 10% budget until t=3, then clean.
+            total.inc(4)
+            if sim.now < 3.0:
+                bad.inc(2)
+            if sim.now < 8.0:
+                sim.schedule(0.25, traffic, label="traffic")
+
+        sim.schedule(0.25, traffic, label="traffic")
+        sim.run()
+
+        states = [(e["state"], e["t"]) for e in monitor.events]
+        assert [s for s, _t in states] == ["firing", "resolved"]
+        fired_t = states[0][1]
+        resolved_t = states[1][1]
+        assert fired_t < 3.0  # caught while the errors flowed
+        # Resolves once the short window goes clean, well before run end.
+        assert resolved_t < 6.0
+        assert monitor.metrics.counters["alerts_fired"].value == 1
+        assert monitor.metrics.counters["alerts_resolved"].value == 1
+        assert monitor.metrics.gauges["alerts_active"].read() == 0.0
+
+    def test_firing_record_shape(self):
+        sim, db, monitor, total, bad = make_world()
+        db.start()
+        monitor.start()
+
+        def traffic():
+            total.inc(2)
+            bad.inc(2)
+            if sim.now < 2.0:
+                sim.schedule(0.25, traffic, label="traffic")
+
+        sim.schedule(0.25, traffic, label="traffic")
+        sim.run()
+        firing = [e for e in monitor.events if e["state"] == "firing"]
+        assert firing
+        record = firing[0]
+        assert record["slo"] == "svc-availability"
+        assert record["service"] == "svc"
+        assert record["severity"] == "fast"
+        assert record["burn_long"] >= 2.0
+        assert record["burn_short"] >= 2.0
+        assert record["long_window"] == 2.0
+        assert record["short_window"] == 0.5
+
+    def test_alert_opens_and_closes_trace_span(self):
+        sim, db, monitor, total, bad = make_world()
+        tracer = sim.enable_tracing()
+        db.start()
+        monitor.start()
+
+        def traffic():
+            total.inc(2)
+            bad.inc(2)
+            if sim.now < 4.0:
+                sim.schedule(0.25, traffic, label="traffic")
+
+        sim.schedule(0.25, traffic, label="traffic")
+        sim.run()
+        monitor.finish()
+        alert_spans = [s for s in tracer.spans() if s.name == "slo.alert"]
+        assert len(alert_spans) == 1
+        span = alert_spans[0]
+        assert span.attrs["slo"] == "svc-availability"
+        assert span.attrs["severity"] == "fast"
+        assert span.end is not None  # finish() closed it
+
+    def test_finish_resolves_still_firing_alerts(self):
+        sim, db, monitor, total, bad = make_world()
+        db.start()
+        monitor.start()
+
+        def traffic():
+            total.inc(2)
+            bad.inc(2)
+            if sim.now < 4.0:
+                sim.schedule(0.25, traffic, label="traffic")
+
+        sim.schedule(0.25, traffic, label="traffic")
+        sim.run()
+        assert len(monitor._active) == 1
+        monitor.finish()
+        assert monitor._active == {}
+        assert monitor.events[-1]["state"] == "resolved"
+        assert monitor.events[-1]["at_run_end"] is True
+
+    def test_clean_service_never_alerts(self):
+        sim, db, monitor, total, _bad = make_world()
+        db.start()
+        monitor.start()
+
+        def traffic():
+            total.inc(5)
+            if sim.now < 5.0:
+                sim.schedule(0.25, traffic, label="traffic")
+
+        sim.schedule(0.25, traffic, label="traffic")
+        sim.run()
+        monitor.finish()
+        assert monitor.events == []
+
+
+class TestVerdictsAndExport:
+    def run_burned(self, tmp_path=None):
+        sim, db, monitor, total, bad = make_world()
+        db.start()
+        monitor.start()
+
+        def traffic():
+            total.inc(4)
+            if sim.now < 3.0:
+                bad.inc(2)
+            if sim.now < 8.0:
+                sim.schedule(0.25, traffic, label="traffic")
+
+        sim.schedule(0.25, traffic, label="traffic")
+        sim.run()
+        monitor.finish()
+        return monitor
+
+    def test_verdicts_whole_run(self):
+        monitor = self.run_burned()
+        [verdict] = monitor.verdicts()
+        assert verdict["slo"] == "svc-availability"
+        assert verdict["alerts"] == 1
+        assert not verdict["met"]  # ~18% errors against a 10% budget
+        assert verdict["error_rate"] > 0.1
+        assert verdict["budget_spent"] == 1.0
+
+    def test_export_roundtrip_and_determinism(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self.run_burned().export_jsonl(str(a))
+        self.run_burned().export_jsonl(str(b))
+        assert a.read_bytes() == b.read_bytes()
+        events, verdicts = load_slo_jsonl(str(a))
+        assert [e["state"] for e in events] == ["firing", "resolved"]
+        assert len(verdicts) == 1
+        assert verdicts[0]["kind"] == "verdict"
+
+
+class TestCorrelation:
+    def test_joins_faults_inside_lookback(self):
+        alerts = [{"t": 10.0, "state": "firing", "slo": "x"},
+                  {"t": 12.0, "state": "resolved", "slo": "x"}]
+        faults = [{"t": 4.0, "event": "node_crash", "target": "h1"},
+                  {"t": 8.0, "event": "link_flap_start", "target": "h2"},
+                  {"t": 11.0, "event": "node_restart", "target": "h1"}]
+        rows = correlate_alerts(alerts, faults, lookback=5.0)
+        assert len(rows) == 1  # only the firing record correlates
+        causes = rows[0]["causes"]
+        # t=8 is in [5, 10]; t=4 too old, t=11 after the alert.
+        assert [c["t"] for c in causes] == [8.0]
+
+    def test_nearest_fault_first(self):
+        alerts = [{"t": 10.0, "state": "firing", "slo": "x"}]
+        faults = [{"t": 2.0, "event": "a", "target": "h"},
+                  {"t": 9.0, "event": "b", "target": "h"}]
+        rows = correlate_alerts(alerts, faults, lookback=10.0)
+        assert [c["t"] for c in rows[0]["causes"]] == [9.0, 2.0]
+
+    def test_no_faults_yields_empty_causes(self):
+        rows = correlate_alerts([{"t": 1.0, "state": "firing", "slo": "x"}],
+                                [], lookback=10.0)
+        assert rows == [{"alert": {"t": 1.0, "state": "firing", "slo": "x"},
+                         "causes": []}]

@@ -217,3 +217,42 @@ class TestProfile:
         assert tracer.events_traced == 3
         assert tracer.wall_seconds > 0
         assert tracer.events_per_second > 0
+
+
+class TestSpansDropped:
+    def test_counter_and_back_compat_alias(self):
+        sim, tracer = traced_sim(capacity=2)
+        for i in range(5):
+            tracer.start_span(f"s{i}").finish()
+        assert tracer.spans_dropped == 3
+        assert tracer.dropped == 3  # legacy alias reads the same counter
+
+    def test_complete_trace_exports_no_dropped_record(self, tmp_path):
+        sim, tracer = traced_sim()
+        tracer.start_span("only").finish()
+        path = str(tmp_path / "t.jsonl")
+        tracer.export_jsonl(path)
+        assert all(r["kind"] != "dropped" for r in iter_jsonl(path))
+
+    def test_wrapped_trace_exports_dropped_record(self, tmp_path):
+        sim, tracer = traced_sim(capacity=3)
+        for i in range(8):
+            tracer.start_span(f"s{i}").finish()
+        path = str(tmp_path / "t.jsonl")
+        tracer.export_jsonl(path)
+        [record] = [r for r in iter_jsonl(path) if r["kind"] == "dropped"]
+        assert record["spans_dropped"] == 5
+        assert record["capacity"] == 3
+
+    def test_dropped_record_is_deterministic(self, tmp_path):
+        def run(path):
+            sim, tracer = traced_sim(seed=9, capacity=2)
+            for i in range(6):
+                with tracer.trace(f"s{i}"):
+                    sim.now += 0.5
+            tracer.export_jsonl(path)
+
+        a, b = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        run(a)
+        run(b)
+        assert open(a, "rb").read() == open(b, "rb").read()
