@@ -1,8 +1,8 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test bench bench-check experiments trace-smoke obs-smoke \
-	chaos dashboard
+.PHONY: check test bench bench-check bench-scale experiments trace-smoke \
+	obs-smoke chaos dashboard
 
 check:
 	./scripts/check.sh
@@ -29,6 +29,11 @@ bench:
 # against benchmarks/baselines/. Wall-clock sensitive, so not in `check`.
 bench-check:
 	python scripts/bench_regress.py --run
+
+# Fleet-scale engine benchmark: 1k/10k/100k-home scenarios, engine
+# throughput, and the aggregated-vs-naive speedup -> BENCH_scale.json.
+bench-scale:
+	python scripts/bench_scale.py
 
 experiments:
 	python -m repro.experiments all

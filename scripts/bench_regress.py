@@ -23,6 +23,10 @@ Key metrics:
   (lower-is-better) plus exact-match guards on ``loads_completed``,
   ``load_errors``, and ``fully_redundant`` — a "perf" win that drops
   loads is a correctness regression, not a speedup.
+- ``BENCH_scale.json``: per-fleet-size wall-clock per simulated second
+  (lower-is-better), engine deep-heap throughput, the 100k-home
+  resident-memory ceiling, and the aggregated-vs-naive 10k-home
+  speedup (higher-is-better).
 """
 
 import argparse
@@ -48,11 +52,18 @@ KEY_METRICS = [
     ("BENCH_faults.json", "churn_levels.{level}.loads_completed", "exact"),
     ("BENCH_faults.json", "churn_levels.{level}.load_errors", "exact"),
     ("BENCH_faults.json", "churn_levels.{level}.fully_redundant", "exact"),
+    ("BENCH_scale.json", "scales.{scale}.wall_per_sim_second", "lower"),
+    ("BENCH_scale.json", "scales.100000.peak_rss_mb", "lower"),
+    ("BENCH_scale.json", "engine.deep_heap_events_per_s", "higher"),
+    ("BENCH_scale.json", "speedup_10k_vs_naive", "higher"),
 ]
 
+# Values are dotted module names, or ``scripts/*.py`` paths loaded by
+# file (the scripts directory is not a package).
 BENCH_MODULES = {
     "BENCH_erasure.json": "benchmarks.bench_a6_erasure_throughput",
     "BENCH_faults.json": "benchmarks.bench_a7_fault_injection",
+    "BENCH_scale.json": "scripts/bench_scale.py",
 }
 
 
@@ -73,6 +84,9 @@ def expand_paths(baseline, template):
     if "{level}" in template:
         return [template.replace("{level}", lv)
                 for lv in sorted(baseline.get("churn_levels", {}))]
+    if "{scale}" in template:
+        return [template.replace("{scale}", s)
+                for s in sorted(baseline.get("scales", {}), key=int)]
     return [template]
 
 
@@ -126,12 +140,19 @@ def compare_file(name, threshold):
 def run_fresh(names):
     """Regenerate the root BENCH files by running the experiments."""
     import importlib
+    import importlib.util
     for name in names:
         module_name = BENCH_MODULES.get(name)
         if module_name is None:
             continue
         print(f"running {module_name} -> {name} ...")
-        module = importlib.import_module(module_name)
+        if module_name.endswith(".py"):
+            path = REPO_ROOT / module_name
+            spec = importlib.util.spec_from_file_location(path.stem, path)
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+        else:
+            module = importlib.import_module(module_name)
         module.experiment()
 
 

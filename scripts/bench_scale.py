@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Fleet-scale engine benchmark (``make bench-scale``).
+
+Measures what the engine rewrite bought at 100k-home fleet sizes and
+writes ``BENCH_scale.json`` at the repo root for the ``make
+bench-check`` regression gate:
+
+1. **Engine throughput** — events/s on a shallow heap and against a
+   10k-event backlog (the fleet-scale regime where tuple-heap
+   comparisons dominate).
+2. **Fleet scenarios** — 1k/10k/100k-home fleets driven by analytic
+   background aggregation: wall-clock per simulated second, event
+   counts, resident memory.
+3. **Naive comparison** — the same 10k-home fleet with one periodic
+   event per idle home (how background load was simulated before
+   aggregation). The recorded speedup is the scenario-level win and is
+   gated at >= 5x.
+"""
+
+import gc
+import json
+import os
+import resource
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.sim.engine import Simulator  # noqa: E402
+from repro.workloads.fleet import (  # noqa: E402
+    FleetSpec,
+    PerHomeBackground,
+    build_fleet,
+)
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_scale.json")
+
+SCALES = (1_000, 10_000, 100_000)
+SCALE_SIM_SECONDS = {1_000: 600.0, 10_000: 600.0, 100_000: 300.0}
+NAIVE_HOMES = 10_000
+NAIVE_SIM_SECONDS = 30.0
+SPIN_EVENTS = 200_000
+DEEP_HEAP_DEPTH = 10_000
+MIN_SPEEDUP = 5.0
+
+
+def current_rss_mb() -> float:
+    """Resident set right now (VmRSS), in MiB."""
+    with open("/proc/self/status") as fh:
+        for line in fh:
+            if line.startswith("VmRSS:"):
+                return float(line.split()[1]) / 1024.0
+    return 0.0
+
+
+def peak_rss_mb() -> float:
+    """Process high-water RSS (ru_maxrss), in MiB."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def bench_engine_events_per_s(depth: int, events: int = SPIN_EVENTS) -> float:
+    """Self-rescheduling spin throughput with ``depth`` backlog events."""
+    sim = Simulator(seed=1)
+    for i in range(depth):
+        sim.schedule(1e9 + i, lambda: None, weak=True)
+    remaining = {"n": events}
+
+    def tick() -> None:
+        remaining["n"] -= 1
+        if remaining["n"] > 0:
+            sim.schedule(0.001, tick, label="spin")
+
+    sim.schedule(0.001, tick, label="spin")
+    t0 = time.perf_counter()
+    sim.run()
+    return events / (time.perf_counter() - t0)
+
+
+def run_fleet_scenario(num_homes: int, sim_seconds: float) -> dict:
+    """Aggregated fleet run: wall/sim ratio, events, memory."""
+    gc.collect()
+    sim = Simulator(seed=42)
+    fleet = build_fleet(sim, FleetSpec(num_homes=num_homes, focus_homes=5))
+    fleet.start()
+    t0 = time.perf_counter()
+    sim.run_until(sim_seconds)
+    wall = time.perf_counter() - t0
+    bytes_up = sum(a.uplink.forward.stats.bytes_carried
+                   for a in fleet.aggregates)
+    result = {
+        "homes": num_homes,
+        "sim_seconds": sim_seconds,
+        "wall_seconds": round(wall, 6),
+        "wall_per_sim_second": round(wall / sim_seconds, 9),
+        "events": sim.events_fired,
+        "bg_bytes_up": round(bytes_up, 3),
+        "rss_mb": round(current_rss_mb(), 1),
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+    }
+    fleet.stop()
+    return result
+
+
+def run_naive_scenario(num_homes: int, sim_seconds: float) -> dict:
+    """Per-home background events — the pre-aggregation regime."""
+    gc.collect()
+    sim = Simulator(seed=42)
+    fleet = build_fleet(sim, FleetSpec(num_homes=num_homes, focus_homes=5))
+    # Replace the analytic aggregates with one periodic source per home.
+    naive = [PerHomeBackground(sim, agg.uplink, agg.num_homes,
+                               FleetSpec().profile, tick=agg.tick,
+                               stream=f"naive.bg{i}")
+             for i, agg in enumerate(fleet.aggregates)]
+    for source in naive:
+        source.start()
+    t0 = time.perf_counter()
+    sim.run_until(sim_seconds)
+    wall = time.perf_counter() - t0
+    for source in naive:
+        source.stop()
+    return {
+        "homes": num_homes,
+        "sim_seconds": sim_seconds,
+        "wall_seconds": round(wall, 6),
+        "wall_per_sim_second": round(wall / sim_seconds, 9),
+        "events": sim.events_fired,
+    }
+
+
+def experiment() -> dict:
+    print(f"engine: spin x{SPIN_EVENTS} shallow / depth {DEEP_HEAP_DEPTH}")
+    shallow = bench_engine_events_per_s(depth=0)
+    deep = bench_engine_events_per_s(depth=DEEP_HEAP_DEPTH)
+    print(f"  shallow {shallow:,.0f} ev/s, deep {deep:,.0f} ev/s")
+
+    scales = {}
+    for homes in SCALES:
+        sim_seconds = SCALE_SIM_SECONDS[homes]
+        result = run_fleet_scenario(homes, sim_seconds)
+        scales[str(homes)] = result
+        print(f"fleet {homes:>6} homes: {result['wall_seconds']:.3f}s wall "
+              f"for {sim_seconds:g} sim-s "
+              f"({result['wall_per_sim_second'] * 1e3:.3f} ms/sim-s), "
+              f"{result['events']} events, rss {result['rss_mb']:.0f} MB")
+
+    naive = run_naive_scenario(NAIVE_HOMES, NAIVE_SIM_SECONDS)
+    aggregated = run_fleet_scenario(NAIVE_HOMES, NAIVE_SIM_SECONDS)
+    speedup = (naive["wall_per_sim_second"]
+               / max(aggregated["wall_per_sim_second"], 1e-12))
+    print(f"naive {NAIVE_HOMES} homes: "
+          f"{naive['wall_per_sim_second'] * 1e3:.3f} ms/sim-s "
+          f"({naive['events']} events) vs aggregated "
+          f"{aggregated['wall_per_sim_second'] * 1e3:.3f} ms/sim-s "
+          f"({aggregated['events']} events): {speedup:.1f}x")
+
+    doc = {
+        "bench": "scale",
+        "engine": {
+            "shallow_events_per_s": round(shallow, 1),
+            "deep_heap_depth": DEEP_HEAP_DEPTH,
+            "deep_heap_events_per_s": round(deep, 1),
+        },
+        "scales": scales,
+        "naive_10k": naive,
+        "speedup_10k_vs_naive": round(speedup, 2),
+        "min_speedup_required": MIN_SPEEDUP,
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {os.path.normpath(OUT_PATH)}")
+    assert speedup >= MIN_SPEEDUP, (
+        f"10k-home aggregated fleet is only {speedup:.1f}x faster than "
+        f"naive per-home simulation (required {MIN_SPEEDUP}x)")
+    return doc
+
+
+def main() -> int:
+    experiment()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

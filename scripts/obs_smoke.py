@@ -11,6 +11,10 @@
    fails if the disabled path costs more than 5% — enabling the
    profiler must be free once it is off again, and the engine's
    per-step profiler check must stay in the noise.
+4. Runs a 10k-home fleet (analytic background aggregation, scraped
+   TSDB) twice from the same seed and asserts the exports are
+   byte-identical — the determinism contract at fleet scale, covering
+   the cached scrape path and the gamma-draw aggregation.
 
 Exit code 0 on success; raises on any violation.
 """
@@ -136,6 +140,44 @@ def check_disabled_overhead() -> None:
         f"budget {DISABLED_OVERHEAD_BUDGET}x")
 
 
+FLEET_HOMES = 10_000
+FLEET_SIM_SECONDS = 60.0
+
+
+def run_fleet_sim(path: str) -> "TimeSeriesDB":
+    from repro.workloads.fleet import FleetSpec, build_fleet
+    sim = Simulator(seed=11)
+    fleet = build_fleet(sim, FleetSpec(num_homes=FLEET_HOMES, focus_homes=2))
+    tsdb = TimeSeriesDB(sim, interval=1.0)
+    tsdb.add_registry(fleet.registry, source="fleet")
+    tsdb.add_callback(
+        "uplink0.up_bytes",
+        lambda: fleet.aggregates[0].uplink.forward.stats.bytes_carried,
+        kind="counter")
+    fleet.start()
+    tsdb.start()
+    sim.run_until(FLEET_SIM_SECONDS)
+    tsdb.export_jsonl(path)
+    return tsdb
+
+
+def check_fleet_determinism() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        a = os.path.join(tmp, "fleet-a.jsonl")
+        b = os.path.join(tmp, "fleet-b.jsonl")
+        tsdb = run_fleet_sim(a)
+        run_fleet_sim(b)
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            blob_a, blob_b = fa.read(), fb.read()
+    assert blob_a, "empty fleet TSDB export"
+    assert blob_a == blob_b, (
+        f"same-seed {FLEET_HOMES}-home fleet exports are not byte-identical")
+    up = tsdb.latest("uplink0.up_bytes")
+    assert up and up > 0, "fleet background carried no upstream bytes"
+    print(f"  fleet determinism OK ({FLEET_HOMES} homes, {len(blob_a)} "
+          f"bytes, {tsdb.scrapes} scrapes, byte-identical)")
+
+
 def check_enabled_profile() -> None:
     """Sanity (no budget): an enabled profiler sees every event."""
     sim = Simulator(seed=2)
@@ -157,6 +199,8 @@ def main() -> int:
     check_disabled_overhead()
     print("obs smoke: enabled-profiler attribution")
     check_enabled_profile()
+    print(f"obs smoke: {FLEET_HOMES}-home fleet same-seed determinism")
+    check_fleet_determinism()
     return 0
 
 

@@ -30,12 +30,19 @@ class Counter:
     name: str
     help: str = ""
     value: float = 0.0
+    # Back-reference set when registered: mutations bump the registry
+    # version so scrapers can skip registries that have not changed.
+    _registry: Optional["MetricsRegistry"] = field(
+        default=None, repr=False, compare=False)
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease "
                              f"(inc by {amount})")
         self.value += amount
+        registry = self._registry
+        if registry is not None:
+            registry.version += 1
 
 
 @dataclass
@@ -46,12 +53,29 @@ class Gauge:
     help: str = ""
     value: float = 0.0
     _fn: Optional[Callable[[], float]] = None
+    _registry: Optional["MetricsRegistry"] = field(
+        default=None, repr=False, compare=False)
 
     def set(self, value: float) -> None:
         self.value = value
+        registry = self._registry
+        if registry is not None:
+            registry.version += 1
 
     def set_function(self, fn: Callable[[], float]) -> None:
+        """Back this gauge by ``fn`` (read at scrape time).
+
+        Function-backed gauges can change value without any mutation
+        passing through the registry, so the owning registry counts
+        them and scrapers treat it as always-dirty.
+        """
+        was_fn = self._fn is not None
         self._fn = fn
+        registry = self._registry
+        if registry is not None:
+            registry.version += 1
+            if not was_fn:
+                registry.fn_gauges += 1
 
     def read(self) -> float:
         return float(self._fn()) if self._fn is not None else self.value
@@ -89,6 +113,7 @@ class Histogram:
         self.count = 0
         self.sum = 0.0
         self._samples: List[float] = []
+        self._registry: Optional["MetricsRegistry"] = None
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -96,6 +121,9 @@ class Histogram:
         self.count += 1
         self.sum += value
         self._samples.append(value)
+        registry = self._registry
+        if registry is not None:
+            registry.version += 1
 
     @property
     def mean(self) -> float:
@@ -152,12 +180,22 @@ def _expo_value(value: float) -> str:
 
 @dataclass
 class MetricsRegistry:
-    """A named bag of counters, gauges, and histograms for one service."""
+    """A named bag of counters, gauges, and histograms for one service.
+
+    ``version`` increments on every mutation (metric creation, inc, set,
+    observe). Scrapers use it to skip registries that have not changed
+    since the last scrape — at fleet scale most registries are idle in
+    any given interval. ``fn_gauges`` counts function-backed gauges,
+    whose values can change without a version bump; a registry with any
+    is treated as always dirty.
+    """
 
     namespace: str = ""
     counters: Dict[str, Counter] = field(default_factory=dict)
     gauges: Dict[str, Gauge] = field(default_factory=dict)
     histograms: Dict[str, Histogram] = field(default_factory=dict)
+    version: int = field(default=0, init=False, repr=False, compare=False)
+    fn_gauges: int = field(default=0, init=False, repr=False, compare=False)
 
     def _check_collision(self, name: str, want: str) -> None:
         kinds = (("counter", self.counters), ("gauge", self.gauges),
@@ -178,8 +216,9 @@ class MetricsRegistry:
         self._check_collision(name, "counter")
         existing = self.counters.get(name)
         if existing is None:
-            existing = Counter(name=name, help=help)
+            existing = Counter(name=name, help=help, _registry=self)
             self.counters[name] = existing
+            self.version += 1
         elif not existing.help and help:
             existing.help = help
         return existing
@@ -189,8 +228,9 @@ class MetricsRegistry:
         self._check_collision(name, "gauge")
         existing = self.gauges.get(name)
         if existing is None:
-            existing = Gauge(name=name, help=help)
+            existing = Gauge(name=name, help=help, _registry=self)
             self.gauges[name] = existing
+            self.version += 1
         elif not existing.help and help:
             existing.help = help
         return existing
@@ -205,7 +245,9 @@ class MetricsRegistry:
         existing = self.histograms.get(name)
         if existing is None:
             existing = Histogram(name=name, help=help, buckets=buckets)
+            existing._registry = self
             self.histograms[name] = existing
+            self.version += 1
         elif not existing.help and help:
             existing.help = help
         return existing

@@ -9,7 +9,7 @@ counters and a utilization probe support the bottleneck-shift experiment
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.util.units import format_bps
@@ -18,7 +18,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.net.node import Node
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectionStats:
     """Traffic accounting for one direction of a link."""
 
@@ -31,6 +31,9 @@ class DirectionStats:
 
 class LinkDirection:
     """One direction of a duplex link."""
+
+    __slots__ = ("link", "sender", "receiver", "bandwidth_bps", "loss_rate",
+                 "stats", "_flows", "_bins", "_sample_interval")
 
     def __init__(self, link: "Link", sender: "Node", receiver: "Node",
                  bandwidth_bps: float, loss_rate: float) -> None:
@@ -45,11 +48,11 @@ class LinkDirection:
         self.loss_rate = loss_rate
         self.stats = DirectionStats()
         self._flows: Set[object] = set()
-        # (interval_start, bytes) samples for utilization timelines
-        self._utilization_samples: List[Tuple[float, float]] = []
+        # bin index -> bytes carried in that interval. A dict (rather
+        # than a flush-on-read sample list) makes mid-run reads
+        # non-destructive: utilization_series() just sorts a snapshot.
+        self._bins: Dict[int, float] = {}
         self._sample_interval: Optional[float] = None
-        self._current_bin: int = 0
-        self._current_bin_bytes: float = 0.0
 
     @property
     def name(self) -> str:
@@ -78,12 +81,39 @@ class LinkDirection:
         if nbytes < 0:
             raise ValueError(f"nbytes must be non-negative, got {nbytes}")
         self.stats.record(nbytes)
-        if self._sample_interval is not None:
-            bin_index = int(now // self._sample_interval)
-            if bin_index != self._current_bin:
-                self._flush_bin()
-                self._current_bin = bin_index
-            self._current_bin_bytes += nbytes
+        if self._sample_interval is not None and nbytes:
+            bins = self._bins
+            index = int(now // self._sample_interval)
+            bins[index] = bins.get(index, 0.0) + nbytes
+
+    def carry_span(self, start: float, end: float, nbytes: float) -> None:
+        """Record ``nbytes`` spread uniformly over ``[start, end)``.
+
+        The flow-level bulk path: aggregated background traffic reports
+        a whole tick's worth of bytes in one call, and the span is
+        apportioned across utilization bins pro rata so the series looks
+        the same as if the bytes had been carried continuously.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        if end < start:
+            raise ValueError(f"span end {end} before start {start}")
+        self.stats.record(nbytes)
+        interval = self._sample_interval
+        if interval is None or not nbytes:
+            return
+        bins = self._bins
+        first = int(start // interval)
+        if end <= start or int(end // interval) == first:
+            bins[first] = bins.get(first, 0.0) + nbytes
+            return
+        rate = nbytes / (end - start)
+        last = int(end // interval)
+        for index in range(first, last + 1):
+            lo = max(start, index * interval)
+            hi = min(end, (index + 1) * interval)
+            if hi > lo:
+                bins[index] = bins.get(index, 0.0) + rate * (hi - lo)
 
     def enable_utilization_sampling(self, interval: float = 1.0) -> None:
         """Start collecting per-interval utilization samples."""
@@ -91,19 +121,18 @@ class LinkDirection:
             raise ValueError(f"interval must be positive, got {interval}")
         self._sample_interval = interval
 
-    def _flush_bin(self) -> None:
-        if self._current_bin_bytes > 0 and self._sample_interval is not None:
-            start = self._current_bin * self._sample_interval
-            self._utilization_samples.append((start, self._current_bin_bytes))
-        self._current_bin_bytes = 0.0
-
     def utilization_series(self) -> List[Tuple[float, float]]:
-        """(interval_start, fraction_of_capacity) samples collected so far."""
-        self._flush_bin()
-        if self._sample_interval is None:
+        """(interval_start, fraction_of_capacity) samples collected so far.
+
+        Non-destructive: reading mid-run returns the in-progress bin's
+        partial total and later carries keep accumulating into it.
+        """
+        interval = self._sample_interval
+        if interval is None:
             return []
-        capacity_bytes = self.bandwidth_bps * self._sample_interval / 8
-        return [(t, b / capacity_bytes) for t, b in self._utilization_samples]
+        capacity_bytes = self.bandwidth_bps * interval / 8
+        return [(index * interval, b / capacity_bytes)
+                for index, b in sorted(self._bins.items())]
 
     def peak_utilization(self) -> float:
         """Highest per-interval utilization fraction observed (0.0 if none)."""
@@ -121,6 +150,9 @@ class Link:
     residential links are common pre-FTTH, and the paper's point is the
     switch to symmetric gigabit).
     """
+
+    __slots__ = ("name", "a", "b", "delay", "forward", "reverse", "_up",
+                 "routing_weight")
 
     def __init__(
         self,

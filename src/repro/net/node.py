@@ -17,7 +17,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.net.network import Network
 
 
-@dataclass
+@dataclass(slots=True)
 class Interface:
     """A network interface: an address bound to a link endpoint."""
 
@@ -27,7 +27,13 @@ class Interface:
 
 
 class Node:
-    """Base class for anything attached to the network graph."""
+    """Base class for anything attached to the network graph.
+
+    Nodes are the most numerous objects in a fleet-scale topology, so the
+    hierarchy is slotted: no per-instance ``__dict__`` at 100k+ homes.
+    """
+
+    __slots__ = ("name", "network", "interfaces", "_powered")
 
     def __init__(self, name: str, network: "Network") -> None:
         self.name = name
@@ -73,6 +79,8 @@ class Node:
 class Router(Node):
     """An interior node that forwards traffic; no application endpoints."""
 
+    __slots__ = ()
+
 
 # Type of a datagram handler: (source_address, source_port, payload) -> None
 DatagramHandler = Callable[[Address, int, object], None]
@@ -87,6 +95,9 @@ class Host(Node):
     """
 
     EPHEMERAL_BASE = 49152
+
+    __slots__ = ("_datagram_handlers", "_stream_listeners",
+                 "_next_ephemeral", "nat_device")
 
     def __init__(self, name: str, network: "Network") -> None:
         super().__init__(name, network)

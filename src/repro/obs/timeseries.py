@@ -156,6 +156,14 @@ class TimeSeriesDB:
         self.series: Dict[str, Series] = {}
         self.scrapes = 0
         self._sources: List[Tuple[str, MetricsRegistry]] = []
+        # Per-source scrape cache: source index -> (registry version,
+        # prebuilt rows). A registry whose version has not moved since
+        # the last scrape reuses its rows instead of re-walking every
+        # metric (and re-sorting histogram samples for quantiles) — at
+        # fleet scale most registries are untouched in any interval.
+        # The cached rows are still appended each tick, so exports stay
+        # byte-identical with the uncached path.
+        self._scrape_cache: Dict[int, Tuple[int, List[Tuple[str, str, float]]]] = {}
         self._extra: List[Tuple[str, str, Callable[[], float]]] = []
         self._started = False
         self._stopped = False
@@ -203,10 +211,21 @@ class TimeSeriesDB:
     def scrape(self) -> None:
         """Sample every registered registry and callback right now."""
         now = self.sim.now
-        for source, registry in self._sources:
-            prefix = f"{source}/" if source else ""
-            for name, kind, value in registry.snapshot_series(self.quantiles):
-                self._append(f"{prefix}{name}", kind, now, value)
+        cache = self._scrape_cache
+        for index, (source, registry) in enumerate(self._sources):
+            version = registry.version
+            cached = cache.get(index)
+            if (cached is not None and cached[0] == version
+                    and not registry.fn_gauges):
+                rows = cached[1]
+            else:
+                prefix = f"{source}/" if source else ""
+                rows = [(f"{prefix}{name}", kind, value)
+                        for name, kind, value
+                        in registry.snapshot_series(self.quantiles)]
+                cache[index] = (version, rows)
+            for name, kind, value in rows:
+                self._append(name, kind, now, value)
         for name, kind, fn in self._extra:
             self._append(name, kind, now, float(fn()))
         self.scrapes += 1

@@ -9,8 +9,17 @@ Design notes
 ------------
 - Events with equal timestamps fire in scheduling order (a monotonic
   sequence number breaks ties), which keeps runs deterministic.
+- The heap holds plain ``(time, seq, event)`` tuples. Tuple comparison
+  resolves on ``time`` then the unique ``seq`` in C, so pushing and
+  popping never call back into Python — at fleet scale the heap is the
+  hot path and a rich-comparison heap entry dominates the profile.
 - Cancellation is O(1): a cancelled event stays in the heap but is
-  skipped when popped.
+  skipped when popped (a lazy-delete heap). Live-event counts are
+  maintained incrementally, so :attr:`pending_events` is O(1) too.
+- :meth:`run` and :meth:`run_until` deliver events in batches: when no
+  tracer, profiler, or trace hook is attached they drain the heap in a
+  tight loop without the per-event :meth:`step` dispatch. Instrumented
+  runs take the exact same per-event path as before.
 - The simulator also owns the :class:`~repro.util.ids.IdFactory` and
   :class:`~repro.util.rng.RngStreams` so that an entire simulation is
   reproducible from a single root seed.
@@ -19,20 +28,20 @@ Design notes
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.util.ids import IdFactory
 from repro.util.rng import RngStreams
 
-
-@dataclass(order=True)
-class _HeapEntry:
-    time: float
-    seq: int
-    event: "Event" = field(compare=False)
+# Event lifecycle states. An event is scheduled PENDING, and moves
+# exactly once to either CANCELLED (via Event.cancel) or FIRED (when
+# its callback runs). The accounting counters are decremented on that
+# single transition, never twice.
+_PENDING = 0
+_CANCELLED = 1
+_FIRED = 2
 
 
 class Event:
@@ -44,10 +53,16 @@ class Event:
     daemon threads do not keep a process alive. Periodic maintenance
     work (cache revalidation, usage uploads) is scheduled weak so that
     ``run()`` still means "run to quiescence".
+
+    Lifecycle: an event fires at most once and is then marked *fired*.
+    :meth:`cancel` only takes effect while the event is still pending —
+    cancelling an event that already fired (e.g. a timeout whose
+    response arrived first, cleaned up afterwards) is a no-op, not a
+    double-decrement of the simulator's live-event accounting.
     """
 
-    __slots__ = ("time", "callback", "label", "cancelled", "weak", "ctx",
-                 "_sim")
+    __slots__ = ("time", "callback", "label", "weak", "ctx", "_sim",
+                 "_state")
 
     def __init__(self, time: float, callback: Callable[[], None], label: str,
                  weak: bool = False, sim: "Simulator" = None,
@@ -55,20 +70,38 @@ class Event:
         self.time = time
         self.callback = callback
         self.label = label
-        self.cancelled = False
         self.weak = weak
         self.ctx = ctx
         self._sim = sim
+        self._state = _PENDING
+
+    @property
+    def cancelled(self) -> bool:
+        return self._state == _CANCELLED
+
+    @property
+    def fired(self) -> bool:
+        return self._state == _FIRED
 
     def cancel(self) -> None:
-        """Prevent this event from firing (idempotent)."""
-        if not self.cancelled:
-            self.cancelled = True
-            if not self.weak and self._sim is not None:
-                self._sim._strong_pending -= 1
+        """Prevent this event from firing (idempotent).
+
+        A no-op on events that already fired or were already cancelled:
+        only a pending event gives up its slot in the live-event
+        accounting.
+        """
+        if self._state == _PENDING:
+            self._state = _CANCELLED
+            sim = self._sim
+            if sim is not None:
+                sim._pending -= 1
+                if not self.weak:
+                    sim._strong_pending -= 1
+                    assert sim._strong_pending >= 0, (
+                        "strong-event accounting went negative on cancel")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
+        state = ("pending", "cancelled", "fired")[self._state]
         return f"<Event {self.label!r} at {self.time:.6f} ({state})>"
 
 
@@ -84,9 +117,12 @@ class Simulator:
         self.seed = seed
         self.ids = IdFactory()
         self.rng = RngStreams(seed)
-        self._heap: List[_HeapEntry] = []
+        # (time, seq, event) tuples; seq is unique so comparisons never
+        # reach the event object.
+        self._heap: List[Tuple[float, int, Event]] = []
         self._seq = 0
         self._events_fired = 0
+        self._pending = 0
         self._strong_pending = 0
         self._trace_hooks: List[Callable[[Event], None]] = []
         # Disabled by default: the shared null tracer makes every
@@ -95,6 +131,11 @@ class Simulator:
         # Disabled by default: the event-loop profiler costs one `is
         # not None` check per step when off. See enable_profiling().
         self.profiler: Optional["object"] = None
+        # True while no tracer/profiler/hook is attached: the batched
+        # run loops take the uninstrumented fast path. Kept as a plain
+        # attribute (one load per event) and recomputed by the
+        # enable_*/disable_*/add_trace_hook methods.
+        self._plain = True
 
     # -- scheduling ----------------------------------------------------
 
@@ -117,28 +158,40 @@ class Simulator:
         # attribute that is always None.
         event = Event(time, callback, label, weak=weak, sim=self,
                       ctx=self.tracer.current)
-        heapq.heappush(self._heap, _HeapEntry(time, self._seq, event))
+        heapq.heappush(self._heap, (time, self._seq, event))
         self._seq += 1
+        self._pending += 1
         if not weak:
             self._strong_pending += 1
         return event
 
-    def call_soon(self, callback: Callable[[], None], label: str = "soon") -> Event:
-        """Schedule ``callback`` at the current time (after pending same-time events)."""
-        return self.at(self.now, callback, label)
+    def call_soon(self, callback: Callable[[], None], label: str = "soon",
+                  weak: bool = False) -> Event:
+        """Schedule ``callback`` at the current time (after pending
+        same-time events). ``weak`` is forwarded so daemon-style work can
+        also be deferred without pinning :meth:`run` open."""
+        return self.at(self.now, callback, label, weak=weak)
 
     # -- execution -----------------------------------------------------
 
+    def _recompute_plain(self) -> None:
+        self._plain = (self.profiler is None and not self.tracer.enabled
+                       and not self._trace_hooks)
+
     def step(self) -> bool:
         """Fire the next pending event. Returns False if none remain."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            event = entry.event
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            _time, _seq, event = heapq.heappop(heap)
+            if event._state != _PENDING:
                 continue
             self.now = event.time
+            event._state = _FIRED
+            self._pending -= 1
             if not event.weak:
                 self._strong_pending -= 1
+                assert self._strong_pending >= 0, (
+                    "strong-event accounting went negative on fire")
             for hook in self._trace_hooks:
                 hook(event)
             tracer = self.tracer
@@ -168,7 +221,25 @@ class Simulator:
         hitting it raises so a bug cannot masquerade as completion.
         """
         fired = 0
-        while self._strong_pending > 0 and self.step():
+        heap = self._heap
+        heappop = heapq.heappop
+        while self._strong_pending > 0 and heap:
+            if not self._plain:
+                if not self.step():
+                    break
+            else:
+                # Batched fast path: identical semantics to step(),
+                # inlined to avoid per-event dispatch overhead.
+                _time, _seq, event = heappop(heap)
+                if event._state != _PENDING:
+                    continue
+                self.now = event.time
+                event._state = _FIRED
+                self._pending -= 1
+                if not event.weak:
+                    self._strong_pending -= 1
+                event.callback()
+                self._events_fired += 1
             fired += 1
             if fired >= max_events:
                 raise SimulationError(
@@ -181,11 +252,26 @@ class Simulator:
         if time < self.now:
             raise SimulationError(f"cannot run backwards to {time} from {self.now}")
         fired = 0
-        while self._heap:
-            head = self._next_pending_time()
-            if head is None or head > time:
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            head_time, _seq, event = heap[0]
+            if event._state != _PENDING:
+                heappop(heap)
+                continue
+            if head_time > time:
                 break
-            self.step()
+            if not self._plain:
+                self.step()
+            else:
+                heappop(heap)
+                self.now = event.time
+                event._state = _FIRED
+                self._pending -= 1
+                if not event.weak:
+                    self._strong_pending -= 1
+                event.callback()
+                self._events_fired += 1
             fired += 1
             if fired >= max_events:
                 raise SimulationError(
@@ -195,16 +281,18 @@ class Simulator:
         return fired
 
     def _next_pending_time(self) -> Optional[float]:
-        while self._heap and self._heap[0].event.cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2]._state != _PENDING:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     # -- introspection ---------------------------------------------------
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events in the heap."""
-        return sum(1 for entry in self._heap if not entry.event.cancelled)
+        """Number of not-yet-cancelled events in the heap. O(1): the
+        count is maintained on schedule/cancel/fire."""
+        return self._pending
 
     @property
     def events_fired(self) -> int:
@@ -213,6 +301,7 @@ class Simulator:
     def add_trace_hook(self, hook: Callable[[Event], None]) -> None:
         """Register a hook called with each event just before it fires."""
         self._trace_hooks.append(hook)
+        self._recompute_plain()
 
     # -- tracing ---------------------------------------------------------
 
@@ -229,11 +318,13 @@ class Simulator:
         if not self.tracer.enabled:
             self.tracer = Tracer(self, capacity=capacity,
                                  trace_events=trace_events)
+        self._recompute_plain()
         return self.tracer
 
     def disable_tracing(self) -> None:
         """Detach the recording tracer and return to the no-op default."""
         self.tracer = NULL_TRACER
+        self._recompute_plain()
 
     # -- profiling --------------------------------------------------------
 
@@ -250,11 +341,13 @@ class Simulator:
         if self.profiler is None:
             from repro.obs.profile import LoopProfiler  # avoid cycle
             self.profiler = LoopProfiler(self)
+        self._recompute_plain()
         return self.profiler
 
     def disable_profiling(self) -> None:
         """Detach the profiler; recorded stats remain readable on it."""
         self.profiler = None
+        self._recompute_plain()
 
 
 class Process:
@@ -278,26 +371,32 @@ class Process:
 
         ``jitter_stream`` optionally names an RNG stream used to add
         +/- 10% uniform jitter, preventing accidental synchronization of
-        many periodic actors.
+        many periodic actors. The jitter applies to the *first* firing
+        too: with thousands of periodic actors created in the same
+        construction burst, an unjittered first tick would synchronize
+        the whole fleet on one timestamp — exactly the stampede the
+        jitter exists to prevent.
         """
         if interval <= 0:
             raise SimulationError(f"interval must be positive, got {interval}")
         key = label or f"{self.name}.periodic"
 
+        def next_delay() -> float:
+            if jitter_stream is None:
+                return interval
+            rng = self.sim.rng.stream(jitter_stream)
+            return interval * rng.uniform(0.9, 1.1)
+
         def fire() -> None:
             if self._stopped:
                 return
             callback()
-            delay = interval
-            if jitter_stream is not None:
-                rng = self.sim.rng.stream(jitter_stream)
-                delay *= rng.uniform(0.9, 1.1)
-            self._periodic[key] = self.sim.schedule(delay, fire, label=key,
-                                                    weak=True)
+            self._periodic[key] = self.sim.schedule(next_delay(), fire,
+                                                    label=key, weak=True)
 
         # Periodic work is weak (daemon-like): it must not keep run()
         # from reaching quiescence.
-        self._periodic[key] = self.sim.schedule(interval, fire, label=key,
+        self._periodic[key] = self.sim.schedule(next_delay(), fire, label=key,
                                                 weak=True)
 
     def stop(self) -> None:

@@ -5,6 +5,13 @@ from repro.workloads.diurnal import (
     DiurnalCurve,
 )
 from repro.workloads.ehr import RECORD_KINDS, EhrEvent, EhrEventGenerator
+from repro.workloads.fleet import (
+    BackgroundAggregate,
+    Fleet,
+    FleetSpec,
+    PerHomeBackground,
+    build_fleet,
+)
 from repro.workloads.traffic import (
     HouseholdProfile,
     HouseholdTrafficModel,
@@ -23,6 +30,11 @@ __all__ = [
     "RECORD_KINDS",
     "EhrEvent",
     "EhrEventGenerator",
+    "BackgroundAggregate",
+    "Fleet",
+    "FleetSpec",
+    "PerHomeBackground",
+    "build_fleet",
     "HouseholdProfile",
     "HouseholdTrafficModel",
     "TrafficEvent",

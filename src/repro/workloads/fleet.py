@@ -1,0 +1,262 @@
+"""Fleet-scale home populations: analytic background load + focus homes.
+
+The paper's collaborative-edge claims (fCDN, cooperative caching) only
+bite at neighborhood-to-city scale, but event-simulating 100k homes'
+background chatter melts the heap for no analytic gain: idle homes only
+matter through the *aggregate* load they put on shared uplinks. This
+module splits a fleet into:
+
+- **Focus homes** — fully built topology (home router, devices), fully
+  event-simulated. Experiments instrument these.
+- **Idle cohorts** — the rest of each neighborhood, represented by one
+  :class:`BackgroundAggregate` per neighborhood that draws the cohort's
+  per-tick byte total analytically and carries it on the shared uplink.
+
+The aggregation is distributionally exact for the model it replaces: if
+each idle home contributes an exponentially distributed byte count per
+tick (mean from :meth:`~repro.workloads.traffic.HouseholdProfile.
+mean_rates`), the cohort total is Gamma(n, mean) — one RNG draw and one
+``carry_span`` instead of ``n`` heap events per tick.
+:class:`PerHomeBackground` keeps the naive per-home mode alive for
+equivalence tests and the scale benchmark's before/after comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.metrics.counters import MetricsRegistry
+from repro.net.link import Link
+from repro.net.topology import City, Home, ServerSite, TopologyBuilder
+from repro.sim.engine import Process, Simulator
+from repro.util.units import gbps
+from repro.workloads.traffic import HouseholdProfile
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Shape of a fleet: how many homes, how few are event-simulated.
+
+    ``focus_homes`` are distributed into the earliest neighborhoods;
+    everything else becomes idle-cohort background. ``tick`` is the
+    aggregation cadence in simulated seconds — coarser ticks mean fewer
+    events but blockier uplink utilization.
+    """
+
+    num_homes: int = 10_000
+    homes_per_neighborhood: int = 1_000
+    focus_homes: int = 0
+    tick: float = 1.0
+    uplink_bps: float = gbps(10)
+    devices_per_focus_home: int = 1
+    focus_hpops: bool = True
+    profile: HouseholdProfile = field(default_factory=HouseholdProfile.typical)
+
+    def __post_init__(self) -> None:
+        if self.num_homes <= 0:
+            raise ValueError(f"num_homes must be positive: {self.num_homes}")
+        if self.homes_per_neighborhood <= 0:
+            raise ValueError("homes_per_neighborhood must be positive: "
+                             f"{self.homes_per_neighborhood}")
+        if not 0 <= self.focus_homes <= self.num_homes:
+            raise ValueError(f"focus_homes must be in [0, num_homes]: "
+                             f"{self.focus_homes}")
+        if self.tick <= 0:
+            raise ValueError(f"tick must be positive: {self.tick}")
+
+
+class BackgroundAggregate:
+    """One neighborhood's idle homes as a single analytic traffic source.
+
+    Each tick draws the cohort's down/up byte totals as Gamma(n, mean)
+    variates — the exact distribution of ``n`` independent exponential
+    per-home contributions — and spreads them over the elapsed span on
+    the neighborhood uplink. Runs as a weak periodic process with
+    jittered ticks (including the first) so thousands of cohorts never
+    synchronize on one timestamp.
+    """
+
+    __slots__ = ("sim", "uplink", "num_homes", "tick", "_mean_down_bps",
+                 "_mean_up_bps", "_stream", "_process", "_last",
+                 "_down_counter", "_up_counter")
+
+    def __init__(self, sim: Simulator, uplink: Link, num_homes: int,
+                 profile: HouseholdProfile, tick: float, stream: str,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        if num_homes <= 0:
+            raise ValueError(f"num_homes must be positive: {num_homes}")
+        self.sim = sim
+        self.uplink = uplink
+        self.num_homes = num_homes
+        self.tick = tick
+        self._mean_down_bps, self._mean_up_bps = profile.mean_rates()
+        self._stream = stream
+        self._process = Process(sim, stream)
+        self._last = sim.now
+        self._down_counter = (registry.counter(
+            "bg_bytes_down", "aggregated background downstream bytes")
+            if registry is not None else None)
+        self._up_counter = (registry.counter(
+            "bg_bytes_up", "aggregated background upstream bytes")
+            if registry is not None else None)
+
+    def start(self) -> "BackgroundAggregate":
+        self._last = self.sim.now
+        self._process.every(self.tick, self._tick, label=self._stream,
+                            jitter_stream=f"{self._stream}.jitter")
+        return self
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        span = now - self._last
+        if span <= 0:
+            return
+        rng = self.sim.rng.stream(self._stream)
+        n = self.num_homes
+        # Gamma(n, m) == the sum of n iid Exponential(m) draws, i.e.
+        # exactly what n per-home events (each with per-tick mean m
+        # bytes) would have contributed.
+        down_bytes = rng.gammavariate(n, self._mean_down_bps * span / 8)
+        up_bytes = rng.gammavariate(n, self._mean_up_bps * span / 8)
+        # uplink = connect(agg, core): forward is agg->core (upstream),
+        # reverse is core->agg (downstream toward the homes).
+        self.uplink.reverse.carry_span(self._last, now, down_bytes)
+        self.uplink.forward.carry_span(self._last, now, up_bytes)
+        if self._down_counter is not None:
+            self._down_counter.inc(down_bytes)
+            self._up_counter.inc(up_bytes)
+        self._last = now
+
+
+class PerHomeBackground:
+    """The naive baseline: one weak periodic event per idle home.
+
+    Distributionally equivalent to :class:`BackgroundAggregate` (each
+    home draws exponential per-tick byte counts against the same means)
+    but costs ``n`` heap events per tick. Exists so the scale benchmark
+    and the equivalence test can compare the two regimes.
+    """
+
+    __slots__ = ("sim", "uplink", "num_homes", "tick", "_mean_down_bps",
+                 "_mean_up_bps", "_stream", "_processes", "_lasts")
+
+    def __init__(self, sim: Simulator, uplink: Link, num_homes: int,
+                 profile: HouseholdProfile, tick: float, stream: str) -> None:
+        if num_homes <= 0:
+            raise ValueError(f"num_homes must be positive: {num_homes}")
+        self.sim = sim
+        self.uplink = uplink
+        self.num_homes = num_homes
+        self.tick = tick
+        self._mean_down_bps, self._mean_up_bps = profile.mean_rates()
+        self._stream = stream
+        self._processes: List[Process] = []
+        self._lasts: List[float] = []
+
+    def start(self) -> "PerHomeBackground":
+        for i in range(self.num_homes):
+            process = Process(self.sim, f"{self._stream}.h{i}")
+            self._processes.append(process)
+            self._lasts.append(self.sim.now)
+            process.every(self.tick, self._make_tick(i),
+                          label=f"{self._stream}.h{i}",
+                          jitter_stream=f"{self._stream}.jitter")
+        return self
+
+    def stop(self) -> None:
+        for process in self._processes:
+            process.stop()
+
+    def _make_tick(self, index: int):
+        def tick() -> None:
+            now = self.sim.now
+            last = self._lasts[index]
+            span = now - last
+            if span <= 0:
+                return
+            rng = self.sim.rng.stream(self._stream)
+            down = rng.expovariate(8 / (self._mean_down_bps * span))
+            up = rng.expovariate(8 / (self._mean_up_bps * span))
+            self.uplink.reverse.carry_span(last, now, down)
+            self.uplink.forward.carry_span(last, now, up)
+            self._lasts[index] = now
+        return tick
+
+
+@dataclass
+class Fleet:
+    """A built fleet: city topology, focus homes, background aggregates."""
+
+    spec: FleetSpec
+    city: City
+    focus: List[Home]
+    aggregates: List[BackgroundAggregate]
+    registry: MetricsRegistry
+
+    @property
+    def sim(self) -> Simulator:
+        return self.city.sim
+
+    @property
+    def idle_homes(self) -> int:
+        return self.spec.num_homes - len(self.focus)
+
+    def start(self) -> "Fleet":
+        """Begin all background aggregation ticks."""
+        for aggregate in self.aggregates:
+            aggregate.start()
+        return self
+
+    def stop(self) -> None:
+        for aggregate in self.aggregates:
+            aggregate.stop()
+
+
+def build_fleet(sim: Simulator, spec: FleetSpec) -> Fleet:
+    """Build a fleet-scale city: hollow neighborhoods + focus homes.
+
+    Memory scales with *neighborhoods* plus focus homes, not with
+    ``num_homes``: a 100k-home fleet with 10 focus homes builds ~100
+    aggregation routers, 10 real homes, and 100 analytic cohorts.
+    """
+    builder = TopologyBuilder(sim)
+    core = builder.build_core(num_routers=3)
+    registry = MetricsRegistry(namespace="fleet")
+    neighborhoods = []
+    aggregates: List[BackgroundAggregate] = []
+    focus: List[Home] = []
+    remaining = spec.num_homes
+    focus_left = spec.focus_homes
+    index = 0
+    while remaining > 0:
+        cohort = min(spec.homes_per_neighborhood, remaining)
+        focus_here = min(focus_left, cohort)
+        neighborhood = builder.build_neighborhood(
+            core[index % len(core)], index, num_homes=focus_here,
+            uplink_bps=spec.uplink_bps,
+            devices_per_home=spec.devices_per_focus_home,
+            with_hpops=spec.focus_hpops,
+        )
+        neighborhoods.append(neighborhood)
+        focus.extend(neighborhood.homes)
+        idle = cohort - focus_here
+        if idle:
+            aggregates.append(BackgroundAggregate(
+                sim, neighborhood.uplink, idle, spec.profile, spec.tick,
+                stream=f"fleet.bg{index}", registry=registry))
+        remaining -= cohort
+        focus_left -= focus_here
+        index += 1
+    site = builder.build_server_site(core[1 % len(core)], "origin")
+    city = City(network=builder.network, core_routers=core,
+                neighborhoods=neighborhoods,
+                server_sites={"origin": site})
+    registry.gauge("homes_total", "homes represented").set(spec.num_homes)
+    registry.gauge("homes_focus", "event-simulated homes").set(len(focus))
+    registry.gauge("neighborhoods", "aggregation cohorts").set(index)
+    return Fleet(spec=spec, city=city, focus=focus, aggregates=aggregates,
+                 registry=registry)

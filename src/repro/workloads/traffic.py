@@ -15,12 +15,21 @@ benchmark show how the CDF shifts as usage intensifies.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.util.stats import RateSeries
 from repro.util.units import hours, kib, mbps, mib
+
+# Lognormal shape parameters for transfer sizes, shared between the
+# event generator and the analytic means in HouseholdProfile.mean_rates.
+WEB_SIZE_SIGMA = 0.8
+DOWNLOAD_SIZE_SIGMA = 0.5
+UPLOAD_SIZE_SIGMA = 0.7
+# Upstream request bytes as a fraction of page bytes.
+WEB_REQUEST_FRACTION = 0.02
 
 
 @dataclass(frozen=True)
@@ -84,6 +93,33 @@ class HouseholdProfile:
                    upload_size_bytes=10 * 1024 * 1024,
                    upload_rate_bps=mbps(8))
 
+    def mean_rates(self) -> Tuple[float, float]:
+        """Analytic long-run mean ``(down_bps, up_bps)`` of this mix.
+
+        A lognormal size factor with shape sigma has mean
+        ``exp(sigma^2 / 2)``; applying it to each Poisson transfer class
+        gives the exact expectation of the event model (ignoring the
+        50 KiB page-size floor, which is negligible at these means).
+        This is what the fleet-scale aggregation draws against: idle
+        homes contribute these means without per-event simulation.
+        """
+        per_sec = 1.0 / 3600.0
+        web_bytes = self.page_size_bytes * math.exp(WEB_SIZE_SIGMA ** 2 / 2)
+        down_bps = (
+            self.web_pages_per_hour * per_sec * web_bytes * 8
+            + self.video_rate_bps * self.video_minutes_per_hour / 60.0
+            + self.downloads_per_hour * per_sec * self.download_size_bytes
+            * math.exp(DOWNLOAD_SIZE_SIGMA ** 2 / 2) * 8
+        )
+        up_bps = (
+            self.web_pages_per_hour * per_sec * web_bytes
+            * WEB_REQUEST_FRACTION * 8
+            + self.uploads_per_hour * per_sec * self.upload_size_bytes
+            * math.exp(UPLOAD_SIZE_SIGMA ** 2 / 2) * 8
+            + self.background_up_bps
+        )
+        return down_bps, up_bps
+
 
 class HouseholdTrafficModel:
     """Generates traffic events and per-second rate series."""
@@ -111,13 +147,14 @@ class HouseholdTrafficModel:
         events: List[TrafficEvent] = []
 
         for t in self._poisson_times(p.web_pages_per_hour, duration):
-            size = max(kib(50), self.rng.lognormvariate(0, 0.8) * p.page_size_bytes)
+            size = max(kib(50), self.rng.lognormvariate(0, WEB_SIZE_SIGMA)
+                       * p.page_size_bytes)
             events.append(TrafficEvent(
                 start=t, duration=max(0.1, size * 8 / p.page_burst_rate_bps),
                 nbytes=size, direction="down", kind="web"))
             # A page load sends requests upstream too (~2% of bytes).
             events.append(TrafficEvent(
-                start=t, duration=0.5, nbytes=size * 0.02,
+                start=t, duration=0.5, nbytes=size * WEB_REQUEST_FRACTION,
                 direction="up", kind="web-request"))
 
         # Video: sessions of 5-30 minutes at a steady rate.
@@ -133,13 +170,15 @@ class HouseholdTrafficModel:
             remaining_video -= session
 
         for t in self._poisson_times(p.downloads_per_hour, duration):
-            size = p.download_size_bytes * self.rng.lognormvariate(0, 0.5)
+            size = p.download_size_bytes * self.rng.lognormvariate(
+                0, DOWNLOAD_SIZE_SIGMA)
             events.append(TrafficEvent(
                 start=t, duration=max(1.0, size * 8 / p.download_rate_bps),
                 nbytes=size, direction="down", kind="download"))
 
         for t in self._poisson_times(p.uploads_per_hour, duration):
-            size = p.upload_size_bytes * self.rng.lognormvariate(0, 0.7)
+            size = p.upload_size_bytes * self.rng.lognormvariate(
+                0, UPLOAD_SIZE_SIGMA)
             events.append(TrafficEvent(
                 start=t, duration=max(0.5, size * 8 / p.upload_rate_bps),
                 nbytes=size, direction="up", kind="upload"))

@@ -1,0 +1,115 @@
+"""Regression tests: mid-run utilization reads must be non-destructive.
+
+The old probe flushed the in-progress bin on every read without
+advancing the bin cursor, so a read followed by more traffic in the
+same interval emitted a duplicate sample for the same bin start and
+split the bin's bytes across two entries (under-reporting peak).
+"""
+
+import pytest
+
+from repro.net.address import Address
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.util.units import mbps, ms
+
+
+def make_direction(bandwidth=mbps(100)):
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_host("a")
+    a.add_interface(Address.parse("10.0.0.1"))
+    b = net.add_host("b")
+    b.add_interface(Address.parse("10.0.0.2"))
+    link = net.connect(a, b, bandwidth, ms(1))
+    return link.forward
+
+
+class TestMidRunReads:
+    def test_read_then_continue_same_bin(self):
+        direction = make_direction()
+        direction.enable_utilization_sampling(interval=1.0)
+        direction.carry(0.2, 6_250_000)  # 50% of second 0
+        mid = direction.utilization_series()
+        assert mid == [(0.0, pytest.approx(0.5))]
+        direction.carry(0.7, 6_250_000)  # other 50% of the same second
+        series = direction.utilization_series()
+        # Pre-fix: two samples both starting at 0.0, each at 0.5.
+        assert series == [(0.0, pytest.approx(1.0))]
+        assert direction.peak_utilization() == pytest.approx(1.0)
+
+    def test_mid_run_read_equals_end_of_run_read(self):
+        """Reading every carry must not change the final series."""
+        probed = make_direction()
+        probed.enable_utilization_sampling(interval=1.0)
+        control = make_direction()
+        control.enable_utilization_sampling(interval=1.0)
+        traffic = [(0.1, 1000.0), (0.6, 2000.0), (1.2, 500.0),
+                   (1.9, 1500.0), (3.5, 4000.0)]
+        for now, nbytes in traffic:
+            probed.carry(now, nbytes)
+            probed.utilization_series()  # read after every carry
+            probed.peak_utilization()
+            control.carry(now, nbytes)
+        assert probed.utilization_series() == control.utilization_series()
+        assert probed.peak_utilization() == control.peak_utilization()
+
+    def test_repeated_reads_are_idempotent(self):
+        direction = make_direction()
+        direction.enable_utilization_sampling(interval=1.0)
+        direction.carry(0.5, 1000)
+        first = direction.utilization_series()
+        assert direction.utilization_series() == first
+        assert direction.utilization_series() == first
+
+    def test_zero_byte_bins_are_omitted(self):
+        direction = make_direction()
+        direction.enable_utilization_sampling(interval=1.0)
+        direction.carry(0.5, 1000)
+        direction.carry(5.5, 2000)  # nothing in seconds 1-4
+        starts = [t for t, _u in direction.utilization_series()]
+        assert starts == [0.0, 5.0]
+
+
+class TestCarrySpan:
+    def test_span_apportions_across_bins(self):
+        direction = make_direction()
+        direction.enable_utilization_sampling(interval=1.0)
+        # 3000 bytes spread evenly over [0.5, 3.5): 1/6, 1/3, 1/3, 1/6.
+        direction.carry_span(0.5, 3.5, 3000.0)
+        series = dict(direction.utilization_series())
+        capacity = mbps(100) / 8  # bytes per 1s bin
+        assert series[0.0] == pytest.approx(500.0 / capacity)
+        assert series[1.0] == pytest.approx(1000.0 / capacity)
+        assert series[2.0] == pytest.approx(1000.0 / capacity)
+        assert series[3.0] == pytest.approx(500.0 / capacity)
+        assert direction.stats.bytes_carried == pytest.approx(3000.0)
+
+    def test_span_within_one_bin_matches_carry(self):
+        spanned = make_direction()
+        spanned.enable_utilization_sampling(interval=1.0)
+        pointwise = make_direction()
+        pointwise.enable_utilization_sampling(interval=1.0)
+        spanned.carry_span(2.1, 2.9, 1234.0)
+        pointwise.carry(2.5, 1234.0)
+        assert spanned.utilization_series() == pointwise.utilization_series()
+
+    def test_zero_length_span_lands_in_start_bin(self):
+        direction = make_direction()
+        direction.enable_utilization_sampling(interval=1.0)
+        direction.carry_span(4.2, 4.2, 500.0)
+        assert direction.utilization_series() == [
+            (4.0, pytest.approx(500.0 / (mbps(100) / 8)))]
+
+    def test_span_without_sampling_still_counts_bytes(self):
+        direction = make_direction()
+        direction.carry_span(0.0, 10.0, 9999.0)
+        assert direction.stats.bytes_carried == pytest.approx(9999.0)
+        assert direction.utilization_series() == []
+
+    def test_negative_inputs_rejected(self):
+        direction = make_direction()
+        with pytest.raises(ValueError):
+            direction.carry_span(1.0, 2.0, -1.0)
+        with pytest.raises(ValueError):
+            direction.carry_span(2.0, 1.0, 10.0)

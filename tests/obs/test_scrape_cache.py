@@ -1,0 +1,129 @@
+"""The TSDB scrape path must skip untouched registries — and notice
+every way a registry can change."""
+
+import pytest
+
+from repro.metrics.counters import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesDB
+from repro.sim.engine import Simulator
+
+
+class TestRegistryVersion:
+    def test_mutations_bump_version(self):
+        registry = MetricsRegistry(namespace="svc")
+        v0 = registry.version
+        counter = registry.counter("reqs")
+        assert registry.version > v0
+        v1 = registry.version
+        counter.inc()
+        assert registry.version > v1
+        v2 = registry.version
+        gauge = registry.gauge("depth")
+        gauge.set(3.0)
+        assert registry.version > v2
+        v3 = registry.version
+        registry.histogram("lat").observe(0.25)
+        assert registry.version > v3
+
+    def test_reads_do_not_bump_version(self):
+        registry = MetricsRegistry(namespace="svc")
+        registry.counter("reqs").inc(5)
+        registry.histogram("lat").observe(1.0)
+        version = registry.version
+        registry.snapshot((0.5,))
+        registry.snapshot_series((0.5,))
+        registry.render()
+        registry.expose()
+        registry.value("reqs")
+        assert registry.version == version
+
+    def test_fn_gauges_are_counted(self):
+        registry = MetricsRegistry(namespace="svc")
+        assert registry.fn_gauges == 0
+        gauge = registry.gauge("depth")
+        gauge.set_function(lambda: 4.0)
+        assert registry.fn_gauges == 1
+        gauge.set_function(lambda: 5.0)  # replacing fn does not re-count
+        assert registry.fn_gauges == 1
+
+
+class TestScrapeSkip:
+    def test_untouched_registry_not_rewalked(self, monkeypatch):
+        sim = Simulator(seed=1)
+        registry = MetricsRegistry(namespace="svc")
+        registry.counter("reqs").inc(3)
+        tsdb = TimeSeriesDB(sim, interval=1.0)
+        tsdb.add_registry(registry, source="h0")
+
+        calls = {"n": 0}
+        real = registry.snapshot_series
+
+        def counting(quantiles=()):
+            calls["n"] += 1
+            return real(quantiles)
+
+        monkeypatch.setattr(registry, "snapshot_series", counting)
+        tsdb.scrape()
+        tsdb.scrape()
+        tsdb.scrape()
+        assert calls["n"] == 1  # idle registry walked once, then cached
+
+    def test_dirty_registry_rescraped(self, monkeypatch):
+        sim = Simulator(seed=1)
+        registry = MetricsRegistry(namespace="svc")
+        counter = registry.counter("reqs")
+        tsdb = TimeSeriesDB(sim, interval=1.0)
+        tsdb.add_registry(registry)
+        tsdb.scrape()
+        counter.inc()
+        tsdb.scrape()
+        points = tsdb.get("svc.reqs").points
+        assert [v for _t, v in points] == [0.0, 1.0]
+
+    def test_fn_gauge_registry_always_fresh(self):
+        sim = Simulator(seed=1)
+        registry = MetricsRegistry(namespace="svc")
+        state = {"v": 1.0}
+        registry.gauge("depth").set_function(lambda: state["v"])
+        tsdb = TimeSeriesDB(sim, interval=1.0)
+        tsdb.add_registry(registry)
+        tsdb.scrape()
+        state["v"] = 2.0  # no version bump anywhere
+        tsdb.scrape()
+        assert [v for _t, v in tsdb.get("svc.depth").points] == [1.0, 2.0]
+
+    def test_cached_rows_still_append_points(self):
+        """Skipping the registry walk must not skip the time dimension:
+        an idle counter still gets one (flat) point per scrape, so
+        exports are byte-identical with the uncached behaviour."""
+        sim = Simulator(seed=1)
+        registry = MetricsRegistry(namespace="svc")
+        registry.counter("reqs").inc(7)
+        tsdb = TimeSeriesDB(sim, interval=1.0)
+        tsdb.add_registry(registry)
+        for _ in range(4):
+            tsdb.scrape()
+        points = tsdb.get("svc.reqs").points
+        assert len(points) == 4
+        assert all(v == 7.0 for _t, v in points)
+
+    def test_cached_export_matches_uncached(self, tmp_path):
+        def run(defeat_cache):
+            sim = Simulator(seed=4)
+            registry = MetricsRegistry(namespace="svc")
+            counter = registry.counter("reqs")
+            registry.histogram("lat").observe(0.5)
+            tsdb = TimeSeriesDB(sim, interval=1.0)
+            tsdb.add_registry(registry, source="h0")
+            for i in range(6):
+                if i in (2, 4):
+                    counter.inc()
+                if defeat_cache:
+                    tsdb._scrape_cache.clear()
+                sim.run_until(float(i))
+                tsdb.scrape()
+            path = tmp_path / f"cache{defeat_cache}.jsonl"
+            tsdb.export_jsonl(str(path))
+            return path.read_bytes()
+
+        assert run(False) == run(True)

@@ -1,0 +1,153 @@
+"""Regression tests for event-loop accounting bugs.
+
+Three bugs shipped together and are pinned here:
+
+1. ``Event.cancel()`` on an already-fired event double-decremented
+   ``_strong_pending`` (fire decremented once, the late cancel again),
+   driving the counter negative and making ``run()`` stop before
+   quiescence.
+2. ``Process.every`` scheduled the *first* tick with no jitter even
+   when a jitter stream was configured, synchronizing every periodic
+   actor's first firing.
+3. ``call_soon`` silently dropped ``weak``, scheduling strong-only.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Process, Simulator
+
+
+class TestCancelAfterFire:
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert event.fired
+        assert not event.cancelled
+        event.cancel()  # must not corrupt accounting
+        assert event.fired
+        assert not event.cancelled
+        assert sim._strong_pending == 0
+
+    def test_late_cancel_does_not_end_run_early(self):
+        """The timeout idiom: a response arrives, and cleanup cancels
+        the (already fired or now-moot) timeout afterwards. Before the
+        fix the double decrement made run() return before later strong
+        events fired."""
+        sim = Simulator()
+        fired = []
+        timeout = sim.schedule(1.0, lambda: fired.append("timeout"))
+        sim.schedule(2.0, timeout.cancel, label="late-cancel")
+        sim.schedule(3.0, lambda: fired.append("must-still-fire"))
+        sim.run()
+        assert fired == ["timeout", "must-still-fire"]
+        assert sim.now == 3.0
+
+    def test_many_late_cancels_keep_counter_sane(self):
+        sim = Simulator()
+        events = [sim.schedule(0.1 * (i + 1), lambda: None)
+                  for i in range(10)]
+
+        def cancel_all():
+            for event in events:
+                event.cancel()
+
+        sim.schedule(5.0, cancel_all)
+        sentinel = []
+        sim.schedule(9.0, lambda: sentinel.append(True))
+        sim.run()
+        assert sentinel == [True]
+        assert sim._strong_pending == 0
+
+    def test_cancel_then_fire_time_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        event.cancel()  # idempotent on cancelled too
+        sim.schedule(2.0, lambda: fired.append("y"))
+        sim.run()
+        assert fired == ["y"]
+        assert event.cancelled and not event.fired
+
+
+class TestFirstTickJitter:
+    def test_first_tick_is_jittered(self):
+        """Many periodic actors sharing an interval must not all take
+        their first tick on the same timestamp."""
+        sim = Simulator(seed=5)
+        first_ticks = {}
+        for i in range(50):
+            proc = Process(sim, f"actor{i}")
+            proc.every(10.0, lambda i=i: first_ticks.setdefault(i, sim.now),
+                       jitter_stream="stampede")
+        sim.schedule(12.0, lambda: None)  # strong work past the first round
+        sim.run()
+        times = sorted(set(first_ticks.values()))
+        assert len(first_ticks) == 50
+        # Pre-fix every first tick landed exactly at t=10.0.
+        assert len(times) > 40
+        assert all(9.0 <= t <= 11.0 for t in times)
+
+    def test_unjittered_first_tick_is_exact(self):
+        sim = Simulator()
+        ticks = []
+        Process(sim, "plain").every(10.0, lambda: ticks.append(sim.now))
+        sim.schedule(11.0, lambda: None)
+        sim.run()
+        assert ticks == [10.0]
+
+
+class TestCallSoonWeak:
+    def test_call_soon_weak_does_not_pin_run(self):
+        sim = Simulator()
+        fired = []
+
+        def finish():
+            # Deferred daemon work: must not extend quiescence.
+            sim.call_soon(lambda: fired.append("weak"), weak=True)
+
+        sim.schedule(1.0, finish)
+        sim.run()
+        assert fired == []  # weak backlog left unfired at quiescence
+
+    def test_call_soon_default_is_strong(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.call_soon(lambda: fired.append("s")))
+        sim.run()
+        assert fired == ["s"]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["schedule", "cancel", "run_next"]),
+                          st.floats(min_value=0.0, max_value=10.0,
+                                    allow_nan=False),
+                          st.booleans()),
+                max_size=60))
+def test_property_strong_pending_matches_live_strong_events(ops):
+    """``_strong_pending`` must always equal the number of scheduled,
+    uncancelled, unfired strong events — under any interleaving of
+    scheduling, cancellation (including repeats and post-fire cancels),
+    and event delivery."""
+    sim = Simulator()
+    events = []
+
+    def live_strong_count():
+        return sum(1 for e in events
+                   if not e.weak and not e.cancelled and not e.fired)
+
+    for action, delay, weak in ops:
+        if action == "schedule":
+            events.append(sim.schedule(delay, lambda: None, weak=weak))
+        elif action == "cancel" and events:
+            # Deterministic pick: bounce across the list via the delay.
+            events[int(delay * len(events)) % len(events)].cancel()
+        elif action == "run_next":
+            sim.step()
+        assert sim._strong_pending == live_strong_count()
+        assert sim._strong_pending >= 0
+    sim.run()
+    assert sim._strong_pending == live_strong_count() == 0

@@ -1,0 +1,155 @@
+"""Fleet-scale background aggregation: correctness and determinism."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.workloads.fleet import (
+    FleetSpec,
+    PerHomeBackground,
+    build_fleet,
+)
+from repro.workloads.traffic import HouseholdProfile
+
+
+class TestBuildFleet:
+    def test_hollow_build_is_small(self):
+        """Memory scales with neighborhoods + focus homes, not homes."""
+        sim = Simulator(seed=1)
+        fleet = build_fleet(sim, FleetSpec(num_homes=50_000, focus_homes=3))
+        assert fleet.idle_homes == 49_997
+        assert len(fleet.focus) == 3
+        assert len(fleet.aggregates) == 50
+        # 50 agg routers + 3 homes' worth of nodes + core + origin site.
+        assert len(fleet.city.network.nodes) < 80
+
+    def test_focus_homes_are_fully_built(self):
+        sim = Simulator(seed=1)
+        fleet = build_fleet(sim, FleetSpec(num_homes=2_000, focus_homes=4,
+                                           devices_per_focus_home=2))
+        for home in fleet.focus:
+            assert len(home.devices) == 2
+            assert home.hpop_host is not None
+            assert home.access_link.up
+
+    def test_registry_reports_shape(self):
+        sim = Simulator(seed=1)
+        fleet = build_fleet(sim, FleetSpec(num_homes=3_000, focus_homes=1))
+        snap = fleet.registry.snapshot()
+        assert snap["fleet.homes_total"] == 3_000
+        assert snap["fleet.homes_focus"] == 1
+        assert snap["fleet.neighborhoods"] == 3
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            FleetSpec(num_homes=0)
+        with pytest.raises(ValueError):
+            FleetSpec(num_homes=10, focus_homes=11)
+        with pytest.raises(ValueError):
+            FleetSpec(num_homes=10, tick=0)
+
+
+class TestAggregation:
+    def test_aggregate_bytes_near_analytic_mean(self):
+        sim = Simulator(seed=3)
+        spec = FleetSpec(num_homes=5_000, focus_homes=0)
+        fleet = build_fleet(sim, spec).start()
+        sim.run_until(200.0)
+        mean_down, mean_up = spec.profile.mean_rates()
+        down = sum(a.uplink.reverse.stats.bytes_carried
+                   for a in fleet.aggregates)
+        up = sum(a.uplink.forward.stats.bytes_carried
+                 for a in fleet.aggregates)
+        # Gamma(n, m) concentrates hard at n=1000 homes/cohort: 2% slack
+        # covers the partial first/last ticks plus sampling noise.
+        assert down == pytest.approx(5_000 * mean_down * 200 / 8, rel=0.02)
+        assert up == pytest.approx(5_000 * mean_up * 200 / 8, rel=0.02)
+
+    def test_aggregate_matches_naive_mode_statistically(self):
+        """The tentpole equivalence: Gamma(n, m) cohort draws and n
+        per-home exponential draws agree on the load they place on the
+        uplink (same mean within sampling error)."""
+        spec = FleetSpec(num_homes=400, focus_homes=0,
+                         homes_per_neighborhood=400)
+
+        sim_a = Simulator(seed=7)
+        fleet = build_fleet(sim_a, spec).start()
+        sim_a.run_until(100.0)
+        aggregated = fleet.aggregates[0].uplink.forward.stats.bytes_carried
+
+        sim_n = Simulator(seed=7)
+        fleet_n = build_fleet(sim_n, spec)
+        naive = PerHomeBackground(
+            sim_n, fleet_n.aggregates[0].uplink, 400, spec.profile,
+            tick=spec.tick, stream="naive.bg0").start()
+        sim_n.run_until(100.0)
+        naive_bytes = fleet_n.aggregates[0].uplink.forward.stats.bytes_carried
+        naive.stop()
+
+        assert aggregated == pytest.approx(naive_bytes, rel=0.25)
+        # And vastly fewer events did it.
+        assert sim_a.events_fired < sim_n.events_fired / 50
+
+    def test_background_is_weak(self):
+        """Aggregation ticks must not keep run() from quiescence."""
+        sim = Simulator(seed=2)
+        build_fleet(sim, FleetSpec(num_homes=1_000, focus_homes=0)).start()
+        fired = sim.run()
+        assert fired == 0
+
+    def test_stop_halts_ticks(self):
+        sim = Simulator(seed=2)
+        fleet = build_fleet(sim, FleetSpec(num_homes=1_000,
+                                           focus_homes=0)).start()
+        sim.run_until(10.0)
+        carried = fleet.aggregates[0].uplink.forward.stats.bytes_carried
+        fleet.stop()
+        sim.run_until(50.0)
+        assert (fleet.aggregates[0].uplink.forward.stats.bytes_carried
+                == carried)
+
+
+class TestDeterminism:
+    def run_once(self, seed):
+        sim = Simulator(seed=seed)
+        fleet = build_fleet(sim, FleetSpec(num_homes=4_000,
+                                           focus_homes=2)).start()
+        sim.run_until(60.0)
+        return (sim.events_fired,
+                tuple(a.uplink.forward.stats.bytes_carried
+                      for a in fleet.aggregates),
+                tuple(tuple(a.uplink.forward.utilization_series())
+                      for a in fleet.aggregates))
+
+    def test_same_seed_same_run(self):
+        assert self.run_once(9) == self.run_once(9)
+
+    def test_different_seed_differs(self):
+        assert self.run_once(9)[1] != self.run_once(10)[1]
+
+
+class TestMeanRates:
+    def test_mean_rates_match_generated_traffic(self):
+        """The analytic means must agree with the event generator they
+        summarize (law of large numbers over a long horizon)."""
+        import random
+
+        from repro.workloads.traffic import HouseholdTrafficModel
+
+        profile = HouseholdProfile.typical()
+        mean_down, mean_up = profile.mean_rates()
+        duration = 400 * 3600.0
+        model = HouseholdTrafficModel(profile, random.Random(123))
+        down = up = 0.0
+        for event in model.generate(duration):
+            if event.direction == "down":
+                down += event.nbytes
+            else:
+                up += event.nbytes
+        assert down * 8 / duration == pytest.approx(mean_down, rel=0.1)
+        assert up * 8 / duration == pytest.approx(mean_up, rel=0.1)
+
+    def test_heavy_profile_is_heavier(self):
+        td, tu = HouseholdProfile.typical().mean_rates()
+        hd, hu = HouseholdProfile.heavy().mean_rates()
+        assert hd > 3 * td
+        assert hu > 3 * tu
