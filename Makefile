@@ -2,7 +2,7 @@ PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
 .PHONY: check test bench bench-check bench-scale experiments trace-smoke \
-	obs-smoke chaos dashboard
+	obs-smoke chaos dashboard study study-smoke
 
 check:
 	./scripts/check.sh
@@ -21,6 +21,17 @@ chaos:
 
 dashboard:
 	python scripts/dashboard_report.py --chaos --out-dir artifacts/dashboard
+
+# 16-seed chaos study on a full-width process pool: per-seed artifact
+# directories + journal under artifacts/study, merged summary.json with
+# CI bands, and the study dashboard (study.md / study.html). Resumable:
+# re-running only executes cells the journal does not mark complete.
+study:
+	python scripts/study_run.py --scenario chaos --seeds 101-116 \
+		--out artifacts/study
+
+study-smoke:
+	python scripts/study_smoke.py
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only -q

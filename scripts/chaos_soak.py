@@ -10,6 +10,12 @@ guarantees of the fault-injection subsystem:
 3. the two runs export byte-identical fault-event logs.
 
 Exits non-zero (with a diagnosis) if any guarantee is violated.
+
+With ``--seeds 101,102,...`` (or ranges: ``101-116``) the soak instead
+fans the same scenario across every seed through the study runner
+(``repro.experiments``) — one process per core unless ``--workers``
+caps it — and checks the guarantees per seed from the merged study
+summary. The single-seed default path is unchanged.
 """
 
 import argparse
@@ -66,11 +72,84 @@ def soak(seed: int, fraction: float) -> int:
     return 1 if failures else 0
 
 
+def soak_seeds(seeds, fraction: float, workers: int, out: str) -> int:
+    """Multi-seed soak through the parallel study runner."""
+    from repro.experiments import StudySpec, build_summary, run_study, \
+        write_summary
+
+    spec = StudySpec.build(
+        "chaos", seeds=seeds, params={"fraction": fraction},
+        workers=workers, name="chaos-soak")
+
+    def _drive(study_dir: pathlib.Path) -> int:
+        result = run_study(spec, study_dir)
+        summary = build_summary(study_dir)
+        write_summary(study_dir, summary)
+        failures = list(result.failed)
+        for cell in summary["cells"]:
+            facts = cell["result"]
+            label = f"seed {cell['seed']}"
+            if cell["status"] != "ok":
+                continue  # already counted in result.failed
+            print(f"  {label}: {facts.get('loads_ok', '?')} loads ok, "
+                  f"{facts.get('load_errors', '?')} errors, "
+                  f"{facts.get('planned_faults', '?')} planned faults, "
+                  f"attic redundant: {facts.get('attic_redundant')}")
+            if facts.get("load_errors"):
+                failures.append(f"{label}: page loads failed")
+            if not facts.get("attic_redundant", False):
+                failures.append(f"{label}: attic not fully redundant")
+        for row in summary["slo"]["pass_rates"]:
+            print(f"  SLO {row['slo']}: {row['met']}/{row['runs']} met, "
+                  f"mean error {row['mean_error_rate']:.2%}")
+        serial = result.cell_wall_total()
+        if result.executed and result.wall_s > 0:
+            print(f"  {len(result.executed)} runs on {result.workers} "
+                  f"worker(s): wall {result.wall_s:.2f}s vs cell total "
+                  f"{serial:.2f}s ({serial / result.wall_s:.2f}x)")
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+
+    if out:
+        return _drive(pathlib.Path(out))
+    with tempfile.TemporaryDirectory() as tmp:
+        return _drive(pathlib.Path(tmp) / "chaos-soak")
+
+
+def parse_seed_list(text: str):
+    seeds = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "-" in part.lstrip("-"):
+            lo, _, hi = part.partition("-")
+            seeds.extend(range(int(lo), int(hi) + 1))
+        else:
+            seeds.append(int(part))
+    return seeds
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=101)
+    parser.add_argument("--seeds", default=None,
+                        help="comma list / inclusive ranges; runs the "
+                             "multi-seed study path (e.g. 101-108)")
     parser.add_argument("--fraction", type=float, default=CHURN_FRACTION)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="pool size for --seeds; 0 = one per CPU")
+    parser.add_argument("--out", default="",
+                        help="study directory for --seeds (default: a "
+                             "temporary directory)")
     args = parser.parse_args()
+    if args.seeds:
+        status = soak_seeds(parse_seed_list(args.seeds), args.fraction,
+                            args.workers, args.out)
+        if status == 0:
+            print("multi-seed chaos soak passed")
+        return status
     status = soak(args.seed, args.fraction)
     if status == 0:
         print("chaos soak passed")

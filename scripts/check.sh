@@ -41,4 +41,8 @@ echo "== chaos soak: fixed-seed churn + degradation guarantees =="
 python scripts/chaos_soak.py
 
 echo
+echo "== study smoke: worker-count byte identity + resume =="
+python scripts/study_smoke.py
+
+echo
 echo "all checks passed"

@@ -8,13 +8,20 @@ Two modes:
   profiler), export every artifact into ``--out-dir``, and render the
   dashboard from them.
 - artifact mode: point ``--trace/--tsdb/--faults/--slo/--profile`` at
-  the JSONL files an earlier run exported and render those (any subset
-  works; missing artifacts just omit their dashboard sections).
+  the JSONL files an earlier run exported — or just ``--artifacts DIR``
+  at a directory holding them under the standard names (a study cell
+  directory, for instance) — and render those (any subset works;
+  missing artifacts just omit their dashboard sections).
 
 Outputs ``dashboard.md`` and ``dashboard.html`` (self-contained, no
 external assets) plus, in ``--chaos`` mode, the raw artifacts:
 ``trace.jsonl``, ``tsdb.jsonl``, ``faults.jsonl``, ``slo.jsonl``,
 ``profile.json``, and ``profile.collapsed`` (flamegraph input).
+
+With ``--json`` the dashboard's content is additionally written to
+``dashboard.json`` and printed — the machine-readable mirror of the
+rendered tables (same idea as ``trace_report.py --json``), which is
+what study summaries embed instead of screen-scraping markdown.
 """
 
 import argparse
@@ -29,7 +36,12 @@ for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
         sys.path.insert(0, entry)
 
 from repro.obs.dashboard import (RunArtifacts, build_html,  # noqa: E402
-                                 build_markdown)
+                                 build_markdown, dashboard_json)
+
+# Standard artifact filenames --artifacts discovers in a directory.
+ARTIFACT_FILES = {"trace": "trace.jsonl", "tsdb": "tsdb.jsonl",
+                  "faults": "faults.jsonl", "slo": "slo.jsonl",
+                  "profile": "profile.json"}
 
 
 def run_chaos_instrumented(seed: int, out_dir: pathlib.Path) -> dict:
@@ -75,6 +87,13 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=101)
     parser.add_argument("--out-dir", default="artifacts/dashboard",
                         help="artifact + dashboard output directory")
+    parser.add_argument("--artifacts", metavar="DIR",
+                        help="directory holding artifacts under the "
+                             "standard names (trace.jsonl, tsdb.jsonl, "
+                             "faults.jsonl, slo.jsonl, profile.json)")
+    parser.add_argument("--json", action="store_true",
+                        help="also write dashboard.json and print the "
+                             "machine-readable summary")
     parser.add_argument("--trace", help="trace JSONL from Tracer.export_jsonl")
     parser.add_argument("--tsdb", help="TSDB JSONL from TimeSeriesDB")
     parser.add_argument("--faults", help="fault log from FaultInjector")
@@ -94,9 +113,19 @@ def main(argv=None) -> int:
             setattr(args, key, getattr(args, key) or value)
         title = args.title or f"chaos scenario, seed {args.seed}"
     else:
+        if args.artifacts:
+            art_dir = pathlib.Path(args.artifacts)
+            if not art_dir.is_dir():
+                parser.error(f"--artifacts {art_dir} is not a directory")
+            for key, filename in ARTIFACT_FILES.items():
+                candidate = art_dir / filename
+                if candidate.is_file() and not getattr(args, key):
+                    setattr(args, key, str(candidate))
         if not any((args.trace, args.tsdb, args.faults, args.slo)):
-            parser.error("give --chaos or at least one artifact path")
-        title = args.title or "simulation run"
+            parser.error("give --chaos, --artifacts, or at least one "
+                         "artifact path")
+        title = args.title or (f"artifacts from {args.artifacts}"
+                               if args.artifacts else "simulation run")
 
     art = RunArtifacts.load(trace_path=args.trace, tsdb_path=args.tsdb,
                             faults_path=args.faults, slo_path=args.slo,
@@ -108,7 +137,15 @@ def main(argv=None) -> int:
                        encoding="utf-8")
     html_path.write_text(build_html(art, lookback=args.lookback),
                          encoding="utf-8")
-    print(f"wrote {md_path} and {html_path}")
+    written = f"{md_path} and {html_path}"
+    if args.json:
+        payload = dashboard_json(art, lookback=args.lookback)
+        json_path = out_dir / "dashboard.json"
+        json_path.write_text(json.dumps(payload, sort_keys=True, indent=2)
+                             + "\n", encoding="utf-8")
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        written += f" and {json_path}"
+    print(f"wrote {written}")
 
     firing = [e for e in art.slo_events if e.get("state") == "firing"]
     correlated = [r for r in art.correlations(args.lookback) if r["causes"]]

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Study-runner smoke stage for scripts/check.sh (``make check``).
+
+Gates the determinism and resume contracts of ``repro.experiments``:
+
+1. **Worker-count byte identity.** A 2-seed chaos mini-study run on a
+   2-worker pool and again on 1 worker must produce byte-identical
+   merged ``summary.json`` files — worker count and scheduling order
+   may never leak into the cross-run statistics.
+2. **Resume after a kill.** Deleting one cell's artifacts and journal
+   line (what a SIGKILL mid-cell leaves behind) and re-running must
+   execute *only* the missing cell, and the rebuilt summary must be
+   byte-identical to the uninterrupted one.
+3. **Summary content sanity.** The merged summary actually carries
+   cross-run statistics: per-seed verdict rows for every cell and at
+   least one aligned series with a CI band (an empty summary would
+   also be byte-identical).
+
+Wall-clock speedup is intentionally *not* gated here (CI hosts may be
+single-core); ``scripts/study_run.py`` prints the observed speedup on
+real hardware.
+
+Exit code 0 on success; raises on any violation.
+"""
+
+import json
+import pathlib
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.experiments import (  # noqa: E402
+    StudySpec,
+    build_summary,
+    run_study,
+    summary_bytes,
+    write_summary,
+)
+
+SEEDS = (101, 202)
+# Keep smoke cells lean: the per-run trace/profile artifacts are
+# exercised by `make dashboard`; here only the merged statistics and
+# the journal mechanics are under test.
+PARAMS = {"trace": False, "profile": False}
+
+
+def spec_for(workers: int) -> StudySpec:
+    return StudySpec.build("chaos", seeds=SEEDS, params=PARAMS,
+                           workers=workers, name="study-smoke")
+
+
+def quiet(*_args) -> None:
+    pass
+
+
+def check_worker_count_identity(tmp: pathlib.Path) -> bytes:
+    pooled_dir, serial_dir = tmp / "w2", tmp / "w1"
+    pooled = run_study(spec_for(2), pooled_dir, progress=quiet)
+    assert pooled.ok, f"pooled study failed cells: {pooled.failed}"
+    assert pooled.workers == 2, f"expected 2 workers, ran {pooled.workers}"
+    serial = run_study(spec_for(1), serial_dir, progress=quiet)
+    assert serial.ok, f"serial study failed cells: {serial.failed}"
+    blob_pooled = summary_bytes(build_summary(pooled_dir))
+    blob_serial = summary_bytes(build_summary(serial_dir))
+    assert blob_pooled == blob_serial, (
+        "merged summary differs between 2-worker and 1-worker runs")
+    write_summary(pooled_dir)
+    print(f"  worker-count identity OK ({len(SEEDS)} seeds, "
+          f"{len(blob_pooled)} summary bytes, 2-worker == 1-worker)")
+    return blob_pooled
+
+
+def check_resume_after_kill(tmp: pathlib.Path, reference: bytes) -> None:
+    study_dir = tmp / "w2"           # reuse the completed pooled study
+    victim = spec_for(2).cells()[0].cell_id
+    survivor = spec_for(2).cells()[1].cell_id
+
+    # Simulate a kill mid-cell: the victim's artifacts and journal
+    # line vanish; everything else stays.
+    victim_dir = study_dir / "cells" / victim
+    for path in sorted(victim_dir.iterdir()):
+        path.unlink()
+    victim_dir.rmdir()
+    journal = study_dir / "journal.jsonl"
+    kept = [line for line in journal.read_text().splitlines()
+            if json.loads(line)["cell"] != victim]
+    journal.write_text("".join(line + "\n" for line in kept))
+
+    resumed = run_study(spec_for(2), study_dir, progress=quiet)
+    assert resumed.ok, f"resumed study failed cells: {resumed.failed}"
+    assert resumed.executed == [victim], (
+        f"resume re-ran {resumed.executed}, expected only [{victim}]")
+    assert survivor in resumed.skipped, (
+        f"resume did not skip completed cell {survivor}")
+    blob = summary_bytes(build_summary(study_dir))
+    assert blob == reference, (
+        "summary after resume differs from the uninterrupted run")
+    print(f"  resume-after-kill OK (re-ran only {victim}, "
+          f"summary byte-identical)")
+
+
+def check_summary_content(tmp: pathlib.Path) -> None:
+    summary = build_summary(tmp / "w2")
+    matrix = summary["slo"]["matrix"]
+    assert len(matrix) == len(SEEDS), (
+        f"verdict matrix covers {len(matrix)} cells, want {len(SEEDS)}")
+    assert all(row for row in matrix.values()), "empty verdict row"
+    assert summary["slo"]["pass_rates"], "no cross-run pass-rate rows"
+    series = summary["series"]
+    assert series, "no aligned series in the summary"
+    banded = next(iter(sorted(series)))
+    band = series[banded]
+    assert len(band["runs"]) == len(SEEDS), (
+        f"band for {banded} merged {band['runs']}, want all seeds")
+    assert len(band["mean"]) == len(band["grid"]) == len(band["ci_lo"]), (
+        "band arrays misaligned")
+    assert any(lo != hi for lo, hi in zip(band["ci_lo"], band["ci_hi"])) \
+        or len(SEEDS) < 2 or all(
+            v == band["mean"][0] for v in band["mean"]), (
+        f"degenerate CI band for {banded}")
+    assert summary["faults"], "no per-cell fault counts"
+    print(f"  summary content OK ({len(matrix)}-cell verdict matrix, "
+          f"{len(series)} banded series, "
+          f"{len(summary['slo']['pass_rates'])} pass-rate rows)")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp_str:
+        tmp = pathlib.Path(tmp_str)
+        print("study smoke: worker-count byte identity")
+        reference = check_worker_count_identity(tmp)
+        print("study smoke: resume after kill")
+        check_resume_after_kill(tmp, reference)
+        print("study smoke: merged summary content")
+        check_summary_content(tmp)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,8 @@
+"""``python -m repro.experiments`` — the standalone bench runner."""
+
+import sys
+
+from repro.experiments.benchrun import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -32,8 +32,8 @@ def find_benchmarks_dir(start: Optional[pathlib.Path] = None) -> pathlib.Path:
         if bench_dir.is_dir() and any(bench_dir.glob("bench_*.py")):
             return bench_dir
     # Fall back to the repository layout relative to this file
-    # (src/repro/experiments.py -> repo root / benchmarks).
-    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    # (src/repro/experiments/benchrun.py -> repo root / benchmarks).
+    repo_root = pathlib.Path(__file__).resolve().parents[3]
     bench_dir = repo_root / "benchmarks"
     if bench_dir.is_dir():
         return bench_dir

@@ -1,0 +1,141 @@
+"""Scenario registry for the study runner.
+
+A *scenario* is a callable ``fn(seed, params, out_dir) -> dict`` that
+runs one fully instrumented simulation and exports its artifacts into
+``out_dir`` under the standard names (``tsdb.jsonl``, ``slo.jsonl``,
+``faults.jsonl``, optionally ``trace.jsonl`` / ``profile.json``). The
+returned dict must contain only **deterministic** facts about the run
+(load counts, fault counts, verdict booleans...) — it is embedded in
+the merged summary, whose bytes must not depend on scheduling.
+
+Scenarios are addressed by name so a :class:`~repro.experiments.spec.
+StudySpec` stays picklable and journal-friendly:
+
+- built-ins registered here (``chaos``, ``fleet``), or
+- a ``module:callable`` dotted path resolved at run time in the
+  worker process (the module must be importable there — under the
+  default fork start method workers inherit ``sys.path``).
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import pathlib
+from typing import Any, Callable, Dict, Mapping
+
+ScenarioFn = Callable[[int, Mapping[str, Any], pathlib.Path],
+                      Dict[str, Any]]
+
+
+def run_chaos_cell(seed: int, params: Mapping[str, Any],
+                   out_dir: pathlib.Path) -> Dict[str, Any]:
+    """The chaos soak under full telemetry, as one study cell.
+
+    Params: ``fraction`` (churn fraction, default the acceptance
+    scenario's 0.2), ``num_peers``, ``horizon`` (extra sim seconds
+    after load scheduling), ``trace``/``profile`` (bool toggles for
+    the optional artifacts; both default on — the profiler's wall
+    numbers stay out of the summary contract).
+    """
+    # Lazy: the chaos world lives with the integration tests, and the
+    # study machinery must import without the tests package on path.
+    from tests.integration.test_chaos import CHURN_FRACTION, ChaosWorld
+
+    fraction = float(params.get("fraction", CHURN_FRACTION))
+    num_peers = int(params.get("num_peers", 8))
+    horizon = float(params.get("horizon", 150.0))
+    with_trace = bool(params.get("trace", True))
+    with_profile = bool(params.get("profile", True))
+
+    world = ChaosWorld(seed, num_peers=num_peers)
+    tracer = world.sim.enable_tracing(capacity=262144) if with_trace else None
+    profiler = world.sim.enable_profiling() if with_profile else None
+    world.enable_telemetry()
+    world.seed_attic()
+    plan = world.apply_churn(fraction)
+    results, errors = world.schedule_loads()
+    world.sim.run_until(world.sim.now + horizon)
+    world.slo_monitor.finish()
+
+    out_dir = pathlib.Path(out_dir)
+    world.tsdb.export_jsonl(str(out_dir / "tsdb.jsonl"))
+    world.slo_monitor.export_jsonl(str(out_dir / "slo.jsonl"))
+    world.injector.export_jsonl(str(out_dir / "faults.jsonl"))
+    if tracer is not None:
+        tracer.export_jsonl(str(out_dir / "trace.jsonl"),
+                            include_profile=profiler is not None)
+    if profiler is not None:
+        (out_dir / "profile.json").write_text(
+            json.dumps(profiler.to_dict(), indent=2, sort_keys=True),
+            encoding="utf-8")
+
+    return {
+        "loads_ok": len(results),
+        "load_errors": len(errors),
+        "planned_faults": len(plan),
+        "node_crashes": int(
+            world.injector.metrics.counters["node_crashes"].value),
+        "attic_redundant": bool(world.attic_fully_redundant()),
+        "slo_transitions": len(world.slo_monitor.events),
+    }
+
+
+def run_fleet_cell(seed: int, params: Mapping[str, Any],
+                   out_dir: pathlib.Path) -> Dict[str, Any]:
+    """A scraped background-traffic fleet (no faults, no SLOs).
+
+    Self-contained (no tests import), so it doubles as the smoke
+    scenario for environments where only ``src`` is on the path.
+    Params: ``homes``, ``focus_homes``, ``sim_seconds``.
+    """
+    from repro.obs.timeseries import TimeSeriesDB
+    from repro.sim.engine import Simulator
+    from repro.workloads.fleet import FleetSpec, build_fleet
+
+    homes = int(params.get("homes", 1000))
+    focus = int(params.get("focus_homes", 2))
+    sim_seconds = float(params.get("sim_seconds", 60.0))
+
+    sim = Simulator(seed=seed)
+    fleet = build_fleet(sim, FleetSpec(num_homes=homes, focus_homes=focus))
+    tsdb = TimeSeriesDB(sim, interval=1.0)
+    tsdb.add_registry(fleet.registry, source="fleet")
+    tsdb.add_callback(
+        "uplink0.up_bytes",
+        lambda: fleet.aggregates[0].uplink.forward.stats.bytes_carried,
+        kind="counter")
+    fleet.start()
+    tsdb.start()
+    sim.run_until(sim_seconds)
+    tsdb.export_jsonl(str(pathlib.Path(out_dir) / "tsdb.jsonl"))
+    return {
+        "homes": homes,
+        "scrapes": tsdb.scrapes,
+        "up_bytes": float(
+            fleet.aggregates[0].uplink.forward.stats.bytes_carried),
+    }
+
+
+BUILTIN_SCENARIOS: Dict[str, ScenarioFn] = {
+    "chaos": run_chaos_cell,
+    "fleet": run_fleet_cell,
+}
+
+
+def resolve_scenario(name: str) -> ScenarioFn:
+    """A scenario callable from a built-in name or ``module:callable``."""
+    if name in BUILTIN_SCENARIOS:
+        return BUILTIN_SCENARIOS[name]
+    if ":" in name:
+        module_name, _, attr = name.partition(":")
+        module = importlib.import_module(module_name)
+        fn = getattr(module, attr, None)
+        if not callable(fn):
+            raise AttributeError(
+                f"scenario {name!r}: {module_name} has no callable {attr!r}")
+        return fn
+    raise KeyError(
+        f"unknown scenario {name!r}; built-ins: "
+        f"{', '.join(sorted(BUILTIN_SCENARIOS))} "
+        f"(or use a module:callable path)")

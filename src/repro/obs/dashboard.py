@@ -94,6 +94,51 @@ class RunArtifacts:
                                 lookback=lookback)
 
 
+@dataclass
+class StudyArtifacts:
+    """A merged study summary plus the wall-clock extras around it.
+
+    The ``summary`` dict is the deterministic ``summary.json`` a study
+    writes (see :mod:`repro.experiments.summary`); wall times and the
+    slowest cell's profile live in per-cell manifests *outside* the
+    byte-identity contract, so they are loaded separately here. Plain
+    JSON reads only — no dependency on the experiments package, same
+    read-side posture as :class:`RunArtifacts`.
+    """
+
+    summary: Dict[str, Any] = field(default_factory=dict)
+    wall_by_cell: Dict[str, float] = field(default_factory=dict)
+    slowest_cell: str = ""
+    slowest_profile: Dict[str, Any] = field(default_factory=dict)
+    title: str = "study"
+
+    @classmethod
+    def load(cls, study_dir: str, title: Optional[str] = None,
+             ) -> "StudyArtifacts":
+        import pathlib
+
+        root = pathlib.Path(study_dir)
+        summary = json.loads((root / "summary.json").read_text(
+            encoding="utf-8"))
+        wall: Dict[str, float] = {}
+        cells_root = root / "cells"
+        if cells_root.is_dir():
+            for manifest_path in sorted(cells_root.glob("*/manifest.json")):
+                raw = json.loads(manifest_path.read_text(encoding="utf-8"))
+                wall[raw["cell"]] = float(raw.get("wall_s", 0.0))
+        slowest = max(sorted(wall), key=lambda c: wall[c]) if wall else ""
+        profile: Dict[str, Any] = {}
+        if slowest:
+            profile_path = cells_root / slowest / "profile.json"
+            if profile_path.is_file():
+                profile = json.loads(profile_path.read_text(
+                    encoding="utf-8"))
+        name = summary.get("study", {}).get("name", root.name)
+        return cls(summary=summary, wall_by_cell=wall,
+                   slowest_cell=slowest, slowest_profile=profile,
+                   title=title or f"study {name}")
+
+
 # -- section builders (shared rows for both renderers) -----------------------
 
 
@@ -405,3 +450,237 @@ def build_html(art: RunArtifacts, lookback: float = 10.0) -> str:
     return ("<!DOCTYPE html><html><head><meta charset='utf-8'>"
             f"<title>{esc(art.title)}</title><style>{_CSS}</style></head>"
             f"<body>{''.join(body)}</body></html>")
+
+
+# -- machine-readable dashboard ----------------------------------------------
+
+
+def dashboard_json(art: RunArtifacts, lookback: float = 10.0,
+                   ) -> Dict[str, Any]:
+    """The dashboard's content as one JSON-able dict (``--json``).
+
+    Mirrors ``trace_report.py --json``: everything CI or a study
+    summary needs from a run's dashboard without scraping rendered
+    tables. Values come straight from the artifacts, so the output is
+    deterministic whenever the artifacts are.
+    """
+    alerts = []
+    for row in _alert_rows(art, lookback):
+        alerts.append({"t": round(row["t"], 9), "slo": row["slo"],
+                       "severity": row["severity"],
+                       "causes": len(row["causes"])})
+    faults = {}
+    for kind, count, first, last in _fault_summary(art):
+        faults[kind] = {"count": int(count), "first_t": float(first),
+                        "last_t": float(last)}
+    series = {}
+    for name in sorted(art.tsdb):
+        s = art.tsdb[name]
+        if not s.points:
+            continue
+        series[name] = {"kind": s.kind, "points": len(s.points),
+                        "resolution": s.resolution,
+                        "last": round(s.points[-1][1], 9)}
+    out: Dict[str, Any] = {
+        "title": art.title,
+        "slo_verdicts": list(art.slo_verdicts),
+        "alerts": alerts,
+        "faults": faults,
+        "series": series,
+    }
+    if art.trace is not None:
+        out["trace"] = {"records": len(art.trace.records),
+                        "dropped": art.trace.dropped}
+    if art.profile:
+        out["profile"] = {
+            "events": art.profile.get("events", 0),
+            "wall_seconds": art.profile.get("wall_seconds", 0.0),
+            "events_per_second": art.profile.get("events_per_second", 0.0),
+            "wall_sim_ratio": art.profile.get("wall_sim_ratio", 0.0),
+        }
+    return out
+
+
+# -- study renderer ----------------------------------------------------------
+
+
+def _study_cell_labels(cells: Sequence[Dict[str, Any]]) -> Dict[str, str]:
+    """Short column labels: ``s<seed>`` when seeds are unique, else ids."""
+    seeds = [c.get("seed") for c in cells]
+    if len(set(seeds)) == len(cells):
+        return {c["cell"]: f"s{c['seed']}" for c in cells}
+    return {c["cell"]: c["cell"] for c in cells}
+
+
+def _band_rows(summary: Dict[str, Any]) -> List[List[str]]:
+    """One row per aligned series: mean sparkline + band sparkline."""
+    rows = []
+    for name in sorted(summary.get("series", {})):
+        band = summary["series"][name]
+        grid = band["grid"]
+        mean_points = list(zip(grid, band["mean"]))
+        width_points = list(zip(grid, [hi - lo for hi, lo in
+                                       zip(band["ci_hi"], band["ci_lo"])]))
+        last = len(grid) - 1
+        rows.append([
+            f"`{name}`",
+            sparkline(mean_points),
+            sparkline(width_points),
+            _fmt(band["mean"][last]),
+            f"[{_fmt(band['ci_lo'][last])}, {_fmt(band['ci_hi'][last])}]",
+            str(len(band["runs"])),
+        ])
+    return rows
+
+
+def _matrix_rows(summary: Dict[str, Any]) -> Tuple[List[str],
+                                                   List[List[str]]]:
+    """Per-seed verdict matrix: one row per SLO, one column per cell."""
+    matrix = summary.get("slo", {}).get("matrix", {})
+    cells = [c for c in summary.get("cells", [])
+             if c["cell"] in matrix]
+    labels = _study_cell_labels(cells)
+    slo_names = sorted({slo for row in matrix.values() for slo in row})
+    headers = ["SLO"] + [labels[c["cell"]] for c in cells] + ["pass rate"]
+    rows: List[List[str]] = []
+    for slo in slo_names:
+        marks, met = [], 0
+        for c in cells:
+            verdict = matrix[c["cell"]].get(slo)
+            if verdict is None:
+                marks.append("—")
+            else:
+                marks.append("✓" if verdict else "✗")
+                met += 1 if verdict else 0
+        total = sum(1 for m in marks if m != "—")
+        rate = f"{met}/{total}" if total else "—"
+        rows.append([f"`{slo}`"] + marks + [rate])
+    return headers, rows
+
+
+def _study_profile_rows(study: StudyArtifacts, top: int = 8,
+                        ) -> List[List[str]]:
+    labels = study.slowest_profile.get("labels", {})
+    total = study.slowest_profile.get("wall_seconds") or 1.0
+    ranked = sorted(labels.items(), key=lambda kv: -kv[1]["wall_s"])[:top]
+    return [[label, str(stat["count"]), f"{stat['wall_s'] * 1e3:.2f}",
+             f"{stat['wall_s'] / total:.1%}"] for label, stat in ranked]
+
+
+def build_study_markdown(study: StudyArtifacts) -> str:
+    """The cross-run study dashboard as one markdown document."""
+    summary = study.summary
+    meta = summary.get("study", {})
+    pass_rates = summary.get("slo", {}).get("pass_rates", [])
+    out: List[str] = [f"# Study dashboard — {study.title}", ""]
+    out.append(
+        f"**{meta.get('cells_ok', 0)}/{meta.get('cells_total', 0)} cells "
+        f"ok** · scenario `{meta.get('scenario', '?')}` · "
+        f"{len(meta.get('seeds', []))} seeds · "
+        f"{len(summary.get('series', {}))} banded series · "
+        f"{meta.get('confidence', 0.95):.0%} bootstrap CI "
+        f"({meta.get('resamples', 0)} resamples)")
+    out.append("")
+
+    if pass_rates:
+        out += ["## Cross-run SLO pass rates", "",
+                _md_table(("SLO", "service", "objective", "runs met",
+                           "pass rate", "mean error", "mean budget",
+                           "alerts"),
+                          [[f"`{r['slo']}`", r["service"],
+                            f"{r['objective']:.2%}",
+                            f"{r['met']}/{r['runs']}",
+                            f"{r['pass_rate']:.0%}",
+                            f"{r['mean_error_rate']:.2%}",
+                            f"{r['mean_budget_spent']:.0%}",
+                            str(r["alerts"])] for r in pass_rates]), ""]
+
+    headers, rows = _matrix_rows(summary)
+    if rows:
+        out += ["## Per-seed verdict matrix", "",
+                _md_table(headers, rows), ""]
+
+    band_rows = _band_rows(summary)
+    if band_rows:
+        out += ["## Cross-run series bands", "",
+                _md_table(("series", "mean", "CI width", "last mean",
+                           "last CI", "runs"), band_rows), ""]
+
+    alerts = summary.get("alerts", {})
+    if alerts:
+        total_firing = sum(a["firing"] for a in alerts.values())
+        total_corr = sum(a["correlated"] for a in alerts.values())
+        out += ["## Alert↔fault correlation across seeds", "",
+                f"{total_firing} burn-rate alerts across "
+                f"{len(alerts)} cells, {total_corr} correlated to an "
+                f"injected fault.", ""]
+
+    if study.wall_by_cell:
+        slowest = study.slowest_cell
+        wall = study.wall_by_cell.get(slowest, 0.0)
+        out += ["## Slowest run", "",
+                f"`{slowest}` took {wall:.2f}s wall clock "
+                f"(cell wall total "
+                f"{sum(study.wall_by_cell.values()):.2f}s).", ""]
+        profile_rows = _study_profile_rows(study)
+        if profile_rows:
+            out += [_md_table(("label", "count", "wall ms", "share"),
+                              profile_rows), ""]
+    return "\n".join(out)
+
+
+def build_study_html(study: StudyArtifacts) -> str:
+    """The cross-run study dashboard as one self-contained HTML page."""
+    esc = html_mod.escape
+    summary = study.summary
+    meta = summary.get("study", {})
+    body: List[str] = [f"<h1>Study dashboard — {esc(study.title)}</h1>"]
+    body.append(
+        f'<p class="summary"><b>{meta.get("cells_ok", 0)}/'
+        f'{meta.get("cells_total", 0)} cells ok</b> · scenario '
+        f'<code>{esc(str(meta.get("scenario", "?")))}</code> · '
+        f'{len(meta.get("seeds", []))} seeds · '
+        f'{len(summary.get("series", {}))} banded series · '
+        f'{meta.get("confidence", 0.95):.0%} bootstrap CI</p>')
+
+    pass_rates = summary.get("slo", {}).get("pass_rates", [])
+    if pass_rates:
+        body.append("<h2>Cross-run SLO pass rates</h2>")
+        body.append(_html_table(
+            ("SLO", "service", "objective", "runs met", "pass rate",
+             "mean error", "mean budget", "alerts"),
+            [[r["slo"], r["service"], f"{r['objective']:.2%}",
+              f"{r['met']}/{r['runs']}", f"{r['pass_rate']:.0%}",
+              f"{r['mean_error_rate']:.2%}",
+              f"{r['mean_budget_spent']:.0%}", str(r["alerts"])]
+             for r in pass_rates]))
+
+    headers, rows = _matrix_rows(summary)
+    if rows:
+        body.append("<h2>Per-seed verdict matrix</h2>")
+        body.append(_html_table(
+            headers, [[cell.strip("`") for cell in row] for row in rows]))
+
+    if summary.get("series"):
+        body.append("<h2>Cross-run series bands</h2>")
+        rows = [[cell.strip("`") for cell in row]
+                for row in _band_rows(summary)]
+        body.append(_html_table(
+            ("series", "mean", "CI width", "last mean", "last CI",
+             "runs"), rows, spark_col=1))
+
+    if study.wall_by_cell:
+        slowest = study.slowest_cell
+        wall = study.wall_by_cell.get(slowest, 0.0)
+        body.append("<h2>Slowest run</h2>")
+        body.append(f"<p><code>{esc(slowest)}</code> took {wall:.2f}s "
+                    f"wall clock (cell wall total "
+                    f"{sum(study.wall_by_cell.values()):.2f}s)</p>")
+        profile_rows = _study_profile_rows(study)
+        if profile_rows:
+            body.append(_html_table(("label", "count", "wall ms", "share"),
+                                    profile_rows))
+
+    return ("<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            f"<title>{esc(study.title)}</title><style>{_CSS}</style>"
+            f"</head><body>{''.join(body)}</body></html>")

@@ -304,6 +304,56 @@ def correlate_alerts(
     return rows
 
 
+def merge_verdicts(
+    verdicts_by_run: "Dict[str, Sequence[dict]]",
+) -> Tuple[List[Dict[str, Any]], Dict[str, Dict[str, bool]]]:
+    """Join per-run SLO verdicts into cross-run pass-rate rows.
+
+    ``verdicts_by_run`` maps a run id (study cell id, seed label...)
+    to the verdict records its ``SloMonitor.export_jsonl`` produced.
+    Returns ``(pass_rates, matrix)``:
+
+    - ``pass_rates``: one row per SLO name, sorted, with how many runs
+      met it, the mean error rate / budget spent across runs, and the
+      total alerts fired — the statistically defensible version of a
+      single run's MET/VIOLATED cell.
+    - ``matrix``: ``run id -> {slo name -> met}`` for the dashboard's
+      per-seed verdict matrix.
+
+    Input order never matters: rows aggregate commutatively and both
+    outputs sort by name, so any permutation of runs merges to the
+    same result (property-tested in ``tests/experiments``).
+    """
+    by_slo: Dict[str, List[dict]] = {}
+    matrix: Dict[str, Dict[str, bool]] = {}
+    for run_id in sorted(verdicts_by_run):
+        row: Dict[str, bool] = {}
+        for verdict in verdicts_by_run[run_id]:
+            by_slo.setdefault(verdict["slo"], []).append(verdict)
+            row[verdict["slo"]] = bool(verdict["met"])
+        matrix[run_id] = dict(sorted(row.items()))
+    pass_rates: List[Dict[str, Any]] = []
+    for name in sorted(by_slo):
+        rows = by_slo[name]
+        met = sum(1 for v in rows if v["met"])
+        pass_rates.append({
+            "slo": name,
+            "service": rows[0].get("service", "?"),
+            "objective": rows[0].get("objective", 0.0),
+            "runs": len(rows),
+            "met": met,
+            "pass_rate": round(met / len(rows), 6),
+            "mean_error_rate": round(
+                sum(float(v.get("error_rate", 0.0)) for v in rows)
+                / len(rows), 6),
+            "mean_budget_spent": round(
+                sum(float(v.get("budget_spent", 0.0)) for v in rows)
+                / len(rows), 6),
+            "alerts": sum(int(v.get("alerts", 0)) for v in rows),
+        })
+    return pass_rates, matrix
+
+
 def load_slo_jsonl(path: str) -> Tuple[List[dict], List[dict]]:
     """Split an exported SLO log into (alert events, verdicts)."""
     events: List[dict] = []

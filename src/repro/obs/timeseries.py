@@ -122,6 +122,24 @@ class Series:
         span = end - start
         return self.delta(start, end) / span if span > 0 else 0.0
 
+    def values_on_grid(self, grid: Sequence[float]) -> List[float]:
+        """Step-interpolated values at each grid time.
+
+        The cross-run merge (:mod:`repro.experiments.merge`) compares
+        runs whose scrape times never line up exactly (different
+        downsampling histories); resampling every run onto one grid
+        makes them pointwise comparable. Times before the first point
+        clamp to the first value so the result is always dense.
+        """
+        if not self.points:
+            return [0.0 for _ in grid]
+        first = self.points[0][1]
+        out: List[float] = []
+        for t in grid:
+            value = self.value_at(t)
+            out.append(first if value is None else value)
+        return out
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "name": self.name,
@@ -282,6 +300,21 @@ class TimeSeriesDB:
                                     sort_keys=True, separators=(",", ":")))
                 fh.write("\n")
         return len(names)
+
+
+def time_grid(start: float, end: float, points: int) -> List[float]:
+    """``points`` evenly spaced times over [start, end], 9-dp rounded.
+
+    Rounding here (not at use sites) keeps the grid — and everything
+    derived from it, like the study summary's band arrays — bitwise
+    reproducible no matter who computes it.
+    """
+    if points < 1:
+        raise ValueError(f"grid needs >= 1 point: {points}")
+    if points == 1 or end <= start:
+        return [round(start, 9)]
+    step = (end - start) / (points - 1)
+    return [round(start + i * step, 9) for i in range(points)]
 
 
 def load_jsonl(path: str) -> Dict[str, Series]:

@@ -1,0 +1,94 @@
+"""Manifest round-trips and the journal's resume semantics."""
+
+import json
+
+from repro.experiments.manifest import (
+    CellManifest,
+    append_journal,
+    completed_cells,
+    journal_path,
+    load_journal,
+    load_manifest,
+)
+
+
+def make_manifest(cell="seed1", status="ok", **kwargs):
+    return CellManifest(cell=cell, seed=1, params={"x": 2},
+                        scenario="toy", status=status, **kwargs)
+
+
+class TestManifestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        manifest = make_manifest(wall_s=1.25,
+                                 artifacts=["tsdb.jsonl"],
+                                 result={"reqs": 10})
+        manifest.write(tmp_path)
+        loaded = load_manifest(tmp_path)
+        assert loaded.cell == "seed1"
+        assert loaded.status == "ok"
+        assert loaded.wall_s == 1.25
+        assert loaded.result == {"reqs": 10}
+
+    def test_error_field_survives(self, tmp_path):
+        make_manifest(status="error", error="Trace...").write(tmp_path)
+        assert load_manifest(tmp_path).error == "Trace..."
+
+    def test_missing_manifest_is_none(self, tmp_path):
+        assert load_manifest(tmp_path) is None
+
+
+class TestJournal:
+    def test_append_and_load(self, tmp_path):
+        append_journal(tmp_path, {"cell": "a", "status": "ok"})
+        append_journal(tmp_path, {"cell": "b", "status": "error"})
+        journal = load_journal(tmp_path)
+        assert journal["a"]["status"] == "ok"
+        assert journal["b"]["status"] == "error"
+
+    def test_later_lines_win(self, tmp_path):
+        append_journal(tmp_path, {"cell": "a", "status": "error"})
+        append_journal(tmp_path, {"cell": "a", "status": "ok"})
+        assert load_journal(tmp_path)["a"]["status"] == "ok"
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        append_journal(tmp_path, {"cell": "a", "status": "ok"})
+        with open(journal_path(tmp_path), "a") as fh:
+            fh.write('{"cell": "b", "stat')   # SIGKILL mid-write
+        journal = load_journal(tmp_path)
+        assert set(journal) == {"a"}
+
+    def test_empty_study_dir(self, tmp_path):
+        assert load_journal(tmp_path) == {}
+
+
+class TestCompletedCells:
+    def _complete(self, tmp_path, cell_id):
+        cell_dir = tmp_path / "cells" / cell_id
+        cell_dir.mkdir(parents=True)
+        make_manifest(cell=cell_id).write(cell_dir)
+        append_journal(tmp_path, {"cell": cell_id, "status": "ok"})
+
+    def test_requires_journal_and_manifest(self, tmp_path):
+        self._complete(tmp_path, "seed1")
+        # journal line without a manifest (artifacts deleted)
+        append_journal(tmp_path, {"cell": "seed2", "status": "ok"})
+        # manifest without a journal line (killed before the append)
+        cell3 = tmp_path / "cells" / "seed3"
+        cell3.mkdir(parents=True)
+        make_manifest(cell="seed3").write(cell3)
+        assert set(completed_cells(tmp_path)) == {"seed1"}
+
+    def test_error_status_not_completed(self, tmp_path):
+        cell_dir = tmp_path / "cells" / "seed9"
+        cell_dir.mkdir(parents=True)
+        make_manifest(cell="seed9", status="error").write(cell_dir)
+        append_journal(tmp_path, {"cell": "seed9", "status": "error"})
+        assert completed_cells(tmp_path) == {}
+
+    def test_manifest_json_is_valid_json(self, tmp_path):
+        make_manifest().write(tmp_path)
+        raw = json.loads((tmp_path / "manifest.json").read_text())
+        assert raw["scenario"] == "toy"
+        assert sorted(raw) == sorted(
+            ["cell", "seed", "params", "scenario", "status", "wall_s",
+             "artifacts", "result"])

@@ -1,0 +1,156 @@
+"""Cross-run TSDB merge: alignment, bands, permutation invariance."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.merge import AlignedSeries, align_series, merge_tsdb
+from repro.obs.slo import merge_verdicts
+from repro.obs.timeseries import Series, time_grid
+
+
+def make_series(name, points, kind="gauge"):
+    series = Series(name, kind)
+    series.points = [(float(t), float(v)) for t, v in points]
+    return series
+
+
+class TestTimeGrid:
+    def test_endpoints_and_count(self):
+        grid = time_grid(0.0, 10.0, 5)
+        assert grid[0] == 0.0 and grid[-1] == 10.0
+        assert len(grid) == 5
+
+    def test_degenerate_span(self):
+        assert time_grid(3.0, 3.0, 8) == [3.0]
+
+    def test_rounding_is_applied(self):
+        assert all(g == round(g, 9) for g in time_grid(0.0, 1.0, 7))
+
+
+class TestValuesOnGrid:
+    def test_step_interpolation(self):
+        series = make_series("s", [(1.0, 10.0), (2.0, 20.0)])
+        assert series.values_on_grid([0.5, 1.0, 1.5, 2.5]) \
+            == [10.0, 10.0, 10.0, 20.0]
+
+    def test_empty_series_yields_zeros(self):
+        assert make_series("s", []).values_on_grid([1.0, 2.0]) == [0.0, 0.0]
+
+
+class TestAlignSeries:
+    def test_mean_min_max(self):
+        per_run = {
+            "b": make_series("s", [(0.0, 2.0), (10.0, 4.0)]),
+            "a": make_series("s", [(0.0, 0.0), (10.0, 2.0)]),
+        }
+        aligned = align_series(per_run, "s", grid_points=3, resamples=0)
+        assert aligned.runs == ["a", "b"]
+        assert aligned.mean[0] == 1.0 and aligned.mean[-1] == 3.0
+        assert aligned.low[-1] == 2.0 and aligned.high[-1] == 4.0
+
+    def test_single_run_band_collapses(self):
+        aligned = align_series(
+            {"only": make_series("s", [(0.0, 1.0), (5.0, 3.0)])}, "s",
+            grid_points=4)
+        assert aligned.ci_lo == aligned.mean == aligned.ci_hi
+
+    def test_ci_band_brackets_mean(self):
+        per_run = {f"r{i}": make_series("s", [(0.0, float(i)),
+                                              (10.0, float(i * 2))])
+                   for i in range(5)}
+        aligned = align_series(per_run, "s", grid_points=8)
+        for lo, m, hi in zip(aligned.ci_lo, aligned.mean, aligned.ci_hi):
+            assert lo <= m + 1e-9 and m - 1e-9 <= hi
+
+    def test_runs_missing_the_series_excluded(self):
+        merged = merge_tsdb({
+            "a": {"s": make_series("s", [(0.0, 1.0), (1.0, 2.0)])},
+            "b": {},
+        })
+        assert merged["s"].runs == ["a"]
+
+    def test_no_points_anywhere_is_dropped(self):
+        assert merge_tsdb({"a": {"s": make_series("s", [])}}) == {}
+
+
+def _dump(merged):
+    return json.dumps(
+        {name: merged[name].to_dict(include_per_run=True)
+         for name in sorted(merged)}, sort_keys=True)
+
+
+# A compact pool of synthetic runs for the permutation property: run id
+# -> {series name -> Series}. Values vary per run; times are irregular
+# so grid resampling actually has to interpolate.
+run_values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=6)
+
+
+@st.composite
+def run_pool(draw):
+    n_runs = draw(st.integers(min_value=2, max_value=5))
+    names = [f"m{i}" for i in range(draw(st.integers(1, 3)))]
+    runs = {}
+    for r in range(n_runs):
+        series_map = {}
+        for name in names:
+            values = draw(run_values)
+            gaps = draw(st.lists(
+                st.floats(min_value=0.01, max_value=5.0,
+                          allow_nan=False),
+                min_size=len(values), max_size=len(values)))
+            t = 0.0
+            points = []
+            for value, gap in zip(values, gaps):
+                t += gap
+                points.append((t, value))
+            series_map[name] = make_series(name, points)
+        runs[f"run{r}"] = series_map
+    return runs
+
+
+class TestPermutationInvariance:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data(), runs=run_pool())
+    def test_merge_identical_under_any_run_order(self, data, runs):
+        baseline = _dump(merge_tsdb(runs, grid_points=16, resamples=50))
+        order = data.draw(st.permutations(sorted(runs)))
+        permuted = {run_id: runs[run_id] for run_id in order}
+        assert list(permuted) == order   # insertion order really differs
+        assert _dump(merge_tsdb(permuted, grid_points=16,
+                                resamples=50)) == baseline
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data(),
+           mets=st.lists(st.booleans(), min_size=2, max_size=6))
+    def test_verdict_merge_identical_under_any_run_order(self, data, mets):
+        verdicts = {
+            f"run{i}": [{"slo": "avail", "service": "toy",
+                         "objective": 0.9, "met": met,
+                         "error_rate": 0.25 if not met else 0.0,
+                         "budget_spent": 1.0 if not met else 0.0,
+                         "alerts": int(not met)}]
+            for i, met in enumerate(mets)}
+        baseline = merge_verdicts(verdicts)
+        order = data.draw(st.permutations(sorted(verdicts)))
+        permuted = {run_id: verdicts[run_id] for run_id in order}
+        assert merge_verdicts(permuted) == baseline
+        pass_rate = baseline[0][0]["pass_rate"]
+        assert pass_rate == round(sum(mets) / len(mets), 6)
+
+
+class TestAlignedSeriesDict:
+    def test_rounding_and_keys(self):
+        aligned = AlignedSeries(
+            name="s", kind="gauge", grid=[0.123456789123],
+            runs=["a"], values=[[1.0]], mean=[1.0 / 3.0],
+            low=[0.0], high=[1.0], ci_lo=[0.1], ci_hi=[0.9])
+        raw = aligned.to_dict()
+        assert raw["mean"] == [round(1.0 / 3.0, 9)]
+        assert sorted(raw) == ["ci_hi", "ci_lo", "grid", "kind", "max",
+                               "mean", "min", "name", "runs"]
+        assert "values" in aligned.to_dict(include_per_run=True)

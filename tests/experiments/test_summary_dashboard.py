@@ -1,0 +1,107 @@
+"""End-to-end: toy study -> summary bytes -> study dashboard."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    StudySpec,
+    build_summary,
+    load_summary,
+    run_study,
+    summary_bytes,
+    write_summary,
+)
+from repro.obs.dashboard import (
+    StudyArtifacts,
+    build_study_html,
+    build_study_markdown,
+)
+
+TOY = "tests.experiments.toy:scenario"
+
+
+@pytest.fixture(scope="module")
+def study_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("study")
+    spec = StudySpec.build(TOY, seeds=[1, 2, 3], workers=1)
+    result = run_study(spec, path, progress=None)
+    assert result.ok
+    write_summary(path)
+    return path
+
+
+class TestSummary:
+    def test_summary_sections(self, study_dir):
+        summary = load_summary(study_dir)
+        assert summary["study"]["cells_ok"] == 3
+        assert [c["cell"] for c in summary["cells"]] \
+            == ["seed1", "seed2", "seed3"]
+        assert summary["slo"]["pass_rates"][0]["slo"] == "toy-availability"
+        assert set(summary["slo"]["matrix"]) == {"seed1", "seed2", "seed3"}
+        assert summary["faults"]["seed1"] == {"toy_fault": 3}
+
+    def test_bands_cover_every_run(self, study_dir):
+        summary = load_summary(study_dir)
+        assert summary["series"], "no aligned series"
+        for band in summary["series"].values():
+            assert band["runs"] == ["seed1", "seed2", "seed3"]
+            assert len(band["mean"]) == len(band["grid"])
+            assert all(lo <= hi + 1e-12 for lo, hi
+                       in zip(band["ci_lo"], band["ci_hi"]))
+
+    def test_rebuild_is_byte_identical(self, study_dir):
+        assert summary_bytes(build_summary(study_dir)) \
+            == summary_bytes(build_summary(study_dir))
+
+    def test_no_wall_clock_fields_in_summary(self, study_dir):
+        text = (study_dir / "summary.json").read_text()
+        assert "wall_s" not in text
+
+    def test_scenario_results_embedded(self, study_dir):
+        summary = load_summary(study_dir)
+        for cell in summary["cells"]:
+            assert cell["result"]["reqs"] > 0
+
+
+class TestStudyDashboard:
+    def test_markdown_sections(self, study_dir):
+        study = StudyArtifacts.load(str(study_dir))
+        md = build_study_markdown(study)
+        assert "Per-seed verdict matrix" in md
+        assert "Cross-run series bands" in md
+        assert "Cross-run SLO pass rates" in md
+        assert "toy-availability" in md
+        assert "s1" in md and "s3" in md      # per-seed columns
+        assert "Slowest run" in md            # wall times from manifests
+
+    def test_html_renders_matrix_and_bands(self, study_dir):
+        study = StudyArtifacts.load(str(study_dir))
+        html = build_study_html(study)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "verdict matrix" in html
+        assert "toy-availability" in html
+
+    def test_wall_times_loaded_from_manifests(self, study_dir):
+        study = StudyArtifacts.load(str(study_dir))
+        assert set(study.wall_by_cell) == {"seed1", "seed2", "seed3"}
+        assert study.slowest_cell in study.wall_by_cell
+
+    def test_title_defaults_to_study_name(self, study_dir):
+        study = StudyArtifacts.load(str(study_dir))
+        assert "tests.experiments.toy:scenario" in study.title \
+            or "study" in study.title
+
+
+class TestDashboardJson:
+    def test_per_run_machine_readable_summary(self, study_dir):
+        from repro.obs.dashboard import RunArtifacts, dashboard_json
+        cell = study_dir / "cells" / "seed1"
+        art = RunArtifacts.load(tsdb_path=str(cell / "tsdb.jsonl"),
+                                slo_path=str(cell / "slo.jsonl"),
+                                faults_path=str(cell / "faults.jsonl"))
+        payload = dashboard_json(art)
+        assert payload["slo_verdicts"][0]["slo"] == "toy-availability"
+        assert payload["faults"]["toy_fault"]["count"] == 3
+        assert "svc/app.reqs_total" in payload["series"]
+        json.dumps(payload)   # JSON-able end to end
