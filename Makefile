@@ -2,7 +2,7 @@ PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
 .PHONY: check test bench bench-check bench-scale experiments trace-smoke \
-	obs-smoke chaos dashboard study study-smoke
+	obs-smoke chaos control-smoke dashboard study study-smoke
 
 check:
 	./scripts/check.sh
@@ -18,6 +18,9 @@ obs-smoke:
 
 chaos:
 	python scripts/chaos_soak.py
+
+control-smoke:
+	python scripts/control_smoke.py
 
 dashboard:
 	python scripts/dashboard_report.py --chaos --out-dir artifacts/dashboard

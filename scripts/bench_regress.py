@@ -27,6 +27,12 @@ Key metrics:
   (lower-is-better), engine deep-heap throughput, the 100k-home
   resident-memory ceiling, and the aggregated-vs-naive 10k-home
   speedup (higher-is-better).
+- ``BENCH_control.json``: controller-on vs controller-off page-load
+  p99 and mean time-to-repair under the seeded churn storm
+  (lower-is-better per mode), the on/off speedup ratios
+  (higher-is-better), and exact-match guards on ``loads_completed``,
+  ``load_errors``, ``fully_redundant``, and ``unhandled_alerts`` — the
+  control plane must never trade correctness for latency.
 """
 
 import argparse
@@ -56,6 +62,14 @@ KEY_METRICS = [
     ("BENCH_scale.json", "scales.100000.peak_rss_mb", "lower"),
     ("BENCH_scale.json", "engine.deep_heap_events_per_s", "higher"),
     ("BENCH_scale.json", "speedup_10k_vs_naive", "higher"),
+    ("BENCH_control.json", "modes.{mode}.load_p99_s", "lower"),
+    ("BENCH_control.json", "modes.{mode}.repair_mean_s", "lower"),
+    ("BENCH_control.json", "modes.{mode}.loads_completed", "exact"),
+    ("BENCH_control.json", "modes.{mode}.load_errors", "exact"),
+    ("BENCH_control.json", "modes.{mode}.fully_redundant", "exact"),
+    ("BENCH_control.json", "modes.on.unhandled_alerts", "exact"),
+    ("BENCH_control.json", "p99_speedup", "higher"),
+    ("BENCH_control.json", "repair_speedup", "higher"),
 ]
 
 # Values are dotted module names, or ``scripts/*.py`` paths loaded by
@@ -64,6 +78,7 @@ BENCH_MODULES = {
     "BENCH_erasure.json": "benchmarks.bench_a6_erasure_throughput",
     "BENCH_faults.json": "benchmarks.bench_a7_fault_injection",
     "BENCH_scale.json": "scripts/bench_scale.py",
+    "BENCH_control.json": "benchmarks.bench_a8_control",
 }
 
 
@@ -87,6 +102,9 @@ def expand_paths(baseline, template):
     if "{scale}" in template:
         return [template.replace("{scale}", s)
                 for s in sorted(baseline.get("scales", {}), key=int)]
+    if "{mode}" in template:
+        return [template.replace("{mode}", m)
+                for m in sorted(baseline.get("modes", {}))]
     return [template]
 
 

@@ -16,6 +16,13 @@ fans the same scenario across every seed through the study runner
 (``repro.experiments``) — one process per core unless ``--workers``
 caps it — and checks the guarantees per seed from the merged study
 summary. The single-seed default path is unchanged.
+
+``--controller`` attaches the autonomous control plane
+(``repro.control``) to every run, adds its guarantees to the verdict —
+executed remediation actions and no fired alert left without a
+decision — and on the single-seed path checks the decision log is
+byte-identical across the two runs. Works on both paths, so the same
+soak can be run hands-off and self-healing for an A/B comparison.
 """
 
 import argparse
@@ -35,23 +42,33 @@ from tests.integration.test_chaos import (  # noqa: E402
 )
 
 
-def soak(seed: int, fraction: float) -> int:
+def soak(seed: int, fraction: float, controller: bool = False) -> int:
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
-        logs = []
+        logs, control_logs = [], []
         for run in ("a", "b"):
             path = pathlib.Path(tmp) / f"faults-{run}.jsonl"
-            world, plan, results, errors = run_chaos(seed, path, fraction)
+            world, plan, results, errors = run_chaos(
+                seed, path, fraction, controller=controller)
             logs.append(path.read_bytes())
+            if controller:
+                ctl_path = pathlib.Path(tmp) / f"control-{run}.jsonl"
+                world.controller.export_jsonl(str(ctl_path))
+                control_logs.append(ctl_path.read_bytes())
         crashes = world.injector.metrics.counters["node_crashes"].value
         failovers = (
             world.loader.metrics.counters["peer_failovers"].value
             + world.loader.metrics.counters["origin_fallbacks"].value)
 
-        print(f"seed={seed} fraction={fraction}: "
-              f"{crashes} crashes, {len(plan)} planned faults, "
-              f"{len(results)}/{NUM_LOADS} loads ok, "
-              f"{len(errors)} load errors, {failovers} failovers")
+        line = (f"seed={seed} fraction={fraction}: "
+                f"{crashes} crashes, {len(plan)} planned faults, "
+                f"{len(results)}/{NUM_LOADS} loads ok, "
+                f"{len(errors)} load errors, {failovers} failovers")
+        if controller:
+            ctl = world.controller
+            line += (f", {len(ctl.decisions('executed'))} remediations, "
+                     f"{len(ctl.convergences())} alerts converged")
+        print(line)
 
         if errors:
             failures.append(f"{len(errors)} page loads failed")
@@ -66,19 +83,37 @@ def soak(seed: int, fraction: float) -> int:
             failures.append("same-seed fault logs differ (determinism bug)")
         if fraction > 0 and not logs[0]:
             failures.append("fault log empty despite non-zero churn")
+        if controller:
+            if control_logs[0] != control_logs[1]:
+                failures.append("same-seed decision logs differ "
+                                "(control determinism bug)")
+            if not ctl.metrics.counters["actions_executed"].value:
+                failures.append("controller never executed an action")
+            alerts = [e for e in world.slo_monitor.events
+                      if e["state"] == "firing"]
+            for alert in alerts:
+                if not any(d["trigger"] == f"alert:{alert['slo']}"
+                           and d["t"] == alert["t"]
+                           for d in ctl.decisions()):
+                    failures.append(f"alert {alert['slo']}@{alert['t']:.2f} "
+                                    f"left unhandled")
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0
 
 
-def soak_seeds(seeds, fraction: float, workers: int, out: str) -> int:
+def soak_seeds(seeds, fraction: float, workers: int, out: str,
+               controller: bool = False) -> int:
     """Multi-seed soak through the parallel study runner."""
     from repro.experiments import StudySpec, build_summary, run_study, \
         write_summary
 
+    params = {"fraction": fraction}
+    if controller:
+        params["controller"] = True
     spec = StudySpec.build(
-        "chaos", seeds=seeds, params={"fraction": fraction},
+        "chaos", seeds=seeds, params=params,
         workers=workers, name="chaos-soak")
 
     def _drive(study_dir: pathlib.Path) -> int:
@@ -91,14 +126,21 @@ def soak_seeds(seeds, fraction: float, workers: int, out: str) -> int:
             label = f"seed {cell['seed']}"
             if cell["status"] != "ok":
                 continue  # already counted in result.failed
-            print(f"  {label}: {facts.get('loads_ok', '?')} loads ok, "
-                  f"{facts.get('load_errors', '?')} errors, "
-                  f"{facts.get('planned_faults', '?')} planned faults, "
-                  f"attic redundant: {facts.get('attic_redundant')}")
+            line = (f"  {label}: {facts.get('loads_ok', '?')} loads ok, "
+                    f"{facts.get('load_errors', '?')} errors, "
+                    f"{facts.get('planned_faults', '?')} planned faults, "
+                    f"attic redundant: {facts.get('attic_redundant')}")
+            if controller:
+                line += (f", {facts.get('control_actions', '?')} "
+                         f"remediations, "
+                         f"{facts.get('alerts_converged', '?')} converged")
+            print(line)
             if facts.get("load_errors"):
                 failures.append(f"{label}: page loads failed")
             if not facts.get("attic_redundant", False):
                 failures.append(f"{label}: attic not fully redundant")
+            if controller and not facts.get("control_actions"):
+                failures.append(f"{label}: controller never acted")
         for row in summary["slo"]["pass_rates"]:
             print(f"  SLO {row['slo']}: {row['met']}/{row['runs']} met, "
                   f"mean error {row['mean_error_rate']:.2%}")
@@ -143,14 +185,17 @@ def main() -> int:
     parser.add_argument("--out", default="",
                         help="study directory for --seeds (default: a "
                              "temporary directory)")
+    parser.add_argument("--controller", action="store_true",
+                        help="attach the autonomous control plane and "
+                             "check its guarantees too")
     args = parser.parse_args()
     if args.seeds:
         status = soak_seeds(parse_seed_list(args.seeds), args.fraction,
-                            args.workers, args.out)
+                            args.workers, args.out, args.controller)
         if status == 0:
             print("multi-seed chaos soak passed")
         return status
-    status = soak(args.seed, args.fraction)
+    status = soak(args.seed, args.fraction, args.controller)
     if status == 0:
         print("chaos soak passed")
     return status

@@ -41,6 +41,10 @@ echo "== chaos soak: fixed-seed churn + degradation guarantees =="
 python scripts/chaos_soak.py
 
 echo
+echo "== control smoke: decision-log determinism + acted-on alerts =="
+python scripts/control_smoke.py
+
+echo
 echo "== study smoke: worker-count byte identity + resume =="
 python scripts/study_smoke.py
 

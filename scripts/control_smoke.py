@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Control-plane smoke stage for scripts/check.sh (``make check``).
+
+Drives the controller-on chaos scenario from
+``tests/integration/test_chaos.py`` at a fixed seed, twice, and
+verifies the headline guarantees of the autonomous control plane:
+
+1. the two runs export byte-identical controller decision logs — the
+   determinism contract of the control loop,
+2. the controller actually acted (executed actions, sent messages),
+3. every burn-rate alert that fired maps to at least one recorded
+   decision at the alert's fire time (no unhandled alerts), and
+4. every alert that resolved has a measured fire->resolve convergence
+   time below ``CONVERGENCE_BUDGET_S``.
+
+Exits non-zero (with a diagnosis) if any guarantee is violated.
+"""
+
+import argparse
+import pathlib
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from tests.integration.test_chaos import run_chaos  # noqa: E402
+
+CONVERGENCE_BUDGET_S = 30.0
+
+
+def smoke(seed: int) -> int:
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        logs = []
+        for run in ("a", "b"):
+            path = pathlib.Path(tmp) / f"control-{run}.jsonl"
+            world, _plan, results, errors = run_chaos(seed, controller=True)
+            world.controller.export_jsonl(str(path))
+            logs.append(path.read_bytes())
+
+    ctl = world.controller
+    alerts = [e for e in world.slo_monitor.events if e["state"] == "firing"]
+    decisions = ctl.decisions()
+    executed = ctl.decisions("executed")
+    conv = ctl.convergences()
+    actions = int(ctl.metrics.counters["actions_executed"].value)
+    messages = int(ctl.metrics.counters["messages_sent"].value)
+
+    print(f"seed={seed}: {len(alerts)} alerts, {len(decisions)} decisions "
+          f"({len(executed)} executed), {actions} actions, "
+          f"{messages} messages, {len(conv)} converged, "
+          f"{len(results)} loads ok, {len(errors)} load errors")
+
+    if not logs[0]:
+        failures.append("controller decision log is empty")
+    if logs[0] != logs[1]:
+        failures.append("same-seed decision logs differ (determinism bug)")
+    if actions == 0 or messages == 0:
+        failures.append("controller observed but never acted")
+    if not alerts:
+        failures.append("scenario fired no alerts; nothing was exercised")
+    for alert in alerts:
+        handled = any(d["trigger"] == f"alert:{alert['slo']}"
+                      and d["t"] == alert["t"] for d in decisions)
+        if not handled:
+            failures.append(
+                f"alert {alert['slo']}@{alert['t']:.2f} has no decision")
+    for record in conv:
+        if not 0 < record["convergence_s"] <= CONVERGENCE_BUDGET_S:
+            failures.append(
+                f"alert {record['slo']} converged in "
+                f"{record['convergence_s']:.2f}s "
+                f"(budget {CONVERGENCE_BUDGET_S:.0f}s)")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=101)
+    args = parser.parse_args()
+    status = smoke(args.seed)
+    if status == 0:
+        print("control smoke passed")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

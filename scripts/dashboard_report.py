@@ -16,7 +16,9 @@ Two modes:
 Outputs ``dashboard.md`` and ``dashboard.html`` (self-contained, no
 external assets) plus, in ``--chaos`` mode, the raw artifacts:
 ``trace.jsonl``, ``tsdb.jsonl``, ``faults.jsonl``, ``slo.jsonl``,
-``profile.json``, and ``profile.collapsed`` (flamegraph input).
+``control.jsonl`` (the control plane's remediation decision log —
+omitted with ``--no-controller``), ``profile.json``, and
+``profile.collapsed`` (flamegraph input).
 
 With ``--json`` the dashboard's content is additionally written to
 ``dashboard.json`` and printed — the machine-readable mirror of the
@@ -41,10 +43,11 @@ from repro.obs.dashboard import (RunArtifacts, build_html,  # noqa: E402
 # Standard artifact filenames --artifacts discovers in a directory.
 ARTIFACT_FILES = {"trace": "trace.jsonl", "tsdb": "tsdb.jsonl",
                   "faults": "faults.jsonl", "slo": "slo.jsonl",
-                  "profile": "profile.json"}
+                  "control": "control.jsonl", "profile": "profile.json"}
 
 
-def run_chaos_instrumented(seed: int, out_dir: pathlib.Path) -> dict:
+def run_chaos_instrumented(seed: int, out_dir: pathlib.Path,
+                           controller: bool = True) -> dict:
     """Drive the chaos scenario with every telemetry layer attached."""
     from tests.integration.test_chaos import ChaosWorld, CHURN_FRACTION
 
@@ -52,6 +55,8 @@ def run_chaos_instrumented(seed: int, out_dir: pathlib.Path) -> dict:
     tracer = world.sim.enable_tracing(capacity=262144)
     profiler = world.sim.enable_profiling()
     world.enable_telemetry()
+    if controller:
+        world.enable_controller()
     world.seed_attic()
     plan = world.apply_churn(CHURN_FRACTION)
     results, errors = world.schedule_loads()
@@ -65,6 +70,9 @@ def run_chaos_instrumented(seed: int, out_dir: pathlib.Path) -> dict:
         "slo": out_dir / "slo.jsonl",
         "profile": out_dir / "profile.json",
     }
+    if controller:
+        paths["control"] = out_dir / "control.jsonl"
+        world.controller.export_jsonl(str(paths["control"]))
     tracer.export_jsonl(str(paths["trace"]), include_profile=True)
     world.tsdb.export_jsonl(str(paths["tsdb"]))
     world.injector.export_jsonl(str(paths["faults"]))
@@ -73,9 +81,15 @@ def run_chaos_instrumented(seed: int, out_dir: pathlib.Path) -> dict:
                                            sort_keys=True))
     profiler.export_collapsed(str(out_dir / "profile.collapsed"))
 
+    actions = ""
+    if controller:
+        executed = world.controller.metrics.counters[
+            "actions_executed"].value
+        actions = f"{executed:.0f} remediation actions, "
     print(f"chaos run: seed={seed} {len(plan)} planned faults, "
           f"{len(results)} loads ok, {len(errors)} load errors, "
           f"{len(world.slo_monitor.events)} SLO transitions, "
+          f"{actions}"
           f"wall/sim ratio {profiler.wall_sim_ratio:.4f}")
     return {key: str(path) for key, path in paths.items()}
 
@@ -91,6 +105,9 @@ def main(argv=None) -> int:
                         help="directory holding artifacts under the "
                              "standard names (trace.jsonl, tsdb.jsonl, "
                              "faults.jsonl, slo.jsonl, profile.json)")
+    parser.add_argument("--no-controller", action="store_true",
+                        help="with --chaos: run without the control "
+                             "plane (no remediation/convergence view)")
     parser.add_argument("--json", action="store_true",
                         help="also write dashboard.json and print the "
                              "machine-readable summary")
@@ -98,6 +115,8 @@ def main(argv=None) -> int:
     parser.add_argument("--tsdb", help="TSDB JSONL from TimeSeriesDB")
     parser.add_argument("--faults", help="fault log from FaultInjector")
     parser.add_argument("--slo", help="SLO log from SloMonitor")
+    parser.add_argument("--control",
+                        help="decision log from repro.control.Controller")
     parser.add_argument("--profile", help="profiler JSON (LoopProfiler)")
     parser.add_argument("--lookback", type=float, default=10.0,
                         help="alert->fault correlation window (sim s)")
@@ -108,7 +127,8 @@ def main(argv=None) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
 
     if args.chaos:
-        produced = run_chaos_instrumented(args.seed, out_dir)
+        produced = run_chaos_instrumented(
+            args.seed, out_dir, controller=not args.no_controller)
         for key, value in produced.items():
             setattr(args, key, getattr(args, key) or value)
         title = args.title or f"chaos scenario, seed {args.seed}"
@@ -129,6 +149,7 @@ def main(argv=None) -> int:
 
     art = RunArtifacts.load(trace_path=args.trace, tsdb_path=args.tsdb,
                             faults_path=args.faults, slo_path=args.slo,
+                            control_path=args.control,
                             profile_path=args.profile, title=title)
 
     md_path = out_dir / "dashboard.md"
@@ -152,6 +173,12 @@ def main(argv=None) -> int:
     if firing:
         print(f"{len(firing)} burn-rate alerts, "
               f"{len(correlated)} correlated to an injected fault")
+    if art.control:
+        conv = art.control_convergences()
+        executed = [d for d in art.control_decisions()
+                    if d["outcome"] == "executed"]
+        print(f"{len(executed)} remediation actions executed, "
+              f"{len(conv)} alerts converged")
     return 0
 
 

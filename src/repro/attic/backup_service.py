@@ -77,7 +77,9 @@ class PeerBackupService(HpopService):
                  heartbeat_timeout: Optional[float] = None,
                  repair_backoff_base: float = 0.5,
                  repair_backoff_cap: float = 30.0,
-                 max_repair_sweeps: int = 6) -> None:
+                 max_repair_sweeps: int = 6,
+                 revival_beats: int = 1,
+                 revival_cooldown: float = 0.0) -> None:
         super().__init__()
         self.codec = ReedSolomonCodec(k, m)
         self.k = k
@@ -87,10 +89,17 @@ class PeerBackupService(HpopService):
         self.repair_backoff_base = repair_backoff_base
         self.repair_backoff_cap = repair_backoff_cap
         self.max_repair_sweeps = max_repair_sweeps
+        self.revival_beats = revival_beats
+        self.revival_cooldown = revival_cooldown
         self.monitor: Optional[HeartbeatMonitor] = None
         self._repair_pending = False
+        self._repair_event = None
         self._repair_attempt = 0
         self._down_since: Dict[str, float] = {}
+        # External subscribers to death/revival verdicts: fn(state, name)
+        # with state in {"dead", "alive"}. Survives monitor recreation
+        # across restarts (the monitor itself is rebuilt per boot).
+        self.peer_listeners: List[Callable[[str, str], None]] = []
         self.friends: List["PeerBackupService"] = []
         self.manifest: Dict[str, BackupManifestEntry] = {}
         # Shards this HPoP holds *for others*: (owner, path, index) -> Shard
@@ -125,6 +134,12 @@ class PeerBackupService(HpopService):
         self._h_time_to_repair = self.metrics.histogram(
             "time_to_repair_seconds",
             "first peer death to full-redundancy recovery")
+        self._c_probes_sent = self.metrics.counter(
+            "probes_sent", "out-of-band liveness probes issued")
+        self._c_probe_deaths = self.metrics.counter(
+            "probe_deaths", "death verdicts reached by failed probes")
+        self._c_holders_evacuated = self.metrics.counter(
+            "holders_evacuated", "degraded friends whose shards migrated")
         self.metrics.gauge(
             "decode_cache_hit_rate",
             "hit rate of the cached inverted decode matrices",
@@ -145,7 +160,9 @@ class PeerBackupService(HpopService):
                    else 3 * self.heartbeat_interval)
         self.monitor = HeartbeatMonitor(
             self.sim, timeout,
-            on_dead=self._peer_dead, on_alive=self._peer_recovered)
+            on_dead=self._peer_dead, on_alive=self._peer_recovered,
+            revival_beats=self.revival_beats,
+            revival_cooldown=self.revival_cooldown)
         for friend in self.friends:
             self.monitor.watch(friend.owner_name)
         self.hpop.every(self.heartbeat_interval, self._heartbeat_tick,
@@ -158,6 +175,7 @@ class PeerBackupService(HpopService):
         self.bytes_stored_for_friends = 0
         self.monitor = None
         self._repair_pending = False
+        self._repair_event = None
         self._repair_attempt = 0
         self._down_since.clear()
 
@@ -236,6 +254,10 @@ class PeerBackupService(HpopService):
             pong, port=443, timeout=self.heartbeat_interval,
             on_error=lambda exc: None)
 
+    def add_peer_listener(self, fn: Callable[[str, str], None]) -> None:
+        """Subscribe ``fn(state, name)`` to death/revival verdicts."""
+        self.peer_listeners.append(fn)
+
     def _peer_dead(self, name: str) -> None:
         self._c_peers_declared_dead.inc()
         self._down_since.setdefault(name, self.sim.now)
@@ -244,6 +266,8 @@ class PeerBackupService(HpopService):
             owner=self.owner_name).finish()
         self._repair_attempt = 0
         self._schedule_auto_repair()
+        for fn in self.peer_listeners:
+            fn("dead", name)
 
     def _peer_recovered(self, name: str) -> None:
         self._c_peers_recovered.inc()
@@ -254,6 +278,8 @@ class PeerBackupService(HpopService):
         # gone (held shards are volatile), so re-verify placements.
         self._repair_attempt = 0
         self._schedule_auto_repair()
+        for fn in self.peer_listeners:
+            fn("alive", name)
 
     def _schedule_auto_repair(self) -> None:
         if self._repair_pending or not self.manifest:
@@ -261,11 +287,30 @@ class PeerBackupService(HpopService):
         self._repair_pending = True
         delay = min(self.repair_backoff_cap,
                     self.repair_backoff_base * (2 ** self._repair_attempt))
-        self.sim.schedule(delay, self._auto_repair_sweep,
-                          label=f"{self.owner_name}.attic.auto-repair")
+        self._repair_event = self.sim.schedule(
+            delay, self._auto_repair_sweep,
+            label=f"{self.owner_name}.attic.auto-repair")
+
+    def repair_now(self) -> bool:
+        """Run the repair sweep immediately, skipping any backoff delay.
+
+        The control plane's lever: an SLO alert or death verdict is
+        stronger evidence than the scheduled backoff assumed, so pull
+        the pending sweep forward (cancelling its timer) or start a
+        fresh one. Returns True if a sweep was started.
+        """
+        if not self.running or not self.manifest:
+            return False
+        if self._repair_pending and self._repair_event is not None:
+            self._repair_event.cancel()
+            self._repair_event = None
+        self._repair_pending = False
+        self._auto_repair_sweep()
+        return True
 
     def _auto_repair_sweep(self) -> None:
         self._repair_pending = False
+        self._repair_event = None
         if not self.running:
             return
         self._c_auto_repair_sweeps.inc()
@@ -471,7 +516,8 @@ class PeerBackupService(HpopService):
     def repair_file(self, path: str,
                     on_done: Callable[[bool, int], None],
                     max_attempts: int = 3,
-                    base_backoff: float = 0.5) -> None:
+                    base_backoff: float = 0.5,
+                    exclude_holders: frozenset = frozenset()) -> None:
         """Detect lost shards of ``path``, rebuild them, re-place them.
 
         Probes every holder in the manifest; shards whose holder is gone
@@ -480,6 +526,11 @@ class PeerBackupService(HpopService):
         not already hold a shard of this file. Each placement is retried
         with exponential backoff up to ``max_attempts``. ``on_done``
         receives (fully_repaired, shards_repaired).
+
+        ``exclude_holders`` names friends to migrate *away from*: their
+        shards are treated as lost without probing and they are never
+        chosen as replacement holders — the shard-evacuation primitive
+        behind :meth:`evacuate_holder`.
         """
         entry = self.manifest.get(path)
         if entry is None:
@@ -508,9 +559,13 @@ class PeerBackupService(HpopService):
                 on_done(False, 0)
                 return
             self._rebuild_and_replace(entry, survivors, lost, on_done,
-                                      max_attempts, base_backoff)
+                                      max_attempts, base_backoff,
+                                      exclude_holders)
 
         def probe_holder(index: int, holder_name: str) -> None:
+            if holder_name in exclude_holders:
+                lost.append(index)
+                return
             friend = holders.get(holder_name)
             if friend is None or not friend.hpop.running:
                 lost.append(index)
@@ -548,7 +603,9 @@ class PeerBackupService(HpopService):
     def _rebuild_and_replace(self, entry: BackupManifestEntry,
                              survivors: List[Shard], lost: List[int],
                              on_done: Callable[[bool, int], None],
-                             max_attempts: int, base_backoff: float) -> None:
+                             max_attempts: int, base_backoff: float,
+                             exclude_holders: frozenset = frozenset(),
+                             ) -> None:
         """Decode from survivors, regenerate ``lost`` shards, push them."""
         try:
             payload = self.codec.decode(survivors)
@@ -568,9 +625,11 @@ class PeerBackupService(HpopService):
         # two shards beats a shard that does not exist anywhere).
         surviving_holder_names = {
             entry.shard_holders[s.index] for s in survivors}
-        fresh = [f for f in self.healthy_friends()
+        usable = [f for f in self.healthy_friends()
+                  if f.owner_name not in exclude_holders]
+        fresh = [f for f in usable
                  if f.owner_name not in surviving_holder_names]
-        fallback = [f for f in self.healthy_friends()
+        fallback = [f for f in usable
                     if f.owner_name in surviving_holder_names]
         candidates = fresh + fallback
         if len(candidates) < len(lost):
@@ -651,6 +710,92 @@ class PeerBackupService(HpopService):
 
         for path in paths:
             self.repair_file(path, one)
+
+    def evacuate_holder(self, name: str,
+                        on_done: Optional[Callable[[int, int], None]] = None,
+                        ) -> int:
+        """Migrate every shard held by friend ``name`` to other friends.
+
+        The control plane's answer to a friend whose availability has
+        degraded past tolerating: its shards are rebuilt from survivors
+        and re-placed elsewhere even though the holder may currently be
+        up. Returns how many manifest entries were affected; ``on_done``
+        (optional) receives (files_ok, files_total) when the repairs
+        finish.
+        """
+        paths = [p for p, e in self.manifest.items()
+                 if name in e.shard_holders]
+        if not paths:
+            if on_done is not None:
+                self.sim.call_soon(lambda: on_done(0, 0),
+                                   label="evacuate.empty")
+            return 0
+        self._c_holders_evacuated.inc()
+        span = self.sim.tracer.start_span(
+            "attic.evacuate", parent=None, holder=name, files=len(paths),
+            owner=self.owner_name)
+        counts = {"done": 0, "ok": 0}
+
+        def one(success: bool, _repaired: int) -> None:
+            counts["done"] += 1
+            counts["ok"] += success
+            if counts["done"] == len(paths):
+                span.finish(ok=counts["ok"] == len(paths))
+                if on_done is not None:
+                    on_done(counts["ok"], len(paths))
+
+        with self.sim.tracer.activate(span):
+            for path in paths:
+                self.repair_file(path, one,
+                                 exclude_holders=frozenset({name}))
+        return len(paths)
+
+    # -- out-of-band probing -----------------------------------------------------------
+
+    def probe_friend(self, name: str,
+                     on_verdict: Optional[Callable[[bool], None]] = None,
+                     timeout: Optional[float] = None) -> None:
+        """Ping one friend immediately; a miss is a death verdict.
+
+        Cross-layer detection: when another subsystem (NoCDN failover,
+        the control plane) implicates a friend, this skips the
+        remaining heartbeat timeout — a failed or timed-out probe calls
+        :meth:`HeartbeatMonitor.declare_dead`, firing the same
+        auto-repair path a sweep verdict would, up to a full timeout
+        earlier. A successful probe counts as a beat.
+        """
+        friend = next((f for f in self.friends if f.owner_name == name),
+                      None)
+        if friend is None or self.monitor is None:
+            if on_verdict is not None:
+                self.sim.call_soon(lambda: on_verdict(False),
+                                   label="probe.unknown")
+            return
+        self._c_probes_sent.inc()
+        probe_timeout = (timeout if timeout is not None
+                         else self.heartbeat_interval or 1.0)
+
+        def verdict(alive: bool) -> None:
+            if alive:
+                if self.monitor is not None:
+                    self.monitor.beat(name)
+            else:
+                if (self.monitor is not None
+                        and self.monitor.declare_dead(name)):
+                    self._c_probe_deaths.inc()
+            if on_verdict is not None:
+                on_verdict(alive)
+
+        def pong(resp: HttpResponse, _stats) -> None:
+            verdict(resp.ok)
+
+        assert self._client is not None
+        self._client.request(
+            friend.hpop.host,
+            HttpRequest("POST", SHARD_ROUTE, body={"action": "ping"},
+                        body_size=60),
+            pong, port=443, timeout=probe_timeout,
+            on_error=lambda exc: verdict(False))
 
     # -- accounting ---------------------------------------------------------------------
 

@@ -1,0 +1,217 @@
+"""Remediation rule factories for the :class:`~repro.control.Controller`.
+
+Each factory closes over the subsystem objects it steers and returns a
+:class:`~repro.control.controller.ControlRule`; the controller enforces
+the cooldown/hysteresis guards, the rule only decides *what* to do:
+
+- :func:`nocdn_rerank_rule` — on a NoCDN burn-rate alert, quarantine
+  the peers accumulating the most chunk-fetch failures so the origin
+  stops assigning them (the paper's trusted origin re-ranking its peer
+  set; the fCDN-style answer to "the origin cannot see link state").
+- :func:`attic_repair_rule` — on an attic alert or a peer death, pull
+  the backoff-scheduled repair sweep forward to *now*.
+- :func:`attic_migrate_rule` — when a flappy friend revives with poor
+  trailing availability, evacuate our shards off it for good.
+- :func:`attic_probe_rule` — cross-layer detection: NoCDN failures
+  implicate a peer before the attic's own heartbeat timeout does, so
+  probe it out-of-band and declare it dead early.
+- :func:`dcol_rotate_rule` — on a DCol alert, withdraw the slowest
+  active detour and engage the best unused waypoint.
+- :func:`reregister_rule` — after an HPoP restart, re-publish its A
+  record and invalidate stale resolver caches (DNS re-registration).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.control.controller import Controller, ControlRule, Proposal, Signal
+
+
+def nocdn_rerank_rule(provider, loader, quarantine_s: float = 20.0,
+                      top_n: int = 2, min_failures: int = 1,
+                      cooldown: float = 5.0,
+                      hysteresis: int = 1,
+                      hysteresis_window: float = 10.0) -> ControlRule:
+    """Quarantine the worst-failing peers when a NoCDN SLO burns."""
+    seen: Dict[str, int] = {}
+
+    def propose(sig: Signal, ctl: Controller) -> List[Proposal]:
+        counts = dict(loader.peer_failure_counts)
+        deltas = {p: c - seen.get(p, 0) for p, c in counts.items()}
+        seen.update(counts)
+        worst = sorted(
+            ((d, p) for p, d in deltas.items() if d >= min_failures),
+            key=lambda x: (-x[0], x[1]))[:top_n]
+        proposals = []
+        for delta, peer_id in worst:
+            def execute(peer_id=peer_id):
+                until = provider.quarantine_peer(peer_id, quarantine_s)
+                ctl.count_message(1)
+                return {"quarantined_until": round(until, 9)}
+
+            proposals.append(Proposal(
+                target=peer_id, execute=execute,
+                detail={"failures": delta}))
+        return proposals
+
+    return ControlRule(
+        "nocdn.quarantine", kinds=("alert",), propose=propose,
+        matcher=lambda sig: sig.attrs.get("service") == "nocdn",
+        cooldown=cooldown, hysteresis=hysteresis,
+        hysteresis_window=hysteresis_window)
+
+
+def attic_repair_rule(backup, cooldown: float = 2.0) -> ControlRule:
+    """Run the pending repair sweep immediately instead of after backoff."""
+
+    def propose(sig: Signal, ctl: Controller) -> List[Proposal]:
+        def execute():
+            swept = backup.repair_now()
+            return {"swept": swept}
+
+        return [Proposal(target=backup.owner_name, execute=execute)]
+
+    def matcher(sig: Signal) -> bool:
+        return (sig.kind == "peer_dead"
+                or sig.attrs.get("service") == "attic")
+
+    return ControlRule(
+        "attic.repair-now", kinds=("alert", "peer_dead"),
+        propose=propose, matcher=matcher, cooldown=cooldown)
+
+
+def attic_migrate_rule(backup, availability_threshold: float = 0.75,
+                       window: float = 30.0,
+                       cooldown: float = 30.0) -> ControlRule:
+    """Evacuate shards off a friend whose availability degraded.
+
+    Fires on revival (``peer_alive``) rather than on death: moving
+    shards off a peer that is *down* cannot read them back, and a peer
+    that stays up never triggers it. The trailing-window availability
+    the controller tracked from death/revival signals is the paper's
+    "variety of peers" criterion in reverse — a friend below the
+    threshold is no longer pulling its weight.
+    """
+
+    def propose(sig: Signal, ctl: Controller) -> List[Proposal]:
+        friend_names = {f.owner_name for f in backup.friends}
+        if sig.key not in friend_names:
+            return []
+        avail = ctl.availability(sig.key, window)
+        if avail >= availability_threshold:
+            return []
+
+        def execute():
+            files = backup.evacuate_holder(sig.key)
+            ctl.count_message(files)
+            return {"files": files}
+
+        return [Proposal(target=sig.key, execute=execute,
+                         detail={"availability": round(avail, 6)})]
+
+    return ControlRule(
+        "attic.migrate", kinds=("peer_alive",), propose=propose,
+        cooldown=cooldown)
+
+
+def attic_probe_rule(backup, loader, min_failures: int = 1,
+                     cooldown: float = 3.0) -> ControlRule:
+    """Cross-layer detection: NoCDN failures implicate attic friends.
+
+    A peer that just failed chunk fetches is probably also unable to
+    answer attic heartbeats, but the attic will not notice until its
+    own timeout expires. Probing it out-of-band converts the NoCDN
+    signal into an early death verdict (via ``probe_friend``), which
+    pulls auto-repair forward by up to a full heartbeat timeout.
+    """
+    seen: Dict[str, int] = {}
+
+    def propose(sig: Signal, ctl: Controller) -> List[Proposal]:
+        counts = dict(loader.peer_failure_counts)
+        deltas = {p: c - seen.get(p, 0) for p, c in counts.items()}
+        seen.update(counts)
+        friend_names = {f.owner_name for f in backup.friends}
+        monitor = backup.monitor
+        suspects = sorted(
+            p for p, d in deltas.items()
+            if d >= min_failures and p in friend_names
+            and (monitor is None or monitor.is_alive(p)))
+        proposals = []
+        for name in suspects:
+            def execute(name=name):
+                backup.probe_friend(name)
+                ctl.count_message(1)
+                return {}
+
+            proposals.append(Proposal(target=name, execute=execute))
+        return proposals
+
+    return ControlRule(
+        "attic.probe", kinds=("alert",), propose=propose,
+        matcher=lambda sig: sig.attrs.get("service") == "nocdn",
+        cooldown=cooldown)
+
+
+def dcol_rotate_rule(manager, transfers: Callable[[], Sequence],
+                     mechanism: str = "vpn",
+                     cooldown: float = 5.0) -> ControlRule:
+    """Rotate the worst detour of every in-flight transfer on a DCol
+    alert. ``transfers`` is a zero-arg callable returning the transfers
+    to consider (live lists keep the rule current without coupling it
+    to transfer creation)."""
+
+    def propose(sig: Signal, ctl: Controller) -> List[Proposal]:
+        proposals = []
+        for transfer in transfers():
+            if transfer.done or not transfer.handshake_done:
+                continue
+
+            def execute(transfer=transfer):
+                result = transfer.rotate_worst(
+                    manager.candidate_waypoints(), mechanism=mechanism)
+                ctl.count_message(2)  # withdraw + engage
+                return result
+
+            proposals.append(Proposal(target=transfer.label,
+                                      execute=execute))
+        return proposals
+
+    return ControlRule(
+        "dcol.rotate", kinds=("alert",), propose=propose,
+        matcher=lambda sig: sig.attrs.get("service") == "dcol",
+        cooldown=cooldown)
+
+
+def reregister_rule(zone, resolvers: Iterable = (), ttl: float = 30.0,
+                    cooldown: float = 0.5) -> ControlRule:
+    """Re-publish a restarted HPoP's A record, invalidate stale caches.
+
+    The :class:`~repro.control.service.ControlAgent` emits
+    ``hpop_restart`` with the appliance's ``fqdn`` and ``address`` in
+    the signal attrs; this rule writes the record back into the
+    authoritative ``zone`` and invalidates exactly that name in every
+    registered stub resolver — per-name, not ``flush()``, so unrelated
+    cached answers survive.
+    """
+    resolvers = list(resolvers)
+
+    def propose(sig: Signal, ctl: Controller) -> List[Proposal]:
+        fqdn = sig.attrs.get("fqdn")
+        address = sig.attrs.get("address")
+        if not fqdn or address is None:
+            return []
+
+        def execute():
+            zone.add(fqdn, address, ttl=ttl)
+            for resolver in resolvers:
+                resolver.invalidate(fqdn)
+            ctl.count_message(1 + len(resolvers))
+            return {"address": str(address)}
+
+        return [Proposal(target=sig.key, execute=execute,
+                         detail={"fqdn": fqdn})]
+
+    return ControlRule(
+        "naming.reregister", kinds=("hpop_restart",), propose=propose,
+        cooldown=cooldown)

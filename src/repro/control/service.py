@@ -1,0 +1,41 @@
+"""The per-HPoP control agent: restart signals into the control plane.
+
+:class:`ControlAgent` is the thin on-appliance half of the control
+plane: installed on each HPoP, it reports lifecycle transitions to the
+shared :class:`~repro.control.controller.Controller`. Its one signal
+today is ``hpop_restart`` — fired on every (re)start after first boot,
+carrying the appliance's current address and DNS name so the
+:func:`~repro.control.rules.reregister_rule` can re-publish the A
+record and invalidate stale resolver caches (the crash / IP-change
+re-registration path of paper SIII's "always reachable" promise).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.control.controller import Controller
+from repro.hpop.core import Hpop, HpopService
+
+
+class ControlAgent(HpopService):
+    """Install on an HPoP to feed its lifecycle into the controller."""
+
+    name = "control"
+
+    def __init__(self, controller: Controller,
+                 fqdn: Optional[str] = None) -> None:
+        super().__init__()
+        self.controller = controller
+        self.fqdn = fqdn
+        self._booted = False
+
+    def on_start(self) -> None:
+        if not self._booted:
+            self._booted = True  # first boot is provisioning, not recovery
+            return
+        host = self.hpop.host
+        self.controller.signal(
+            "hpop_restart", host.name,
+            fqdn=self.fqdn or f"{host.name}.home",
+            address=host.address)

@@ -300,6 +300,34 @@ class DetourTransfer:
         self.sim.schedule(probe_time, judge, label=f"{self.label}.explore",
                           weak=True)
 
+    def rotate_worst(self, candidates: List[WaypointService],
+                     mechanism: str = "vpn") -> Dict[str, Optional[str]]:
+        """Swap the slowest active detour for the best unused candidate.
+
+        The control plane's RTT-regression remediation: withdraw the
+        detour with the lowest measured goodput (only if there is more
+        than one, or it is demonstrably idle) and engage the first
+        candidate waypoint not already in use. Either half may be a
+        no-op — rotating with no candidates just sheds the worst
+        detour; rotating with no detours just engages a fresh one.
+        Returns ``{"withdrawn": name | None, "engaged": name | None}``.
+        """
+        withdrawn: Optional[str] = None
+        in_use = {h.waypoint.host.name for h in self.detours}
+        if self.detours:
+            worst = min(self.detours, key=lambda h: h.goodput_bps)
+            self.withdraw_detour(worst)
+            withdrawn = worst.waypoint.host.name
+        engaged: Optional[str] = None
+        for waypoint in candidates:
+            name = waypoint.host.name
+            if name in in_use or name == withdrawn:
+                continue
+            self.add_detour(waypoint, mechanism=mechanism)
+            engaged = name
+            break
+        return {"withdrawn": withdrawn, "engaged": engaged}
+
     def police_waypoints(self, min_share_of_direct: float = 0.05,
                          loss_event_threshold: int = 5) -> List[DetourHandle]:
         """Withdraw and report detours that look malicious/broken.

@@ -36,7 +36,9 @@ def run_chaos_cell(seed: int, params: Mapping[str, Any],
     scenario's 0.2), ``num_peers``, ``horizon`` (extra sim seconds
     after load scheduling), ``trace``/``profile`` (bool toggles for
     the optional artifacts; both default on — the profiler's wall
-    numbers stay out of the summary contract).
+    numbers stay out of the summary contract), ``controller`` (attach
+    the autonomous control plane and export ``control.jsonl``; off by
+    default so existing study baselines keep their bytes).
     """
     # Lazy: the chaos world lives with the integration tests, and the
     # study machinery must import without the tests package on path.
@@ -47,11 +49,14 @@ def run_chaos_cell(seed: int, params: Mapping[str, Any],
     horizon = float(params.get("horizon", 150.0))
     with_trace = bool(params.get("trace", True))
     with_profile = bool(params.get("profile", True))
+    with_controller = bool(params.get("controller", False))
 
     world = ChaosWorld(seed, num_peers=num_peers)
     tracer = world.sim.enable_tracing(capacity=262144) if with_trace else None
     profiler = world.sim.enable_profiling() if with_profile else None
     world.enable_telemetry()
+    if with_controller:
+        world.enable_controller()
     world.seed_attic()
     plan = world.apply_churn(fraction)
     results, errors = world.schedule_loads()
@@ -69,8 +74,10 @@ def run_chaos_cell(seed: int, params: Mapping[str, Any],
         (out_dir / "profile.json").write_text(
             json.dumps(profiler.to_dict(), indent=2, sort_keys=True),
             encoding="utf-8")
+    if with_controller:
+        world.controller.export_jsonl(str(out_dir / "control.jsonl"))
 
-    return {
+    facts = {
         "loads_ok": len(results),
         "load_errors": len(errors),
         "planned_faults": len(plan),
@@ -79,6 +86,15 @@ def run_chaos_cell(seed: int, params: Mapping[str, Any],
         "attic_redundant": bool(world.attic_fully_redundant()),
         "slo_transitions": len(world.slo_monitor.events),
     }
+    if with_controller:
+        ctl = world.controller
+        facts.update({
+            "control_decisions": len(ctl.decisions()),
+            "control_actions": int(
+                ctl.metrics.counters["actions_executed"].value),
+            "alerts_converged": len(ctl.convergences()),
+        })
+    return facts
 
 
 def run_fleet_cell(seed: int, params: Mapping[str, Any],

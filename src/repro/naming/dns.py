@@ -104,9 +104,13 @@ class StubResolver:
 
     def resolve(self, name: str) -> Address:
         cached = self._cache.get(name)
-        if cached is not None and self.sim.now < cached.expires_at:
-            self.cache_hits += 1
-            return cached.record.address
+        if cached is not None:
+            if self.sim.now < cached.expires_at:
+                self.cache_hits += 1
+                return cached.record.address
+            # Expired: drop it now rather than letting dead entries pile
+            # up behind names that are never asked for again.
+            del self._cache[name]
         self.cache_misses += 1
         for zone in self._zones:
             if name == zone.origin or name.endswith("." + zone.origin):
@@ -115,6 +119,25 @@ class StubResolver:
                     record=record, expires_at=self.sim.now + record.ttl)
                 return record.address
         raise DnsError(f"no zone for {name}")
+
+    def invalidate(self, name: str) -> bool:
+        """Evict one cached answer (a re-registered address must not
+        wait out its old TTL). Returns True if an entry was dropped."""
+        return self._cache.pop(name, None) is not None
+
+    def prune(self) -> int:
+        """Evict every expired entry; returns how many were dropped."""
+        now = self.sim.now
+        stale = [n for n, c in self._cache.items() if now >= c.expires_at]
+        for name in stale:
+            del self._cache[name]
+        return len(stale)
+
+    def cached_names(self) -> List[str]:
+        """Names with a live (unexpired) cached answer."""
+        now = self.sim.now
+        return sorted(n for n, c in self._cache.items()
+                      if now < c.expires_at)
 
     def flush(self) -> None:
         self._cache.clear()

@@ -75,6 +75,9 @@ class PageLoader:
         self._loader_cached: Set[str] = set()
         self.records_sent = 0
         self.loads_completed = 0
+        # Cumulative chunk-fetch failures by serving peer: the control
+        # plane diffs this between alerts to find who is failing *now*.
+        self.peer_failure_counts: Dict[str, int] = {}
         self.metrics = MetricsRegistry(namespace="nocdn")
         self._page_load_time = self.metrics.histogram(
             "page_load_seconds", help="Wrapper fetch to full assembly")
@@ -285,6 +288,8 @@ class PageLoader:
                 fetch_span.finish(outcome="peer-failed")
                 self._c_chunk_failures.inc()
                 result.peer_failures.append((item.object_name, serving_peer))
+                self.peer_failure_counts[serving_peer] = (
+                    self.peer_failure_counts.get(serving_peer, 0) + 1)
                 next_peer = next(
                     (p for p in wrapper.fallbacks if p not in attempted), None)
                 if next_peer is not None:

@@ -43,6 +43,8 @@ class PeerInfo:
     outstanding_bytes: int = 0
     expelled: bool = False
     corruption_reports: int = 0
+    quarantined_until: float = 0.0
+    quarantines: int = 0
 
     @property
     def alive(self) -> bool:
@@ -163,8 +165,29 @@ class ContentProvider:
         if info is not None:
             info.expelled = True
 
+    def quarantine_peer(self, peer_id: str, duration: float) -> float:
+        """Exclude a peer from assignments for ``duration`` seconds.
+
+        The control plane's soft expulsion: the origin cannot observe a
+        *partitioned* peer (its host stays powered, the service keeps
+        running), so client-observed failures reported through the
+        controller are the only signal. Quarantine is additive-safe —
+        re-quarantining extends, never shortens. Returns the expiry.
+        """
+        info = self.peers.get(peer_id)
+        if info is None:
+            raise KeyError(f"unknown peer {peer_id!r}")
+        expiry = self.sim.now + duration
+        if expiry > info.quarantined_until:
+            info.quarantined_until = expiry
+        info.quarantines += 1
+        return info.quarantined_until
+
+    def _usable(self, info: PeerInfo) -> bool:
+        return info.alive and self.sim.now >= info.quarantined_until
+
     def alive_peers(self) -> List[PeerInfo]:
-        return [p for p in self.peers.values() if p.alive]
+        return [p for p in self.peers.values() if self._usable(p)]
 
     # -- routes ------------------------------------------------------------------
 
@@ -218,7 +241,8 @@ class ContentProvider:
             cached = self._wrapper_cache.get(page.url)
             if (cached is not None
                     and self.sim.now <= cached.issued_at + self.wrapper_reuse_ttl
-                    and all(self.peers[p].alive for p in cached.peers_used())):
+                    and all(self._usable(self.peers[p])
+                            for p in cached.peers_used())):
                 self.wrappers_reused += 1
                 # Each additional client is authorized to download the
                 # page once more: extend the per-peer byte caps.

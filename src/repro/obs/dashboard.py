@@ -1,9 +1,12 @@
 """The unified run dashboard: one report per simulation run.
 
-Merges the four artifacts a fully instrumented run exports — the trace
-JSONL, the TSDB export, the fault-event log, and the SLO alert/verdict
-log (plus an optional profiler summary) — into a single self-contained
-document, as markdown or HTML. ``scripts/dashboard_report.py`` is the
+Merges the artifacts a fully instrumented run exports — the trace
+JSONL, the TSDB export, the fault-event log, the SLO alert/verdict
+log, and the control plane's remediation decision log (plus an
+optional profiler summary) — into a single self-contained document,
+as markdown or HTML. When the decision log is present, every alert
+shows the remediation actions it triggered and the measured
+convergence time (fire → resolve). ``scripts/dashboard_report.py`` is the
 CLI; ``make dashboard`` runs the chaos scenario under full telemetry
 and renders the result.
 
@@ -65,6 +68,7 @@ class RunArtifacts:
     faults: List[dict] = field(default_factory=list)
     slo_events: List[dict] = field(default_factory=list)
     slo_verdicts: List[dict] = field(default_factory=list)
+    control: List[dict] = field(default_factory=list)
     profile: Dict[str, Any] = field(default_factory=dict)
     title: str = "simulation run"
 
@@ -73,6 +77,7 @@ class RunArtifacts:
              tsdb_path: Optional[str] = None,
              faults_path: Optional[str] = None,
              slo_path: Optional[str] = None,
+             control_path: Optional[str] = None,
              profile_path: Optional[str] = None,
              title: str = "simulation run") -> "RunArtifacts":
         art = cls(title=title)
@@ -84,6 +89,8 @@ class RunArtifacts:
             art.faults = list(iter_jsonl(faults_path))
         if slo_path:
             art.slo_events, art.slo_verdicts = load_slo_jsonl(slo_path)
+        if control_path:
+            art.control = list(iter_jsonl(control_path))
         if profile_path:
             with open(profile_path, "r", encoding="utf-8") as fh:
                 art.profile = json.load(fh)
@@ -92,6 +99,12 @@ class RunArtifacts:
     def correlations(self, lookback: float = 10.0) -> List[Dict[str, Any]]:
         return correlate_alerts(self.slo_events, self.faults,
                                 lookback=lookback)
+
+    def control_decisions(self) -> List[dict]:
+        return [r for r in self.control if r.get("event") == "decision"]
+
+    def control_convergences(self) -> List[dict]:
+        return [r for r in self.control if r.get("event") == "converged"]
 
 
 @dataclass
@@ -159,12 +172,19 @@ def _verdict_rows(art: RunArtifacts) -> List[List[str]]:
 
 
 def _alert_rows(art: RunArtifacts, lookback: float) -> List[Dict[str, Any]]:
+    decisions = art.control_decisions()
+    convergences = {(c["slo"], c["fired_t"]): c
+                    for c in art.control_convergences()}
     rows = []
     for match in art.correlations(lookback):
         alert = match["alert"]
         causes = [
             f"t={float(f['t']):.2f} {f.get('event', '?')}"
             f" on {f.get('target', '?')}" for f in match["causes"][:5]]
+        acted = [d for d in decisions
+                 if d["trigger"] == f"alert:{alert['slo']}"
+                 and d["t"] == alert["t"]]
+        conv = convergences.get((alert["slo"], alert["t"]))
         rows.append({
             "t": float(alert["t"]),
             "slo": alert["slo"],
@@ -172,7 +192,25 @@ def _alert_rows(art: RunArtifacts, lookback: float) -> List[Dict[str, Any]]:
             "burn": (f"{alert.get('burn_long', 0):.1f}x / "
                      f"{alert.get('burn_short', 0):.1f}x"),
             "causes": causes,
+            "decisions": [f"{d['action']} on {d['target']} "
+                          f"({d['outcome']})" for d in acted[:5]],
+            "convergence_s": (float(conv["convergence_s"])
+                              if conv else None),
         })
+    return rows
+
+
+def _control_summary(art: RunArtifacts) -> List[List[str]]:
+    """One row per (action, outcome): count plus distinct targets."""
+    grouped: Dict[Tuple[str, str], List[str]] = {}
+    for d in art.control_decisions():
+        grouped.setdefault((d["action"], d["outcome"]), []).append(
+            d["target"])
+    rows = []
+    for (action, outcome) in sorted(grouped):
+        targets = grouped[(action, outcome)]
+        rows.append([action, outcome, str(len(targets)),
+                     str(len(set(targets)))])
     return rows
 
 
@@ -248,11 +286,14 @@ def build_markdown(art: RunArtifacts, lookback: float = 10.0) -> str:
 
     firing = [e for e in art.slo_events if e.get("state") == "firing"]
     met = sum(1 for v in art.slo_verdicts if v["met"])
+    executed = [d for d in art.control_decisions()
+                if d["outcome"] == "executed"]
     out.append(
         f"**{met}/{len(art.slo_verdicts)} SLOs met** · "
         f"{len(firing)} burn-rate alerts · "
         f"{len(art.faults)} fault events · "
         f"{len(art.tsdb)} time series"
+        + (f" · {len(executed)} remediation actions" if art.control else "")
         + (f" · wall/sim ratio {art.profile.get('wall_sim_ratio', 0):.4f}"
            if art.profile else ""))
     out.append("")
@@ -275,9 +316,25 @@ def build_markdown(art: RunArtifacts, lookback: float = 10.0) -> str:
                     out.append(f"  - likely cause: {cause}")
             else:
                 out.append("  - no fault event within the lookback window")
+            for decision in row["decisions"]:
+                out.append(f"  - remediation: {decision}")
+            if row["convergence_s"] is not None:
+                out.append(f"  - converged in {row['convergence_s']:.2f}s")
+            elif art.control:
+                out.append("  - not converged by run end")
     else:
         out.append("(no alerts fired)")
     out.append("")
+
+    if art.control:
+        out += ["## Remediation decisions", "",
+                _md_table(("action", "outcome", "count", "targets"),
+                          _control_summary(art)), ""]
+        conv = art.control_convergences()
+        if conv:
+            mean_s = sum(c["convergence_s"] for c in conv) / len(conv)
+            out += [f"{len(conv)} alerts converged, mean "
+                    f"{mean_s:.2f}s fire→resolve.", ""]
 
     if art.faults:
         out += ["## Fault timeline", "",
@@ -378,6 +435,10 @@ def build_html(art: RunArtifacts, lookback: float = 10.0) -> str:
                f"{len(firing)} burn-rate alerts · "
                f"{len(art.faults)} fault events · "
                f"{len(art.tsdb)} time series")
+    if art.control:
+        executed = [d for d in art.control_decisions()
+                    if d["outcome"] == "executed"]
+        summary += f" · {len(executed)} remediation actions"
     if art.profile:
         summary += (f" · wall/sim ratio "
                     f"{art.profile.get('wall_sim_ratio', 0):.4f}")
@@ -397,6 +458,13 @@ def build_html(art: RunArtifacts, lookback: float = 10.0) -> str:
             causes = "".join(f"<li>likely cause: {esc(c)}</li>"
                              for c in row["causes"]) or \
                 "<li>no fault event within the lookback window</li>"
+            causes += "".join(f"<li>remediation: {esc(d)}</li>"
+                              for d in row["decisions"])
+            if row["convergence_s"] is not None:
+                causes += (f"<li>converged in "
+                           f"{row['convergence_s']:.2f}s</li>")
+            elif art.control:
+                causes += "<li>not converged by run end</li>"
             body.append(
                 f"<li><b>t={row['t']:.2f}</b> <code>{esc(row['slo'])}</code> "
                 f"({esc(row['severity'])}, burn {esc(row['burn'])})"
@@ -404,6 +472,16 @@ def build_html(art: RunArtifacts, lookback: float = 10.0) -> str:
         body.append("</ul>")
     else:
         body.append("<p>(no alerts fired)</p>")
+
+    if art.control:
+        body.append("<h2>Remediation decisions</h2>")
+        body.append(_html_table(("action", "outcome", "count", "targets"),
+                                _control_summary(art)))
+        conv = art.control_convergences()
+        if conv:
+            mean_s = sum(c["convergence_s"] for c in conv) / len(conv)
+            body.append(f"<p>{len(conv)} alerts converged, mean "
+                        f"{mean_s:.2f}s fire→resolve.</p>")
 
     if art.faults:
         body.append("<h2>Fault timeline</h2>")
@@ -466,9 +544,15 @@ def dashboard_json(art: RunArtifacts, lookback: float = 10.0,
     """
     alerts = []
     for row in _alert_rows(art, lookback):
-        alerts.append({"t": round(row["t"], 9), "slo": row["slo"],
-                       "severity": row["severity"],
-                       "causes": len(row["causes"])})
+        entry = {"t": round(row["t"], 9), "slo": row["slo"],
+                 "severity": row["severity"],
+                 "causes": len(row["causes"])}
+        if art.control:
+            entry["decisions"] = len(row["decisions"])
+            entry["convergence_s"] = (
+                round(row["convergence_s"], 9)
+                if row["convergence_s"] is not None else None)
+        alerts.append(entry)
     faults = {}
     for kind, count, first, last in _fault_summary(art):
         faults[kind] = {"count": int(count), "first_t": float(first),
@@ -488,6 +572,22 @@ def dashboard_json(art: RunArtifacts, lookback: float = 10.0,
         "faults": faults,
         "series": series,
     }
+    if art.control:
+        decisions = art.control_decisions()
+        by_action: Dict[str, int] = {}
+        for d in decisions:
+            if d["outcome"] == "executed":
+                by_action[d["action"]] = by_action.get(d["action"], 0) + 1
+        conv = art.control_convergences()
+        out["control"] = {
+            "decisions": len(decisions),
+            "executed": sum(by_action.values()),
+            "by_action": by_action,
+            "convergences": [
+                {"slo": c["slo"], "fired_t": round(c["fired_t"], 9),
+                 "convergence_s": round(c["convergence_s"], 9)}
+                for c in conv],
+        }
     if art.trace is not None:
         out["trace"] = {"records": len(art.trace.records),
                         "dropped": art.trace.dropped}

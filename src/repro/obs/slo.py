@@ -158,9 +158,18 @@ class SloMonitor:
         ).set_function(lambda: float(len(self._active)))
         self.events: List[dict] = []
         self._active: Dict[str, Any] = {}   # spec name -> open alert span
+        self._listeners: List[Any] = []
         self._started = False
         self._stopped = False
         self.started_at: Optional[float] = None
+
+    def add_listener(self, fn) -> None:
+        """Register ``fn(record)`` to be called synchronously for every
+        appended alert record (firing and resolved) — the control
+        plane's subscription point. Listeners run in registration
+        order inside the evaluation event, so they perturb nothing
+        about alert timing."""
+        self._listeners.append(fn)
 
     # -- cadence ----------------------------------------------------------
 
@@ -225,6 +234,8 @@ class SloMonitor:
                   "objective": spec.objective}
         record.update(extra)
         self.events.append(record)
+        for fn in self._listeners:
+            fn(record)
         return record
 
     def finish(self) -> None:

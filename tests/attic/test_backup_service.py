@@ -362,3 +362,92 @@ class TestCanonicalBytes:
         b = file_backup_bytes("/f", 1, 100)
         c = file_backup_bytes("/f", 2, 100)
         assert a == b and a != c and len(a) == 100
+
+
+class TestControlPrimitives:
+    """The remediation hooks the control plane drives: immediate repair,
+    holder evacuation, and targeted liveness probes."""
+
+    def backed_up_world(self, num_friends=8, k=3, m=2):
+        # Like build(), but the owner runs the heartbeat monitor the
+        # control plane's probes and verdicts go through.
+        sim = Simulator(seed=17)
+        city = build_city(sim, homes_per_neighborhood=num_friends + 2)
+        services = []
+        for i in range(num_friends + 1):
+            home = city.neighborhoods[0].homes[i]
+            hpop = Hpop(home.hpop_host, city.network,
+                        Household(name=f"h{i}", users=[User("u", "p")]))
+            hpop.install(DataAtticService())
+            svc = hpop.install(PeerBackupService(
+                k=k, m=m, heartbeat_interval=1.0))
+            hpop.start()
+            services.append(svc)
+        owner = services[0]
+        for friend in services[1:]:
+            owner.add_friend(friend)
+        put_file(owner, "/u0/docs/tax.pdf", kib(120))
+        done = []
+        owner.backup_file("/u0/docs/tax.pdf", done.append)
+        sim.run_until(sim.now + 5.0)
+        assert done == [True]
+        return sim, city, owner, services
+
+    def test_repair_now_sweeps_immediately(self):
+        sim, _city, owner, services = self.backed_up_world()
+        victim = next(s for s in services[1:]
+                      if s.owner_name in owner.manifest[
+                          "/u0/docs/tax.pdf"].shard_holders)
+        victim.hpop.shutdown()
+        owner.monitor.declare_dead(victim.owner_name)
+        assert owner.repair_now() is True
+        sim.run()
+        entry = owner.manifest["/u0/docs/tax.pdf"]
+        assert victim.owner_name not in entry.shard_holders
+        assert owner.metrics.value("shards_repaired") >= 1
+
+    def test_repair_now_without_manifest_is_noop(self):
+        sim, _city, owner, _services = build()
+        assert owner.repair_now() is False
+
+    def test_evacuate_holder_moves_shards_off_live_peer(self):
+        sim, _city, owner, services = self.backed_up_world()
+        entry = owner.manifest["/u0/docs/tax.pdf"]
+        target = entry.shard_holders[0]
+        moved = owner.evacuate_holder(target)
+        assert moved == 1  # one manifest entry listed it
+        sim.run()
+        entry = owner.manifest["/u0/docs/tax.pdf"]
+        assert target not in entry.shard_holders
+        # The file is still fully redundant on the survivors.
+        by_name = {s.owner_name: s for s in services[1:]}
+        for index, holder_name in enumerate(entry.shard_holders):
+            key = (owner.owner_name, "/u0/docs/tax.pdf", index)
+            assert key in by_name[holder_name].held_shards
+        assert owner.metrics.value("holders_evacuated") == 1
+
+    def test_evacuate_holder_without_shards_is_noop(self):
+        sim, _city, owner, _services = self.backed_up_world()
+        assert owner.evacuate_holder("nobody-holds-anything") == 0
+
+    def test_probe_friend_beats_monitor_when_alive(self):
+        sim, _city, owner, services = self.backed_up_world()
+        friend = services[1]
+        verdicts = []
+        owner.probe_friend(friend.owner_name, on_verdict=verdicts.append)
+        sim.run()
+        assert verdicts == [True]
+        assert owner.monitor.is_alive(friend.owner_name)
+        assert owner.metrics.value("probes_sent") == 1
+        assert owner.metrics.value("probe_deaths") == 0
+
+    def test_probe_friend_declares_dead_on_timeout(self):
+        sim, _city, owner, services = self.backed_up_world()
+        friend = services[1]
+        friend.hpop.shutdown()
+        verdicts = []
+        owner.probe_friend(friend.owner_name, on_verdict=verdicts.append)
+        sim.run()
+        assert verdicts == [False]
+        assert not owner.monitor.is_alive(friend.owner_name)
+        assert owner.metrics.value("probe_deaths") == 1

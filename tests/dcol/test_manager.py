@@ -183,3 +183,50 @@ class TestValidation:
         transfer = manager.start_transfer(bed.server, mib(1))
         with pytest.raises(ValueError):
             transfer.explore(services, probe_time=1.0, keep=-1)
+
+
+class TestRotation:
+    """rotate_worst: the control plane's RTT-regression remediation."""
+
+    def test_swaps_slowest_detour_for_fresh_candidate(self):
+        sim, bed, _c, services, manager = build(num_waypoints=3)
+        transfer = manager.start_transfer(bed.server, mib(30))
+        transfer.add_detour(services[0])
+        transfer.add_detour(services[1])
+        # Let traffic flow so goodput is measurable, then rotate.
+        sim.run_until(3.0)
+        names = {h.waypoint.host.name for h in transfer.detours}
+        worst = min(transfer.detours, key=lambda h: h.goodput_bps)
+        result = transfer.rotate_worst(manager.candidate_waypoints())
+        assert result["withdrawn"] == worst.waypoint.host.name
+        fresh = services[2].host.name
+        assert result["engaged"] == fresh
+        after = {h.waypoint.host.name for h in transfer.detours}
+        assert result["withdrawn"] not in after
+        # The survivors are the old best plus the fresh engage (which may
+        # still be mid-handshake, hence <= 2).
+        assert after <= (names - {result["withdrawn"]}) | {fresh}
+        sim.run()
+        assert transfer.done
+
+    def test_rotate_with_no_detours_engages_first_candidate(self):
+        sim, bed, _c, services, manager = build(num_waypoints=2)
+        transfer = manager.start_transfer(bed.server, mib(5))
+        sim.run_until(1.0)
+        result = transfer.rotate_worst(manager.candidate_waypoints())
+        assert result["withdrawn"] is None
+        assert result["engaged"] == services[0].host.name
+        sim.run()
+        assert transfer.done
+
+    def test_rotate_with_no_candidates_just_sheds_worst(self):
+        sim, bed, _c, services, manager = build(num_waypoints=1)
+        transfer = manager.start_transfer(bed.server, mib(5))
+        transfer.add_detour(services[0])
+        sim.run_until(2.0)
+        result = transfer.rotate_worst(manager.candidate_waypoints())
+        assert result["withdrawn"] == services[0].host.name
+        assert result["engaged"] is None  # sole candidate was just withdrawn
+        assert transfer.detours == []
+        sim.run()
+        assert transfer.done

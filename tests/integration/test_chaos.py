@@ -73,6 +73,10 @@ class ChaosWorld:
                                       hpops=self.hpops)
         self.tsdb = None
         self.slo_monitor = None
+        self.controller = None
+        self.zone = None
+        self.resolver = None
+        self.redundancy_transitions = []
 
     def enable_telemetry(self, scrape_interval: float = 0.25,
                          eval_interval: float = 0.5):
@@ -102,6 +106,85 @@ class ChaosWorld:
         self.slo_monitor.start()
         return self.tsdb, self.slo_monitor
 
+    def enable_controller(self, quarantine_s: float = 20.0):
+        """Attach the autonomous control plane on top of the telemetry.
+
+        One shared :class:`Controller` subscribes to the SLO monitor's
+        alert stream and the owner attic's death/revival verdicts;
+        rules quarantine failing NoCDN peers, pull attic repairs
+        forward, probe implicated friends out-of-band, evacuate
+        chronically flappy holders, and re-register restarted HPoPs in
+        a ``home.`` zone (invalidating the client resolver's cache).
+        Requires :meth:`enable_telemetry` first. Returns the controller.
+        """
+        from repro.control import (
+            Controller,
+            ControlAgent,
+            attic_migrate_rule,
+            attic_probe_rule,
+            attic_repair_rule,
+            nocdn_rerank_rule,
+            reregister_rule,
+        )
+        from repro.naming.dns import StubResolver, Zone
+
+        assert self.slo_monitor is not None, "enable_telemetry() first"
+        self.controller = Controller(self.sim)
+        self.zone = Zone("home")
+        self.resolver = StubResolver(self.sim, client=self.client_device)
+        self.resolver.add_zone(self.zone)
+        for hpop in self.hpops:
+            fqdn = f"{hpop.host.name}.home"
+            self.zone.add(fqdn, hpop.host.address, ttl=30.0)
+            self.resolver.resolve(fqdn)  # warm cache: restarts must evict
+            hpop.install(ControlAgent(self.controller, fqdn=fqdn))
+        self.controller.add_rule(nocdn_rerank_rule(
+            self.provider, self.loader, quarantine_s=quarantine_s))
+        self.controller.add_rule(attic_repair_rule(self.owner))
+        self.controller.add_rule(attic_probe_rule(self.owner, self.loader))
+        self.controller.add_rule(attic_migrate_rule(self.owner))
+        self.controller.add_rule(reregister_rule(
+            self.zone, resolvers=[self.resolver]))
+        self.slo_monitor.add_listener(self.controller.on_slo_event)
+        self.owner.add_peer_listener(self.controller.on_peer_event)
+        self.tsdb.add_registry(self.controller.metrics, source="control")
+        return self.controller
+
+    def start_redundancy_probe(self, interval: float = 0.25):
+        """Sample attic redundancy on a cadence; records transitions.
+
+        ``redundancy_transitions`` collects ``(t, bool)`` whenever the
+        fully-redundant verdict changes — the outage intervals between
+        a ``True -> False`` edge and the next ``False -> True`` edge
+        are the *injection-to-repair* times the control bench compares
+        (the service's own ``time_to_repair_seconds`` clock only starts
+        at the death verdict, so it cannot credit faster detection).
+        """
+        state = {"redundant": None}
+
+        def sample():
+            now_redundant = self.attic_fully_redundant()
+            if now_redundant != state["redundant"]:
+                state["redundant"] = now_redundant
+                self.redundancy_transitions.append(
+                    (self.sim.now, now_redundant))
+            self.sim.schedule(interval, sample, label="chaos.redundancy",
+                              weak=True)
+
+        sample()
+
+    def repair_outages(self):
+        """Closed (start, duration) outage windows from the probe."""
+        outages = []
+        down_at = None
+        for t, redundant in self.redundancy_transitions:
+            if not redundant and down_at is None:
+                down_at = t
+            elif redundant and down_at is not None:
+                outages.append((down_at, t - down_at))
+                down_at = None
+        return outages
+
     def seed_attic(self):
         attic = self.owner.hpop.service("attic")
         attic.dav.tree.mkcol_recursive("/u0")
@@ -113,28 +196,42 @@ class ChaosWorld:
         self.sim.run_until(self.sim.now + 30.0)
         assert done == [(3, 3)]
 
-    def apply_churn(self, fraction: float = CHURN_FRACTION):
+    def apply_churn(self, fraction: float = CHURN_FRACTION,
+                    flaps: int = 1, flap_duration: float = 4.0,
+                    horizon: float = CHURN_HORIZON):
         t0 = self.sim.now
         victims = [h.host.name for h in self.hpops[1:]]
         plan = FaultPlan.churn(
-            victims, fraction, horizon=t0 + CHURN_HORIZON,
+            victims, fraction, horizon=t0 + horizon,
             rng=self.sim.rng.stream("chaos.plan"),
             downtime=(3.0, 6.0), start=t0 + CHURN_START)
-        if fraction > 0:
+        if fraction > 0 and flaps > 0:
             # A partitioned (but powered) peer: the origin cannot see
             # link state, keeps assigning it, and every load in the
             # window exercises client-side failover.
             plan.add(LinkFlap("hpop-n0h3", at=t0 + 5.0, duration=4.0))
+            # Extra flaps (the control bench's repeat offenders) come
+            # from their own rng stream so the default flaps=1 plan —
+            # and therefore the PR-3 fault log — stays byte-identical.
+            if flaps > 1:
+                flap_rng = self.sim.rng.stream("chaos.flaps")
+                for _ in range(flaps - 1):
+                    victim = flap_rng.randrange(1, self.num_peers)
+                    at = t0 + CHURN_START + flap_rng.uniform(
+                        0.0, max(0.0, horizon - CHURN_START))
+                    plan.add(LinkFlap(f"hpop-n0h{victim}", at=at,
+                                      duration=flap_duration))
         self.injector.apply(plan)
         return plan
 
-    def schedule_loads(self):
+    def schedule_loads(self, num_loads: int = NUM_LOADS,
+                       spacing: float = 0.5):
         results, errors = [], []
         t0 = self.sim.now
-        for i in range(NUM_LOADS):
+        for i in range(num_loads):
             url = f"/page{i % 2}"
             self.sim.at(
-                t0 + 1.0 + 0.5 * i,
+                t0 + 1.0 + spacing * i,
                 lambda u=url: self.loader.load(self.provider, u,
                                                results.append,
                                                errors.append),
@@ -157,15 +254,21 @@ class ChaosWorld:
 
 
 def run_chaos(seed: int, export_path=None, fraction: float = CHURN_FRACTION,
-              num_peers: int = NUM_PEERS, telemetry: bool = False):
+              num_peers: int = NUM_PEERS, telemetry: bool = False,
+              controller: bool = False, num_loads: int = NUM_LOADS,
+              spacing: float = 0.5, flaps: int = 1,
+              horizon: float = CHURN_HORIZON):
     world = ChaosWorld(seed, num_peers=num_peers)
-    if telemetry:
+    if telemetry or controller:
         world.enable_telemetry()
+    if controller:
+        world.enable_controller()
     world.seed_attic()
-    plan = world.apply_churn(fraction)
-    results, errors = world.schedule_loads()
+    plan = world.apply_churn(fraction, flaps=flaps, horizon=horizon)
+    results, errors = world.schedule_loads(num_loads=num_loads,
+                                           spacing=spacing)
     world.sim.run_until(world.sim.now + 150.0)
-    if telemetry:
+    if telemetry or controller:
         world.slo_monitor.finish()
     if export_path is not None:
         world.injector.export_jsonl(str(export_path))

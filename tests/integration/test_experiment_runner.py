@@ -16,10 +16,10 @@ class TestDiscovery:
 
     def test_discovers_all_experiments(self):
         experiments = discover(REPO_ROOT / "benchmarks")
-        # 13 paper experiments + 7 ablations.
-        assert len(experiments) == 20
+        # 13 paper experiments + 8 ablations.
+        assert len(experiments) == 21
         assert "e1" in experiments and "e13" in experiments
-        assert "a1" in experiments and "a7" in experiments
+        assert "a1" in experiments and "a8" in experiments
 
     def test_ids_match_filenames(self):
         experiments = discover(REPO_ROOT / "benchmarks")

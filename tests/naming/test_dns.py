@@ -105,3 +105,81 @@ class TestStubResolver:
         resolver = StubResolver(world.sim, client=world.client_device)
         resolver.add_zone(zone)
         assert resolver.resolve("www.news.example") == edge.host.address
+
+
+class TestInvalidateAndPrune:
+    def make(self, ttl=100.0):
+        sim = Simulator()
+        zone = Zone("example.com")
+        zone.add("www.example.com", Address.parse("198.18.0.1"), ttl=ttl)
+        zone.add("mail.example.com", Address.parse("198.18.0.2"), ttl=ttl)
+        resolver = StubResolver(sim)
+        resolver.add_zone(zone)
+        return sim, zone, resolver
+
+    def test_invalidate_then_resolve_sees_new_address(self):
+        """A re-registered address must not wait out the stale TTL."""
+        sim, zone, resolver = self.make(ttl=300.0)
+        old = resolver.resolve("www.example.com")
+        zone.add("www.example.com", Address.parse("198.18.0.9"), ttl=300.0)
+        # Without invalidation the stale answer survives...
+        assert resolver.resolve("www.example.com") == old
+        # ...invalidation forces a fresh zone query.
+        assert resolver.invalidate("www.example.com") is True
+        assert resolver.resolve("www.example.com") \
+            == Address.parse("198.18.0.9")
+        assert zone.queries_served == 2
+
+    def test_invalidate_is_per_name(self):
+        sim, zone, resolver = self.make()
+        resolver.resolve("www.example.com")
+        resolver.resolve("mail.example.com")
+        resolver.invalidate("www.example.com")
+        resolver.resolve("mail.example.com")  # still cached
+        assert resolver.cache_hits == 1
+        assert zone.queries_served == 2
+
+    def test_invalidate_unknown_name_is_noop(self):
+        _sim, _zone, resolver = self.make()
+        assert resolver.invalidate("nope.example.com") is False
+
+    def test_ttl_boundary_exact_expiry_is_a_miss(self):
+        """now == expires_at is expired: a TTL of 10 means *less than*
+        10 seconds of reuse, matching the zone's authority window."""
+        sim, zone, resolver = self.make(ttl=10.0)
+        resolver.resolve("www.example.com")
+        sim.run_until(10.0)
+        assert resolver.cached_names() == []
+        resolver.resolve("www.example.com")
+        assert zone.queries_served == 2
+        assert resolver.cache_hits == 0
+
+    def test_ttl_boundary_just_before_expiry_is_a_hit(self):
+        sim, zone, resolver = self.make(ttl=10.0)
+        resolver.resolve("www.example.com")
+        sim.run_until(9.999)
+        resolver.resolve("www.example.com")
+        assert zone.queries_served == 1
+        assert resolver.cache_hits == 1
+
+    def test_resolve_drops_expired_entry_even_on_error(self):
+        sim, zone, resolver = self.make(ttl=5.0)
+        resolver.resolve("www.example.com")
+        zone.remove("www.example.com")
+        sim.run_until(6.0)
+        with pytest.raises(DnsError):
+            resolver.resolve("www.example.com")
+        # The dead entry did not linger in the cache.
+        assert "www.example.com" not in resolver._cache
+
+    def test_prune_evicts_only_expired(self):
+        sim, zone, resolver = self.make(ttl=5.0)
+        resolver.resolve("www.example.com")
+        sim.run_until(3.0)
+        zone.add("late.example.com", Address.parse("198.18.0.3"), ttl=5.0)
+        resolver.resolve("late.example.com")
+        sim.run_until(6.0)  # www expired at 5.0; late lives until 8.0
+        assert resolver.prune() == 1
+        assert resolver.cached_names() == ["late.example.com"]
+        resolver.resolve("late.example.com")
+        assert resolver.cache_hits == 1

@@ -148,3 +148,71 @@ class TestHtml:
         html = build_html(art)
         assert "<script>" not in html
         assert "&lt;script&gt;" in html
+
+
+def control_fixture(tmp_path):
+    """fixture_artifacts plus a control decision log joined in."""
+    art = fixture_artifacts(tmp_path)
+    firing = next(e for e in art.slo_events if e.get("state") == "firing")
+    control_path = tmp_path / "control.jsonl"
+    records = [
+        {"t": firing["t"], "event": "decision", "action": "nocdn.quarantine",
+         "target": "peer-x", "trigger": f"alert:{firing['slo']}",
+         "outcome": "executed"},
+        {"t": firing["t"], "event": "decision", "action": "attic.probe",
+         "target": "peer-x", "trigger": f"alert:{firing['slo']}",
+         "outcome": "cooldown"},
+        {"t": firing["t"] + 2.0, "event": "converged", "slo": firing["slo"],
+         "fired_t": firing["t"], "convergence_s": 2.0, "decisions": 1},
+    ]
+    control_path.write_text(
+        "".join(json.dumps(r, sort_keys=True) + "\n" for r in records))
+    art.control = list(map(json.loads,
+                           control_path.read_text().splitlines()))
+    return art
+
+
+class TestControlSection:
+    def test_alert_shows_remediation_and_convergence(self, tmp_path):
+        art = control_fixture(tmp_path)
+        md = build_markdown(art)
+        assert "## Remediation decisions" in md
+        assert "remediation: nocdn.quarantine on peer-x (executed)" in md
+        assert "converged in 2.00s" in md
+        assert "1 remediation actions" in md  # cooldown not counted
+        html = build_html(art)
+        assert "Remediation decisions" in html
+        assert "nocdn.quarantine" in html
+        assert "converged in 2.00s" in html
+
+    def test_unconverged_alert_is_flagged(self, tmp_path):
+        art = control_fixture(tmp_path)
+        art.control = [r for r in art.control if r["event"] == "decision"]
+        md = build_markdown(art)
+        assert "not converged by run end" in md
+
+    def test_dashboard_json_control_block(self, tmp_path):
+        from repro.obs.dashboard import dashboard_json
+
+        art = control_fixture(tmp_path)
+        payload = dashboard_json(art)
+        assert payload["control"]["decisions"] == 2
+        assert payload["control"]["executed"] == 1
+        assert payload["control"]["by_action"] == {"nocdn.quarantine": 1}
+        assert payload["control"]["convergences"][0]["convergence_s"] == 2.0
+        alert = payload["alerts"][0]
+        assert alert["decisions"] == 2
+        assert alert["convergence_s"] == 2.0
+
+    def test_load_control_artifact(self, tmp_path):
+        art = control_fixture(tmp_path)
+        reloaded = RunArtifacts.load(
+            control_path=str(tmp_path / "control.jsonl"))
+        assert reloaded.control == art.control
+        assert len(reloaded.control_decisions()) == 2
+        assert len(reloaded.control_convergences()) == 1
+
+    def test_no_control_log_means_no_section(self, tmp_path):
+        md = build_markdown(fixture_artifacts(tmp_path))
+        assert "Remediation decisions" not in md
+        assert "not converged" not in md

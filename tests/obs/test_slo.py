@@ -272,3 +272,83 @@ class TestCorrelation:
                                 [], lookback=10.0)
         assert rows == [{"alert": {"t": 1.0, "state": "firing", "slo": "x"},
                          "causes": []}]
+
+
+class TestEdgeCases:
+    @staticmethod
+    def drip(sim, counter, amount, start, end, step=0.25):
+        """Increment ``counter`` by ``amount`` at each scrape-aligned step
+        in (start, end] so the TSDB sees the growth."""
+        t = start + step
+        while t <= end + 1e-9:
+            sim.schedule(t - sim.now, lambda c=counter: c.inc(amount),
+                         label="traffic")
+            t += step
+
+    def test_resolve_and_refire_within_one_scrape_interval(self):
+        """The burn can dip under threshold and spike again faster than the
+        monitor's own cadence; back-to-back evaluations see both edges."""
+        sim, db, monitor, total, bad = make_world()
+        db.start()
+        # 100% errors against a 10% budget until t=1.
+        self.drip(sim, total, 1, 0.0, 1.0)
+        self.drip(sim, bad, 1, 0.0, 1.0)
+        sim.run_until(1.05)
+        assert [e["state"] for e in monitor.evaluate()] == ["firing"]
+        # A flood of clean traffic drowns both burn windows...
+        self.drip(sim, total, 100, 1.0, 2.0)
+        sim.run_until(2.05)
+        assert [e["state"] for e in monitor.evaluate()] == ["resolved"]
+        # ...and a fresh error spike re-fires 0.25s later -- less than one
+        # monitor interval (0.5s) after the resolve. The spike lands
+        # off-grid at t=2.1 so the t=2.25 scrape captures it.
+        sim.schedule(2.1 - sim.now, lambda: bad.inc(200), label="spike")
+        sim.run_until(2.3)
+        assert [e["state"] for e in monitor.evaluate()] == ["firing"]
+        assert [e["state"] for e in monitor.events] == [
+            "firing", "resolved", "firing"]
+        assert monitor.metrics.counters["alerts_fired"].value == 2
+        assert monitor.metrics.counters["alerts_resolved"].value == 1
+        assert monitor.metrics.gauges["alerts_active"].read() == 1.0
+
+    def test_listener_sees_every_record_synchronously(self):
+        sim, db, monitor, total, bad = make_world()
+        seen = []
+        monitor.add_listener(lambda record: seen.append(
+            (record["state"], record["t"], sim.now)))
+        db.start()
+        self.drip(sim, total, 1, 0.0, 1.0)
+        self.drip(sim, bad, 1, 0.0, 1.0)
+        sim.run_until(1.05)
+        monitor.evaluate()
+        self.drip(sim, total, 100, 1.0, 2.0)
+        sim.run_until(2.05)
+        monitor.evaluate()
+        # Each record was delivered at the moment it was appended.
+        assert [(s, t) for s, t, _now in seen] == [
+            ("firing", 1.05), ("resolved", 2.05)]
+        assert all(t == now for _s, t, now in seen)
+        assert len(seen) == len(monitor.events)
+
+    def test_listener_registration_order(self):
+        sim, db, monitor, total, bad = make_world()
+        order = []
+        monitor.add_listener(lambda r: order.append("first"))
+        monitor.add_listener(lambda r: order.append("second"))
+        db.start()
+        self.drip(sim, total, 1, 0.0, 1.0)
+        self.drip(sim, bad, 1, 0.0, 1.0)
+        sim.run_until(1.05)
+        monitor.evaluate()
+        assert order == ["first", "second"]
+
+    def test_correlate_alerts_with_empty_fault_log(self):
+        """A run with no injected faults still correlates cleanly: every
+        firing alert yields a row with an empty causes list."""
+        alerts = [{"t": 3.0, "state": "firing", "slo": "a"},
+                  {"t": 5.0, "state": "resolved", "slo": "a"},
+                  {"t": 7.0, "state": "firing", "slo": "b"}]
+        rows = correlate_alerts(alerts, [], lookback=5.0)
+        assert len(rows) == 2
+        assert [r["alert"]["slo"] for r in rows] == ["a", "b"]
+        assert all(r["causes"] == [] for r in rows)
