@@ -1,8 +1,9 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test bench bench-check bench-scale experiments trace-smoke \
-	obs-smoke chaos control-smoke dashboard study study-smoke
+.PHONY: check test bench bench-check bench-scale bench-nocdn experiments \
+	trace-smoke obs-smoke chaos control-smoke nocdn-smoke dashboard \
+	study study-smoke
 
 check:
 	./scripts/check.sh
@@ -48,6 +49,15 @@ bench-check:
 # throughput, and the aggregated-vs-naive speedup -> BENCH_scale.json.
 bench-scale:
 	python scripts/bench_scale.py
+
+# Zipf x fleet-size NoCDN offload sweep: placement strategies vs the
+# traditional-CDN edge baseline -> BENCH_nocdn.json (several minutes;
+# the 10k-home cells dominate).
+bench-nocdn:
+	python scripts/bench_nocdn_fleet.py
+
+nocdn-smoke:
+	python scripts/nocdn_strategy_smoke.py
 
 experiments:
 	python -m repro.experiments all

@@ -33,6 +33,10 @@ Key metrics:
   (higher-is-better), and exact-match guards on ``loads_completed``,
   ``load_errors``, ``fully_redundant``, and ``unhandled_alerts`` — the
   control plane must never trade correctness for latency.
+- ``BENCH_nocdn.json``: exact-match guards per Zipf x fleet x strategy
+  cell on ``loads_ok``/``load_errors``/``total_bytes`` (the seeded
+  workload is deterministic) and on ``offload_gate`` — collaborative
+  placement must keep strictly beating the naive per-peer cache.
 """
 
 import argparse
@@ -70,6 +74,10 @@ KEY_METRICS = [
     ("BENCH_control.json", "modes.on.unhandled_alerts", "exact"),
     ("BENCH_control.json", "p99_speedup", "higher"),
     ("BENCH_control.json", "repair_speedup", "higher"),
+    ("BENCH_nocdn.json", "cells.{cell}.loads_ok", "exact"),
+    ("BENCH_nocdn.json", "cells.{cell}.load_errors", "exact"),
+    ("BENCH_nocdn.json", "cells.{cell}.total_bytes", "exact"),
+    ("BENCH_nocdn.json", "offload_gate", "exact"),
 ]
 
 # Values are dotted module names, or ``scripts/*.py`` paths loaded by
@@ -79,6 +87,7 @@ BENCH_MODULES = {
     "BENCH_faults.json": "benchmarks.bench_a7_fault_injection",
     "BENCH_scale.json": "scripts/bench_scale.py",
     "BENCH_control.json": "benchmarks.bench_a8_control",
+    "BENCH_nocdn.json": "scripts/bench_nocdn_fleet.py",
 }
 
 
@@ -105,6 +114,9 @@ def expand_paths(baseline, template):
     if "{mode}" in template:
         return [template.replace("{mode}", m)
                 for m in sorted(baseline.get("modes", {}))]
+    if "{cell}" in template:
+        return [template.replace("{cell}", c)
+                for c in sorted(baseline.get("cells", {}))]
     return [template]
 
 

@@ -23,6 +23,10 @@ executed remediation actions and no fired alert left without a
 decision — and on the single-seed path checks the decision log is
 byte-identical across the two runs. Works on both paths, so the same
 soak can be run hands-off and self-healing for an A/B comparison.
+
+``--strategy naive|sharded|replicate-hot`` runs the soak with
+collaborative caching enabled (placement strategy + content
+directory), on either path — churn then exercises shard re-homing.
 """
 
 import argparse
@@ -42,14 +46,16 @@ from tests.integration.test_chaos import (  # noqa: E402
 )
 
 
-def soak(seed: int, fraction: float, controller: bool = False) -> int:
+def soak(seed: int, fraction: float, controller: bool = False,
+         strategy: str = None) -> int:
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
         logs, control_logs = [], []
         for run in ("a", "b"):
             path = pathlib.Path(tmp) / f"faults-{run}.jsonl"
             world, plan, results, errors = run_chaos(
-                seed, path, fraction, controller=controller)
+                seed, path, fraction, controller=controller,
+                strategy=strategy)
             logs.append(path.read_bytes())
             if controller:
                 ctl_path = pathlib.Path(tmp) / f"control-{run}.jsonl"
@@ -104,7 +110,7 @@ def soak(seed: int, fraction: float, controller: bool = False) -> int:
 
 
 def soak_seeds(seeds, fraction: float, workers: int, out: str,
-               controller: bool = False) -> int:
+               controller: bool = False, strategy: str = None) -> int:
     """Multi-seed soak through the parallel study runner."""
     from repro.experiments import StudySpec, build_summary, run_study, \
         write_summary
@@ -112,6 +118,8 @@ def soak_seeds(seeds, fraction: float, workers: int, out: str,
     params = {"fraction": fraction}
     if controller:
         params["controller"] = True
+    if strategy:
+        params["strategy"] = strategy
     spec = StudySpec.build(
         "chaos", seeds=seeds, params=params,
         workers=workers, name="chaos-soak")
@@ -188,14 +196,20 @@ def main() -> int:
     parser.add_argument("--controller", action="store_true",
                         help="attach the autonomous control plane and "
                              "check its guarantees too")
+    parser.add_argument("--strategy", default=None,
+                        choices=("naive", "sharded", "replicate-hot"),
+                        help="run the soak with a collaborative-caching "
+                             "strategy (default: the classic per-peer "
+                             "NoCDN world)")
     args = parser.parse_args()
     if args.seeds:
         status = soak_seeds(parse_seed_list(args.seeds), args.fraction,
-                            args.workers, args.out, args.controller)
+                            args.workers, args.out, args.controller,
+                            args.strategy)
         if status == 0:
             print("multi-seed chaos soak passed")
         return status
-    status = soak(args.seed, args.fraction, args.controller)
+    status = soak(args.seed, args.fraction, args.controller, args.strategy)
     if status == 0:
         print("chaos soak passed")
     return status

@@ -45,6 +45,10 @@ echo "== control smoke: decision-log determinism + acted-on alerts =="
 python scripts/control_smoke.py
 
 echo
+echo "== nocdn strategy smoke: determinism + collaborative offload win =="
+python scripts/nocdn_strategy_smoke.py
+
+echo
 echo "== study smoke: worker-count byte identity + resume =="
 python scripts/study_smoke.py
 

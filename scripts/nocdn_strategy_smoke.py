@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Collaborative-caching smoke (part of ``make check``).
+
+Runs a mini NoCDN fleet (100 homes, seeded Zipf workload) once per
+placement strategy — twice each — and verifies the headline
+guarantees of the collaborative-caching subsystem without the cost of
+the full ``make bench-nocdn`` sweep:
+
+1. every scheduled page load completes, with zero load errors,
+2. same-seed runs are deterministic: identical facts and
+   byte-identical ``tsdb.jsonl`` exports,
+3. collaborative placement pays for itself: sharded and replicate-hot
+   both achieve strictly higher origin offload than the naive
+   per-peer cache.
+"""
+
+import pathlib
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.experiments.scenarios import run_nocdn_fleet_cell  # noqa: E402
+
+SEED = 7
+PARAMS = {"fleet": 100, "zipf": 0.9, "loads": 80}
+STRATEGIES = ("naive", "sharded", "replicate-hot")
+
+
+def main() -> int:
+    failures = []
+    offload = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for strategy in STRATEGIES:
+            runs = []
+            for tag in ("a", "b"):
+                out = pathlib.Path(tmp) / f"{strategy}-{tag}"
+                out.mkdir(parents=True)
+                facts = run_nocdn_fleet_cell(
+                    SEED, dict(PARAMS, strategy=strategy), out)
+                runs.append((facts, (out / "tsdb.jsonl").read_bytes()))
+            facts, tsdb = runs[0]
+            print(f"{strategy:>14s}: {facts['loads_ok']} loads ok, "
+                  f"{facts['load_errors']} errors, "
+                  f"offload {facts['origin_offload']:.4f}, "
+                  f"hit {facts['byte_hit_ratio']:.4f}")
+            if facts["load_errors"] or facts["loads_ok"] != PARAMS["loads"]:
+                failures.append(f"{strategy}: loads incomplete "
+                                f"({facts['loads_ok']} ok, "
+                                f"{facts['load_errors']} errors)")
+            if facts != runs[1][0]:
+                failures.append(f"{strategy}: same-seed facts differ "
+                                f"(determinism bug)")
+            if tsdb != runs[1][1]:
+                failures.append(f"{strategy}: same-seed tsdb exports differ "
+                                f"(determinism bug)")
+            offload[strategy] = facts["origin_offload"]
+
+    for strategy in ("sharded", "replicate-hot"):
+        if not offload[strategy] > offload["naive"]:
+            failures.append(
+                f"{strategy} offload {offload[strategy]} not strictly "
+                f"above naive {offload['naive']}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("nocdn strategy smoke passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

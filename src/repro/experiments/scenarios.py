@@ -38,7 +38,9 @@ def run_chaos_cell(seed: int, params: Mapping[str, Any],
     the optional artifacts; both default on — the profiler's wall
     numbers stay out of the summary contract), ``controller`` (attach
     the autonomous control plane and export ``control.jsonl``; off by
-    default so existing study baselines keep their bytes).
+    default so existing study baselines keep their bytes),
+    ``strategy`` (collaborative-caching strategy name; None keeps the
+    classic per-peer world and its baseline bytes).
     """
     # Lazy: the chaos world lives with the integration tests, and the
     # study machinery must import without the tests package on path.
@@ -50,8 +52,9 @@ def run_chaos_cell(seed: int, params: Mapping[str, Any],
     with_trace = bool(params.get("trace", True))
     with_profile = bool(params.get("profile", True))
     with_controller = bool(params.get("controller", False))
+    strategy = params.get("strategy")
 
-    world = ChaosWorld(seed, num_peers=num_peers)
+    world = ChaosWorld(seed, num_peers=num_peers, strategy=strategy)
     tracer = world.sim.enable_tracing(capacity=262144) if with_trace else None
     profiler = world.sim.enable_profiling() if with_profile else None
     world.enable_telemetry()
@@ -133,9 +136,174 @@ def run_fleet_cell(seed: int, params: Mapping[str, Any],
     }
 
 
+def run_nocdn_fleet_cell(seed: int, params: Mapping[str, Any],
+                         out_dir: pathlib.Path) -> Dict[str, Any]:
+    """Fleet-scale NoCDN delivery of a Zipf workload, as one study cell.
+
+    Builds a city of ``fleet`` homes (100 per neighborhood), signs every
+    home's HPoP up as a peer, and replays ``loads`` Zipf-popular page
+    loads from one client device per neighborhood. The facts quantify
+    what the benchmark sweep compares: how much origin egress each
+    collaborative-caching strategy avoids.
+
+    Params: ``fleet`` (total homes; 100/1000/10000 in the bench),
+    ``zipf`` (popularity skew alpha), ``strategy`` (``naive`` /
+    ``sharded`` / ``replicate-hot``, or ``cdn`` for the provider-run
+    edge baseline), ``loads``, ``pages`` (catalog size), ``spacing``
+    (seconds between load starts), ``gossip`` (directory gossip
+    interval; 0 = synchronous), ``cache_bytes`` (per-peer cache).
+    """
+    from repro.cdn.baselines import BaselinePageLoader, TraditionalCdn
+    from repro.hpop.core import Household, Hpop, User
+    from repro.net.topology import build_city, hierarchical_path_provider
+    from repro.nocdn.directory import ContentDirectory
+    from repro.nocdn.loader import PageLoader
+    from repro.nocdn.origin import ContentProvider
+    from repro.nocdn.peer import NoCdnPeerService
+    from repro.nocdn.strategy import make_strategy
+    from repro.obs.timeseries import TimeSeriesDB
+    from repro.sim.engine import Simulator
+    from repro.util.units import mib
+    from repro.workloads.web import (CatalogSpec, ZipfPagePopularity,
+                                     generate_catalog)
+
+    fleet = int(params.get("fleet", 100))
+    zipf = float(params.get("zipf", 0.9))
+    strategy_name = str(params.get("strategy", "naive"))
+    loads = int(params.get("loads", 240))
+    pages = int(params.get("pages", 40))
+    spacing = float(params.get("spacing", 0.5))
+    gossip = float(params.get("gossip", 0.0))
+    cache_bytes = int(params.get("cache_bytes", mib(64)))
+
+    sim = Simulator(seed=seed)
+    nbhds = max(1, fleet // 100)
+    city = build_city(sim, num_neighborhoods=nbhds,
+                      homes_per_neighborhood=max(2, fleet // nbhds),
+                      devices_per_home=1,
+                      server_sites={"origin": 1, "edge": 1})
+    # Tree-walk routing: the generic Dijkstra solver costs tens of ms
+    # per endpoint pair, which dominates wall time at 10k homes.
+    city.network.path_provider = hierarchical_path_provider(city)
+
+    catalog = generate_catalog(CatalogSpec(num_pages=pages),
+                               sim.rng.stream("nocdn_fleet.catalog"))
+    popularity = ZipfPagePopularity(catalog, zipf,
+                                    sim.rng.stream("nocdn_fleet.zipf"))
+    origin_host = city.server_sites["origin"].servers[0]
+
+    is_cdn = strategy_name == "cdn"
+    directory = None
+    if is_cdn:
+        provider = ContentProvider("news.example", origin_host,
+                                   city.network, catalog)
+        cdn = TraditionalCdn(provider, city.network)
+        edge = cdn.deploy_edge(city.server_sites["edge"].servers[0])
+    else:
+        # The naive baseline is the paper's per-peer cache: no shared
+        # directory, so a miss fills from the origin. The collaborative
+        # strategies get the directory and its one-hop miss forwarding.
+        if strategy_name != "naive":
+            directory = ContentDirectory(sim, gossip_interval=gossip)
+        provider = ContentProvider(
+            "news.example", origin_host, city.network, catalog,
+            strategy=make_strategy(strategy_name), directory=directory,
+            max_fallbacks=3)
+
+    peers: list = []
+    if not is_cdn:
+        for nbhd in city.neighborhoods:
+            # homes[0] hosts the neighborhood's client device; the rest
+            # serve as peers.
+            for home in nbhd.homes[1:]:
+                service = NoCdnPeerService(cache_bytes=cache_bytes)
+                tag = f"n{nbhd.index}h{home.index}"
+                hpop = Hpop(home.hpop_host, city.network,
+                            Household(name=tag, users=[User(f"u-{tag}", "pw")]))
+                hpop.install(service)
+                hpop.start()
+                service.sign_up(provider)
+                peers.append(service)
+
+    clients = [nbhd.homes[0].devices[0] for nbhd in city.neighborhoods]
+    results: list = []
+    errors: list = []
+    if is_cdn:
+        loaders = [BaselinePageLoader(device, city.network)
+                   for device in clients]
+    else:
+        loaders = [PageLoader(device, city.network) for device in clients]
+    urls = popularity.draw_many(loads)
+
+    def start_load(loader, url: str) -> None:
+        if is_cdn:
+            loader.load_via_cdn(cdn, url, results.append)
+        else:
+            loader.load(provider, url, results.append, errors.append)
+
+    for i, url in enumerate(urls):
+        sim.at(i * spacing, (lambda ld=loaders[i % len(loaders)], u=url:
+                             start_load(ld, u)),
+               label=f"fleet-load-{i}")
+
+    tsdb = TimeSeriesDB(sim, interval=5.0)
+    tsdb.add_callback("loads.completed", lambda: len(results),
+                      kind="counter")
+    tsdb.add_callback(
+        "uplink0.bytes",
+        lambda: city.neighborhoods[0].uplink.forward.stats.bytes_carried
+        + city.neighborhoods[0].uplink.reverse.stats.bytes_carried,
+        kind="counter")
+    tsdb.start()
+    sim.run()
+    tsdb.export_jsonl(str(pathlib.Path(out_dir) / "tsdb.jsonl"))
+
+    total_bytes = sum(r.total_bytes for r in results)
+    peer_bytes = sum(r.bytes_from_peers for r in results)
+    if is_cdn:
+        # Every byte the edge inserts was fetched from the origin once.
+        origin_egress = float(edge.cache.stats.inserted_bytes)
+        byte_hit_ratio = (1.0 - edge.origin_fills
+                          / max(1, edge.cache.stats.hits + edge.origin_fills))
+    else:
+        fill_bytes = sum(p.origin_fill_bytes for p in peers)
+        client_origin = sum(r.bytes_from_origin for r in results)
+        origin_egress = fill_bytes + client_origin
+        served = (sum(p.local_hit_bytes for p in peers)
+                  + sum(p.neighbor_hit_bytes for p in peers))
+        byte_hit_ratio = served / max(1.0, served + fill_bytes)
+    offload = 1.0 - origin_egress / total_bytes if total_bytes else 0.0
+
+    facts: Dict[str, Any] = {
+        "fleet": fleet,
+        "zipf": zipf,
+        "strategy": strategy_name,
+        "loads_ok": len(results),
+        "load_errors": len(errors),
+        "total_bytes": int(total_bytes),
+        "bytes_from_peers": int(peer_bytes),
+        "origin_egress_bytes": int(origin_egress),
+        "origin_offload": round(offload, 4),
+        "byte_hit_ratio": round(byte_hit_ratio, 4),
+        "aggregation_uplink_bytes": int(sum(
+            n.uplink.forward.stats.bytes_carried
+            + n.uplink.reverse.stats.bytes_carried
+            for n in city.neighborhoods)),
+    }
+    if not is_cdn:
+        facts["neighbor_hits"] = sum(p.neighbor_hits for p in peers)
+        facts["forwarded_served"] = sum(p.forwarded_served for p in peers)
+    if directory is not None:
+        hist = directory.metrics.histograms["directory_staleness_seconds"]
+        if hist.count:
+            facts["directory_staleness_p100"] = round(hist.quantile(1.0), 4)
+    return facts
+
+
 BUILTIN_SCENARIOS: Dict[str, ScenarioFn] = {
     "chaos": run_chaos_cell,
     "fleet": run_fleet_cell,
+    "nocdn_fleet": run_nocdn_fleet_cell,
 }
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.http.content import WebObject
 from repro.metrics.counters import MetricsRegistry
@@ -43,11 +43,18 @@ class HttpCache:
     """Byte-budgeted object cache with TTL freshness and ETag validation."""
 
     def __init__(self, capacity_bytes: int, default_ttl: float = 300.0,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 on_evict: Optional[Callable[[str, CacheEntry], None]]
+                 = None) -> None:
         if default_ttl <= 0:
             raise ValueError("default_ttl must be positive")
         self.default_ttl = default_ttl
-        self._store: LruCache[str, CacheEntry] = LruCache(capacity_bytes)
+        # ``on_evict`` fires for every removal — capacity eviction,
+        # invalidation, and replace-in-place — so listeners (e.g. the
+        # NoCDN content directory) see each key leave before any
+        # re-insert is announced.
+        self._store: LruCache[str, CacheEntry] = LruCache(capacity_bytes,
+                                                          on_evict=on_evict)
         self.revalidations = 0
         self.refreshed_in_place = 0
         # Owners pass their registry so cache traffic shows up next to

@@ -123,6 +123,12 @@ class Network:
         self._graph = nx.Graph()
         self._path_cache: Dict[Tuple[str, str], Path] = {}
         self._routing_epoch = 0
+        # Optional fast-path route constructor, consulted on cache miss
+        # before the generic shortest-path solver. Returning None falls
+        # back to Dijkstra, so a provider only needs to cover the
+        # topology it understands (see ``hierarchical_path_provider``).
+        self.path_provider: Optional[
+            Callable[[Node, Node], Optional[Path]]] = None
         self.metrics = MetricsRegistry(namespace="net")
         self._path_hops = self.metrics.histogram(
             "path_hops", help="Hop count of freshly computed routes",
@@ -245,6 +251,12 @@ class Network:
         cached = self._path_cache.get(key)
         if cached is not None:
             return cached
+        if self.path_provider is not None:
+            path = self.path_provider(source, dest)
+            if path is not None:
+                self._path_cache[key] = path
+                self._path_hops.observe(float(path.hop_count))
+                return path
         try:
             hop_names = nx.shortest_path(self._graph, source.name, dest.name,
                                          weight="weight")

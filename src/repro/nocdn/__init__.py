@@ -1,9 +1,11 @@
 """NoCDN: content delivery without the CDN middleman (paper SIV-B)."""
 
+from repro.nocdn.directory import ContentDirectory, DirectoryPublisher
 from repro.nocdn.loader import PageLoader, PageLoadResult
 from repro.nocdn.origin import AuditStats, ContentProvider, KeyIssue, PeerInfo
 from repro.nocdn.peer import (
     CONTENT_PREFIX,
+    HOP_HEADER,
     USAGE_PREFIX,
     ChunkBody,
     NoCdnPeerService,
@@ -21,6 +23,16 @@ from repro.nocdn.selection import (
     TrustWeightedSelection,
     chunked_assignment,
 )
+from repro.nocdn.strategy import (
+    STRATEGIES,
+    CacheStrategy,
+    HashRing,
+    NaiveStrategy,
+    ReplicateHotStrategy,
+    ShardedStrategy,
+    StrategySelection,
+    make_strategy,
+)
 from repro.nocdn.wrapper import (
     LOADER_SCRIPT_SIZE,
     ChunkAssignment,
@@ -28,6 +40,17 @@ from repro.nocdn.wrapper import (
 )
 
 __all__ = [
+    "ContentDirectory",
+    "DirectoryPublisher",
+    "HOP_HEADER",
+    "STRATEGIES",
+    "CacheStrategy",
+    "HashRing",
+    "NaiveStrategy",
+    "ReplicateHotStrategy",
+    "ShardedStrategy",
+    "StrategySelection",
+    "make_strategy",
     "PageLoader",
     "PageLoadResult",
     "AuditStats",

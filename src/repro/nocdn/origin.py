@@ -22,8 +22,10 @@ from repro.http.messages import (
 from repro.http.server import HttpServer
 from repro.net.network import Network
 from repro.net.node import Host
+from repro.nocdn.directory import ContentDirectory
 from repro.nocdn.records import UsageRecord
 from repro.nocdn.selection import RandomSelection, SelectionPolicy, chunked_assignment
+from repro.nocdn.strategy import CacheStrategy, StrategySelection
 from repro.nocdn.wrapper import LOADER_SCRIPT_SIZE, ChunkAssignment, WrapperPage
 from repro.util.crypto import NonceRegistry, deterministic_key
 from repro.util.stats import percentile
@@ -110,11 +112,26 @@ class ContentProvider:
         expel_threshold: float = 0.05,
         origin_think_time: float = 0.0,
         wrapper_reuse_ttl: Optional[float] = None,
+        strategy: Optional[CacheStrategy] = None,
+        directory: Optional[ContentDirectory] = None,
+        max_fallbacks: Optional[int] = None,
     ) -> None:
         self.site_name = site_name
         self.host = host
         self.network = network
         self.catalog = catalog
+        # Collaborative caching (optional): a placement strategy drives
+        # wrapper assignment unless an explicit selection overrides it,
+        # and the content directory tracks who holds what for
+        # neighbor-hit forwarding. Both default off, which preserves
+        # the classic per-peer NoCDN byte-for-byte.
+        self.strategy = strategy
+        self.directory = directory
+        # Each fallback peer gets a whole-page byte cap; at fleet scale
+        # an uncapped fallback list means O(fleet) KeyIssues per wrapper.
+        self.max_fallbacks = max_fallbacks
+        if selection is None and strategy is not None:
+            selection = StrategySelection(strategy, directory, site_name)
         self.selection = selection or RandomSelection()
         self.port = port
         self.object_ttl = object_ttl
@@ -140,6 +157,7 @@ class ContentProvider:
         self.wrapper_reuse_ttl = wrapper_reuse_ttl
         self._wrapper_cache: Dict[str, WrapperPage] = {}
         self._keys: Dict[tuple, KeyIssue] = {}
+        self._next_key_prune = self.sim.now + key_ttl
         self._nonces = NonceRegistry()
         # Reuse the host's HTTP server if one exists (shared origin box).
         existing = host.stream_listener(port)
@@ -157,6 +175,8 @@ class ContentProvider:
         info = PeerInfo(peer_id=service.peer_id, host=service.hpop.host,
                         service=service)
         self.peers[info.peer_id] = info
+        if self.strategy is not None:
+            self.strategy.register_peer(info.peer_id)
         return info
 
     def expel_peer(self, peer_id: str) -> None:
@@ -164,6 +184,10 @@ class ContentProvider:
         info = self.peers.get(peer_id)
         if info is not None:
             info.expelled = True
+            if self.strategy is not None:
+                self.strategy.unregister_peer(peer_id)
+            if self.directory is not None:
+                self.directory.drop_peer(peer_id)
 
     def quarantine_peer(self, peer_id: str, duration: float) -> float:
         """Exclude a peer from assignments for ``duration`` seconds.
@@ -181,6 +205,13 @@ class ContentProvider:
         if expiry > info.quarantined_until:
             info.quarantined_until = expiry
         info.quarantines += 1
+        # The directory must not advertise a quarantined peer: its
+        # shard range re-homes to ring successors (ownership is always
+        # computed against the live set), and stale holder entries
+        # would send neighbor forwards at a peer clients already fail
+        # against. The peer re-publishes as it serves after release.
+        if self.directory is not None:
+            self.directory.drop_peer(peer_id)
         return info.quarantined_until
 
     def _usable(self, info: PeerInfo) -> bool:
@@ -241,6 +272,11 @@ class ContentProvider:
             cached = self._wrapper_cache.get(page.url)
             if (cached is not None
                     and self.sim.now <= cached.issued_at + self.wrapper_reuse_ttl
+                    # Reusing past key expiry would extend caps on keys
+                    # the audit no longer accepts — and authorize bytes
+                    # for the peer without bound (each reuse re-extends
+                    # cap_bytes, and nothing ever expires the issue).
+                    and self.sim.now <= cached.issued_at + self.key_ttl
                     and all(self._usable(self.peers[p])
                             for p in cached.peers_used())):
                 self.wrappers_reused += 1
@@ -263,6 +299,7 @@ class ContentProvider:
     def build_wrapper(self, page: WebPage,
                       client_host_name: str = "") -> Optional[WrapperPage]:
         """Generate a wrapper for ``page``, or None if no peers are usable."""
+        self._prune_expired_keys()
         peers = self.alive_peers()
         if not peers:
             return None
@@ -298,6 +335,8 @@ class ContentProvider:
                 (p for p in peers if p.peer_id not in used_peer_ids),
                 key=lambda p: (-p.trust, p.peer_id))
         ]
+        if self.max_fallbacks is not None:
+            fallbacks = fallbacks[: self.max_fallbacks]
         peer_endpoints = {}
         peer_keys = {}
         from repro.hpop.core import HPOP_PORT
@@ -326,6 +365,26 @@ class ContentProvider:
                 cap_bytes=(wrapper.expected_bytes_for(peer_id)
                            if peer_id in used_peer_ids else page_bytes))
         return wrapper
+
+    def _prune_expired_keys(self) -> None:
+        """Drop key issues long past expiry so ``_keys`` stays bounded.
+
+        A 2x``key_ttl`` grace keeps the audit classifying late uploads
+        as ``rejected_expired`` (no trust penalty) rather than
+        ``rejected_unknown_key`` (penalized): an honest peer uploads
+        within one upload interval of serving, and every supported
+        configuration keeps that interval well under one ``key_ttl``
+        (defaults: 60s vs. 600s). Amortized via a timestamp, so
+        steady-state wrapper generation pays nothing.
+        """
+        now = self.sim.now
+        if now < self._next_key_prune:
+            return
+        self._next_key_prune = now + self.key_ttl
+        dead = [k for k, issue in self._keys.items()
+                if now > issue.issued_at + 2 * self.key_ttl]
+        for k in dead:
+            del self._keys[k]
 
     # -- usage auditing ---------------------------------------------------------------
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
-from repro.hpop.core import Hpop, HpopService
+from repro.hpop.core import HPOP_PORT, Hpop, HpopService
 from repro.http.cache import CacheDisposition, HttpCache
 from repro.http.client import HttpClient
 from repro.http.content import WebObject
@@ -31,10 +31,16 @@ from repro.nocdn.records import UsageRecord
 from repro.util.units import mib
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.nocdn.directory import DirectoryPublisher
     from repro.nocdn.origin import ContentProvider
 
 CONTENT_PREFIX = "/nocdn"
 USAGE_PREFIX = "/nocdn-usage"
+# Hop-guard header on peer-to-peer forwards: a forwarded request that
+# misses must answer 404 (never re-forward, never origin-fill) so
+# forwarding depth is bounded at one and the origin fill — plus its
+# usage accounting — stays with the peer the client credited.
+HOP_HEADER = "X-NoCdn-Hop"
 
 
 @dataclass
@@ -45,6 +51,7 @@ class ProviderSignup:
     cache: HttpCache
     pending_records: List[UsageRecord] = field(default_factory=list)
     uploaded_records: int = 0
+    publisher: Optional["DirectoryPublisher"] = None
 
 
 @dataclass(frozen=True)
@@ -72,6 +79,7 @@ class NoCdnPeerService(HpopService):
         tamper: bool = False,
         inflate_factor: float = 1.0,
         replay_records: bool = False,
+        forward_timeout: float = 2.0,
     ) -> None:
         super().__init__()
         if inflate_factor < 1.0:
@@ -81,11 +89,21 @@ class NoCdnPeerService(HpopService):
         self.tamper = tamper
         self.inflate_factor = inflate_factor
         self.replay_records = replay_records
+        self.forward_timeout = forward_timeout
         self._signups: Dict[str, ProviderSignup] = {}
         self._client: Optional[HttpClient] = None
         self._replayed: List[UsageRecord] = []
         self.bytes_served = 0.0
         self.origin_fills = 0
+        # Collaborative-caching accounting (plain attributes: at 10k+
+        # peers a registry per peer would dominate construction cost;
+        # fleet benches aggregate these by summation instead).
+        self.local_hit_bytes = 0.0
+        self.neighbor_hits = 0
+        self.neighbor_hit_bytes = 0.0
+        self.origin_fill_bytes = 0.0
+        self.forwarded_served = 0
+        self.forwarded_misses = 0
 
     @property
     def peer_id(self) -> str:
@@ -110,9 +128,21 @@ class NoCdnPeerService(HpopService):
         """Register with a provider (multi-provider via virtual hosting)."""
         if provider.site_name in self._signups:
             raise ValueError(f"already signed up with {provider.site_name}")
+        publisher = None
+        on_evict = None
+        if provider.directory is not None:
+            from repro.nocdn.directory import DirectoryPublisher
+
+            publisher = DirectoryPublisher(
+                provider.directory, self.peer_id, provider.site_name,
+                endpoint=(self.hpop.host.address, HPOP_PORT))
+            on_evict = (lambda key, _entry,
+                        _pub=publisher: _pub.note_evict(key))
         signup = ProviderSignup(provider=provider,
                                 cache=HttpCache(self.cache_bytes,
-                                                default_ttl=provider.object_ttl))
+                                                default_ttl=provider.object_ttl,
+                                                on_evict=on_evict),
+                                publisher=publisher)
         self._signups[signup.provider.site_name] = signup
         provider.register_peer(self)
 
@@ -158,35 +188,99 @@ class NoCdnPeerService(HpopService):
                 respond(ok(body_size=obj.size, body=body,
                            headers={"ETag": obj.etag}))
 
+        forwarded = HOP_HEADER in request.headers
         disposition, entry = signup.cache.lookup(object_name, self.sim.now)
         if disposition is CacheDisposition.FRESH:
+            # Contract: FRESH hits are served in place, never forwarded.
+            if forwarded:
+                self.forwarded_served += 1
+            else:
+                self.local_hit_bytes += entry.obj.size
             deliver(entry.obj)
             return
 
-        # Miss or stale: fill from the origin (a real network fetch).
-        self.origin_fills += 1
+        if forwarded:
+            # Hop guard: a forwarded miss answers 404 so the front peer
+            # origin-fills and the usage accounting stays with it.
+            self.forwarded_misses += 1
+            respond(not_found(object_name))
+            return
+
         provider = signup.provider
 
-        def filled(resp: HttpResponse, _stats) -> None:
-            if not resp.ok or not isinstance(resp.body, ChunkBody):
-                respond(not_found(object_name))
-                return
-            obj = resp.body.obj
-            signup.cache.store(obj, self.sim.now)
-            deliver(obj)
+        def fill_from_origin() -> None:
+            self.origin_fills += 1
 
-        def fill_failed(_exc) -> None:
-            if entry is not None:
-                deliver(entry.obj)  # serve stale rather than fail
+            def filled(resp: HttpResponse, _stats) -> None:
+                if not resp.ok or not isinstance(resp.body, ChunkBody):
+                    respond(not_found(object_name))
+                    return
+                obj = resp.body.obj
+                self.origin_fill_bytes += obj.size
+                self._maybe_store(signup, obj)
+                deliver(obj)
+
+            def fill_failed(_exc) -> None:
+                if entry is not None:
+                    deliver(entry.obj)  # serve stale rather than fail
+                else:
+                    respond(HttpResponse(502, body_size=60,
+                                         body="origin down"))
+
+            assert self._client is not None
+            self._client.request(
+                provider.host,
+                HttpRequest("GET",
+                            f"{provider.objects_prefix}/{object_name}",
+                            host=provider.site_name),
+                filled, port=provider.port, on_error=fill_failed)
+
+        directory = provider.directory
+        target = None
+        if directory is not None:
+            for holder in directory.holders(site, object_name,
+                                            exclude={self.peer_id}):
+                endpoint = directory.endpoint(holder)
+                if endpoint is not None:
+                    target = endpoint
+                    break
+        if target is None:
+            fill_from_origin()
+            return
+
+        def neighbor_answered(resp: HttpResponse, _stats) -> None:
+            body = resp.body
+            if (resp.ok and isinstance(body, ChunkBody)
+                    and body.size == body.obj.size):
+                obj = body.obj
+                self.neighbor_hits += 1
+                self.neighbor_hit_bytes += obj.size
+                self._maybe_store(signup, obj)
+                deliver(obj)
             else:
-                respond(HttpResponse(502, body_size=60, body="origin down"))
+                fill_from_origin()  # stale directory entry: 404 from peer
 
         assert self._client is not None
         self._client.request(
-            provider.host,
-            HttpRequest("GET", f"{provider.objects_prefix}/{object_name}",
-                        host=provider.site_name),
-            filled, port=provider.port, on_error=fill_failed)
+            target[0],
+            HttpRequest("GET", f"{CONTENT_PREFIX}/{site}/{object_name}",
+                        headers={HOP_HEADER: "1"}),
+            neighbor_answered, port=target[1],
+            timeout=self.forward_timeout,
+            on_error=lambda _exc: fill_from_origin())
+
+    def _maybe_store(self, signup: ProviderSignup, obj: WebObject) -> None:
+        """Cache ``obj`` unless the provider's partitioning strategy says
+        this peer is not a home for it; announce successful stores."""
+        provider = signup.provider
+        strategy = provider.strategy
+        if strategy is not None:
+            live = {p.peer_id for p in provider.alive_peers()}
+            if not strategy.should_cache(self.peer_id, obj.name, live):
+                return
+        stored = signup.cache.store(obj, self.sim.now)
+        if stored and signup.publisher is not None:
+            signup.publisher.note_store(obj.name)
 
     # -- usage records --------------------------------------------------------------
 

@@ -1,0 +1,343 @@
+"""Collaborative cache-placement strategies for NoCDN fleets.
+
+At neighborhood scale the paper's naive per-peer cache is fine: any
+peer asked for an object fills it from the origin and keeps a copy. At
+10k+ homes that shape collapses — every peer re-fetches the same hot
+objects, so origin offload stays near zero no matter how much edge
+storage the fleet has. The collaborative-caching literature (Home-Box
+cooperative caching, fCDN) fixes this by giving objects *homes*:
+
+- ``NaiveStrategy`` — the paper's per-peer cache (baseline),
+- ``ShardedStrategy`` — consistent-hash sharding: each object has one
+  home peer in the fleet; requests route to it, so the fleet caches
+  each object once,
+- ``ReplicateHotStrategy`` — the top-k objects by observed popularity
+  replicate everywhere demand takes them; the cold tail stays sharded.
+
+A strategy is consulted at two points: the origin's wrapper assignment
+(via :class:`StrategySelection`) decides which peer a client fetches
+each object from, and the peer's serve path decides whether to keep a
+filled object (``should_cache``). Ownership is always computed against
+the *live* peer set at call time, so a quarantined or crashed peer's
+shard range re-homes to its ring successors with no explicit
+migration step — exactly the behavior the controller's quarantine rule
+needs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import random
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, TYPE_CHECKING
+
+from repro.nocdn.selection import SelectionPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.nocdn.directory import ContentDirectory
+
+RING_SPACE = 1 << 64
+
+
+def _hash_point(token: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(token.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes.
+
+    ``owner(key, live)`` returns the first ring successor of the key's
+    hash whose peer is in ``live`` — so membership changes (join,
+    leave, quarantine) only move the keyspace arcs that touched the
+    changed peer, never a full reshuffle. ``arc_share`` exposes the
+    exact fraction of keyspace a peer owns, which the property tests
+    use to pin the <= 2/n remapping bound.
+    """
+
+    def __init__(self, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: List[int] = []       # sorted hash points
+        self._owners: List[str] = []       # peer id per point
+        self._peers: Set[str] = set()
+        # Membership changes only mark the ring dirty; the sorted
+        # arrays rebuild once on the next lookup. Insert-sorting per
+        # peer is O(vnodes^2 * n^2) for a fleet-sized sign-up burst —
+        # minutes at 10k peers — while one deferred sort is O(V log V).
+        self._dirty = False
+
+    def __contains__(self, peer_id: str) -> bool:
+        return peer_id in self._peers
+
+    def __len__(self) -> int:
+        return len(self._peers)
+
+    @property
+    def peers(self) -> FrozenSet[str]:
+        return frozenset(self._peers)
+
+    def add_peer(self, peer_id: str) -> None:
+        if peer_id in self._peers:
+            return
+        self._peers.add(peer_id)
+        self._dirty = True
+
+    def remove_peer(self, peer_id: str) -> None:
+        if peer_id not in self._peers:
+            return
+        self._peers.discard(peer_id)
+        self._dirty = True
+
+    def _ensure_sorted(self) -> None:
+        if not self._dirty:
+            return
+        self._dirty = False
+        pairs = sorted(
+            (_hash_point(f"{peer_id}#{v}"), peer_id)
+            for peer_id in self._peers for v in range(self.vnodes))
+        self._points = [p for p, _ in pairs]
+        self._owners = [o for _, o in pairs]
+
+    def owner(self, key: str, live: Iterable[str]) -> Optional[str]:
+        """First live ring successor of ``key``, or None if none live."""
+        self._ensure_sorted()
+        if not self._points:
+            return None
+        live_set = live if isinstance(live, (set, frozenset)) else set(live)
+        if not live_set:
+            return None
+        point = _hash_point(key)
+        start = bisect.bisect_right(self._points, point) % len(self._points)
+        n = len(self._points)
+        for step in range(n):
+            candidate = self._owners[(start + step) % n]
+            if candidate in live_set:
+                return candidate
+        return None
+
+    def arc_share(self, peer_id: str, live: Iterable[str]) -> float:
+        """Exact fraction of the keyspace ``peer_id`` owns among ``live``."""
+        shares = self.arc_shares(live)
+        return shares.get(peer_id, 0.0)
+
+    def arc_shares(self, live: Iterable[str]) -> Dict[str, float]:
+        """Keyspace fraction owned by each live peer (sums to 1.0)."""
+        self._ensure_sorted()
+        live_set = live if isinstance(live, (set, frozenset)) else set(live)
+        if not self._points or not live_set:
+            return {}
+        n = len(self._points)
+        # Owner of the arc ending at point i is the first live peer at
+        # or after point i on the ring.
+        arc_owner: List[Optional[str]] = [None] * n
+        # Walk the ring twice backwards so each position inherits the
+        # next live owner with one pass.
+        next_live: Optional[str] = None
+        for i in range(2 * n - 1, -1, -1):
+            idx = i % n
+            if self._owners[idx] in live_set:
+                next_live = self._owners[idx]
+            if i < n:
+                arc_owner[idx] = next_live
+        shares: Dict[str, float] = {}
+        for i in range(n):
+            width = (self._points[i] - self._points[i - 1]) % RING_SPACE
+            if width == 0 and n == 1:
+                width = RING_SPACE  # a single point owns the whole ring
+            owner = arc_owner[i]
+            if owner is not None:
+                shares[owner] = shares.get(owner, 0.0) + width / RING_SPACE
+        return shares
+
+
+class CacheStrategy:
+    """Where objects live in the fleet, and who serves which request."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.ring = HashRing()
+
+    # -- membership -----------------------------------------------------
+
+    def register_peer(self, peer_id: str) -> None:
+        self.ring.add_peer(peer_id)
+
+    def unregister_peer(self, peer_id: str) -> None:
+        self.ring.remove_peer(peer_id)
+
+    # -- placement ------------------------------------------------------
+
+    def home_peer(self, key: str, live: Set[str]) -> Optional[str]:
+        """The peer that should durably cache ``key``, if sharded."""
+        return None
+
+    def should_cache(self, peer_id: str, key: str, live: Set[str]) -> bool:
+        """May ``peer_id`` keep a filled copy of ``key``?"""
+        return True
+
+    def serving_peer(self, key: str, live: Set[str], rng: random.Random,
+                     directory: Optional["ContentDirectory"] = None,
+                     site: str = "",
+                     ordered: Optional[Sequence[str]] = None,
+                     ) -> Optional[str]:
+        """The peer a client should fetch ``key`` from.
+
+        ``ordered`` optionally passes ``sorted(live)`` computed once by
+        the caller — at fleet scale, re-sorting 10k peer ids per object
+        dominates wrapper assignment.
+        """
+        raise NotImplementedError
+
+    def record_request(self, key: str, size: int) -> None:
+        """Popularity feedback from the origin's wrapper assignment."""
+
+
+def _pick(live: Set[str], rng: random.Random,
+          ordered: Optional[Sequence[str]]) -> str:
+    return rng.choice(ordered if ordered is not None else sorted(live))
+
+
+class NaiveStrategy(CacheStrategy):
+    """The paper's baseline: every peer caches what it serves, and a
+    uniformly random peer serves each request."""
+
+    name = "naive"
+
+    def serving_peer(self, key, live, rng, directory=None, site="",
+                     ordered=None):
+        if not live:
+            return None
+        return _pick(live, rng, ordered)
+
+
+class ShardedStrategy(CacheStrategy):
+    """Consistent-hash sharding: one home peer per object.
+
+    Only the home caches; everyone else forwards. The fleet stores one
+    copy of each object, so the aggregate cache behaves like a single
+    cache the size of the whole fleet.
+    """
+
+    name = "sharded"
+
+    def home_peer(self, key, live):
+        return self.ring.owner(key, live)
+
+    def should_cache(self, peer_id, key, live):
+        return self.ring.owner(key, live) == peer_id
+
+    def serving_peer(self, key, live, rng, directory=None, site="",
+                     ordered=None):
+        home = self.ring.owner(key, live)
+        if home is not None:
+            return home
+        return _pick(live, rng, ordered) if live else None
+
+
+class ReplicateHotStrategy(CacheStrategy):
+    """Top-k objects by observed popularity replicate freely; the cold
+    tail stays sharded.
+
+    Hot requests prefer a directory-known holder (spreading load over
+    however many replicas demand has grown), seeding a new replica on a
+    random peer when none exists yet. Every peer may cache a hot object
+    it serves, so replica count tracks demand.
+    """
+
+    name = "replicate-hot"
+
+    def __init__(self, hot_k: int = 8) -> None:
+        super().__init__()
+        if hot_k < 0:
+            raise ValueError("hot_k must be >= 0")
+        self.hot_k = hot_k
+        self._counts: Dict[str, int] = {}
+        self._hot: Set[str] = set()
+
+    def record_request(self, key, size):
+        self._counts[key] = self._counts.get(key, 0) + 1
+        if self.hot_k:
+            ranked = sorted(self._counts.items(),
+                            key=lambda kv: (-kv[1], kv[0]))
+            self._hot = {k for k, _ in ranked[: self.hot_k]}
+
+    def is_hot(self, key: str) -> bool:
+        return key in self._hot
+
+    def home_peer(self, key, live):
+        if key in self._hot:
+            return None
+        return self.ring.owner(key, live)
+
+    def should_cache(self, peer_id, key, live):
+        if key in self._hot:
+            return True
+        return self.ring.owner(key, live) == peer_id
+
+    def serving_peer(self, key, live, rng, directory=None, site="",
+                     ordered=None):
+        if not live:
+            return None
+        if key in self._hot:
+            holders: Sequence[str] = ()
+            if directory is not None:
+                holders = directory.holders(site, key, live=live)
+            if holders:
+                return rng.choice(list(holders))
+            return _pick(live, rng, ordered)
+        home = self.ring.owner(key, live)
+        return home if home is not None else _pick(live, rng, ordered)
+
+
+class StrategySelection(SelectionPolicy):
+    """Adapter: drive the origin's wrapper assignment from a strategy.
+
+    Every object of the page is assigned to the strategy's serving
+    peer, and the request is recorded as popularity feedback (the
+    origin sees every wrapper request, so it is the natural observer).
+    """
+
+    name = "strategy"
+
+    def __init__(self, strategy: CacheStrategy,
+                 directory: Optional["ContentDirectory"] = None,
+                 site: str = "") -> None:
+        self.strategy = strategy
+        self.directory = directory
+        self.site = site
+
+    def assign(self, page, client, peers, network, rng):
+        by_id = {info.peer_id: info for info in peers}
+        live = set(by_id)
+        ordered = sorted(live)
+        assignment = {}
+        for obj in page.all_objects():
+            self.strategy.record_request(obj.name, obj.size)
+            peer_id = self.strategy.serving_peer(
+                obj.name, live, rng, directory=self.directory,
+                site=self.site, ordered=ordered)
+            if peer_id is None or peer_id not in by_id:
+                peer_id = rng.choice(ordered)
+            assignment[obj.name] = peer_id
+        return assignment
+
+
+STRATEGIES = {
+    NaiveStrategy.name: NaiveStrategy,
+    ShardedStrategy.name: ShardedStrategy,
+    ReplicateHotStrategy.name: ReplicateHotStrategy,
+}
+
+
+def make_strategy(name: str, **kwargs) -> CacheStrategy:
+    """Instantiate a strategy by its registry name."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; known: {', '.join(sorted(STRATEGIES))}"
+        ) from None
+    return cls(**kwargs)

@@ -38,7 +38,8 @@ class ChaosWorld:
     from indices 1..n so the owner's manifest stays authoritative.
     """
 
-    def __init__(self, seed: int, num_peers: int = NUM_PEERS):
+    def __init__(self, seed: int, num_peers: int = NUM_PEERS,
+                 strategy: str = None):
         self.num_peers = num_peers
         self.sim = Simulator(seed=seed)
         self.city = build_city(self.sim,
@@ -46,8 +47,21 @@ class ChaosWorld:
                                server_sites={"origin": 1})
         self.catalog = make_catalog(num_pages=2)
         origin_host = self.city.server_sites["origin"].servers[0]
+        # Collaborative caching rides along when a strategy is named;
+        # the default (None) keeps the classic world — and its seeded
+        # exports — byte-identical.
+        provider_kwargs = {}
+        if strategy is not None:
+            from repro.nocdn.directory import ContentDirectory
+            from repro.nocdn.strategy import make_strategy
+
+            provider_kwargs = {
+                "strategy": make_strategy(strategy),
+                "directory": ContentDirectory(self.sim),
+            }
         self.provider = ContentProvider(
-            "news.example", origin_host, self.city.network, self.catalog)
+            "news.example", origin_host, self.city.network, self.catalog,
+            **provider_kwargs)
         self.hpops, self.backups = [], []
         for i in range(num_peers):
             home = self.city.neighborhoods[0].homes[i]
@@ -257,8 +271,8 @@ def run_chaos(seed: int, export_path=None, fraction: float = CHURN_FRACTION,
               num_peers: int = NUM_PEERS, telemetry: bool = False,
               controller: bool = False, num_loads: int = NUM_LOADS,
               spacing: float = 0.5, flaps: int = 1,
-              horizon: float = CHURN_HORIZON):
-    world = ChaosWorld(seed, num_peers=num_peers)
+              horizon: float = CHURN_HORIZON, strategy: str = None):
+    world = ChaosWorld(seed, num_peers=num_peers, strategy=strategy)
     if telemetry or controller:
         world.enable_telemetry()
     if controller:

@@ -7,9 +7,11 @@ from typing import List, Optional
 from repro.hpop.core import Household, Hpop, User
 from repro.http.content import ContentCatalog, WebObject, WebPage
 from repro.net.topology import build_city
+from repro.nocdn.directory import ContentDirectory
 from repro.nocdn.loader import PageLoader
 from repro.nocdn.origin import ContentProvider
 from repro.nocdn.peer import NoCdnPeerService
+from repro.nocdn.strategy import make_strategy
 from repro.sim.engine import Simulator
 
 
@@ -40,6 +42,8 @@ class NoCdnWorld:
         homes: int = 8,
         peer_services: Optional[List[NoCdnPeerService]] = None,
         catalog: Optional[ContentCatalog] = None,
+        strategy: Optional[str] = None,
+        gossip_interval: float = 0.0,
         **provider_kwargs,
     ):
         self.sim = Simulator(seed=seed)
@@ -47,6 +51,14 @@ class NoCdnWorld:
                                server_sites={"origin": 1, "edge": 1})
         self.catalog = catalog or make_catalog()
         origin_host = self.city.server_sites["origin"].servers[0]
+        # A named strategy turns on collaborative caching: placement
+        # drives wrapper assignment and a content directory tracks who
+        # holds what for neighbor-hit forwarding.
+        if strategy is not None:
+            provider_kwargs.setdefault("strategy", make_strategy(strategy))
+            provider_kwargs.setdefault(
+                "directory",
+                ContentDirectory(self.sim, gossip_interval=gossip_interval))
         self.provider = ContentProvider(
             "news.example", origin_host, self.city.network, self.catalog,
             **provider_kwargs)

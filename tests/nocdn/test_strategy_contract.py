@@ -1,0 +1,156 @@
+"""Contract every cache-placement strategy must honor.
+
+Whatever the placement (naive, sharded, replicate-hot), a peer never
+exceeds its cache budget, never forwards a request it can serve FRESH,
+answers forwarded misses with 404 (the hop guard), falls back to the
+origin on a miss, and keeps usage accounting inside the wrapper's
+HMAC byte caps.
+"""
+
+import pytest
+
+from repro.hpop.core import HPOP_PORT
+from repro.http.client import HttpClient
+from repro.http.messages import HttpRequest
+from repro.nocdn.peer import HOP_HEADER
+from repro.nocdn.strategy import STRATEGIES
+from repro.nocdn.peer import NoCdnPeerService
+from tests.nocdn.harness import NoCdnWorld, make_catalog
+
+ALL_STRATEGIES = sorted(STRATEGIES)
+
+
+def make_world(strategy, num_peers=4, cache_bytes=None, **kw):
+    services = None
+    if cache_bytes is not None:
+        services = [NoCdnPeerService(cache_bytes=cache_bytes)
+                    for _ in range(num_peers)]
+    return NoCdnWorld(num_peers=num_peers, seed=31, strategy=strategy,
+                      peer_services=services,
+                      catalog=make_catalog(num_pages=3), **kw)
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+class TestStrategyContract:
+    def test_loads_complete_via_peers(self, strategy):
+        world = make_world(strategy)
+        for url in ("/page0", "/page1", "/page2"):
+            result = world.load_page(url)
+            assert not result.corrupted
+            assert result.bytes_from_peers > 0
+
+    def test_misses_fall_back_to_origin(self, strategy):
+        world = make_world(strategy)
+        world.load_page("/page0")  # cold fleet: every serve is a miss
+        assert sum(p.origin_fills for p in world.peers) > 0
+        assert sum(p.origin_fill_bytes for p in world.peers) > 0
+
+    def test_capacity_never_exceeded(self, strategy):
+        # Budget far below the catalog (3 pages x ~220 KB): placement
+        # pressure must surface as evictions, never as overcommit.
+        budget = 120_000
+        world = make_world(strategy, cache_bytes=budget)
+        for _ in range(2):
+            for url in ("/page0", "/page1", "/page2"):
+                world.load_page(url)
+        for peer in world.peers:
+            signup = peer.signup_for("news.example")
+            assert signup.cache.used_bytes <= budget
+
+    def test_fresh_hits_are_served_in_place(self, strategy):
+        world = make_world(strategy)
+        obj = world.catalog.page("/page0").embedded[0]
+        peer = world.peers[0]
+        signup = peer.signup_for("news.example")
+        signup.cache.store(obj, world.sim.now)
+        fills, forwards = peer.origin_fills, peer.neighbor_hits
+
+        client = HttpClient(world.client_device, world.city.network)
+        responses = []
+        client.request(world.hpops[0].host,
+                       HttpRequest("GET", f"/nocdn/news.example/{obj.name}"),
+                       lambda resp, _st: responses.append(resp),
+                       port=HPOP_PORT)
+        world.sim.run()
+        assert [r.status for r in responses] == [200]
+        assert peer.local_hit_bytes >= obj.size
+        # FRESH means no forward and no origin fill — served in place.
+        assert peer.origin_fills == fills
+        assert peer.neighbor_hits == forwards
+
+    def test_forwarded_miss_answers_404(self, strategy):
+        world = make_world(strategy)
+        peer = world.peers[0]
+        client = HttpClient(world.client_device, world.city.network)
+        responses = []
+        client.request(
+            world.hpops[0].host,
+            HttpRequest("GET", "/nocdn/news.example/page0-obj0.bin",
+                        headers={HOP_HEADER: "1"}),
+            lambda resp, _st: responses.append(resp), port=HPOP_PORT)
+        world.sim.run()
+        # The hop guard bounds forwarding depth at one: a forwarded
+        # miss must not origin-fill or re-forward on the target's dime.
+        assert [r.status for r in responses] == [404]
+        assert peer.forwarded_misses == 1
+        assert peer.origin_fills == 0
+
+    def test_usage_accounting_balances(self, strategy):
+        world = make_world(strategy)
+        for url in ("/page0", "/page1", "/page0"):
+            world.load_page(url)
+        for peer in world.peers:
+            peer.flush_usage()
+        world.sim.run()
+        audit = world.provider.audit
+        assert audit.accepted_records > 0
+        assert audit.rejected_over_cap == 0
+        assert audit.rejected_total == 0
+
+    def test_same_seed_is_deterministic(self, strategy):
+        def fingerprint():
+            world = make_world(strategy)
+            for url in ("/page0", "/page1", "/page2", "/page0"):
+                world.load_page(url)
+            return [(p.peer_id, p.bytes_served, p.origin_fills,
+                     p.neighbor_hits, p.local_hit_bytes)
+                    for p in world.peers]
+
+        assert fingerprint() == fingerprint()
+
+
+class TestNeighborForwarding:
+    def test_neighbor_hits_offload_the_origin(self):
+        # Naive placement + directory: random assignment often lands on
+        # a peer without the object, which forwards to a directory-known
+        # holder instead of re-filling from the origin.
+        world = make_world("naive")
+        world.load_page("/page0")
+        for _ in range(6):
+            world.load_page("/page0")
+        assert sum(p.neighbor_hits for p in world.peers) > 0
+        assert sum(p.neighbor_hit_bytes for p in world.peers) > 0
+        # Forward targets served those requests FRESH in place.
+        assert sum(p.forwarded_served for p in world.peers) > 0
+
+
+class TestShardedPlacement:
+    def test_fleet_caches_each_object_once(self):
+        world = make_world("sharded")
+        for _ in range(2):
+            for url in ("/page0", "/page1", "/page2"):
+                world.load_page(url)
+        for obj in (o for page_url in ("/page0", "/page1", "/page2")
+                    for o in world.catalog.page(page_url).all_objects()):
+            holders = [
+                p.peer_id for p in world.peers
+                if p.signup_for("news.example").cache.contains(obj.name)]
+            assert len(holders) <= 1
+
+    def test_warm_home_peer_stops_origin_fills(self):
+        world = make_world("sharded")
+        world.load_page("/page0")
+        world.load_page("/page0")
+        fills = sum(p.origin_fills for p in world.peers)
+        world.load_page("/page0")  # third load: homes are warm
+        assert sum(p.origin_fills for p in world.peers) == fills

@@ -1,0 +1,73 @@
+"""Regression: wrapper reuse must not authorize bytes without bound.
+
+Pre-fix, ``_serve_wrapper`` re-extended each peer's ``cap_bytes`` on
+every reuse for as long as ``wrapper_reuse_ttl`` allowed — even after
+the wrapper's short-term keys expired, when the audit rejects every
+record the peer uploads. A long reuse TTL therefore grew a peer's
+outstanding authorization forever while the peer served unpaid, and
+the ``_keys`` table never shrank. The fix stops reusing a wrapper once
+its keys expire (reuse window = min(wrapper_reuse_ttl, key_ttl)) and
+prunes key issues once they are two TTLs past issuance.
+
+Peers here flush usage right after each load — the honest cadence the
+prune grace assumes (uploads always land well inside one key TTL).
+"""
+
+from tests.nocdn.harness import NoCdnWorld
+
+KEY_TTL = 20.0
+PAGE_BYTES = 20_000 + 4 * 50_000  # harness catalog: container + 4 objects
+
+
+def run_reuse_epochs(epochs):
+    world = NoCdnWorld(num_peers=2, seed=20, key_ttl=KEY_TTL,
+                       wrapper_reuse_ttl=1000.0)
+    for _ in range(epochs):
+        world.load_page("/page0")
+        for peer in world.peers:
+            peer.flush_usage()
+        world.sim.run()
+        world.sim.run_until(world.sim.now + 10.0)
+    return world
+
+
+def outstanding_bytes(provider, peer_id):
+    return sum(issue.cap_bytes - issue.accepted_bytes
+               for issue in provider._keys.values()
+               if issue.peer_id == peer_id)
+
+
+class TestReuseCapsStayBounded:
+    def test_outstanding_authorization_is_bounded(self):
+        world = run_reuse_epochs(30)
+        assert world.provider.wrappers_reused > 0  # reuse path exercised
+        assert world.provider.direct_pages_served == 0  # peers stayed up
+        for peer in world.peers:
+            # Live authorization covers at most the reuse window (two
+            # 10s-spaced reuses per wrapper) across the unpruned
+            # wrappers of the last 2x key_ttl — nowhere near the 30
+            # page-loads of caps the unbounded path accumulates.
+            assert outstanding_bytes(world.provider, peer.peer_id) \
+                <= 8 * PAGE_BYTES
+
+    def test_key_table_is_pruned(self):
+        world = run_reuse_epochs(30)
+        # Retention is 2x key_ttl plus at most one amortized prune
+        # period (prunes run once per key_ttl, on wrapper builds).
+        now = world.sim.now
+        assert len(world.provider._keys) > 0
+        for issue in world.provider._keys.values():
+            assert now <= issue.issued_at + 4 * KEY_TTL
+
+    def test_accounting_stays_clean_under_reuse(self):
+        world = run_reuse_epochs(20)
+        audit = world.provider.audit
+        assert audit.accepted_records > 0
+        # Prompt uploads + reuse capped at key expiry: every record's
+        # key is alive and known when audited.
+        assert audit.rejected_expired == 0
+        assert audit.rejected_unknown_key == 0
+        assert audit.rejected_total == 0
+        # And nobody lost trust along the way.
+        assert all(info.trust == 1.0
+                   for info in world.provider.peers.values())
