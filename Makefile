@@ -1,9 +1,9 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test bench bench-check bench-scale bench-nocdn experiments \
-	trace-smoke obs-smoke chaos control-smoke nocdn-smoke dashboard \
-	study study-smoke
+.PHONY: check test bench bench-check bench-scale bench-nocdn bench-obs \
+	experiments trace-smoke obs-smoke chaos control-smoke nocdn-smoke \
+	dashboard study study-smoke
 
 check:
 	./scripts/check.sh
@@ -58,6 +58,13 @@ bench-nocdn:
 
 nocdn-smoke:
 	python scripts/nocdn_strategy_smoke.py
+
+# Full-stack observability overhead at the 100k-home flagship scale:
+# lite tracing + tail sampling + rollups + TSDB + SLO monitor vs the
+# bare engine, min-of-reps -> BENCH_obs.json (gate: overhead <= 10%,
+# byte-identical exports, every error/fault trace retained).
+bench-obs:
+	python scripts/bench_obs.py
 
 experiments:
 	python -m repro.experiments all

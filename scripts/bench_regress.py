@@ -37,6 +37,13 @@ Key metrics:
   cell on ``loads_ok``/``load_errors``/``total_bytes`` (the seeded
   workload is deterministic) and on ``offload_gate`` — collaborative
   placement must keep strictly beating the naive per-peer cache.
+- ``BENCH_obs.json``: the full-stack observability overhead ratio
+  (lower-is-better) plus exact guards on ``within_budget`` (the <=10%
+  overhead ceiling), ``deterministic`` (byte-identical same-seed
+  exports), trace retention (``errors_all_kept``,
+  ``fault_spans_kept``, ``traces_kept``), the governed per-scrape row
+  count, and exemplar-linked alert counts — the sampler must never
+  drop an error or fault trace to buy back overhead.
 """
 
 import argparse
@@ -78,6 +85,18 @@ KEY_METRICS = [
     ("BENCH_nocdn.json", "cells.{cell}.load_errors", "exact"),
     ("BENCH_nocdn.json", "cells.{cell}.total_bytes", "exact"),
     ("BENCH_nocdn.json", "offload_gate", "exact"),
+    ("BENCH_obs.json", "fleets.{fleet}.overhead_ratio", "lower"),
+    ("BENCH_obs.json", "fleets.{fleet}.within_budget", "exact"),
+    ("BENCH_obs.json", "fleets.{fleet}.deterministic", "exact"),
+    ("BENCH_obs.json", "fleets.{fleet}.requests_ok", "exact"),
+    ("BENCH_obs.json", "fleets.{fleet}.request_errors", "exact"),
+    ("BENCH_obs.json", "fleets.{fleet}.traces_seen", "exact"),
+    ("BENCH_obs.json", "fleets.{fleet}.traces_kept", "exact"),
+    ("BENCH_obs.json", "fleets.{fleet}.errors_all_kept", "exact"),
+    ("BENCH_obs.json", "fleets.{fleet}.fault_spans_kept", "exact"),
+    ("BENCH_obs.json", "fleets.{fleet}.scrape_rows_last", "exact"),
+    ("BENCH_obs.json", "fleets.{fleet}.alerts_fired", "exact"),
+    ("BENCH_obs.json", "fleets.{fleet}.alerts_linked", "exact"),
 ]
 
 # Values are dotted module names, or ``scripts/*.py`` paths loaded by
@@ -88,6 +107,7 @@ BENCH_MODULES = {
     "BENCH_scale.json": "scripts/bench_scale.py",
     "BENCH_control.json": "benchmarks.bench_a8_control",
     "BENCH_nocdn.json": "scripts/bench_nocdn_fleet.py",
+    "BENCH_obs.json": "scripts/bench_obs.py",
 }
 
 
@@ -117,6 +137,9 @@ def expand_paths(baseline, template):
     if "{cell}" in template:
         return [template.replace("{cell}", c)
                 for c in sorted(baseline.get("cells", {}))]
+    if "{fleet}" in template:
+        return [template.replace("{fleet}", f)
+                for f in sorted(baseline.get("fleets", {}), key=int)]
     return [template]
 
 

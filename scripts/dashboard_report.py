@@ -121,6 +121,9 @@ def main(argv=None) -> int:
     parser.add_argument("--lookback", type=float, default=10.0,
                         help="alert->fault correlation window (sim s)")
     parser.add_argument("--title", default=None)
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero when the trace artifact was "
+                             "truncated (spans_dropped > 0)")
     args = parser.parse_args(argv)
 
     out_dir = pathlib.Path(args.out_dir)
@@ -179,6 +182,11 @@ def main(argv=None) -> int:
                     if d["outcome"] == "executed"]
         print(f"{len(executed)} remediation actions executed, "
               f"{len(conv)} alerts converged")
+    if args.strict and art.trace is not None and art.trace.dropped > 0:
+        print(f"strict: {art.trace.dropped} spans dropped by the ring "
+              f"buffer (trace artifact incomplete; raise the capacity or "
+              f"enable tail sampling)", file=sys.stderr)
+        return 2
     return 0
 
 

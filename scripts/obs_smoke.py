@@ -15,6 +15,14 @@
    TSDB) twice from the same seed and asserts the exports are
    byte-identical — the determinism contract at fleet scale, covering
    the cached scrape path and the gamma-draw aggregation.
+5. Runs a 100k-home fleet under the *governed* observability stack —
+   per-home registries folded into cohort rollups, lite tracing with
+   tail sampling, TSDB + SLO monitor — twice from one seed, and
+   asserts: byte-identical trace/TSDB/SLO exports, a per-scrape row
+   count orders of magnitude below the naive per-home-series count
+   (the cardinality governor's O(focus + cohorts + k) contract), and
+   that every error trace and every ``fault.*`` span survived the 2%
+   tail sampler.
 
 Exit code 0 on success; raises on any violation.
 """
@@ -178,6 +186,105 @@ def check_fleet_determinism() -> None:
           f"bytes, {tsdb.scrapes} scrapes, byte-identical)")
 
 
+GOVERNED_HOMES = 100_000
+GOVERNED_SIM_SECONDS = 20.0
+
+
+def run_governed_fleet(prefix: str) -> dict:
+    """100k homes, full governed observability stack, one seeded run."""
+    from repro.faults import FaultInjector, FaultPlan, LinkFlap
+    from repro.workloads.fleet import (FleetSpec, FocusRequestLoad,
+                                       build_fleet)
+
+    sim = Simulator(seed=23)
+    fleet = build_fleet(sim, FleetSpec(
+        num_homes=GOVERNED_HOMES, focus_homes=4, tick=0.5,
+        per_home_metrics=True, home_metrics_churn=8, rollup_k=4,
+        rollup_every=2))
+    # The flap must outlast the request timeout: a downed link stalls
+    # in-flight transfers, and a stall shorter than the timeout just
+    # resumes on restore instead of erroring.
+    load = FocusRequestLoad(fleet, requests=150, spacing=0.08, timeout=1.5,
+                            slow_every=25, slow_delay=1.0, peer_every=10)
+    injector = FaultInjector(sim, fleet.city.network)
+    injector.apply(FaultPlan([LinkFlap("hpop-n0h1", at=4.0, duration=6.0)]))
+
+    tracer = sim.enable_tracing(capacity=262_144, trace_events=False,
+                                profile_events=False)
+    sampler = tracer.enable_tail_sampling(rate=0.02, slow_threshold=0.8,
+                                          grace=30.0)
+    tsdb = TimeSeriesDB(sim, interval=2.0)
+    tsdb.add_registry(fleet.registry, source="fleet")
+    tsdb.add_registry(load.metrics, source="focusload")
+    fleet.attach_rollups(tsdb)
+    tsdb.start()
+
+    fleet.start()
+    load.start()
+    sim.run_until(GOVERNED_SIM_SECONDS)
+    fleet.stop()
+
+    tracer.export_jsonl(prefix + "-trace.jsonl")  # flushes the sampler
+    tsdb.export_jsonl(prefix + "-tsdb.jsonl")
+
+    kept = sampler.kept_spans()
+    error_traces = {
+        span.trace_id for span in kept
+        if getattr(span, "attrs", None)
+        and any(span.attrs.get(k) for k in ("error", "timeout", "failed"))}
+    return {
+        "errors": len(load.errors),
+        "ok": len(load.results),
+        "error_traces_kept": len(error_traces),
+        "fault_spans_kept": sum(
+            1 for span in kept
+            if getattr(span, "name", "").startswith("fault.")),
+        "traces_seen": sampler.traces_seen,
+        "traces_kept": sampler.traces_kept,
+        "scrape_rows": tsdb.last_scrape_rows,
+        "series": len(tsdb.series),
+    }
+
+
+def check_governed_fleet() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        facts = run_governed_fleet(os.path.join(tmp, "a"))
+        run_governed_fleet(os.path.join(tmp, "b"))
+        blobs = {}
+        for kind in ("trace", "tsdb"):
+            pair = []
+            for run in ("a", "b"):
+                with open(os.path.join(tmp, f"{run}-{kind}.jsonl"),
+                          "rb") as fh:
+                    pair.append(fh.read())
+            assert pair[0], f"empty governed {kind} export"
+            assert pair[0] == pair[1], (
+                f"same-seed governed {kind} exports are not byte-identical")
+            blobs[kind] = pair[0]
+
+    assert facts["ok"] > 0, "governed fleet request load never completed"
+    assert facts["errors"] > 0, (
+        "the link flap produced no request errors — retention unexercised")
+    assert facts["error_traces_kept"] >= facts["errors"], (
+        f"sampler dropped error traces: kept {facts['error_traces_kept']} "
+        f"of {facts['errors']}")
+    assert facts["fault_spans_kept"] > 0, "fault.* spans were sampled away"
+    assert 0 < facts["traces_kept"] < facts["traces_seen"], (
+        f"sampling did not thin the trace stream: {facts}")
+    # The cardinality governor's whole point: per-scrape row count is
+    # O(focus + cohorts * metrics + k), orders below one series per
+    # home metric.
+    naive_rows = GOVERNED_HOMES * 4
+    assert 0 < facts["scrape_rows"] * 50 < naive_rows, (
+        f"{facts['scrape_rows']} rows/scrape is not governed "
+        f"(naive would be ~{naive_rows})")
+    print(f"  governed fleet OK ({GOVERNED_HOMES} homes, "
+          f"{facts['traces_kept']}/{facts['traces_seen']} traces kept, "
+          f"{facts['errors']} errors all retained, "
+          f"{facts['scrape_rows']} rows/scrape vs ~{naive_rows} naive, "
+          f"byte-identical)")
+
+
 def check_enabled_profile() -> None:
     """Sanity (no budget): an enabled profiler sees every event."""
     sim = Simulator(seed=2)
@@ -201,6 +308,8 @@ def main() -> int:
     check_enabled_profile()
     print(f"obs smoke: {FLEET_HOMES}-home fleet same-seed determinism")
     check_fleet_determinism()
+    print(f"obs smoke: {GOVERNED_HOMES}-home governed observability")
+    check_governed_fleet()
     return 0
 
 

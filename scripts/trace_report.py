@@ -33,6 +33,9 @@ def main(argv=None) -> int:
                         help="hotspot rows to show (default 10)")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of text")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero when the trace was truncated "
+                             "(spans_dropped > 0)")
     args = parser.parse_args(argv)
 
     trace = load_trace(args.trace)
@@ -44,6 +47,11 @@ def main(argv=None) -> int:
                          indent=2))
     else:
         print(render_report(trace, top=args.top))
+    if args.strict and trace.dropped > 0:
+        print(f"strict: {trace.dropped} spans dropped by the ring buffer "
+              f"({args.trace} is incomplete; raise the capacity or enable "
+              f"tail sampling)", file=sys.stderr)
+        return 2
     return 0
 
 

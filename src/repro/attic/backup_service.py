@@ -101,6 +101,9 @@ class PeerBackupService(HpopService):
         # across restarts (the monitor itself is rebuilt per boot).
         self.peer_listeners: List[Callable[[str, str], None]] = []
         self.friends: List["PeerBackupService"] = []
+        # Optional repro.obs.sampling.ExemplarStore: repair-time
+        # observations then carry their trace id for alert linking.
+        self.exemplars = None
         self.manifest: Dict[str, BackupManifestEntry] = {}
         # Shards this HPoP holds *for others*: (owner, path, index) -> Shard
         self.held_shards: Dict[Tuple[str, str, int], Shard] = {}
@@ -324,7 +327,15 @@ class PeerBackupService(HpopService):
             if healthy:
                 if self._down_since:
                     first = min(self._down_since.values())
-                    self._h_time_to_repair.observe(self.sim.now - first)
+                    took = self.sim.now - first
+                    if self.exemplars is not None:
+                        self._h_time_to_repair.observe(
+                            took, exemplar=span.trace_id)
+                        self.exemplars.record(
+                            "peer-backup.time_to_repair_seconds", took,
+                            span.trace_id)
+                    else:
+                        self._h_time_to_repair.observe(took)
                 self._down_since.clear()
                 self._repair_attempt = 0
                 return
@@ -824,5 +835,6 @@ def default_slos(source: str = ""):
             sli=ThresholdSli(
                 f"{prefix}peer-backup.time_to_repair_seconds_p99",
                 max_value=30.0),
-            description="Peer-death to full-redundancy p99 under 30 s"),
+            description="Peer-death to full-redundancy p99 under 30 s",
+            exemplar_metric="peer-backup.time_to_repair_seconds"),
     ]

@@ -40,7 +40,10 @@ def run_chaos_cell(seed: int, params: Mapping[str, Any],
     the autonomous control plane and export ``control.jsonl``; off by
     default so existing study baselines keep their bytes),
     ``strategy`` (collaborative-caching strategy name; None keeps the
-    classic per-peer world and its baseline bytes).
+    classic per-peer world and its baseline bytes), ``sampling``
+    (tail-sampling rate for the trace export; None keeps the classic
+    ring buffer and its bytes), ``exemplars`` (link firing SLO alerts
+    to their worst in-window request trace; off by default).
     """
     # Lazy: the chaos world lives with the integration tests, and the
     # study machinery must import without the tests package on path.
@@ -53,11 +56,15 @@ def run_chaos_cell(seed: int, params: Mapping[str, Any],
     with_profile = bool(params.get("profile", True))
     with_controller = bool(params.get("controller", False))
     strategy = params.get("strategy")
+    sampling = params.get("sampling")
+    with_exemplars = bool(params.get("exemplars", False))
 
     world = ChaosWorld(seed, num_peers=num_peers, strategy=strategy)
     tracer = world.sim.enable_tracing(capacity=262144) if with_trace else None
+    if tracer is not None and sampling is not None:
+        world.enable_sampling(rate=float(sampling))
     profiler = world.sim.enable_profiling() if with_profile else None
-    world.enable_telemetry()
+    world.enable_telemetry(exemplars=with_exemplars)
     if with_controller:
         world.enable_controller()
     world.seed_attic()
@@ -97,6 +104,19 @@ def run_chaos_cell(seed: int, params: Mapping[str, Any],
                 ctl.metrics.counters["actions_executed"].value),
             "alerts_converged": len(ctl.convergences()),
         })
+    if world.sampler is not None:
+        stats = world.sampler.stats_record()
+        facts.update({
+            "traces_seen": stats["traces_seen"],
+            "traces_kept": stats["traces_kept"],
+            "sampler_pins_missed": stats["pins_missed"],
+        })
+    if with_exemplars:
+        firing = [e for e in world.slo_monitor.events
+                  if e.get("state") == "firing"]
+        facts["alerts_fired"] = len(firing)
+        facts["alerts_with_exemplar"] = sum(
+            1 for e in firing if e.get("exemplar_trace") is not None)
     return facts
 
 
@@ -106,34 +126,76 @@ def run_fleet_cell(seed: int, params: Mapping[str, Any],
 
     Self-contained (no tests import), so it doubles as the smoke
     scenario for environments where only ``src`` is on the path.
-    Params: ``homes``, ``focus_homes``, ``sim_seconds``.
+    Params: ``homes``, ``focus_homes``, ``sim_seconds``, plus the
+    fleet-observability ride-alongs (all default-off, keeping the
+    classic export bytes): ``per_home_metrics`` folds every idle
+    home's registry into per-cohort rollups (``rollup_k`` /
+    ``rollup_every`` tune the governor), ``requests`` drives a
+    focus-home HTTP load, and ``sampling`` (a rate) tail-samples the
+    trace into ``trace.jsonl``.
     """
     from repro.obs.timeseries import TimeSeriesDB
     from repro.sim.engine import Simulator
-    from repro.workloads.fleet import FleetSpec, build_fleet
+    from repro.workloads.fleet import (FleetSpec, FocusRequestLoad,
+                                       build_fleet)
 
     homes = int(params.get("homes", 1000))
     focus = int(params.get("focus_homes", 2))
     sim_seconds = float(params.get("sim_seconds", 60.0))
+    per_home_metrics = bool(params.get("per_home_metrics", False))
+    rollup_k = int(params.get("rollup_k", 8))
+    rollup_every = int(params.get("rollup_every", 1))
+    requests = int(params.get("requests", 0))
+    sampling = params.get("sampling")
 
     sim = Simulator(seed=seed)
-    fleet = build_fleet(sim, FleetSpec(num_homes=homes, focus_homes=focus))
+    fleet = build_fleet(sim, FleetSpec(
+        num_homes=homes, focus_homes=focus,
+        per_home_metrics=per_home_metrics,
+        rollup_k=rollup_k, rollup_every=rollup_every))
+    tracer = None
+    if sampling is not None:
+        tracer = sim.enable_tracing(capacity=262144)
+        tracer.enable_tail_sampling(rate=float(sampling),
+                                    slow_threshold=5.0)
+    load = None
+    if requests:
+        load = FocusRequestLoad(fleet, requests=requests,
+                                spacing=float(params.get("spacing", 0.25)))
     tsdb = TimeSeriesDB(sim, interval=1.0)
     tsdb.add_registry(fleet.registry, source="fleet")
+    if load is not None:
+        tsdb.add_registry(load.metrics, source="focus")
+    fleet.attach_rollups(tsdb)
     tsdb.add_callback(
         "uplink0.up_bytes",
         lambda: fleet.aggregates[0].uplink.forward.stats.bytes_carried,
         kind="counter")
     fleet.start()
+    if load is not None:
+        load.start()
     tsdb.start()
     sim.run_until(sim_seconds)
     tsdb.export_jsonl(str(pathlib.Path(out_dir) / "tsdb.jsonl"))
-    return {
+    if tracer is not None:
+        tracer.export_jsonl(str(pathlib.Path(out_dir) / "trace.jsonl"))
+    facts: Dict[str, Any] = {
         "homes": homes,
         "scrapes": tsdb.scrapes,
         "up_bytes": float(
             fleet.aggregates[0].uplink.forward.stats.bytes_carried),
     }
+    if per_home_metrics:
+        facts["scrape_rows"] = tsdb.last_scrape_rows
+        facts["rollup_cohorts"] = len(fleet.pools)
+    if load is not None:
+        facts["requests_ok"] = len(load.results)
+        facts["request_errors"] = len(load.errors)
+    if tracer is not None:
+        stats = tracer.sampler.stats_record()
+        facts["traces_seen"] = stats["traces_seen"]
+        facts["traces_kept"] = stats["traces_kept"]
+    return facts
 
 
 def run_nocdn_fleet_cell(seed: int, params: Mapping[str, Any],

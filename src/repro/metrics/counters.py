@@ -113,14 +113,22 @@ class Histogram:
         self.count = 0
         self.sum = 0.0
         self._samples: List[float] = []
+        # Per-bucket OpenMetrics-style exemplars: bucket index ->
+        # (value, trace id) of the latest exemplar-carrying observation
+        # that landed there. Populated only when callers pass trace ids,
+        # so classic exposition text is unchanged.
+        self.exemplars: Dict[int, Tuple[float, int]] = {}
         self._registry: Optional["MetricsRegistry"] = None
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+    def observe(self, value: float, exemplar: Optional[int] = None) -> None:
+        """Record one observation, optionally with a trace-id exemplar."""
+        bucket = bisect_left(self.buckets, value)
+        self.bucket_counts[bucket] += 1
         self.count += 1
         self.sum += value
         self._samples.append(value)
+        if exemplar is not None:
+            self.exemplars[bucket] = (value, exemplar)
         registry = self._registry
         if registry is not None:
             registry.version += 1
@@ -176,6 +184,25 @@ def _expo_value(value: float) -> str:
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)
+
+
+def _expo_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text-format rules.
+
+    Backslash, double-quote, and newline must be escaped inside the
+    quoted label value; everything else passes through verbatim.
+    """
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _expo_help(text: str) -> str:
+    """Escape HELP text: backslash and newline (quotes stay verbatim).
+
+    A raw newline in help text would otherwise split the comment line
+    and corrupt the exposition page.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 @dataclass
@@ -308,34 +335,60 @@ class MetricsRegistry:
         return "\n".join(lines)
 
     def expose(self) -> str:
-        """Prometheus text exposition of every metric in this registry."""
-        lines: List[str] = []
-        for name in sorted(self.counters):
+        """Prometheus text exposition of every metric in this registry.
+
+        Metric families emit in one global sort by exposition name
+        (not grouped by metric type) and label values are escaped, so
+        the text is deterministically diffable across runs and safe
+        for arbitrary label content. Histogram buckets carrying
+        exemplars render them OpenMetrics-style
+        (``... # {trace_id="7"} 0.25``).
+        """
+        families: List[Tuple[str, List[str]]] = []
+        for name in self.counters:
             counter = self.counters[name]
             full = _expo_name(self.namespace, name)
+            lines = []
             if counter.help:
-                lines.append(f"# HELP {full} {counter.help}")
+                lines.append(f"# HELP {full} {_expo_help(counter.help)}")
             lines.append(f"# TYPE {full} counter")
             lines.append(f"{full} {_expo_value(counter.value)}")
-        for name in sorted(self.gauges):
+            families.append((full, lines))
+        for name in self.gauges:
             gauge = self.gauges[name]
             full = _expo_name(self.namespace, name)
+            lines = []
             if gauge.help:
-                lines.append(f"# HELP {full} {gauge.help}")
+                lines.append(f"# HELP {full} {_expo_help(gauge.help)}")
             lines.append(f"# TYPE {full} gauge")
             lines.append(f"{full} {_expo_value(gauge.read())}")
-        for name in sorted(self.histograms):
+            families.append((full, lines))
+        for name in self.histograms:
             hist = self.histograms[name]
             full = _expo_name(self.namespace, name)
+            lines = []
             if hist.help:
-                lines.append(f"# HELP {full} {hist.help}")
+                lines.append(f"# HELP {full} {_expo_help(hist.help)}")
             lines.append(f"# TYPE {full} histogram")
-            for bound, cumulative in hist.cumulative_buckets():
-                lines.append(f'{full}_bucket{{le="{_expo_value(bound)}"}} '
-                             f"{cumulative}")
+            for index, (bound, cumulative) in enumerate(
+                    hist.cumulative_buckets()):
+                le = _expo_label_value(_expo_value(bound))
+                line = f'{full}_bucket{{le="{le}"}} {cumulative}'
+                exemplar = hist.exemplars.get(index)
+                if exemplar is not None:
+                    value, trace_id = exemplar
+                    tid = _expo_label_value(str(trace_id))
+                    line += (f' # {{trace_id="{tid}"}} '
+                             f"{_expo_value(value)}")
+                lines.append(line)
             lines.append(f"{full}_sum {_expo_value(hist.sum)}")
             lines.append(f"{full}_count {hist.count}")
-        return "\n".join(lines) + ("\n" if lines else "")
+            families.append((full, lines))
+        families.sort(key=lambda family: family[0])
+        out: List[str] = []
+        for _full, lines in families:
+            out.extend(lines)
+        return "\n".join(out) + ("\n" if out else "")
 
 
 def expose_registries(registries: Iterable[MetricsRegistry]) -> str:

@@ -78,6 +78,10 @@ class PageLoader:
         # Cumulative chunk-fetch failures by serving peer: the control
         # plane diffs this between alerts to find who is failing *now*.
         self.peer_failure_counts: Dict[str, int] = {}
+        # Optional repro.obs.sampling.ExemplarStore: when attached,
+        # page-load observations carry their trace id so SLO alerts can
+        # link to the worst request's trace.
+        self.exemplars = None
         self.metrics = MetricsRegistry(namespace="nocdn")
         self._page_load_time = self.metrics.histogram(
             "page_load_seconds", help="Wrapper fetch to full assembly")
@@ -117,7 +121,13 @@ class PageLoader:
         inner_done = on_done
 
         def on_done(result: PageLoadResult) -> None:
-            self._page_load_time.observe(result.duration)
+            if self.exemplars is not None:
+                self._page_load_time.observe(result.duration,
+                                             exemplar=span.trace_id)
+                self.exemplars.record("nocdn.page_load_seconds",
+                                      result.duration, span.trace_id)
+            else:
+                self._page_load_time.observe(result.duration)
             self._c_peer_bytes.inc(result.bytes_from_peers)
             self._c_origin_bytes.inc(result.bytes_from_origin)
             span.finish(direct=result.direct_mode,
@@ -408,10 +418,12 @@ def default_slos(source: str = ""):
             name="nocdn-chunk-integrity", service="nocdn", objective=0.99,
             sli=RatioSli(total=(f"{prefix}nocdn.chunk_fetches",),
                          bad=(f"{prefix}nocdn.chunk_fetch_failures",)),
-            description="Peer chunk fetches answered without failover"),
+            description="Peer chunk fetches answered without failover",
+            exemplar_metric="nocdn.page_load_seconds"),
         SloSpec(
             name="nocdn-page-latency", service="nocdn", objective=0.9,
             sli=ThresholdSli(f"{prefix}nocdn.page_load_seconds_p99",
                              max_value=1.5),
-            description="Page-load p99 stays under 1.5 simulated seconds"),
+            description="Page-load p99 stays under 1.5 simulated seconds",
+            exemplar_metric="nocdn.page_load_seconds"),
     ]

@@ -22,7 +22,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.obs.report import Trace, hotspots, load_trace, span_table
+from repro.obs.report import (Trace, exemplar_path, hotspots, load_trace,
+                              span_table)
 from repro.obs.slo import correlate_alerts, load_slo_jsonl
 from repro.obs.timeseries import Series, load_jsonl as load_tsdb
 from repro.obs.trace import iter_jsonl
@@ -196,8 +197,30 @@ def _alert_rows(art: RunArtifacts, lookback: float) -> List[Dict[str, Any]]:
                           f"({d['outcome']})" for d in acted[:5]],
             "convergence_s": (float(conv["convergence_s"])
                               if conv else None),
+            "exemplar_trace": alert.get("exemplar_trace"),
+            "exemplar_value": alert.get("exemplar_value"),
+            "exemplar_t": alert.get("exemplar_t"),
         })
     return rows
+
+
+def _exemplar_frames(art: RunArtifacts, row: Dict[str, Any],
+                     top: int = 6) -> List[str]:
+    """Rendered critical-path frames of an alert's exemplar trace.
+
+    The alert → exemplar trace → critical path join: resolves the
+    exemplar trace id recorded on the alert against the loaded trace
+    export and renders the chain through its slowest span.
+    """
+    trace_id = row.get("exemplar_trace")
+    if trace_id is None or art.trace is None:
+        return []
+    frames = []
+    for record in exemplar_path(art.trace, int(trace_id))[:top]:
+        frames.append(f"t={record.start:.3f} "
+                      f"+{record.duration * 1e3:.2f}ms "
+                      f"[{record.kind}] {record.name}")
+    return frames
 
 
 def _control_summary(art: RunArtifacts) -> List[List[str]]:
@@ -322,6 +345,13 @@ def build_markdown(art: RunArtifacts, lookback: float = 10.0) -> str:
                 out.append(f"  - converged in {row['convergence_s']:.2f}s")
             elif art.control:
                 out.append("  - not converged by run end")
+            if row["exemplar_trace"] is not None:
+                out.append(
+                    f"  - exemplar: trace `{row['exemplar_trace']}`, worst "
+                    f"request {row.get('exemplar_value', 0):.3f}s at "
+                    f"t={row.get('exemplar_t', 0):.2f}")
+                for frame in _exemplar_frames(art, row):
+                    out.append(f"    - {frame}")
     else:
         out.append("(no alerts fired)")
     out.append("")
@@ -353,9 +383,22 @@ def build_markdown(art: RunArtifacts, lookback: float = 10.0) -> str:
 
     if art.trace is not None and art.trace.records:
         if art.trace.dropped:
+            breakdown = ""
+            if art.trace.dropped_by_kind:
+                breakdown = " (" + ", ".join(
+                    f"{kind}: {count}" for kind, count
+                    in sorted(art.trace.dropped_by_kind.items())) + ")"
             out.append(f"> **WARNING:** trace truncated — "
                        f"{art.trace.dropped} spans dropped by the ring "
-                       f"buffer.")
+                       f"buffer{breakdown}.")
+            out.append("")
+        if art.trace.sampling:
+            s = art.trace.sampling
+            out.append(
+                f"Tail sampling: {s.get('traces_kept', 0)}/"
+                f"{s.get('traces_seen', 0)} traces kept at rate "
+                f"{s.get('rate', 0)} ({s.get('spans_kept', 0)} spans); "
+                f"{s.get('pins_missed', 0)} exemplar pins missed.")
             out.append("")
         out += ["## Span latency (simulated time, top 10)", "",
                 _md_table(("span", "count", "mean ms", "p50 ms", "p99 ms"),
@@ -465,6 +508,16 @@ def build_html(art: RunArtifacts, lookback: float = 10.0) -> str:
                            f"{row['convergence_s']:.2f}s</li>")
             elif art.control:
                 causes += "<li>not converged by run end</li>"
+            if row["exemplar_trace"] is not None:
+                frames = "".join(
+                    f"<li><code>{esc(frame)}</code></li>"
+                    for frame in _exemplar_frames(art, row))
+                causes += (
+                    f"<li>exemplar: trace "
+                    f"<code>{esc(str(row['exemplar_trace']))}</code>, worst "
+                    f"request {row.get('exemplar_value', 0):.3f}s at "
+                    f"t={row.get('exemplar_t', 0):.2f}"
+                    + (f"<ul>{frames}</ul>" if frames else "") + "</li>")
             body.append(
                 f"<li><b>t={row['t']:.2f}</b> <code>{esc(row['slo'])}</code> "
                 f"({esc(row['severity'])}, burn {esc(row['burn'])})"
@@ -504,6 +557,13 @@ def build_html(art: RunArtifacts, lookback: float = 10.0) -> str:
             body.append(
                 f'<p class="warn">WARNING: trace truncated — '
                 f"{art.trace.dropped} spans dropped by the ring buffer.</p>")
+        if art.trace.sampling:
+            s = art.trace.sampling
+            body.append(
+                f"<p>Tail sampling: {s.get('traces_kept', 0)}/"
+                f"{s.get('traces_seen', 0)} traces kept at rate "
+                f"{s.get('rate', 0)} ({s.get('spans_kept', 0)} spans); "
+                f"{s.get('pins_missed', 0)} exemplar pins missed.</p>")
         body.append("<h2>Span latency (simulated time, top 10)</h2>")
         body.append(_html_table(
             ("span", "count", "mean ms", "p50 ms", "p99 ms"),
@@ -547,6 +607,9 @@ def dashboard_json(art: RunArtifacts, lookback: float = 10.0,
         entry = {"t": round(row["t"], 9), "slo": row["slo"],
                  "severity": row["severity"],
                  "causes": len(row["causes"])}
+        if row["exemplar_trace"] is not None:
+            entry["exemplar_trace"] = row["exemplar_trace"]
+            entry["exemplar_frames"] = len(_exemplar_frames(art, row))
         if art.control:
             entry["decisions"] = len(row["decisions"])
             entry["convergence_s"] = (
@@ -591,6 +654,19 @@ def dashboard_json(art: RunArtifacts, lookback: float = 10.0,
     if art.trace is not None:
         out["trace"] = {"records": len(art.trace.records),
                         "dropped": art.trace.dropped}
+        if art.trace.dropped_by_kind:
+            out["trace"]["dropped_by_kind"] = dict(
+                sorted(art.trace.dropped_by_kind.items()))
+        if art.trace.sampling:
+            s = art.trace.sampling
+            out["trace"]["sampling"] = {
+                "rate": s.get("rate", 0.0),
+                "traces_seen": s.get("traces_seen", 0),
+                "traces_kept": s.get("traces_kept", 0),
+                "kept_by_reason": dict(sorted(
+                    (s.get("kept_by_reason") or {}).items())),
+                "pins_missed": s.get("pins_missed", 0),
+            }
     if art.profile:
         out["profile"] = {
             "events": art.profile.get("events", 0),

@@ -27,6 +27,9 @@ class TraceRecord:
     start: float
     end: float
     attrs: Dict[str, Any] = field(default_factory=dict)
+    # Root span id of the causal tree this record belongs to; None on
+    # classic exports (trace ids are only written when sampling is on).
+    trace_id: Optional[int] = None
 
     @property
     def duration(self) -> float:
@@ -44,6 +47,13 @@ class Trace:
     meta: Dict[str, Any] = field(default_factory=dict)
     # Spans lost to ring-buffer wrap before export (0 = complete trace).
     dropped: int = 0
+    # Per-kind / per-name breakdown of what the ring evicted (empty on
+    # pre-breakdown exports).
+    dropped_by_kind: Dict[str, int] = field(default_factory=dict)
+    dropped_by_name: Dict[str, int] = field(default_factory=dict)
+    # The trailing tail-sampling stats record, when the export came
+    # from a sampled tracer (empty otherwise).
+    sampling: Dict[str, Any] = field(default_factory=dict)
 
     def spans(self) -> List[TraceRecord]:
         return [r for r in self.records if r.kind == "span"]
@@ -69,15 +79,21 @@ def load_trace(path: str) -> Trace:
         elif kind == "dropped":
             trace.dropped = max(trace.dropped,
                                 int(raw.get("spans_dropped", 0)))
+            trace.dropped_by_kind = dict(raw.get("by_kind") or {})
+            trace.dropped_by_name = dict(raw.get("by_name") or {})
+        elif kind == "sampling":
+            trace.sampling = raw
         elif kind in ("span", "event"):
             end = raw.get("end")
             if end is None:
                 continue  # unfinished span leaked into the file; skip
+            trace_id = raw.get("trace")
             trace.records.append(TraceRecord(
                 kind=kind, span_id=int(raw["id"]),
                 parent_id=raw.get("parent"), name=raw.get("name", ""),
                 start=float(raw["start"]), end=float(end),
-                attrs=raw.get("attrs") or {}))
+                attrs=raw.get("attrs") or {},
+                trace_id=int(trace_id) if trace_id is not None else None))
     return trace
 
 
@@ -150,6 +166,26 @@ def critical_path(trace: Trace,
     return path
 
 
+def records_for_trace(trace: Trace, trace_id: int) -> List[TraceRecord]:
+    """Every record belonging to one sampled trace (by root span id)."""
+    return [r for r in trace.records if r.trace_id == trace_id]
+
+
+def exemplar_path(trace: Trace, trace_id: int) -> List[TraceRecord]:
+    """Critical path through one sampled trace, root first.
+
+    The alert → exemplar → critical path join: given the exemplar
+    trace id an SLO alert recorded, restrict the export to that trace
+    and walk the chain through its slowest span. Empty when the trace
+    id is absent (e.g. a classic export without trace ids).
+    """
+    sub = Trace(records=records_for_trace(trace, trace_id))
+    target = slowest_span(sub)
+    if target is None:
+        return []
+    return critical_path(sub, target)
+
+
 # -- hotspots --------------------------------------------------------------
 
 
@@ -206,7 +242,17 @@ def render_report(trace: Trace, top: int = 10) -> str:
         sections.append(
             f"WARNING: {trace.dropped} spans dropped by the ring buffer "
             f"before export; this trace is truncated (raise the tracer "
-            f"capacity to capture everything)")
+            f"capacity or enable tail sampling to capture everything)")
+        if trace.dropped_by_kind:
+            breakdown = ", ".join(
+                f"{kind}={count}" for kind, count
+                in sorted(trace.dropped_by_kind.items()))
+            sections.append(f"  evicted by kind: {breakdown}")
+        if trace.dropped_by_name:
+            loudest = sorted(trace.dropped_by_name.items(),
+                             key=lambda kv: (-kv[1], kv[0]))[:top]
+            sections.append("  evicted by name: " + ", ".join(
+                f"{name}={count}" for name, count in loudest))
         sections.append("")
 
     rows = span_table(trace)
@@ -252,6 +298,25 @@ def render_report(trace: Trace, top: int = 10) -> str:
     else:
         sections.append("(no events recorded)")
 
+    if trace.sampling:
+        s = trace.sampling
+        reasons = ", ".join(f"{k}={v}" for k, v in
+                            sorted((s.get("kept_by_reason") or {}).items()))
+        sections.append("")
+        sections.append(
+            f"== tail sampling ==\n"
+            f"{s.get('traces_kept', 0)}/{s.get('traces_seen', 0)} traces "
+            f"kept at rate {s.get('rate', 0)} "
+            f"({s.get('spans_kept', 0)} spans kept, "
+            f"{s.get('spans_discarded', 0)} discarded)"
+            + (f"; kept by reason: {reasons}" if reasons else ""))
+        if s.get("pins_missed") or s.get("late_after_grace"):
+            sections.append(
+                f"WARNING: {s.get('pins_missed', 0)} exemplar pins missed, "
+                f"{s.get('late_after_grace', 0)} flagged spans arrived "
+                f"after the limbo grace window — raise the sampler's "
+                f"grace so kept traces cannot be lost")
+
     if trace.meta:
         sections.append("")
         eps = trace.meta.get("events_per_s", 0.0)
@@ -276,6 +341,9 @@ def report_json(trace: Trace, top: int = 10) -> Dict[str, Any]:
         "spans": len(trace.spans()),
         "events": len(trace.events()),
         "dropped": trace.dropped,
+        "dropped_by_kind": dict(sorted(trace.dropped_by_kind.items())),
+        "dropped_by_name": dict(sorted(trace.dropped_by_name.items())),
+        "sampling": trace.sampling,
         "span_table": [
             {"name": name, "count": count, "mean_s": avg, "p50_s": p50,
              "p99_s": p99}

@@ -1,0 +1,423 @@
+"""Deterministic tail-based trace sampling.
+
+At fleet scale the :class:`~repro.obs.trace.Tracer` ring buffer stops
+being an archive and becomes a lottery: 100k homes emit millions of
+spans and the interesting ones — the page load that timed out, the
+trace a ``fault.link_flap`` touched — are exactly as likely to be
+evicted as the boring ones. Tail-based sampling inverts that: every
+span of an in-flight trace is buffered, and only when the trace
+*completes* does the sampler decide, with the whole trace in hand,
+whether to keep it.
+
+Decisions are **hash-based, not random**: a trace is hash-kept when
+``trace_hash(trace_id, salt) / 2^64 < rate``. Two runs from the same
+seed produce the same trace ids in the same order, hence the same
+decisions and byte-identical sampled exports — the determinism
+contract every other exporter in this repo honours.
+
+Kept always (regardless of ``rate``):
+
+- traces containing a span with a truthy error attribute
+  (``policy.error_attrs``),
+- traces whose root-to-leaf spans include a name with a keep prefix
+  (``fault.``, ``slo.``, ``control.`` by default),
+- traces containing a span at least ``slow_threshold`` sim-seconds
+  long,
+- traces pinned via :meth:`TailSampler.pin` — the hook exemplar-linked
+  alerts use to guarantee their exemplar trace survives.
+
+Completion is fuzzy in a discrete-event simulator: a child event can
+record a mark into its trace sim-seconds after the root span finished.
+The sampler therefore waits ``decision_wait`` sim-seconds of quiet
+after the last open span closes before deciding, and keeps hash-dropped
+traces in a *limbo* ring for ``grace`` more sim-seconds so a late pin
+(an alert firing on a window that ended earlier) can still resurrect
+them. Pins that arrive after grace are counted loudly
+(``pins_missed``) rather than silently ignored. Kept traces are never
+evicted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+MASK64 = (1 << 64) - 1
+
+
+def trace_hash(trace_id: int, salt: int = 0) -> int:
+    """SplitMix64-style avalanche of a trace id into 64 uniform bits.
+
+    Pure integer mixing — no RNG state — so the keep/drop decision for
+    a trace id is a pure function of ``(trace_id, salt)``.
+    """
+    z = (trace_id + 0x9E3779B97F4A7C15 * (salt + 1)) & MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
+    return (z ^ (z >> 31)) & MASK64
+
+
+class SamplingPolicy:
+    """Knobs for :class:`TailSampler` (plain object, all defaults sane).
+
+    ``rate``
+        Fraction of *normal* traces kept by hash, in [0, 1].
+    ``slow_threshold``
+        A span this many sim-seconds long (or longer) flags its whole
+        trace as kept. ``0`` disables the slow check.
+    ``keep_prefixes``
+        Span-name prefixes that flag a trace as kept; matched against
+        every span and event mark in the trace.
+    ``error_attrs``
+        Attribute names whose truthy presence on any span flags the
+        trace as kept.
+    ``decision_wait``
+        Sim-seconds of quiet after the last open span closes before a
+        trace is decided (lets late event marks join their trace).
+    ``grace``
+        Sim-seconds a hash-dropped trace lingers in limbo, still
+        resurrectable by :meth:`TailSampler.pin`. Size it at least as
+        large as the longest alert burn window feeding exemplar pins.
+    ``salt``
+        Mixed into the hash so two samplers can make independent
+        decisions on the same ids.
+    """
+
+    __slots__ = ("rate", "slow_threshold", "keep_prefixes", "error_attrs",
+                 "decision_wait", "grace", "salt", "_hash_limit")
+
+    def __init__(self, rate: float = 0.01, slow_threshold: float = 0.0,
+                 keep_prefixes: Tuple[str, ...] = ("fault.", "slo.",
+                                                   "control."),
+                 error_attrs: Tuple[str, ...] = ("error", "timeout",
+                                                 "failed"),
+                 decision_wait: float = 1.0, grace: float = 30.0,
+                 salt: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sampling rate must be in [0, 1], got {rate}")
+        if decision_wait < 0 or grace < 0:
+            raise ValueError("decision_wait and grace must be >= 0")
+        self.rate = rate
+        self.slow_threshold = slow_threshold
+        self.keep_prefixes = tuple(keep_prefixes)
+        self.error_attrs = tuple(error_attrs)
+        self.decision_wait = decision_wait
+        self.grace = grace
+        self.salt = salt
+        # Integer threshold so the per-trace decision is one compare.
+        self._hash_limit = int(rate * float(1 << 64))
+
+    def hash_keep(self, trace_id: int) -> bool:
+        return trace_hash(trace_id, self.salt) < self._hash_limit
+
+    def flag_reason(self, span: Any) -> Optional[str]:
+        """Why this single span forces its trace to be kept, or None."""
+        # keep_prefixes is a tuple, so startswith does one C-level call.
+        if span.name.startswith(self.keep_prefixes):
+            return "flagged"
+        attrs = span.attrs
+        if attrs:
+            for key in self.error_attrs:
+                if attrs.get(key):
+                    return "error"
+        if self.slow_threshold > 0.0 and span.end is not None:
+            if span.end - span.start >= self.slow_threshold:
+                return "slow"
+        return None
+
+
+class _TraceBuf:
+    """In-flight (or limbo) state of one trace."""
+
+    __slots__ = ("spans", "open", "reason", "pinned", "quiet_since")
+
+    def __init__(self) -> None:
+        self.spans: List[Tuple[int, Any]] = []   # (record seq, span)
+        self.open = 0                            # started, unfinished spans
+        self.reason: Optional[str] = None        # forced-keep reason
+        self.pinned = False
+        self.quiet_since = 0.0                   # sim time open hit 0
+
+
+class TailSampler:
+    """Whole-trace keep/drop decisions for one :class:`Tracer`.
+
+    Attach with ``tracer.enable_tail_sampling(rate=..., ...)``; from
+    then on finished spans route here instead of the ring buffer.
+    Everything is driven lazily off span activity (plus an explicit
+    :meth:`flush` before export), so no engine events are scheduled
+    and a sampled run's event sequence is identical to an unsampled
+    one.
+    """
+
+    def __init__(self, tracer: Any, policy: SamplingPolicy) -> None:
+        self.tracer = tracer
+        self.policy = policy
+        self._pending: Dict[int, _TraceBuf] = {}
+        # Traces with open == 0, decidable once quiet for decision_wait.
+        # Sim time is monotonic so this deque stays sorted by ready time.
+        self._quiet: deque = deque()
+        # Hash-dropped traces lingering for `grace`, resurrectable.
+        self._limbo: Dict[int, _TraceBuf] = {}
+        self._limbo_order: deque = deque()       # (dropped_t, trace_id)
+        self._kept: List[Tuple[int, Any]] = []   # (record seq, span)
+        self._kept_ids: set = set()
+        self._seq = 0
+        # -- stats (all sim-side deterministic) --
+        self.traces_seen = 0
+        self.traces_kept = 0
+        self.traces_dropped = 0
+        self.kept_by_reason: Dict[str, int] = {}
+        self.spans_discarded = 0
+        self.late_spans_kept = 0
+        self.late_after_grace = 0
+        self.pins_missed = 0
+        self.pins_honoured = 0
+
+    # -- tracer callbacks --------------------------------------------------
+
+    def span_opened(self, span: Any) -> None:
+        """A real span (``start_span``) opened: hold its trace open."""
+        buf = self._pending.get(span.trace_id)
+        if buf is None:
+            buf = self._pending[span.trace_id] = _TraceBuf()
+            self.traces_seen += 1
+        buf.open += 1
+
+    def span_finished(self, span: Any) -> None:
+        """A span or event mark finished: buffer it, maybe decide."""
+        tid = span.trace_id
+        seq = self._seq
+        self._seq += 1
+        buf = self._pending.get(tid)
+        if buf is None:
+            buf = self._handle_out_of_band(tid, seq, span)
+            if buf is None:
+                self._sweep(self.tracer.now)
+                return
+        buf.spans.append((seq, span))
+        if buf.reason is None:
+            buf.reason = self.policy.flag_reason(span)
+        if span.kind == "span":
+            buf.open -= 1
+        now = self.tracer.now
+        if buf.open <= 0:
+            buf.quiet_since = now
+            self._quiet.append((now + self.policy.decision_wait, tid))
+        self._sweep(now)
+
+    def _handle_out_of_band(self, tid: int, seq: int,
+                            span: Any) -> Optional[_TraceBuf]:
+        """A span for a trace that is not pending (decided, in limbo,
+        or brand new — e.g. a rootless event mark). Returns the buffer
+        to append to, or None if the span was routed directly."""
+        if tid in self._kept_ids:
+            # Late arrival into an already-kept trace: keep it too.
+            self._kept.append((seq, span))
+            self.late_spans_kept += 1
+            return None
+        limbo = self._limbo.get(tid)
+        if limbo is not None:
+            # Late arrival into a hash-dropped trace still in limbo: a
+            # forced-keep span resurrects the whole trace.
+            limbo.spans.append((seq, span))
+            reason = self.policy.flag_reason(span)
+            if reason is not None:
+                self._resurrect(tid, reason)
+            return None
+        if span.kind != "span" and span.parent_id is not None:
+            # A mark whose parent trace is fully gone (decided, dropped,
+            # and past grace). Forced-keep marks are counted loudly —
+            # grace was sized too small.
+            if self.policy.flag_reason(span) is not None:
+                self.late_after_grace += 1
+            else:
+                self.spans_discarded += 1
+            return None
+        # Brand-new trace starting with a finish (rootless event marks,
+        # spans created before sampling was enabled): open a buffer.
+        buf = self._pending[tid] = _TraceBuf()
+        self.traces_seen += 1
+        if span.kind == "span":
+            buf.open += 1   # balanced by the decrement in span_finished
+        return buf
+
+    # -- deciding ----------------------------------------------------------
+
+    def _sweep(self, now: float) -> None:
+        quiet = self._quiet
+        while quiet and quiet[0][0] <= now:
+            _ready, tid = quiet.popleft()
+            buf = self._pending.get(tid)
+            if buf is None or buf.open > 0:
+                continue    # reopened or already decided via a later entry
+            if now - buf.quiet_since < self.policy.decision_wait:
+                continue    # went quiet again later; a newer entry exists
+            self._decide(tid, buf, now)
+        # Age out limbo.
+        grace = self.policy.grace
+        order = self._limbo_order
+        while order and now - order[0][0] > grace:
+            _t, tid = order.popleft()
+            buf = self._limbo.pop(tid, None)
+            if buf is not None:
+                self.spans_discarded += len(buf.spans)
+
+    def _decide(self, tid: int, buf: _TraceBuf, now: float) -> None:
+        del self._pending[tid]
+        if buf.pinned:
+            self._keep(tid, buf, "pinned")
+        elif buf.reason is not None:
+            self._keep(tid, buf, buf.reason)
+        elif self.policy.hash_keep(tid):
+            self._keep(tid, buf, "hash")
+        else:
+            self.traces_dropped += 1
+            self._limbo[tid] = buf
+            self._limbo_order.append((now, tid))
+
+    def _keep(self, tid: int, buf: _TraceBuf, reason: str) -> None:
+        self.traces_kept += 1
+        self.kept_by_reason[reason] = self.kept_by_reason.get(reason, 0) + 1
+        self._kept_ids.add(tid)
+        self._kept.extend(buf.spans)
+
+    def _resurrect(self, tid: int, reason: str) -> None:
+        buf = self._limbo.pop(tid, None)
+        if buf is None:
+            return
+        # Undo the drop; the stale _limbo_order entry is skipped later.
+        self.traces_dropped -= 1
+        self._keep(tid, buf, reason)
+
+    # -- external API ------------------------------------------------------
+
+    def pin(self, trace_id: Optional[int]) -> bool:
+        """Force-keep a trace by id (exemplar-linked alerts call this).
+
+        Works on pending, already-kept, and limbo traces; returns
+        whether the trace is (now) guaranteed kept. A pin for a trace
+        already aged out of limbo returns False and bumps
+        :attr:`pins_missed`.
+        """
+        if trace_id is None:
+            return False
+        if trace_id in self._kept_ids:
+            return True
+        buf = self._pending.get(trace_id)
+        if buf is not None:
+            buf.pinned = True
+            self.pins_honoured += 1
+            return True
+        if trace_id in self._limbo:
+            self._resurrect(trace_id, "pinned")
+            self.pins_honoured += 1
+            return True
+        self.pins_missed += 1
+        return False
+
+    def flush(self) -> None:
+        """Decide every in-flight trace now (called before export).
+
+        Traces with spans still open are decided on what has been
+        recorded so far — same rule the ring buffer always had (an
+        unfinished span is never exported).
+        """
+        now = self.tracer.now
+        for tid in sorted(self._pending):
+            buf = self._pending.get(tid)
+            if buf is not None:
+                self._decide(tid, buf, now)
+        self._quiet.clear()
+
+    def kept_spans(self) -> List[Any]:
+        """Spans of kept traces, in original record order."""
+        self._kept.sort(key=lambda item: item[0])
+        return [span for _seq, span in self._kept]
+
+    def stats_record(self) -> Dict[str, Any]:
+        """The trailing ``kind="sampling"`` export record (sim-side
+        deterministic, so it is inside the byte-identity contract)."""
+        return {
+            "kind": "sampling",
+            "rate": self.policy.rate,
+            "traces_seen": self.traces_seen,
+            "traces_kept": self.traces_kept,
+            "traces_dropped": self.traces_dropped,
+            "kept_by_reason": dict(sorted(self.kept_by_reason.items())),
+            "spans_kept": len(self._kept),
+            "spans_discarded": self.spans_discarded,
+            "late_spans_kept": self.late_spans_kept,
+            "late_after_grace": self.late_after_grace,
+            "pins_honoured": self.pins_honoured,
+            "pins_missed": self.pins_missed,
+            "pending": len(self._pending),
+            "limbo": len(self._limbo),
+        }
+
+
+class ExemplarStore:
+    """Time-windowed ring of (value, trace id) exemplars per metric.
+
+    Instrumented request paths record the trace id alongside each
+    latency observation; :class:`~repro.obs.slo.SloMonitor` later asks
+    for the *worst* exemplar inside an alert's burn window and pins its
+    trace through the sampler, so the dashboard's alert → exemplar
+    trace → critical path view always resolves.
+
+    Keys are unprefixed namespaced metric names (e.g.
+    ``nocdn.page_load_seconds``) — the same names registries export,
+    before any TSDB source prefix.
+    """
+
+    def __init__(self, clock: Any, window: float = 60.0,
+                 per_metric: int = 256) -> None:
+        if window <= 0 or per_metric <= 0:
+            raise ValueError("window and per_metric must be positive")
+        self._clock = clock
+        self.window = window
+        self.per_metric = per_metric
+        self.sampler: Optional[TailSampler] = None
+        self._rings: Dict[str, deque] = {}   # name -> (t, value, trace_id)
+        self.recorded = 0
+
+    def record(self, metric: str, value: float,
+               trace_id: Optional[int]) -> None:
+        """Record one observation's exemplar at the current sim time."""
+        if trace_id is None:
+            return
+        ring = self._rings.get(metric)
+        if ring is None:
+            ring = self._rings[metric] = deque(maxlen=self.per_metric)
+        now = self._clock.now
+        ring.append((now, value, trace_id))
+        self.recorded += 1
+        # Opportunistic purge keeps `worst` scans short.
+        horizon = now - self.window
+        while ring and ring[0][0] < horizon:
+            ring.popleft()
+
+    def worst(self, metric: str, start: float,
+              end: float) -> Optional[Tuple[float, float, int]]:
+        """Largest-valued exemplar for ``metric`` in ``[start, end]``.
+
+        Returns ``(t, value, trace_id)`` or None. Ties break on
+        earliest time then smallest trace id, deterministically.
+        """
+        ring = self._rings.get(metric)
+        if not ring:
+            return None
+        best: Optional[Tuple[float, float, int]] = None
+        for t, value, tid in ring:
+            if t < start or t > end:
+                continue
+            if (best is None or value > best[1]
+                    or (value == best[1] and (t, tid) < (best[0], best[2]))):
+                best = (t, value, tid)
+        return best
+
+    def pin(self, trace_id: Optional[int]) -> bool:
+        """Pin-through to the sampler (no-op True when sampling is off)."""
+        if self.sampler is None:
+            return trace_id is not None
+        return self.sampler.pin(trace_id)

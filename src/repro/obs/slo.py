@@ -105,6 +105,10 @@ class SloSpec:
     sli: Any                         # RatioSli | ThresholdSli
     rules: Tuple[BurnRule, ...] = DEFAULT_RULES
     description: str = ""
+    # Unprefixed namespaced metric name (e.g. "nocdn.page_load_seconds")
+    # whose ExemplarStore ring is searched for the worst request in a
+    # firing alert's burn window. Empty = no exemplar linking.
+    exemplar_metric: str = ""
 
     def __post_init__(self) -> None:
         if not 0.0 < self.objective < 1.0:
@@ -138,7 +142,8 @@ class SloMonitor:
 
     def __init__(self, sim: Any, db: TimeSeriesDB,
                  specs: Iterable[SloSpec], interval: float = 1.0,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 exemplars: Optional[Any] = None) -> None:
         if interval <= 0:
             raise ValueError(f"eval interval must be positive: {interval}")
         self.sim = sim
@@ -156,6 +161,10 @@ class SloMonitor:
         self.metrics.gauge(
             "alerts_active", "SLOs currently in the firing state"
         ).set_function(lambda: float(len(self._active)))
+        # Optional repro.obs.sampling.ExemplarStore: firing alerts then
+        # carry the worst in-window request's trace id and pin that
+        # trace through the tail sampler so it is guaranteed exported.
+        self.exemplars = exemplars
         self.events: List[dict] = []
         self._active: Dict[str, Any] = {}   # spec name -> open alert span
         self._listeners: List[Any] = []
@@ -215,12 +224,24 @@ class SloMonitor:
                     service=spec.service, severity=fired_rule.severity)
                 self._active[spec.name] = span
                 self._c_fired.inc()
+                extra: Dict[str, Any] = {}
+                if self.exemplars is not None and spec.exemplar_metric:
+                    worst = self.exemplars.worst(
+                        spec.exemplar_metric,
+                        now - fired_rule.long_window, now)
+                    if worst is not None:
+                        ex_t, ex_value, ex_trace = worst
+                        self.exemplars.pin(ex_trace)
+                        span.set(exemplar_trace=ex_trace)
+                        extra = {"exemplar_trace": ex_trace,
+                                 "exemplar_value": round(ex_value, 9),
+                                 "exemplar_t": round(ex_t, 9)}
                 appended.append(self._log(
                     "firing", spec, severity=fired_rule.severity,
                     burn_long=round(burn_long, 6),
                     burn_short=round(burn_short, 6),
                     long_window=fired_rule.long_window,
-                    short_window=fired_rule.short_window))
+                    short_window=fired_rule.short_window, **extra))
             elif fired_rule is None and was_active:
                 span = self._active.pop(spec.name)
                 span.finish(resolved_at=round(now, 9))

@@ -183,6 +183,10 @@ class TimeSeriesDB:
         # byte-identical with the uncached path.
         self._scrape_cache: Dict[int, Tuple[int, List[Tuple[str, str, float]]]] = {}
         self._extra: List[Tuple[str, str, Callable[[], float]]] = []
+        self._rollups: List[Any] = []
+        # Rows appended by the most recent scrape() — the cardinality
+        # the governor bounds (O(focus + cohorts + k), not O(homes)).
+        self.last_scrape_rows = 0
         self._started = False
         self._stopped = False
 
@@ -200,6 +204,17 @@ class TimeSeriesDB:
         if kind not in ("counter", "gauge"):
             raise ValueError(f"unknown series kind {kind!r}")
         self._extra.append((name, kind, fn))
+        return self
+
+    def add_rollup(self, cohort: Any) -> "TimeSeriesDB":
+        """Fold a :class:`~repro.obs.rollup.RollupCohort` each tick.
+
+        The cohort contributes aggregate + top-k rows instead of one
+        series set per member; its ``every`` attribute can thin the
+        cadence further (scraped on ticks where ``scrapes % every ==
+        0``).
+        """
+        self._rollups.append(cohort)
         return self
 
     # -- scraping ---------------------------------------------------------
@@ -230,6 +245,7 @@ class TimeSeriesDB:
         """Sample every registered registry and callback right now."""
         now = self.sim.now
         cache = self._scrape_cache
+        appended = 0
         for index, (source, registry) in enumerate(self._sources):
             version = registry.version
             cached = cache.get(index)
@@ -244,8 +260,17 @@ class TimeSeriesDB:
                 cache[index] = (version, rows)
             for name, kind, value in rows:
                 self._append(name, kind, now, value)
+            appended += len(rows)
+        for cohort in self._rollups:
+            if self.scrapes % cohort.every:
+                continue
+            for name, kind, value in cohort.scrape_rows():
+                self._append(name, kind, now, value)
+                appended += 1
         for name, kind, fn in self._extra:
             self._append(name, kind, now, float(fn()))
+        appended += len(self._extra)
+        self.last_scrape_rows = appended
         self.scrapes += 1
 
     def _append(self, name: str, kind: str, t: float, value: float) -> None:

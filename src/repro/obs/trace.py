@@ -37,14 +37,19 @@ _UNSET = object()
 class Span:
     """One named interval of simulated time in a trace."""
 
-    __slots__ = ("span_id", "parent_id", "name", "start", "end", "attrs",
-                 "kind", "_tracer")
+    __slots__ = ("span_id", "parent_id", "trace_id", "name", "start", "end",
+                 "attrs", "kind", "_tracer")
 
     def __init__(self, tracer: "Tracer", span_id: int,
                  parent_id: Optional[int], name: str, start: float,
-                 attrs: Dict[str, Any], kind: str = "span") -> None:
+                 attrs: Dict[str, Any], kind: str = "span",
+                 trace_id: Optional[int] = None) -> None:
         self.span_id = span_id
         self.parent_id = parent_id
+        # The root span's id, inherited down the tree: every span in
+        # one request's causal tree shares it. Tail sampling groups and
+        # decides whole traces by this id.
+        self.trace_id = span_id if trace_id is None else trace_id
         self.name = name
         self.start = start
         self.end: Optional[float] = None
@@ -75,7 +80,7 @@ class Span:
         self._tracer._record(self)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "kind": self.kind,
             "id": self.span_id,
             "parent": self.parent_id,
@@ -84,6 +89,11 @@ class Span:
             "end": self.end,
             "attrs": self.attrs,
         }
+        # Only exported when trace ids matter (tail sampling on), so
+        # classic exports stay byte-identical to their pre-sampling form.
+        if self._tracer.export_trace_ids:
+            out["trace"] = self.trace_id
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Span #{self.span_id} {self.name!r} "
@@ -96,6 +106,7 @@ class _NullSpan:
     __slots__ = ()
     span_id = None
     parent_id = None
+    trace_id = None
     name = ""
     kind = "span"
     start = 0.0
@@ -132,6 +143,7 @@ class NullTracer:
     """Disabled tracer: every operation is an allocation-free no-op."""
 
     enabled = False
+    export_trace_ids = False
     current: Optional[Span] = None
 
     def trace(self, name: str, **attrs: Any) -> _NullContext:
@@ -143,6 +155,9 @@ class NullTracer:
 
     def activate(self, span: Any) -> _NullContext:
         return _NULL_CTX
+
+    def current_trace_id(self) -> Optional[int]:
+        return None
 
     def spans(self) -> List[Span]:
         return []
@@ -208,19 +223,38 @@ class Tracer:
     enabled = True
 
     def __init__(self, clock: Any, capacity: int = 65536,
-                 trace_events: bool = True) -> None:
+                 trace_events: bool = True,
+                 profile_events: bool = True) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._clock = clock
         self.capacity = capacity
         self.trace_events = trace_events
+        self.profile_events = profile_events
+        # With both per-event marks and wall profiling off, the engine
+        # skips begin_event/end_event entirely and just swaps
+        # ``current`` around each callback — the fleet-bench "lite"
+        # hook, a couple of attribute stores per event.
+        self.lite = not trace_events and not profile_events
         self._records: deque = deque(maxlen=capacity)
         self._next_id = 1
         self.current: Optional[Span] = None
         # Spans evicted by ring-buffer wrap. Surfaced in every export
         # (a "dropped" record) and by trace_report, so a truncated
-        # trace can never masquerade as a complete one.
+        # trace can never masquerade as a complete one. The per-kind /
+        # per-name breakdowns say *what* was evicted.
         self.spans_dropped = 0
+        self.dropped_by_kind: Dict[str, int] = {}
+        self.dropped_by_name: Dict[str, int] = {}
+        # Tail-based sampling: when set, finished spans route through
+        # the sampler (whole-trace keep/drop decisions) instead of the
+        # ring buffer. See repro.obs.sampling.TailSampler.
+        self.sampler: Optional[Any] = None
+        # Whether span exports carry their trace id. Off by default so
+        # classic exports keep their exact bytes; flipped on by
+        # enable_tail_sampling() (and settable directly for exemplars
+        # without sampling).
+        self.export_trace_ids = False
         # Wall-clock profiling: label -> [fired count, wall seconds].
         self.profile: Dict[str, List[float]] = {}
         self.events_traced = 0
@@ -243,10 +277,17 @@ class Tracer:
         """
         if parent is _UNSET:
             parent = self.current
-        parent_id = parent.span_id if isinstance(parent, Span) else parent
+        if isinstance(parent, Span):
+            parent_id = parent.span_id
+            trace_id = parent.trace_id
+        else:
+            parent_id = parent
+            trace_id = None
         span = Span(self, self._next_id, parent_id, name, self._clock.now,
-                    attrs)
+                    attrs, trace_id=trace_id)
         self._next_id += 1
+        if self.sampler is not None:
+            self.sampler.span_opened(span)
         return span
 
     def trace(self, name: str, **attrs: Any) -> _SpanContext:
@@ -261,6 +302,11 @@ class Tracer:
         """Make an *open* span current for a scope without finishing it."""
         return _ActivateContext(self, span)
 
+    def current_trace_id(self) -> Optional[int]:
+        """Trace id of the current context, or ``None`` outside any trace."""
+        cur = self.current
+        return cur.trace_id if cur is not None else None
+
     # -- engine integration ------------------------------------------------
 
     def begin_event(self, event: Any) -> None:
@@ -270,7 +316,8 @@ class Tracer:
             now = self._clock.now
             mark = Span(self, self._next_id,
                         ctx.span_id if ctx is not None else None,
-                        event.label, now, {}, kind="event")
+                        event.label, now, {}, kind="event",
+                        trace_id=ctx.trace_id if ctx is not None else None)
             self._next_id += 1
             mark.end = now
             self._record(mark)
@@ -283,13 +330,14 @@ class Tracer:
         """Called by the engine after the callback returns (or raises)."""
         wall = perf_counter() - self._t0
         self.current = None
-        prof = self.profile.get(event.label)
-        if prof is None:
-            self.profile[event.label] = prof = [0, 0.0]
-        prof[0] += 1
-        prof[1] += wall
+        if self.profile_events:
+            prof = self.profile.get(event.label)
+            if prof is None:
+                self.profile[event.label] = prof = [0, 0.0]
+            prof[0] += 1
+            prof[1] += wall
+            self.wall_seconds += wall
         self.events_traced += 1
-        self.wall_seconds += wall
 
     # -- storage / export ----------------------------------------------------
 
@@ -299,13 +347,43 @@ class Tracer:
         return self.spans_dropped
 
     def _record(self, span: Span) -> None:
+        if self.sampler is not None:
+            self.sampler.span_finished(span)
+            return
         if len(self._records) == self.capacity:
+            evicted = self._records[0]
             self.spans_dropped += 1
+            kinds = self.dropped_by_kind
+            kinds[evicted.kind] = kinds.get(evicted.kind, 0) + 1
+            names = self.dropped_by_name
+            names[evicted.name] = names.get(evicted.name, 0) + 1
         self._records.append(span)
 
     def spans(self) -> List[Span]:
-        """Recorded (finished) spans and event marks, oldest first."""
+        """Recorded (finished) spans and event marks, oldest first.
+
+        With a sampler attached, these are the spans of *kept* traces in
+        record order (the sampler's store), not the ring buffer.
+        """
+        if self.sampler is not None:
+            return self.sampler.kept_spans()
         return list(self._records)
+
+    def enable_tail_sampling(self, **kwargs: Any) -> "Any":
+        """Attach a :class:`repro.obs.sampling.TailSampler` and return it.
+
+        Keyword arguments go to :class:`~repro.obs.sampling.
+        SamplingPolicy`. Turns on trace-id export (sampled files are a
+        different artifact from classic exports, so the extra key does
+        not violate the classic byte-identity contract).
+        """
+        from .sampling import SamplingPolicy, TailSampler
+        policy = kwargs.pop("policy", None)
+        if policy is None:
+            policy = SamplingPolicy(**kwargs)
+        self.sampler = TailSampler(self, policy)
+        self.export_trace_ids = True
+        return self.sampler
 
     @property
     def events_per_second(self) -> float:
@@ -323,20 +401,32 @@ class Tracer:
         and a trailing ``meta`` record are appended — useful for hotspot
         reports, at the cost of run-to-run byte stability.
         """
+        if self.sampler is not None:
+            # Decide every in-flight trace so nothing is silently
+            # pending at export time (flush is deterministic).
+            self.sampler.flush()
         written = 0
         with open(path, "w", encoding="utf-8") as fh:
-            for span in self._records:
+            for span in self.spans():
                 fh.write(json.dumps(span.to_dict(), sort_keys=True,
                                     separators=(",", ":"), default=str))
                 fh.write("\n")
                 written += 1
             if self.spans_dropped:
                 # Deterministic (sim-side count), so it is safe in the
-                # byte-identity contract of the default export.
+                # byte-identity contract of the default export. The
+                # by_kind/by_name breakdowns are sim-side too.
                 fh.write(json.dumps(
                     {"kind": "dropped", "capacity": self.capacity,
-                     "spans_dropped": self.spans_dropped},
+                     "spans_dropped": self.spans_dropped,
+                     "by_kind": dict(sorted(self.dropped_by_kind.items())),
+                     "by_name": dict(sorted(self.dropped_by_name.items()))},
                     sort_keys=True, separators=(",", ":")))
+                fh.write("\n")
+                written += 1
+            if self.sampler is not None:
+                fh.write(json.dumps(self.sampler.stats_record(),
+                                    sort_keys=True, separators=(",", ":")))
                 fh.write("\n")
                 written += 1
             if include_profile:

@@ -199,11 +199,28 @@ class Simulator:
             if profiler is not None:
                 t0 = perf_counter()
             if tracer.enabled:
-                tracer.begin_event(event)
-                try:
-                    event.callback()
-                finally:
-                    tracer.end_event(event)
+                if tracer.lite:
+                    # No event marks, no wall profile: context
+                    # propagation is just swapping `current` around
+                    # the callback. Most fleet events carry no trace
+                    # context at all, and `current` is always None
+                    # between events, so those need no store either.
+                    tracer.events_traced += 1
+                    ctx = event.ctx
+                    if ctx is None:
+                        event.callback()
+                    else:
+                        tracer.current = ctx
+                        try:
+                            event.callback()
+                        finally:
+                            tracer.current = None
+                else:
+                    tracer.begin_event(event)
+                    try:
+                        event.callback()
+                    finally:
+                        tracer.end_event(event)
             else:
                 event.callback()
             if profiler is not None:
@@ -225,7 +242,32 @@ class Simulator:
         heappop = heapq.heappop
         while self._strong_pending > 0 and heap:
             if not self._plain:
-                if not self.step():
+                tracer = self.tracer
+                if (tracer.enabled and tracer.lite
+                        and self.profiler is None
+                        and not self._trace_hooks):
+                    # Batched lite-tracing path: same inlining as the
+                    # plain loop below, plus context propagation.
+                    _time, _seq, event = heappop(heap)
+                    if event._state != _PENDING:
+                        continue
+                    self.now = event.time
+                    event._state = _FIRED
+                    self._pending -= 1
+                    if not event.weak:
+                        self._strong_pending -= 1
+                    tracer.events_traced += 1
+                    ctx = event.ctx
+                    if ctx is None:
+                        event.callback()
+                    else:
+                        tracer.current = ctx
+                        try:
+                            event.callback()
+                        finally:
+                            tracer.current = None
+                    self._events_fired += 1
+                elif not self.step():
                     break
             else:
                 # Batched fast path: identical semantics to step(),
@@ -262,7 +304,30 @@ class Simulator:
             if head_time > time:
                 break
             if not self._plain:
-                self.step()
+                tracer = self.tracer
+                if (tracer.enabled and tracer.lite
+                        and self.profiler is None
+                        and not self._trace_hooks):
+                    # Batched lite-tracing path (see run()).
+                    heappop(heap)
+                    self.now = event.time
+                    event._state = _FIRED
+                    self._pending -= 1
+                    if not event.weak:
+                        self._strong_pending -= 1
+                    tracer.events_traced += 1
+                    ctx = event.ctx
+                    if ctx is None:
+                        event.callback()
+                    else:
+                        tracer.current = ctx
+                        try:
+                            event.callback()
+                        finally:
+                            tracer.current = None
+                    self._events_fired += 1
+                else:
+                    self.step()
             else:
                 heappop(heap)
                 self.now = event.time
@@ -306,18 +371,24 @@ class Simulator:
     # -- tracing ---------------------------------------------------------
 
     def enable_tracing(self, capacity: int = 65536,
-                       trace_events: bool = True) -> Tracer:
+                       trace_events: bool = True,
+                       profile_events: bool = True) -> Tracer:
         """Attach a recording :class:`~repro.obs.trace.Tracer`.
 
         Spans started via ``sim.tracer`` from here on are recorded into
         a ring buffer of ``capacity`` records; each fired event also
-        leaves an instant mark when ``trace_events`` is true. Returns
-        the tracer (also available as :attr:`tracer`). Idempotent: a
-        second call keeps the existing recording tracer.
+        leaves an instant mark when ``trace_events`` is true, and
+        accrues into the per-label wall-clock profile when
+        ``profile_events`` is true. With both off the engine runs the
+        lite hook (context propagation only — the fleet-scale
+        configuration). Returns the tracer (also available as
+        :attr:`tracer`). Idempotent: a second call keeps the existing
+        recording tracer.
         """
         if not self.tracer.enabled:
             self.tracer = Tracer(self, capacity=capacity,
-                                 trace_events=trace_events)
+                                 trace_events=trace_events,
+                                 profile_events=profile_events)
         self._recompute_plain()
         return self.tracer
 

@@ -24,13 +24,15 @@ equivalence tests and the scale benchmark's before/after comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.metrics.counters import MetricsRegistry
 from repro.net.link import Link
 from repro.net.topology import City, Home, ServerSite, TopologyBuilder
+from repro.obs.rollup import RollupCohort
+from repro.obs.sampling import trace_hash
 from repro.sim.engine import Process, Simulator
-from repro.util.units import gbps
+from repro.util.units import gbps, kib
 from repro.workloads.traffic import HouseholdProfile
 
 
@@ -52,6 +54,15 @@ class FleetSpec:
     devices_per_focus_home: int = 1
     focus_hpops: bool = True
     profile: HouseholdProfile = field(default_factory=HouseholdProfile.typical)
+    # Per-home metric registries for the idle cohorts, governed by one
+    # RollupCohort per neighborhood (repro.obs.rollup). Off by default:
+    # existing fleet scenarios keep their seeded exports byte-identical.
+    per_home_metrics: bool = False
+    home_metrics_hot: int = 2
+    home_metrics_churn: int = 8
+    home_metrics_rotate: int = 8
+    rollup_k: int = 8
+    rollup_every: int = 1
 
     def __post_init__(self) -> None:
         if self.num_homes <= 0:
@@ -64,6 +75,15 @@ class FleetSpec:
                              f"{self.focus_homes}")
         if self.tick <= 0:
             raise ValueError(f"tick must be positive: {self.tick}")
+        if self.home_metrics_hot < 0 or self.home_metrics_churn < 0:
+            raise ValueError("home_metrics_hot/churn must be >= 0")
+        if self.home_metrics_rotate < 1:
+            raise ValueError("home_metrics_rotate must be >= 1: "
+                             f"{self.home_metrics_rotate}")
+        if self.rollup_k < 1:
+            raise ValueError(f"rollup_k must be >= 1: {self.rollup_k}")
+        if self.rollup_every < 1:
+            raise ValueError(f"rollup_every must be >= 1: {self.rollup_every}")
 
 
 class BackgroundAggregate:
@@ -187,6 +207,232 @@ class PerHomeBackground:
         return tick
 
 
+class HomeMetricsPool:
+    """Per-home metric registries for one idle cohort, rollup-governed.
+
+    The cardinality governor (:mod:`repro.obs.rollup`) needs something
+    to govern: real per-home registries with skewed activity. Each
+    represented home gets a tiny registry (WAN byte counters plus a
+    devices gauge) that the pool advances deterministically every tick
+    — pure :func:`~repro.obs.sampling.trace_hash` arithmetic, no RNG,
+    so the fold inputs (and therefore the rollup rows and sketch state)
+    never depend on scheduling.
+
+    Activity is deliberately skewed so the top-k sketch has something
+    to find: ``hot`` hash-chosen homes mutate every tick with large
+    per-home weights (the heavy hitters the sketch must surface) while
+    the rest mutate in a slice of ``churn`` homes that rotates every
+    ``rotate`` ticks — which also bounds the incremental fold to
+    O(hot + churn) members per scrape instead of O(n).
+    """
+
+    __slots__ = ("sim", "cohort", "num_homes", "tick", "_hot", "_churn",
+                 "_rotate", "_salt", "_stream", "_process", "_registries",
+                 "_ticks", "_dirty", "_steps")
+
+    def __init__(self, sim: Simulator, index: int, num_homes: int,
+                 tick: float = 1.0, hot: int = 2, churn: int = 8,
+                 rotate: int = 8, k: int = 8, every: int = 1,
+                 stream: Optional[str] = None) -> None:
+        if num_homes <= 0:
+            raise ValueError(f"num_homes must be positive: {num_homes}")
+        if rotate < 1:
+            raise ValueError(f"rotate must be >= 1: {rotate}")
+        self.sim = sim
+        self.num_homes = num_homes
+        self.tick = tick
+        self._rotate = rotate
+        self._salt = index
+        self._stream = stream or f"fleet.pool{index}"
+        self._process = Process(sim, self._stream)
+        self._ticks = 0
+        self.cohort = RollupCohort(f"n{index}", k=k, every=every)
+        self._registries: List[MetricsRegistry] = []
+        for i in range(num_homes):
+            registry = MetricsRegistry(namespace="home")
+            registry.counter("wan_bytes_down", "downstream WAN bytes")
+            registry.counter("wan_bytes_up", "upstream WAN bytes")
+            registry.gauge("devices_online", "devices currently online")
+            self._registries.append(registry)
+            self.cohort.add_member(f"n{index}h{i}", registry)
+        # The pool is the only writer to these registries, so it can
+        # own the touch contract: folds become O(hot + churn), never
+        # a full member walk. Adding to the live dirty set keeps the
+        # per-bump notification to one set.add.
+        self._dirty = self.cohort.enable_touch()
+        # The hot set is the `hot` smallest home indices by hash order —
+        # a pure function of (index, salt), stable across runs.
+        ranked = sorted(range(num_homes),
+                        key=lambda i: (trace_hash(i, self._salt), i))
+        self._hot = ranked[:min(hot, num_homes)]
+        self._churn = min(churn, num_homes)
+        self._steps = [float(1 + trace_hash(i, self._salt + 1) % 7)
+                       for i in range(num_homes)]
+
+    def start(self) -> "HomeMetricsPool":
+        self._process.every(self.tick, self._tick, label=self._stream)
+        return self
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    def registry(self, home: int) -> MetricsRegistry:
+        return self._registries[home]
+
+    def _bump(self, home: int, heavy: bool) -> None:
+        registry = self._registries[home]
+        self._dirty.add(home)
+        step = self._steps[home]
+        down = registry.counters["wan_bytes_down"]
+        if heavy:
+            # Several mutations per tick: version deltas are the
+            # loudness signal the sketch ranks on.
+            down.inc(step * 4096.0)
+            registry.counters["wan_bytes_up"].inc(step * 512.0)
+            registry.gauges["devices_online"].set(
+                float(1 + (self._ticks + home) % 4))
+        else:
+            down.inc(step * 128.0)
+
+    def _tick(self) -> None:
+        for home in self._hot:
+            self._bump(home, heavy=True)
+        if self._churn:
+            # The churn slice advances once per `rotate` ticks, not
+            # every tick: a churning home stays active long enough to
+            # be bumped many times per rollup fold, the same way a real
+            # busy home emits many updates per collection interval.
+            base = (self._ticks // self._rotate) * self._churn
+            for j in range(self._churn):
+                self._bump((base + j) % self.num_homes, heavy=False)
+        self._ticks += 1
+
+
+class FocusRequestLoad:
+    """Seeded HTTP request load from focus-home devices.
+
+    Gives the observability stack real traces to decide on: each
+    request runs under a ``focus.request`` root span whose children are
+    the client's ``http.request`` spans (error attrs on timeout), and
+    latencies land in this registry's histogram — with trace-id
+    exemplars when an :class:`~repro.obs.sampling.ExemplarStore` is
+    attached via :attr:`exemplars`.
+
+    Most requests hit the origin site's ``/page`` route; every
+    ``slow_every``-th request hits ``/slow`` (the origin stalls it for
+    ``slow_delay`` sim-seconds, making the trace slow-flagged), and
+    every ``peer_every``-th targets a focus home's HPoP instead — crash
+    or flap that HPoP with the fault injector and the affected requests
+    become the error traces the tail sampler must always keep.
+    """
+
+    def __init__(self, fleet: "Fleet", requests: int = 200,
+                 spacing: float = 0.25, timeout: float = 2.0,
+                 slow_every: int = 0, slow_delay: float = 0.0,
+                 peer_every: int = 0, page_bytes: int = kib(16)) -> None:
+        if requests < 0:
+            raise ValueError(f"requests must be >= 0: {requests}")
+        if spacing <= 0:
+            raise ValueError(f"spacing must be positive: {spacing}")
+        if not fleet.focus:
+            raise ValueError("FocusRequestLoad needs at least 1 focus home")
+        from repro.http.client import HttpClient
+        from repro.http.messages import HttpRequest, ok
+        from repro.http.server import HttpServer
+
+        self.fleet = fleet
+        self.sim = fleet.sim
+        self.requests = requests
+        self.spacing = spacing
+        self.timeout = timeout
+        self.slow_every = slow_every
+        self.peer_every = peer_every
+        self.results: List[Any] = []
+        self.errors: List[Any] = []
+        self.exemplars: Optional[Any] = None
+        self.metrics = MetricsRegistry(namespace="focusload")
+        self._ok = self.metrics.counter("requests_ok", "responses received")
+        self._failed = self.metrics.counter("requests_failed",
+                                            "requests that errored out")
+        self._latency = self.metrics.histogram("request_seconds",
+                                               "request round-trip time")
+        self._request_cls = HttpRequest
+
+        network = fleet.city.network
+        origin_host = fleet.city.server_sites["origin"].servers[0]
+        self.origin = HttpServer(origin_host, name="focus-origin")
+        self.origin.route("/page", lambda req: ok(body_size=page_bytes))
+        if slow_every:
+            def stall(req: Any, respond: Callable[[Any], None]) -> None:
+                self.sim.schedule(slow_delay,
+                                  lambda: respond(ok(body_size=page_bytes)),
+                                  label="focus-origin.slow")
+            self.origin.route_async("/slow", stall)
+        # Every focus HPoP also serves /page so peer-targeted requests
+        # succeed until a fault takes the HPoP down.
+        self.peer_hosts: List[Any] = []
+        if peer_every:
+            for home in fleet.focus:
+                server = HttpServer(home.hpop_host,
+                                    name=f"{home.hpop_host.name}:80")
+                server.route("/page", lambda req: ok(body_size=page_bytes))
+                self.peer_hosts.append(home.hpop_host)
+        self.clients = [HttpClient(home.devices[0], network,
+                                   timeout=timeout)
+                        for home in fleet.focus if home.devices]
+        if not self.clients:
+            raise ValueError("focus homes have no devices to drive load")
+
+    def start(self) -> "FocusRequestLoad":
+        t0 = self.sim.now
+        for i in range(self.requests):
+            self.sim.at(t0 + (i + 1) * self.spacing,
+                        (lambda index=i: self._fire(index)),
+                        label=f"focus.load{i}")
+        return self
+
+    def _fire(self, index: int) -> None:
+        tracer = self.sim.tracer
+        client = self.clients[index % len(self.clients)]
+        path = "/page"
+        if self.peer_every and index % self.peer_every == self.peer_every - 1:
+            # Rotate by peer-request ordinal, not raw index: index is
+            # congruent mod peer_every here, so indexing by it would
+            # visit only a residue class of the peer list.
+            target = self.peer_hosts[
+                (index // self.peer_every) % len(self.peer_hosts)]
+        else:
+            target = self.origin.host
+            if (self.slow_every
+                    and index % self.slow_every == self.slow_every - 1):
+                path = "/slow"
+        span = tracer.start_span("focus.request", parent=None,
+                                 index=index, target=target.name, path=path)
+        started = self.sim.now
+
+        def on_response(resp: Any, stats: Any) -> None:
+            took = self.sim.now - started
+            self._ok.inc()
+            if self.exemplars is not None:
+                self._latency.observe(took, exemplar=span.trace_id)
+                self.exemplars.record("focusload.request_seconds", took,
+                                      span.trace_id)
+            else:
+                self._latency.observe(took)
+            self.results.append((index, resp.status))
+            span.finish(status=resp.status)
+
+        def on_error(err: Any) -> None:
+            self._failed.inc()
+            self.errors.append((index, str(err)))
+            span.finish(error=str(err) or "request failed")
+
+        with tracer.activate(span):
+            client.request(target,
+                           self._request_cls("GET", path),
+                           on_response, on_error=on_error)
+
+
 @dataclass
 class Fleet:
     """A built fleet: city topology, focus homes, background aggregates."""
@@ -196,6 +442,7 @@ class Fleet:
     focus: List[Home]
     aggregates: List[BackgroundAggregate]
     registry: MetricsRegistry
+    pools: List[HomeMetricsPool] = field(default_factory=list)
 
     @property
     def sim(self) -> Simulator:
@@ -206,14 +453,25 @@ class Fleet:
         return self.spec.num_homes - len(self.focus)
 
     def start(self) -> "Fleet":
-        """Begin all background aggregation ticks."""
+        """Begin all background aggregation (and metric-pool) ticks."""
         for aggregate in self.aggregates:
             aggregate.start()
+        for pool in self.pools:
+            pool.start()
         return self
 
     def stop(self) -> None:
         for aggregate in self.aggregates:
             aggregate.stop()
+        for pool in self.pools:
+            pool.stop()
+
+    def attach_rollups(self, tsdb: Any) -> List[RollupCohort]:
+        """Register every pool's cohort with ``tsdb`` (add_rollup)."""
+        cohorts = [pool.cohort for pool in self.pools]
+        for cohort in cohorts:
+            tsdb.add_rollup(cohort)
+        return cohorts
 
 
 def build_fleet(sim: Simulator, spec: FleetSpec) -> Fleet:
@@ -228,6 +486,7 @@ def build_fleet(sim: Simulator, spec: FleetSpec) -> Fleet:
     registry = MetricsRegistry(namespace="fleet")
     neighborhoods = []
     aggregates: List[BackgroundAggregate] = []
+    pools: List[HomeMetricsPool] = []
     focus: List[Home] = []
     remaining = spec.num_homes
     focus_left = spec.focus_homes
@@ -248,6 +507,13 @@ def build_fleet(sim: Simulator, spec: FleetSpec) -> Fleet:
             aggregates.append(BackgroundAggregate(
                 sim, neighborhood.uplink, idle, spec.profile, spec.tick,
                 stream=f"fleet.bg{index}", registry=registry))
+            if spec.per_home_metrics:
+                pools.append(HomeMetricsPool(
+                    sim, index, idle, tick=spec.tick,
+                    hot=spec.home_metrics_hot,
+                    churn=spec.home_metrics_churn,
+                    rotate=spec.home_metrics_rotate,
+                    k=spec.rollup_k, every=spec.rollup_every))
         remaining -= cohort
         focus_left -= focus_here
         index += 1
@@ -259,4 +525,4 @@ def build_fleet(sim: Simulator, spec: FleetSpec) -> Fleet:
     registry.gauge("homes_focus", "event-simulated homes").set(len(focus))
     registry.gauge("neighborhoods", "aggregation cohorts").set(index)
     return Fleet(spec=spec, city=city, focus=focus, aggregates=aggregates,
-                 registry=registry)
+                 registry=registry, pools=pools)

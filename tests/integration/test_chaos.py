@@ -90,22 +90,55 @@ class ChaosWorld:
         self.controller = None
         self.zone = None
         self.resolver = None
+        self.exemplar_store = None
+        self.sampler = None
         self.redundancy_transitions = []
 
+    def enable_sampling(self, rate: float = 0.05, **policy):
+        """Attach deterministic tail-based trace sampling.
+
+        Requires ``sim.enable_tracing()`` first. Defaults size the
+        limbo grace to cover the longest SLO burn window, so exemplar
+        pins from late-firing alerts still resurrect their traces.
+        Returns the :class:`~repro.obs.sampling.TailSampler`.
+        """
+        tracer = self.sim.tracer
+        if not hasattr(tracer, "enable_tail_sampling"):
+            raise RuntimeError("call sim.enable_tracing() before "
+                               "enable_sampling()")
+        policy.setdefault("slow_threshold", 5.0)
+        policy.setdefault("grace", 120.0)
+        self.sampler = tracer.enable_tail_sampling(rate=rate, **policy)
+        if self.exemplar_store is not None:
+            self.exemplar_store.sampler = self.sampler
+        return self.sampler
+
     def enable_telemetry(self, scrape_interval: float = 0.25,
-                         eval_interval: float = 0.5):
+                         eval_interval: float = 0.5,
+                         exemplars: bool = False):
         """Attach the full fleet-telemetry stack to this world.
 
         Scrapes every registry (loader, injector, network, each HPoP's
         peer-backup service) into a :class:`TimeSeriesDB` under a
         per-source prefix, and evaluates the NoCDN + attic default SLOs
-        against it. Returns ``(tsdb, slo_monitor)``.
+        against it. With ``exemplars`` an
+        :class:`~repro.obs.sampling.ExemplarStore` links every firing
+        alert to the worst in-window request's trace (and pins it
+        through the sampler when one is attached). Returns
+        ``(tsdb, slo_monitor)``.
         """
         from repro.attic.backup_service import default_slos as attic_slos
         from repro.nocdn.loader import default_slos as nocdn_slos
         from repro.obs.slo import SloMonitor
         from repro.obs.timeseries import TimeSeriesDB
 
+        if exemplars:
+            from repro.obs.sampling import ExemplarStore
+            self.exemplar_store = ExemplarStore(self.sim, window=120.0)
+            self.exemplar_store.sampler = self.sampler
+            self.loader.exemplars = self.exemplar_store
+            for backup in self.backups:
+                backup.exemplars = self.exemplar_store
         self.tsdb = TimeSeriesDB(self.sim, interval=scrape_interval)
         self.tsdb.add_registry(self.loader.metrics, source="client")
         self.tsdb.add_registry(self.injector.metrics, source="injector")
@@ -114,7 +147,8 @@ class ChaosWorld:
             self.tsdb.add_registry(backup.metrics, source=f"h{i}")
         specs = nocdn_slos("client") + attic_slos("h0")
         self.slo_monitor = SloMonitor(self.sim, self.tsdb, specs,
-                                      interval=eval_interval)
+                                      interval=eval_interval,
+                                      exemplars=self.exemplar_store)
         self.tsdb.add_registry(self.slo_monitor.metrics, source="slo")
         self.tsdb.start()
         self.slo_monitor.start()
@@ -271,10 +305,14 @@ def run_chaos(seed: int, export_path=None, fraction: float = CHURN_FRACTION,
               num_peers: int = NUM_PEERS, telemetry: bool = False,
               controller: bool = False, num_loads: int = NUM_LOADS,
               spacing: float = 0.5, flaps: int = 1,
-              horizon: float = CHURN_HORIZON, strategy: str = None):
+              horizon: float = CHURN_HORIZON, strategy: str = None,
+              sampling: float = None, exemplars: bool = False):
     world = ChaosWorld(seed, num_peers=num_peers, strategy=strategy)
-    if telemetry or controller:
-        world.enable_telemetry()
+    if sampling is not None:
+        world.sim.enable_tracing(capacity=262144)
+        world.enable_sampling(rate=sampling)
+    if telemetry or controller or exemplars:
+        world.enable_telemetry(exemplars=exemplars)
     if controller:
         world.enable_controller()
     world.seed_attic()
@@ -282,7 +320,7 @@ def run_chaos(seed: int, export_path=None, fraction: float = CHURN_FRACTION,
     results, errors = world.schedule_loads(num_loads=num_loads,
                                            spacing=spacing)
     world.sim.run_until(world.sim.now + 150.0)
-    if telemetry or controller:
+    if world.slo_monitor is not None:
         world.slo_monitor.finish()
     if export_path is not None:
         world.injector.export_jsonl(str(export_path))

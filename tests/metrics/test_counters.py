@@ -211,6 +211,72 @@ class TestExposition:
     def test_empty_registry_exposes_nothing(self):
         assert MetricsRegistry(namespace="svc").expose() == ""
 
+    def test_families_emit_in_sorted_order(self):
+        reg = MetricsRegistry(namespace="svc")
+        reg.gauge("zeta").set(1)               # registered first
+        reg.counter("alpha").inc()
+        reg.histogram("mid", buckets=(1.0,)).observe(0.5)
+        text = reg.expose()
+        assert text.index("svc_alpha") < text.index("svc_mid") \
+            < text.index("svc_zeta")
+
+    def test_exposition_is_deterministic(self):
+        def build():
+            reg = MetricsRegistry(namespace="svc")
+            reg.gauge("b").set(2)
+            reg.counter("a").inc(3)
+            reg.histogram("c", buckets=(1.0,)).observe(0.1, exemplar=9)
+            return reg.expose()
+
+        assert build() == build()
+
+    def test_help_text_escaped(self):
+        reg = MetricsRegistry(namespace="svc")
+        reg.counter("reqs", help="line one\nline two \\ end").inc()
+        text = reg.expose()
+        assert "# HELP svc_reqs line one\\nline two \\\\ end\n" in text
+        # The raw newline must not split the comment line.
+        assert "\nline two" not in text
+
+    def test_bucket_exemplars_render_openmetrics_style(self):
+        reg = MetricsRegistry(namespace="svc")
+        hist = reg.histogram("lat", buckets=(1.0, 10.0))
+        hist.observe(0.25, exemplar=77)
+        hist.observe(5.0)                      # no exemplar on this bucket
+        text = reg.expose()
+        assert 'svc_lat_bucket{le="1"} 1 # {trace_id="77"} 0.25' in text
+        assert 'svc_lat_bucket{le="10"} 2\n' in text
+
+    def test_exemplar_free_exposition_unchanged(self):
+        """Classic byte-identity: observe() without exemplars renders
+        exactly as before the exemplar feature existed."""
+        reg = MetricsRegistry(namespace="svc")
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        text = reg.expose()
+        assert "trace_id" not in text
+        assert 'svc_lat_bucket{le="1"} 1\n' in text
+
+
+class TestHistogramExemplars:
+    def test_latest_exemplar_per_bucket(self):
+        hist = Histogram("lat", buckets=(1.0, 10.0))
+        hist.observe(0.3, exemplar=1)
+        hist.observe(0.7, exemplar=2)          # same bucket: latest wins
+        hist.observe(4.0, exemplar=3)
+        assert hist.exemplars == {0: (0.7, 2), 1: (4.0, 3)}
+
+    def test_observe_without_exemplar_leaves_store_empty(self):
+        hist = Histogram("lat", buckets=(1.0,))
+        hist.observe(0.5)
+        assert hist.exemplars == {}
+
+    def test_exemplar_observation_bumps_registry_version(self):
+        reg = MetricsRegistry(namespace="svc")
+        hist = reg.histogram("lat", buckets=(1.0,))
+        version = reg.version
+        hist.observe(0.5, exemplar=11)
+        assert reg.version > version
+
 
 class TestMerge:
     def test_merge_sums_same_names(self):

@@ -1,0 +1,228 @@
+"""Cardinality governor: space-saving sketch and cohort rollup folds."""
+
+import pytest
+
+from repro.metrics.counters import MetricsRegistry
+from repro.obs.rollup import RollupCohort, SpaceSaving
+
+
+def make_member(name, reqs=0, depth=None):
+    registry = MetricsRegistry(namespace=name)
+    counter = registry.counter("reqs")
+    if reqs:
+        counter.inc(reqs)
+    gauge = registry.gauge("depth")
+    if depth is not None:
+        gauge.set(depth)
+    return registry
+
+
+def rows_by_name(cohort):
+    return {name: value for name, _kind, value in cohort.scrape_rows()}
+
+
+class TestSpaceSaving:
+    def test_tracks_at_most_k(self):
+        sketch = SpaceSaving(2)
+        for key in ("a", "b", "c", "d"):
+            sketch.offer(key)
+        assert len(sketch) == 2
+
+    def test_eviction_inherits_floor_as_error(self):
+        sketch = SpaceSaving(2)
+        sketch.offer("a", 10.0)
+        sketch.offer("b", 3.0)
+        sketch.offer("c", 1.0)           # evicts b (min), inherits 3
+        top = sketch.top()
+        assert top[0] == ("a", 10.0, 0.0)
+        assert top[1] == ("c", 4.0, 3.0)
+        assert "b" not in sketch
+
+    def test_tie_evicts_lexicographically_smallest(self):
+        sketch = SpaceSaving(2)
+        sketch.offer("beta", 5.0)
+        sketch.offer("alpha", 5.0)
+        sketch.offer("gamma", 1.0)
+        assert "alpha" not in sketch
+        assert "beta" in sketch and "gamma" in sketch
+
+    def test_top_sorted_by_count_then_key(self):
+        sketch = SpaceSaving(3)
+        sketch.offer("x", 2.0)
+        sketch.offer("y", 7.0)
+        sketch.offer("z", 2.0)
+        assert [key for key, _c, _e in sketch.top()] == ["y", "x", "z"]
+
+    def test_nonpositive_weight_ignored(self):
+        sketch = SpaceSaving(2)
+        sketch.offer("a", 0.0)
+        sketch.offer("b", -1.0)
+        assert len(sketch) == 0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+
+
+class TestRollupFold:
+    def test_counters_sum_gauges_average(self):
+        cohort = RollupCohort("nbhd0", k=2)
+        cohort.add_member("h0", make_member("home", reqs=4, depth=2.0))
+        cohort.add_member("h1", make_member("home", reqs=6, depth=4.0))
+        rows = rows_by_name(cohort)
+        assert rows["cohort:nbhd0/home.reqs"] == 10.0
+        assert rows["cohort:nbhd0/home.depth"] == 3.0
+        assert rows["cohort:nbhd0/rollup.members"] == 2.0
+
+    def test_quiet_members_not_rescanned(self):
+        cohort = RollupCohort("n", k=2)
+        a = make_member("home", reqs=1)
+        cohort.add_member("h0", a)
+        cohort.add_member("h1", make_member("home", reqs=1))
+        cohort.scrape_rows()                 # first fold walks everyone
+        assert cohort.members_rescanned == 2
+        a.counters["reqs"].inc()
+        cohort.scrape_rows()                 # only the mutated member
+        assert cohort.members_rescanned == 3
+
+    def test_first_fold_is_setup_not_loudness(self):
+        cohort = RollupCohort("n", k=1)
+        cohort.add_member("h0", make_member("home", reqs=100))
+        cohort.scrape_rows()
+        assert len(cohort.sketch) == 0       # registration never offered
+
+    def test_loudest_member_gets_per_home_series(self):
+        cohort = RollupCohort("n", k=1)
+        quiet = make_member("home", reqs=1)
+        loud = make_member("home", reqs=1)
+        cohort.add_member("h-quiet", quiet)
+        cohort.add_member("h-loud", loud)
+        cohort.scrape_rows()
+        for _ in range(10):
+            loud.counters["reqs"].inc()
+        quiet.counters["reqs"].inc()
+        rows = rows_by_name(cohort)
+        assert "h-loud/home.reqs" in rows
+        assert rows["h-loud/home.reqs"] == 11.0
+        assert "h-quiet/home.reqs" not in rows
+
+    def test_rollup_changed_row_counts_rescans(self):
+        cohort = RollupCohort("n", k=1)
+        a = make_member("home")
+        cohort.add_member("h0", a)
+        cohort.add_member("h1", make_member("home"))
+        rows = rows_by_name(cohort)
+        assert rows["cohort:n/rollup.changed"] == 2.0
+        a.counters["reqs"].inc()
+        rows = rows_by_name(cohort)
+        assert rows["cohort:n/rollup.changed"] == 1.0
+
+    def test_duplicate_and_empty_member_names_rejected(self):
+        cohort = RollupCohort("n")
+        cohort.add_member("h0", make_member("home"))
+        with pytest.raises(ValueError):
+            cohort.add_member("h0", make_member("home"))
+        with pytest.raises(ValueError):
+            cohort.add_member("", make_member("home"))
+
+
+class TestDifferentialFastPath:
+    """Plain counter/gauge members fold value deltas, no snapshot."""
+
+    def test_deltas_match_full_rescan(self):
+        cohort = RollupCohort("n", k=1)
+        a = make_member("home", reqs=3, depth=1.0)
+        b = make_member("home", reqs=5, depth=3.0)
+        cohort.add_member("h0", a)
+        cohort.add_member("h1", b)
+        cohort.scrape_rows()                     # builds the fast caches
+        a.counters["reqs"].inc(7)
+        a.gauges["depth"].set(9.0)
+        rows = rows_by_name(cohort)
+        assert rows["cohort:n/home.reqs"] == 15.0
+        assert rows["cohort:n/home.depth"] == 6.0
+
+    def test_metric_set_change_falls_back_to_full_rescan(self):
+        cohort = RollupCohort("n", k=1)
+        a = make_member("home", reqs=2)
+        cohort.add_member("h0", a)
+        cohort.scrape_rows()
+        a.counter("retries").inc(4)              # new metric after fold
+        rows = rows_by_name(cohort)
+        assert rows["cohort:n/home.retries"] == 4.0
+        assert rows["cohort:n/home.reqs"] == 2.0
+
+    def test_histogram_member_stays_on_snapshot_path(self):
+        cohort = RollupCohort("n", k=1)
+        registry = MetricsRegistry(namespace="home")
+        hist = registry.histogram("lat")
+        hist.observe(0.5)
+        cohort.add_member("h0", registry)
+        cohort.scrape_rows()
+        hist.observe(1.5)
+        rows = rows_by_name(cohort)
+        assert rows["cohort:n/home.lat_count"] == 2.0
+        assert rows["cohort:n/home.lat_sum"] == 2.0
+
+    def test_top_k_rows_served_from_fast_cache_are_fresh(self):
+        cohort = RollupCohort("n", k=1)
+        a = make_member("home", reqs=1)
+        cohort.add_member("h0", a)
+        cohort.scrape_rows()
+        a.counters["reqs"].inc(41)
+        rows = rows_by_name(cohort)
+        assert rows["h0/home.reqs"] == 42.0      # not the stale snapshot
+
+
+class TestTouchMode:
+    def test_untouched_mutation_not_picked_up(self):
+        cohort = RollupCohort("n", k=1)
+        a = make_member("home", reqs=1)
+        cohort.add_member("h0", a)
+        cohort.enable_touch()
+        cohort.scrape_rows()                     # add_member pre-touched
+        a.counters["reqs"].inc(5)                # mutate without touch
+        rows = rows_by_name(cohort)
+        assert rows["cohort:n/home.reqs"] == 1.0
+        cohort.touch("h0")
+        rows = rows_by_name(cohort)
+        assert rows["cohort:n/home.reqs"] == 6.0
+
+    def test_enable_touch_returns_live_dirty_set(self):
+        cohort = RollupCohort("n", k=1)
+        a = make_member("home", reqs=1)
+        cohort.add_member("h0", a)
+        dirty = cohort.enable_touch()
+        cohort.scrape_rows()
+        a.counters["reqs"].inc()
+        dirty.add(0)                             # hot-loop style notify
+        rows = rows_by_name(cohort)
+        assert rows["cohort:n/home.reqs"] == 2.0
+        # Folds clear the set in place; the alias stays valid.
+        assert len(dirty) == 0
+
+    def test_fn_gauge_member_always_rescanned_in_touch_mode(self):
+        cohort = RollupCohort("n", k=1)
+        registry = MetricsRegistry(namespace="home")
+        state = {"v": 1.0}
+        registry.gauge("depth").set_function(lambda: state["v"])
+        cohort.add_member("h0", registry)
+        cohort.enable_touch()
+        cohort.scrape_rows()
+        state["v"] = 7.0                         # no touch, no version bump
+        rows = rows_by_name(cohort)
+        assert rows["cohort:n/home.depth"] == 7.0
+
+    def test_touch_index_addressing(self):
+        cohort = RollupCohort("n", k=1)
+        a = make_member("home", reqs=1)
+        cohort.add_member("h0", a)
+        cohort.enable_touch()
+        cohort.scrape_rows()
+        a.counters["reqs"].inc()
+        cohort.touch_index(0)
+        assert rows_by_name(cohort)["cohort:n/home.reqs"] == 2.0
+
+    def test_every_validation(self):
+        with pytest.raises(ValueError):
+            RollupCohort("n", every=0)

@@ -1,0 +1,275 @@
+"""Tail-based sampling: deterministic decisions, forced keeps, limbo."""
+
+import pytest
+
+from repro.obs.sampling import (
+    ExemplarStore,
+    SamplingPolicy,
+    TailSampler,
+    trace_hash,
+)
+from repro.sim.engine import Simulator
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+class FakeSpan:
+    """Just the attributes the sampler and policy read."""
+
+    def __init__(self, trace_id, name="work", kind="span", attrs=None,
+                 start=0.0, end=0.0, parent_id=None):
+        self.trace_id = trace_id
+        self.name = name
+        self.kind = kind
+        self.attrs = attrs or {}
+        self.start = start
+        self.end = end
+        self.parent_id = parent_id
+
+
+def make_sampler(**policy_kw):
+    clock = FakeClock()
+    policy_kw.setdefault("decision_wait", 0.0)
+    sampler = TailSampler(clock, SamplingPolicy(**policy_kw))
+    return clock, sampler
+
+
+def feed(sampler, span):
+    sampler.span_opened(span)
+    sampler.span_finished(span)
+
+
+class TestTraceHash:
+    def test_pure_function_of_id_and_salt(self):
+        assert trace_hash(12345) == trace_hash(12345)
+        assert trace_hash(12345, salt=1) != trace_hash(12345, salt=2)
+        assert trace_hash(1) != trace_hash(2)
+
+    def test_uniform_enough_for_rate_control(self):
+        """~rate of sequential ids land under the hash limit."""
+        policy = SamplingPolicy(rate=0.25)
+        kept = sum(1 for tid in range(4000) if policy.hash_keep(tid))
+        assert 800 < kept < 1200
+
+    def test_rate_bounds(self):
+        keep_all = SamplingPolicy(rate=1.0)
+        keep_none = SamplingPolicy(rate=0.0)
+        for tid in range(100):
+            assert keep_all.hash_keep(tid)
+            assert not keep_none.hash_keep(tid)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            SamplingPolicy(rate=1.5)
+        with pytest.raises(ValueError):
+            SamplingPolicy(decision_wait=-1.0)
+
+
+class TestFlagReason:
+    def test_keep_prefix_flags(self):
+        policy = SamplingPolicy()
+        assert policy.flag_reason(FakeSpan(1, name="fault.link_flap")) \
+            == "flagged"
+        assert policy.flag_reason(FakeSpan(1, name="slo.alert")) == "flagged"
+        assert policy.flag_reason(FakeSpan(1, name="http.request")) is None
+
+    def test_error_attr_flags(self):
+        policy = SamplingPolicy()
+        assert policy.flag_reason(
+            FakeSpan(1, attrs={"error": "timed out"})) == "error"
+        assert policy.flag_reason(FakeSpan(1, attrs={"error": ""})) is None
+
+    def test_slow_span_flags(self):
+        policy = SamplingPolicy(slow_threshold=2.0)
+        assert policy.flag_reason(FakeSpan(1, start=0.0, end=2.5)) == "slow"
+        assert policy.flag_reason(FakeSpan(1, start=0.0, end=1.0)) is None
+        off = SamplingPolicy(slow_threshold=0.0)
+        assert off.flag_reason(FakeSpan(1, start=0.0, end=99.0)) is None
+
+
+class TestDecisions:
+    def test_error_trace_always_kept_at_rate_zero(self):
+        _clock, sampler = make_sampler(rate=0.0)
+        feed(sampler, FakeSpan(7, attrs={"error": "boom"}))
+        assert sampler.traces_kept == 1
+        assert sampler.kept_by_reason == {"error": 1}
+        assert [s.trace_id for s in sampler.kept_spans()] == [7]
+
+    def test_normal_trace_dropped_at_rate_zero(self):
+        _clock, sampler = make_sampler(rate=0.0, grace=10.0)
+        feed(sampler, FakeSpan(7))
+        assert sampler.traces_kept == 0
+        assert sampler.traces_dropped == 1
+        assert sampler.kept_spans() == []
+
+    def test_multi_span_trace_decided_as_a_unit(self):
+        _clock, sampler = make_sampler(rate=0.0)
+        root = FakeSpan(9, name="request")
+        child = FakeSpan(9, name="http.request", attrs={"error": "x"})
+        sampler.span_opened(root)
+        sampler.span_opened(child)
+        sampler.span_finished(child)
+        # Not decided while the root is still open.
+        assert sampler.traces_kept == 0
+        sampler.span_finished(root)
+        assert sampler.traces_kept == 1
+        assert len(sampler.kept_spans()) == 2
+
+    def test_decision_wait_delays_until_quiet(self):
+        clock, sampler = make_sampler(rate=0.0, decision_wait=1.0)
+        feed(sampler, FakeSpan(5, attrs={"error": "x"}))
+        assert sampler.traces_kept == 0          # still inside the wait
+        clock.now = 2.0
+        feed(sampler, FakeSpan(6))               # any activity sweeps
+        assert sampler.traces_kept == 1
+
+    def test_flush_decides_everything_now(self):
+        _clock, sampler = make_sampler(rate=1.0, decision_wait=5.0)
+        feed(sampler, FakeSpan(3))
+        open_span = FakeSpan(4)
+        sampler.span_opened(open_span)           # never finishes
+        sampler.flush()
+        assert sampler.traces_kept >= 1
+        assert sampler.stats_record()["pending"] == 0
+
+    def test_kept_spans_in_record_order(self):
+        _clock, sampler = make_sampler(rate=1.0)
+        for tid in (11, 12, 13):
+            feed(sampler, FakeSpan(tid))
+        sampler.flush()
+        assert [s.trace_id for s in sampler.kept_spans()] == [11, 12, 13]
+
+
+class TestLimboAndPins:
+    def test_pin_resurrects_from_limbo(self):
+        clock, sampler = make_sampler(rate=0.0, grace=10.0)
+        feed(sampler, FakeSpan(21))
+        assert sampler.traces_dropped == 1
+        assert sampler.pin(21) is True
+        assert sampler.traces_dropped == 0
+        assert sampler.kept_by_reason == {"pinned": 1}
+        assert [s.trace_id for s in sampler.kept_spans()] == [21]
+
+    def test_pin_after_grace_is_missed_loudly(self):
+        clock, sampler = make_sampler(rate=0.0, grace=1.0)
+        feed(sampler, FakeSpan(22))
+        clock.now = 5.0
+        feed(sampler, FakeSpan(23))              # sweep ages out limbo
+        assert sampler.pin(22) is False
+        assert sampler.pins_missed == 1
+
+    def test_pin_pending_trace(self):
+        _clock, sampler = make_sampler(rate=0.0)
+        span = FakeSpan(24)
+        sampler.span_opened(span)
+        assert sampler.pin(24) is True
+        sampler.span_finished(span)
+        assert sampler.kept_by_reason == {"pinned": 1}
+
+    def test_pin_none_is_false(self):
+        _clock, sampler = make_sampler()
+        assert sampler.pin(None) is False
+
+    def test_late_flagged_mark_resurrects(self):
+        clock, sampler = make_sampler(rate=0.0, grace=10.0)
+        feed(sampler, FakeSpan(31))
+        assert sampler.traces_dropped == 1
+        late = FakeSpan(31, name="fault.loss_burst", kind="mark",
+                        parent_id=31)
+        sampler.span_finished(late)
+        assert sampler.traces_kept == 1
+        assert len(sampler.kept_spans()) == 2
+
+    def test_late_span_into_kept_trace_is_kept(self):
+        _clock, sampler = make_sampler(rate=1.0)
+        feed(sampler, FakeSpan(41))
+        sampler.flush()
+        late = FakeSpan(41, kind="mark", parent_id=41)
+        sampler.span_finished(late)
+        assert sampler.late_spans_kept == 1
+        assert len(sampler.kept_spans()) == 2
+
+
+class TestStatsRecord:
+    def test_deterministic_shape(self):
+        _clock, sampler = make_sampler(rate=0.0, grace=0.0)
+        feed(sampler, FakeSpan(1, attrs={"error": "x"}))
+        feed(sampler, FakeSpan(2))
+        record = sampler.stats_record()
+        assert record["kind"] == "sampling"
+        assert record["traces_seen"] == 2
+        assert record["traces_kept"] == 1
+        assert record["traces_dropped"] == 1
+        assert list(record["kept_by_reason"]) == ["error"]
+
+
+class TestTracerIntegration:
+    def run_traced(self, tmp_path, name):
+        sim = Simulator(seed=5)
+        tracer = sim.enable_tracing()
+        tracer.enable_tail_sampling(rate=0.0, decision_wait=0.0)
+
+        def work(label, fail):
+            span = tracer.start_span(label, parent=None)
+            span.finish(error="boom" if fail else None)
+
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda i=i: work(f"job{i}", i == 4))
+        sim.run()
+        path = tmp_path / f"{name}.jsonl"
+        tracer.export_jsonl(str(path))
+        return path.read_bytes()
+
+    def test_export_flushes_and_is_deterministic(self, tmp_path):
+        a = self.run_traced(tmp_path, "a")
+        b = self.run_traced(tmp_path, "b")
+        assert a == b
+        text = a.decode()
+        assert '"kind": "sampling"' in text.replace('"kind":"sampling"',
+                                                    '"kind": "sampling"')
+        assert "job4" in text          # the error trace survived rate=0
+        assert "job3" not in text      # a normal trace did not
+
+
+class TestExemplarStore:
+    def test_worst_in_window_with_deterministic_ties(self):
+        clock = FakeClock()
+        store = ExemplarStore(clock, window=100.0)
+        clock.now = 1.0
+        store.record("m", 3.0, 101)
+        clock.now = 2.0
+        store.record("m", 5.0, 102)
+        clock.now = 3.0
+        store.record("m", 5.0, 103)   # tie: earlier time wins
+        assert store.worst("m", 0.0, 10.0) == (2.0, 5.0, 102)
+        assert store.worst("m", 2.5, 10.0) == (3.0, 5.0, 103)
+        assert store.worst("m", 8.0, 10.0) is None
+        assert store.worst("absent", 0.0, 10.0) is None
+
+    def test_window_purge(self):
+        clock = FakeClock()
+        store = ExemplarStore(clock, window=5.0)
+        store.record("m", 1.0, 7)
+        clock.now = 100.0
+        store.record("m", 0.5, 8)     # purges the t=0 entry
+        assert store.worst("m", 0.0, 100.0) == (100.0, 0.5, 8)
+
+    def test_none_trace_id_ignored(self):
+        store = ExemplarStore(FakeClock())
+        store.record("m", 1.0, None)
+        assert store.recorded == 0
+
+    def test_pin_passthrough(self):
+        clock = FakeClock()
+        store = ExemplarStore(clock)
+        assert store.pin(5) is True            # sampling off: vacuous keep
+        assert store.pin(None) is False
+        sampler = TailSampler(clock, SamplingPolicy(rate=0.0,
+                                                    decision_wait=0.0))
+        store.sampler = sampler
+        feed(sampler, FakeSpan(5))
+        assert store.pin(5) is True
+        assert sampler.kept_by_reason == {"pinned": 1}

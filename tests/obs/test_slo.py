@@ -209,6 +209,91 @@ class TestMonitorLifecycle:
         assert monitor.events == []
 
 
+class TestExemplarLinkedAlerts:
+    def make_exemplar_world(self):
+        sim = Simulator(seed=11)
+        tracer = sim.enable_tracing()
+        sampler = tracer.enable_tail_sampling(rate=0.0, decision_wait=0.0,
+                                              grace=30.0)
+        from repro.obs.sampling import ExemplarStore
+        exemplars = ExemplarStore(sim, window=30.0)
+        exemplars.sampler = sampler
+        reg = MetricsRegistry(namespace="svc")
+        total = reg.counter("requests", "")
+        bad = reg.counter("errors", "")
+        db = TimeSeriesDB(sim, interval=0.25)
+        db.add_registry(reg)
+        spec = SloSpec(
+            name="svc-availability", service="svc", objective=0.9,
+            sli=RatioSli(total=("svc.requests",), bad=("svc.errors",)),
+            rules=(BurnRule("fast", long_window=2.0, short_window=0.5,
+                            threshold=2.0),),
+            exemplar_metric="svc.request_seconds")
+        monitor = SloMonitor(sim, db, [spec], interval=0.5,
+                             exemplars=exemplars)
+        return sim, db, monitor, sampler, exemplars, total, bad
+
+    def test_firing_alert_links_and_pins_worst_exemplar(self):
+        (sim, db, monitor, sampler, exemplars,
+         total, bad) = self.make_exemplar_world()
+        tracer = sim.tracer
+        db.start()
+        monitor.start()
+        worst = {}
+
+        def traffic():
+            # Each tick is one erroring request with a recorded
+            # exemplar; the slowest one (the first, so it exists before
+            # the burn rule fires) should win the alert link.
+            span = tracer.start_span(f"req@{sim.now:.2f}", parent=None)
+            took = 1.0 if sim.now < 0.3 else 0.1
+            if took == 1.0:
+                worst["trace"] = span.trace_id
+            exemplars.record("svc.request_seconds", took, span.trace_id)
+            span.finish()
+            total.inc(2)
+            bad.inc(2)
+            if sim.now < 2.0:
+                sim.schedule(0.25, traffic, label="traffic")
+
+        sim.schedule(0.25, traffic, label="traffic")
+        sim.run()
+
+        firing = [e for e in monitor.events if e["state"] == "firing"]
+        assert firing, "burn never fired"
+        record = firing[0]
+        assert record["exemplar_trace"] == worst["trace"]
+        assert record["exemplar_value"] == 1.0
+        # The pin survived a rate-0 sampler: the exemplar trace is kept.
+        monitor.finish()    # closes the still-firing alert span
+        sampler.flush()
+        kept_ids = {s.trace_id for s in sampler.kept_spans()}
+        assert worst["trace"] in kept_ids
+        assert sampler.pins_honoured >= 1
+        # The alert span itself carries the link for the dashboard.
+        alert_spans = [s for s in sampler.kept_spans()
+                       if s.name == "slo.alert"]
+        assert alert_spans
+        assert alert_spans[0].attrs["exemplar_trace"] == worst["trace"]
+
+    def test_alert_without_exemplars_has_no_link(self):
+        sim, db, monitor, total, bad = make_world()
+        db.start()
+        monitor.start()
+
+        def traffic():
+            total.inc(2)
+            bad.inc(2)
+            if sim.now < 2.0:
+                sim.schedule(0.25, traffic, label="traffic")
+
+        sim.schedule(0.25, traffic, label="traffic")
+        sim.run()
+        firing = [e for e in monitor.events if e["state"] == "firing"]
+        assert firing
+        assert "exemplar_trace" not in firing[0]
+
+
 class TestVerdictsAndExport:
     def run_burned(self, tmp_path=None):
         sim, db, monitor, total, bad = make_world()

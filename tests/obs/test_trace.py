@@ -142,6 +142,82 @@ class TestEventPropagation:
         assert tracer.current is None
 
 
+class TestLiteMode:
+    """trace_events=False, profile_events=False: the engine inlines the
+    per-event hook to context propagation only — both in step() and in
+    the batched run()/run_until() loops."""
+
+    def test_lite_flag(self):
+        _sim, tracer = traced_sim(trace_events=False, profile_events=False)
+        assert tracer.lite
+        _sim2, full = traced_sim()
+        assert not full.lite
+
+    def test_context_propagates_through_run(self):
+        sim, tracer = traced_sim(trace_events=False, profile_events=False)
+        with tracer.trace("root") as root:
+            sim.schedule(1.0, lambda: tracer.start_span("child").finish(),
+                         label="work")
+        sim.run()
+        child = [s for s in tracer.spans() if s.name == "child"][0]
+        assert child.parent_id == root.span_id
+        assert child.trace_id == root.trace_id
+
+    def test_context_propagates_through_run_until(self):
+        sim, tracer = traced_sim(trace_events=False, profile_events=False)
+
+        def chain():
+            tracer.start_span("hop1").finish()
+            sim.schedule(1.0, lambda: tracer.start_span("hop2").finish(),
+                         label="later")
+
+        with tracer.trace("root") as root:
+            sim.schedule(1.0, chain, label="work")
+        sim.run_until(10.0)
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["hop1"].trace_id == root.trace_id
+        assert by_name["hop2"].trace_id == root.trace_id
+
+    def test_current_cleared_and_events_counted(self):
+        sim, tracer = traced_sim(trace_events=False, profile_events=False)
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None, label="a")
+        sim.run()
+        assert tracer.current is None
+        assert tracer.events_traced == 5
+
+    def test_no_marks_and_no_profile(self):
+        sim, tracer = traced_sim(trace_events=False, profile_events=False)
+        with tracer.trace("root"):
+            sim.schedule(1.0, lambda: None, label="work")
+        sim.run()
+        assert all(s.kind == "span" for s in tracer.spans())
+        assert tracer.profile == {}
+
+    def test_lite_matches_full_span_tree(self):
+        """The same seeded workload yields the same span parentage in
+        lite and full mode — lite drops marks, not causality."""
+        def run(**kwargs):
+            sim = Simulator(seed=3)
+            tracer = sim.enable_tracing(**kwargs)
+
+            def work(i):
+                span = tracer.start_span(f"job{i}")
+                sim.schedule(0.5, lambda: span.finish(), label="done")
+
+            with tracer.trace("root"):
+                for i in range(3):
+                    sim.schedule(float(i + 1), lambda i=i: work(i),
+                                 label="work")
+            sim.run()
+            return {(s.name, s.trace_id) for s in tracer.spans()
+                    if s.kind == "span"}
+
+        full = run()
+        lite = run(trace_events=False, profile_events=False)
+        assert lite == full
+
+
 class TestRingBuffer:
     def test_capacity_bounds_and_counts_drops(self):
         sim, tracer = traced_sim(capacity=4)
